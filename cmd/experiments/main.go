@@ -1,0 +1,99 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (DESIGN.md §2), writing one report per experiment to the
+// results directory plus a combined summary.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E1,E14] [-out results]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"geogossip/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "reduced sizes and trial counts")
+		only  = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		out   = fs.String("out", "results", "output directory")
+		seed  = fs.Uint64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	summary, err := os.Create(filepath.Join(*out, "SUMMARY.txt"))
+	if err != nil {
+		return err
+	}
+	defer summary.Close()
+
+	failures := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("running %s — %s ...", r.ID, r.Title)
+		rep, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		status := "ok"
+		if !rep.OK() {
+			status = "SHAPE CHECK FAILED"
+			failures++
+		}
+		fmt.Printf(" %s (%s)\n", status, elapsed)
+
+		f, err := os.Create(filepath.Join(*out, r.ID+".txt"))
+		if err != nil {
+			return err
+		}
+		if err := rep.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+
+		fmt.Fprintf(summary, "%s — %s: %s (%s)\n", r.ID, r.Title, status, elapsed)
+		for _, finding := range rep.Findings {
+			mark := "PASS"
+			if !finding.OK {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(summary, "  [%s] %s: %s\n", mark, finding.Name, finding.Detail)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed their shape checks (see %s)", failures, *out)
+	}
+	fmt.Printf("all reports written to %s/\n", *out)
+	return nil
+}

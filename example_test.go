@@ -1,0 +1,45 @@
+package geogossip_test
+
+import (
+	"fmt"
+	"log"
+
+	"geogossip"
+)
+
+// The basic workflow: build a network, fill in sensor measurements, run
+// an algorithm, read the consensus estimate back from any sensor.
+func Example() {
+	nw, err := geogossip.NewNetwork(512, geogossip.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	values := make([]float64, nw.N())
+	for i := range values {
+		values[i] = float64(i % 2) // half the sensors read 0, half read 1
+	}
+	res, err := geogossip.AffineHierarchical(geogossip.WithTargetError(1e-6)).Run(nw, values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v sensor0=%.3f\n", res.Converged, values[0])
+	// Output: converged=true sensor0=0.500
+}
+
+// Algorithms are plain values; the same network can be reused across
+// runs and algorithms.
+func ExampleNetwork() {
+	nw, err := geogossip.NewNetwork(256, geogossip.WithSeed(3), geogossip.WithRadiusMultiplier(2.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensors=%d levels=%d connected-radius=%.2f\n",
+		nw.N(), nw.HierarchyLevels(), nw.Radius())
+	// Output: sensors=256 levels=2 connected-radius=0.29
+}
+
+// Mean reports the consensus target for a measurement vector.
+func ExampleMean() {
+	fmt.Println(geogossip.Mean([]float64{1, 2, 3, 6}))
+	// Output: 3
+}

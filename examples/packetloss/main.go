@@ -1,0 +1,54 @@
+// Packetloss: averaging under unreliable radio links. Every data packet
+// (single-hop exchange or route leg) is independently dropped with the
+// given probability; exchanges commit atomically, so the consensus value
+// is preserved and loss only costs extra transmissions and time.
+//
+// Note the contrast with push-sum-style one-way protocols, where a lost
+// message permanently destroys mass — this library's push-sum baseline
+// refuses to run with loss for exactly that reason.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"geogossip"
+)
+
+func main() {
+	const n = 512
+	nw, err := geogossip.NewNetwork(n, geogossip.WithSeed(41), geogossip.WithRadiusMultiplier(2.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := make([]float64, n)
+	for i, pos := range nw.Positions() {
+		base[i] = 100 * math.Sin(pos[0]*3) * math.Cos(pos[1]*5)
+	}
+	want := geogossip.Mean(base)
+
+	fmt.Printf("true mean: %.6f\n\n", want)
+	fmt.Printf("%-10s %-22s %14s %12s %10s\n", "loss", "algorithm", "transmissions", "final err", "mean ok")
+	for _, loss := range []float64{0, 0.1, 0.3} {
+		for _, mk := range []func() geogossip.Algorithm{
+			func() geogossip.Algorithm {
+				return geogossip.Boyd(geogossip.WithTargetError(1e-2), geogossip.WithLossRate(loss))
+			},
+			func() geogossip.Algorithm {
+				return geogossip.AffineHierarchical(geogossip.WithTargetError(1e-2), geogossip.WithLossRate(loss))
+			},
+		} {
+			values := append([]float64(nil), base...)
+			res, err := mk().Run(nw, values)
+			if err != nil {
+				log.Fatal(err)
+			}
+			meanOK := math.Abs(geogossip.Mean(values)-want) < 1e-9
+			fmt.Printf("%-10s %-22s %14d %12.3g %10v\n",
+				fmt.Sprintf("%.0f%%", loss*100), res.Algorithm, res.Transmissions, res.FinalErr, meanOK)
+		}
+	}
+	fmt.Println("\n(loss inflates cost but never corrupts the consensus value:")
+	fmt.Println(" exchanges commit atomically, so the field mean is exact at any loss rate)")
+}

@@ -1,0 +1,41 @@
+// Quickstart: build a sensor network, give every sensor a measurement,
+// and run the paper's hierarchical affine-gossip algorithm until every
+// sensor holds the global average.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geogossip"
+)
+
+func main() {
+	// 1024 sensors placed uniformly at random on the unit square,
+	// connected at radius 1.5·sqrt(log n / n).
+	nw, err := geogossip.NewNetwork(1024, geogossip.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d sensors, %d links, %d hierarchy levels\n",
+		nw.N(), nw.Edges(), nw.HierarchyLevels())
+
+	// Each sensor measures something: here, its own x coordinate.
+	values := make([]float64, nw.N())
+	for i, pos := range nw.Positions() {
+		values[i] = pos[0]
+	}
+	trueMean := geogossip.Mean(values)
+
+	// Run the paper's algorithm to relative accuracy 1e-4.
+	algo := geogossip.AffineHierarchical(geogossip.WithTargetError(1e-4))
+	res, err := algo.Run(nw, values)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged: %v after %d transmissions (final error %.2g)\n",
+		res.Converged, res.Transmissions, res.FinalErr)
+	fmt.Printf("true mean %.6f; sensor 0 now holds %.6f; sensor %d holds %.6f\n",
+		trueMean, values[0], nw.N()-1, values[nw.N()-1])
+}

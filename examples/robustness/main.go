@@ -1,0 +1,45 @@
+// Robustness: stress the faithful asynchronous protocol (§4) by sweeping
+// its round-serialization throttle — the practical stand-in for the
+// paper's n^{-a} rate damping. A low throttle lets long-range exchanges
+// fire while subtrees are still averaging (the Lemma 2 noise regime); a
+// high throttle serializes rounds at the cost of longer wall-clock time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"geogossip"
+)
+
+func main() {
+	const n = 512
+	nw, err := geogossip.NewNetwork(n, geogossip.WithSeed(31))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := make([]float64, n)
+	for i, pos := range nw.Positions() {
+		base[i] = math.Sin(pos[0]*13) + pos[1]
+	}
+
+	fmt.Printf("%-10s %12s %14s %10s\n", "throttle", "final err", "transmissions", "converged")
+	for _, throttle := range []float64{1, 2, 4, 8, 16} {
+		values := append([]float64(nil), base...)
+		algo := geogossip.AffineAsync(
+			geogossip.WithTargetError(2e-2),
+			geogossip.WithThrottle(throttle),
+			geogossip.WithMaxTicks(30_000_000),
+		)
+		res, err := algo.Run(nw, values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.1f %12.3g %14d %10v\n", throttle, res.FinalErr, res.Transmissions, res.Converged)
+	}
+	fmt.Println("\n(unthrottled, overlapping rounds feed unaveraged values into the")
+	fmt.Println(" Omega(sqrt(n))-coefficient affine update and the system can diverge —")
+	fmt.Println(" exactly why the paper damps long-range rates by n^-a; moderate")
+	fmt.Println(" throttles already restore reliable convergence)")
+}

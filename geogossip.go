@@ -1,0 +1,374 @@
+// Package geogossip is a simulation library for gossip averaging on
+// geometric random graphs, reproducing "Geographic Gossip on Geometric
+// Random Graphs via Affine Combinations" (Narayanan, PODC 2007).
+//
+// A Network is a set of n sensors placed uniformly at random on the unit
+// square, connected at the standard connectivity radius
+// r = c·sqrt(log n / n). Each sensor holds a value; an Algorithm drives
+// the values toward their global average while the library counts every
+// radio transmission — single-hop exchanges, multi-hop greedy-routed
+// packets, and control traffic.
+//
+// Three algorithm families are provided:
+//
+//   - Boyd: randomized nearest-neighbour gossip (Boyd et al., INFOCOM
+//     2005), Õ(n²) transmissions.
+//   - Geographic: geographic gossip with rejection sampling (Dimakis et
+//     al., IPSN 2006), Õ(n^1.5) transmissions.
+//   - AffineHierarchical / AffineAsync: the paper's hierarchical protocol
+//     using non-convex affine combinations, n^{1+o(1)} transmissions
+//     asymptotically; AffineAsync is the faithful event-driven §4
+//     protocol, AffineHierarchical the round-structured §3 engine.
+//
+// Quickstart:
+//
+//	nw, err := geogossip.NewNetwork(1024, geogossip.WithSeed(7))
+//	// handle err
+//	values := make([]float64, nw.N())
+//	// fill values with sensor measurements...
+//	res, err := geogossip.AffineHierarchical(geogossip.WithTargetError(1e-3)).Run(nw, values)
+//	// values now hold (approximately) their original mean everywhere;
+//	// res reports transmissions, convergence, and the error trajectory.
+package geogossip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"geogossip/internal/core"
+	"geogossip/internal/gossip"
+	"geogossip/internal/graph"
+	"geogossip/internal/hier"
+	"geogossip/internal/metrics"
+	"geogossip/internal/rng"
+	"geogossip/internal/sim"
+	"geogossip/internal/trace"
+)
+
+// Network is an immutable simulated sensor network: node positions, the
+// geometric connectivity graph, and the paper's recursive square
+// hierarchy. Safe for concurrent use by multiple algorithm runs.
+type Network struct {
+	g *graph.Graph
+	h *hier.Hierarchy
+	// leafTarget and maxDepth record the hierarchy parameters so Save can
+	// round-trip the exact construction.
+	leafTarget float64
+	maxDepth   int
+}
+
+// NetworkOption configures NewNetwork.
+type NetworkOption func(*networkConfig)
+
+type networkConfig struct {
+	seed       uint64
+	radiusMult float64
+	leafTarget float64
+	maxDepth   int
+}
+
+// WithSeed sets the placement seed (default 1). The same (n, seed,
+// options) always builds the same network.
+func WithSeed(seed uint64) NetworkOption {
+	return func(c *networkConfig) { c.seed = seed }
+}
+
+// WithRadiusMultiplier sets c in r = c·sqrt(log n / n) (default 1.5;
+// c = 1 is the Gupta–Kumar connectivity threshold).
+func WithRadiusMultiplier(c float64) NetworkOption {
+	return func(cfg *networkConfig) { cfg.radiusMult = c }
+}
+
+// WithLeafTarget overrides the hierarchy's leaf occupancy target
+// (default Θ(log n); see DESIGN.md on the substitution for the paper's
+// asymptotic (log n)^8 threshold).
+func WithLeafTarget(t float64) NetworkOption {
+	return func(c *networkConfig) { c.leafTarget = t }
+}
+
+// WithFlatHierarchy caps the hierarchy at a single partition level (the
+// flat ablation of the paper's recursive construction).
+func WithFlatHierarchy() NetworkOption {
+	return func(c *networkConfig) { c.maxDepth = 1 }
+}
+
+// ErrNotConnected is returned by NewNetwork when the sampled instance is
+// disconnected (retry with another seed or a larger radius multiplier).
+var ErrNotConnected = errors.New("geogossip: generated network is not connected")
+
+// NewNetwork samples n sensor positions uniformly on the unit square and
+// builds the connectivity graph and square hierarchy. It returns
+// ErrNotConnected if the instance is disconnected, since none of the
+// algorithms can average across components.
+func NewNetwork(n int, opts ...NetworkOption) (*Network, error) {
+	cfg := networkConfig{seed: 1, radiusMult: 1.5}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g, err := graph.Generate(n, cfg.radiusMult, rng.New(cfg.seed))
+	if err != nil {
+		return nil, fmt.Errorf("geogossip: generate graph: %w", err)
+	}
+	if n > 1 && !g.IsConnected() {
+		return nil, ErrNotConnected
+	}
+	h, err := hier.Build(g.Points(), hier.Config{LeafTarget: cfg.leafTarget, MaxDepth: cfg.maxDepth})
+	if err != nil {
+		return nil, fmt.Errorf("geogossip: build hierarchy: %w", err)
+	}
+	return &Network{g: g, h: h, leafTarget: cfg.leafTarget, maxDepth: cfg.maxDepth}, nil
+}
+
+// N returns the number of sensors.
+func (nw *Network) N() int { return nw.g.N() }
+
+// Radius returns the connectivity radius.
+func (nw *Network) Radius() float64 { return nw.g.Radius() }
+
+// Edges returns the number of links.
+func (nw *Network) Edges() int { return nw.g.Edges() }
+
+// HierarchyLevels returns ℓ, the number of levels in the recursive
+// partition (Θ(log log n)).
+func (nw *Network) HierarchyLevels() int { return nw.h.Ell }
+
+// Positions returns the sensor coordinates as (x, y) pairs.
+func (nw *Network) Positions() [][2]float64 {
+	out := make([][2]float64, nw.g.N())
+	for i := range out {
+		p := nw.g.Point(int32(i))
+		out[i] = [2]float64{p.X, p.Y}
+	}
+	return out
+}
+
+// MeanDegree returns the average number of neighbours per sensor.
+func (nw *Network) MeanDegree() float64 { return nw.g.Degrees().Mean }
+
+// Result summarizes one averaging run.
+type Result struct {
+	// Algorithm names the protocol.
+	Algorithm string
+	// Converged reports whether the target error was reached.
+	Converged bool
+	// FinalErr is the final relative ℓ₂ distance from consensus.
+	FinalErr float64
+	// Transmissions is the total radio cost.
+	Transmissions uint64
+	// Breakdown splits Transmissions by category (near/far/control/
+	// flood).
+	Breakdown map[string]uint64
+	// Curve is the sampled (transmissions, relative error) trajectory.
+	Curve [][2]float64
+}
+
+func fromMetrics(res *metrics.Result) *Result {
+	out := &Result{
+		Algorithm:     res.Algorithm,
+		Converged:     res.Converged,
+		FinalErr:      res.FinalErr,
+		Transmissions: res.Transmissions,
+		Breakdown:     res.TransmissionsByCategory,
+	}
+	if res.Curve != nil {
+		for _, s := range res.Curve.Samples {
+			out.Curve = append(out.Curve, [2]float64{float64(s.Transmissions), s.Err})
+		}
+	}
+	return out
+}
+
+// Algorithm runs a distributed averaging protocol over a network,
+// mutating the supplied values in place toward their mean.
+type Algorithm interface {
+	// Name identifies the protocol.
+	Name() string
+	// Run executes the protocol. len(values) must equal nw.N(); values
+	// are mutated in place.
+	Run(nw *Network, values []float64) (*Result, error)
+}
+
+// RunOption configures an algorithm constructor.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	targetErr float64
+	maxTicks  uint64
+	seed      uint64
+	beta      float64
+	sampling  gossip.Sampling
+	throttle  float64
+	lossRate  float64
+	tracer    trace.Tracer
+}
+
+// WithTargetError sets the relative ℓ₂ accuracy at which the run stops
+// (default 1e-3).
+func WithTargetError(eps float64) RunOption {
+	return func(c *runConfig) { c.targetErr = eps }
+}
+
+// WithMaxTicks caps the simulated clock ticks (default 200,000,000).
+func WithMaxTicks(t uint64) RunOption {
+	return func(c *runConfig) { c.maxTicks = t }
+}
+
+// WithRunSeed seeds the protocol's randomness (default 1).
+func WithRunSeed(seed uint64) RunOption {
+	return func(c *runConfig) { c.seed = seed }
+}
+
+// WithBeta overrides the affine multiplier (default 2/5, the paper's
+// value; only meaningful for the affine algorithms).
+func WithBeta(beta float64) RunOption {
+	return func(c *runConfig) { c.beta = beta }
+}
+
+// WithUniformSampling switches geographic gossip to idealized exact
+// uniform partner sampling instead of rejection sampling.
+func WithUniformSampling() RunOption {
+	return func(c *runConfig) { c.sampling = gossip.SamplingUniformNode }
+}
+
+// WithThrottle sets the async protocol's round-serialization factor
+// (default 8; stands in for the paper's n^a).
+func WithThrottle(t float64) RunOption {
+	return func(c *runConfig) { c.throttle = t }
+}
+
+// WithLossRate makes every data packet (single-hop exchange or route
+// leg) independently lost with probability p. Lost exchanges pay the
+// transmissions made before the loss and apply no update; pair updates
+// commit atomically, so the consensus value is preserved under arbitrary
+// loss. Default 0.
+func WithLossRate(p float64) RunOption {
+	return func(c *runConfig) { c.lossRate = p }
+}
+
+// WithTraceWriter streams structured protocol events (long-range
+// exchanges, round activations, packet losses) to w as they happen.
+// Supported by the affine algorithms; the baselines ignore it.
+func WithTraceWriter(w io.Writer) RunOption {
+	return func(c *runConfig) { c.tracer = &trace.Writer{W: w} }
+}
+
+func newRunConfig(opts []RunOption) runConfig {
+	cfg := runConfig{
+		targetErr: 1e-3,
+		maxTicks:  200_000_000,
+		seed:      1,
+		sampling:  gossip.SamplingRejection,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+type boydAlgo struct{ cfg runConfig }
+
+// Boyd returns randomized nearest-neighbour gossip (Boyd et al.).
+func Boyd(opts ...RunOption) Algorithm { return boydAlgo{newRunConfig(opts)} }
+
+func (a boydAlgo) Name() string { return "boyd" }
+
+func (a boydAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	res, err := gossip.RunBoyd(nw.g, values, gossip.Options{
+		Stop:     sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+		LossRate: a.cfg.lossRate,
+	}, rng.New(a.cfg.seed))
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(res), nil
+}
+
+type geoAlgo struct{ cfg runConfig }
+
+// Geographic returns geographic gossip (Dimakis et al.) with rejection
+// sampling (or uniform sampling via WithUniformSampling).
+func Geographic(opts ...RunOption) Algorithm { return geoAlgo{newRunConfig(opts)} }
+
+func (a geoAlgo) Name() string { return "geographic" }
+
+func (a geoAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	res, err := gossip.RunGeographic(nw.g, values, gossip.GeoOptions{
+		Options: gossip.Options{
+			Stop:     sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+			LossRate: a.cfg.lossRate,
+		},
+		Sampling: a.cfg.sampling,
+	}, rng.New(a.cfg.seed))
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(res), nil
+}
+
+type affineAlgo struct{ cfg runConfig }
+
+// AffineHierarchical returns the paper's algorithm in its round-structured
+// form (§3): recursive square averaging with non-convex affine long-range
+// exchanges.
+func AffineHierarchical(opts ...RunOption) Algorithm { return affineAlgo{newRunConfig(opts)} }
+
+func (a affineAlgo) Name() string { return "affine-hierarchical" }
+
+func (a affineAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	res, err := core.RunRecursive(nw.g, nw.h, values, core.RecursiveOptions{
+		Eps:      a.cfg.targetErr,
+		Beta:     a.cfg.beta,
+		LossRate: a.cfg.lossRate,
+		Tracer:   a.cfg.tracer,
+	}, rng.New(a.cfg.seed))
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(res.Result), nil
+}
+
+type asyncAlgo struct{ cfg runConfig }
+
+// AffineAsync returns the paper's algorithm as the faithful event-driven
+// §4 protocol (per-node Poisson clocks, on/off control, counters).
+func AffineAsync(opts ...RunOption) Algorithm { return asyncAlgo{newRunConfig(opts)} }
+
+func (a asyncAlgo) Name() string { return "affine-async" }
+
+func (a asyncAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	res, err := core.RunAsync(nw.g, nw.h, values, core.AsyncOptions{
+		Eps:          a.cfg.targetErr,
+		Beta:         a.cfg.beta,
+		Throttle:     a.cfg.throttle,
+		RoundsFactor: 2,
+		LossRate:     a.cfg.lossRate,
+		Tracer:       a.cfg.tracer,
+		Stop:         sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+	}, rng.New(a.cfg.seed))
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(res.Result), nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Algorithm = boydAlgo{}
+	_ Algorithm = geoAlgo{}
+	_ Algorithm = affineAlgo{}
+	_ Algorithm = asyncAlgo{}
+)
+
+// Mean returns the arithmetic mean of values (the consensus target), or 0
+// for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}

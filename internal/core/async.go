@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"geogossip/internal/graph"
+	"geogossip/internal/hier"
+	"geogossip/internal/metrics"
+	"geogossip/internal/rng"
+	"geogossip/internal/routing"
+	"geogossip/internal/sim"
+	"geogossip/internal/trace"
+)
+
+// AsyncOptions configures RunAsync, the event-driven protocol of §4.
+//
+// Budget model: the paper gives each square a round length
+// time(n, r, ε_r, δ_r) — a worst-case 16th-power polylog — and throttles
+// long-range exchanges to rate n^{-a}/time so that, w.h.p., no exchange
+// fires while the subtree below it is still averaging. We keep the
+// structure and replace the constants: a leaf representative's round
+// lasts LeafTicks of its own clock; an internal square at depth r gets
+// budget(r) = ceil(RoundsFactor·ln(m/ε_r))·Throttle·budget(r+1) ticks
+// (m = its child count), and a depth-r square fires Far with probability
+// 1/(Throttle·budget(r)) per tick. Throttle stands in for the paper's
+// n^a serialization factor; experiment E13 sweeps it and counts overlap
+// events.
+type AsyncOptions struct {
+	// Eps sizes the per-level budgets via the adaptive schedule
+	// ε_{r+1} = ε_r / (EpsDecayFactor·sqrt(E#[□_r])). Zero selects 1e-2.
+	Eps float64
+	// EpsDecayFactor is the per-level accuracy decay factor; zero
+	// selects 4 (see RecursiveOptions.EpsDecayFactor).
+	EpsDecayFactor float64
+	// Beta scales the affine coefficient; zero selects DefaultBeta.
+	Beta float64
+	// Throttle is the round-serialization factor; zero selects 4.
+	Throttle float64
+	// RoundsFactor scales exchanges per round; zero selects 1.
+	RoundsFactor float64
+	// LeafTicks is a leaf representative's round budget in its own clock
+	// ticks; zero selects 64.
+	LeafTicks int
+	// Stop bundles global termination (the experiment-level oracle); its
+	// zero MaxTicks defaults to sim's defensive cap.
+	Stop sim.StopRule
+	// RecordEvery samples the convergence curve every RecordEvery ticks;
+	// zero selects n.
+	RecordEvery uint64
+	// Recovery selects routing stall handling; zero selects RecoveryBFS.
+	Recovery routing.Recovery
+	// LossRate is the probability that a data packet (Near exchange or a
+	// leg of a Far route) is lost; the control plane (activation floods
+	// and routes) is assumed reliable. Lost exchanges pay partial cost
+	// and apply no update. Zero disables loss.
+	LossRate float64
+	// Tracer, when non-nil, receives structured protocol events
+	// (activations, deactivations, far exchanges, losses).
+	Tracer trace.Tracer
+}
+
+func (o AsyncOptions) withDefaults() AsyncOptions {
+	if o.Eps <= 0 {
+		o.Eps = 1e-2
+	}
+	if o.EpsDecayFactor <= 0 {
+		o.EpsDecayFactor = 4
+	}
+	if o.Beta == 0 {
+		o.Beta = DefaultBeta
+	}
+	if o.Throttle <= 0 {
+		// The overlap probability per round is ~1/Throttle, and the damage
+		// an overlapping exchange does grows with the affine coefficient
+		// Beta·E# — i.e. with n. 8 is safe for the sizes this repository
+		// simulates; the paper scales the analogous factor as n^a.
+		o.Throttle = 8
+	}
+	if o.RoundsFactor <= 0 {
+		o.RoundsFactor = 1
+	}
+	if o.LeafTicks <= 0 {
+		o.LeafTicks = 64
+	}
+	if o.Recovery == 0 {
+		o.Recovery = routing.RecoveryBFS
+	}
+	return o
+}
+
+// AsyncResult extends the shared summary with protocol counters.
+type AsyncResult struct {
+	*metrics.Result
+	// FarExchanges counts long-range exchanges.
+	FarExchanges uint64
+	// NearExchanges counts local pairwise exchanges.
+	NearExchanges uint64
+	// Activations and Deactivations count square round transitions.
+	Activations   uint64
+	Deactivations uint64
+	// OverlapFars counts Far events fired by a square whose own round was
+	// still in progress (counter below budget) — the events the paper's
+	// n^{-a} throttling is designed to suppress.
+	OverlapFars uint64
+	// RouteFailures counts undeliverable long-range round trips.
+	RouteFailures uint64
+	// BudgetByDepth reports the per-depth round budgets used.
+	BudgetByDepth []uint64
+}
+
+type asyncEngine struct {
+	g   *graph.Graph
+	h   *hier.Hierarchy
+	opt AsyncOptions
+	x   []float64
+
+	tracker *sim.ErrTracker
+	counter sim.Counter
+	curve   metrics.Curve
+
+	localOn  []bool // per node
+	globalOn []bool // per square
+	active   []bool // per square: Activate fired, Deactivate not yet
+	count    []uint64
+	budget   []uint64  // per depth
+	pFar     []float64 // per depth
+	// nodeRoles[i] lists the square IDs node i represents.
+	nodeRoles [][]int
+	leafAdj   [][]int32
+	// repairHops mirrors the recursive engine's leaf repair (see
+	// leafRepair): bridge nodes of rep-less in-leaf components exchange
+	// with their leaf representative over a routed path.
+	repairHops []int32
+	// siblingsWithRep[sq] caches exchange partners.
+	siblingsWithRep [][]int
+
+	protoRNG *rng.RNG
+	res      AsyncResult
+}
+
+// RunAsync runs the faithful asynchronous protocol of §4 over graph g and
+// hierarchy h, mutating x toward consensus. Termination is governed by
+// opt.Stop (error target and/or tick cap).
+func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, r *rng.RNG) (*AsyncResult, error) {
+	if g.N() != len(x) {
+		return nil, fmt.Errorf("core: %d nodes but %d values", g.N(), len(x))
+	}
+	if len(h.NodeLeaf) != g.N() {
+		return nil, fmt.Errorf("core: hierarchy covers %d nodes, graph has %d", len(h.NodeLeaf), g.N())
+	}
+	opt = opt.withDefaults()
+	if g.N() == 0 {
+		return &AsyncResult{Result: &metrics.Result{
+			Algorithm:               "affine-async",
+			Converged:               true,
+			Curve:                   &metrics.Curve{},
+			TransmissionsByCategory: (&sim.Counter{}).Breakdown(),
+		}}, nil
+	}
+	e := &asyncEngine{
+		g:        g,
+		h:        h,
+		opt:      opt,
+		x:        x,
+		tracker:  sim.NewErrTracker(x),
+		localOn:  make([]bool, g.N()),
+		globalOn: make([]bool, len(h.Squares)),
+		active:   make([]bool, len(h.Squares)),
+		count:    make([]uint64, len(h.Squares)),
+		leafAdj:  buildLeafAdj(g, h),
+		protoRNG: r.Stream("protocol"),
+	}
+	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
+	e.buildBudgets()
+	e.buildRoles()
+
+	// Initialization (§4.2): the root representative's global.state is on;
+	// everything else off.
+	root := h.Root()
+	if root.Rep >= 0 {
+		e.globalOn[root.ID] = true
+	}
+
+	stop := opt.Stop.WithDefaults()
+	clock := sim.NewClock(g.N(), r.Stream("clock"))
+	every := opt.RecordEvery
+	if every == 0 {
+		every = uint64(g.N())
+	}
+	e.curve.Record(0, 0, e.tracker.Err())
+	for !stop.Done(clock.Ticks(), e.tracker.Err()) {
+		s := clock.Tick()
+		for _, sqID := range e.nodeRoles[s] {
+			e.repStep(sqID)
+		}
+		if e.localOn[s] {
+			e.near(s)
+		}
+		if clock.Ticks()%every == 0 {
+			e.curve.Record(clock.Ticks(), e.counter.Total(), e.tracker.Err())
+		}
+	}
+	e.tracker.Resync()
+	finalErr := e.tracker.Err()
+	e.curve.Record(clock.Ticks(), e.counter.Total(), finalErr)
+	e.res.Result = &metrics.Result{
+		Algorithm:               "affine-async",
+		N:                       g.N(),
+		Converged:               stop.TargetErr > 0 && finalErr <= stop.TargetErr,
+		FinalErr:                finalErr,
+		Ticks:                   clock.Ticks(),
+		Transmissions:           e.counter.Total(),
+		TransmissionsByCategory: e.counter.Breakdown(),
+		Curve:                   &e.curve,
+	}
+	e.res.BudgetByDepth = append([]uint64(nil), e.budget...)
+	return &e.res, nil
+}
+
+// buildBudgets computes per-depth round budgets bottom-up and the derived
+// Far rates.
+func (e *asyncEngine) buildBudgets() {
+	depths := e.h.Ell // squares exist at depths 0..Ell-1
+	e.budget = make([]uint64, depths)
+	e.pFar = make([]float64, depths)
+	leafDepth := depths - 1
+	e.budget[leafDepth] = uint64(e.opt.LeafTicks)
+	// Per-depth accuracy targets follow the adaptive decay schedule.
+	eps := make([]float64, depths)
+	eps[0] = e.opt.Eps
+	expected := float64(e.g.N())
+	for r := 1; r < depths; r++ {
+		eps[r] = eps[r-1] / (e.opt.EpsDecayFactor * math.Sqrt(expected))
+		expected /= float64(e.h.Branching[r-1])
+	}
+	// Under packet loss a Far exchange survives only with probability
+	// (1-loss)²; rounds are budgeted for the effective exchange count.
+	lossFactor := 1.0
+	if e.opt.LossRate > 0 && e.opt.LossRate < 1 {
+		surv := (1 - e.opt.LossRate) * (1 - e.opt.LossRate)
+		lossFactor = 1 / surv
+	}
+	for r := leafDepth - 1; r >= 0; r-- {
+		m := float64(e.h.Branching[r]) // children per depth-r square
+		rounds := math.Ceil(e.opt.RoundsFactor * lossFactor * math.Log(m/eps[r]))
+		if rounds < 1 {
+			rounds = 1
+		}
+		e.budget[r] = uint64(rounds*e.opt.Throttle) * e.budget[r+1]
+	}
+	for r := 1; r < depths; r++ {
+		e.pFar[r] = 1 / (e.opt.Throttle * float64(e.budget[r]))
+		if e.pFar[r] > 1 {
+			e.pFar[r] = 1
+		}
+	}
+	// Depth 0 (the root) has no siblings: no Far.
+	e.pFar[0] = 0
+}
+
+func (e *asyncEngine) buildRoles() {
+	e.nodeRoles = make([][]int, e.g.N())
+	for rep, roles := range e.h.RepRoles {
+		e.nodeRoles[rep] = append([]int(nil), roles...)
+	}
+	e.siblingsWithRep = make([][]int, len(e.h.Squares))
+	for _, sq := range e.h.Squares {
+		if sq.Parent < 0 || sq.Rep < 0 {
+			continue
+		}
+		var sibs []int
+		for _, sid := range e.h.Siblings(sq) {
+			if e.h.Squares[sid].Rep >= 0 {
+				sibs = append(sibs, sid)
+			}
+		}
+		e.siblingsWithRep[sq.ID] = sibs
+	}
+}
+
+// repStep executes the level > 0 protocol for the square sqID on a tick of
+// its representative (§4.2).
+func (e *asyncEngine) repStep(sqID int) {
+	sq := e.h.Squares[sqID]
+	if e.globalOn[sqID] {
+		if e.count[sqID] == 0 {
+			e.activate(sq)
+		}
+		if e.pFar[sq.Depth] > 0 && e.protoRNG.Bernoulli(e.pFar[sq.Depth]) {
+			e.far(sq)
+			e.count[sqID] = 0
+			return // counter reset; next tick re-activates
+		}
+	}
+	if e.count[sqID] >= e.budget[sq.Depth] {
+		e.deactivate(sq)
+	} else {
+		e.count[sqID]++
+	}
+}
+
+// activate switches sq's square on (Activate.square): a level-1 (leaf)
+// representative floods local.state ← on within its square; higher levels
+// route control packets to each child representative setting
+// global.state ← on.
+func (e *asyncEngine) activate(sq *hier.Square) {
+	if e.active[sq.ID] {
+		return
+	}
+	e.active[sq.ID] = true
+	e.res.Activations++
+	if e.opt.Tracer != nil {
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
+	}
+	if sq.IsLeaf() {
+		fl := routing.Flood(e.g, sq.Rep, sq.Rect)
+		e.counter.Add(sim.CatFlood, fl.Transmissions)
+		for _, v := range fl.Reached {
+			e.localOn[v] = true
+		}
+		return
+	}
+	for _, cid := range sq.Children {
+		child := e.h.Squares[cid]
+		if child.Rep < 0 {
+			continue
+		}
+		res := routing.GreedyToNode(e.g, sq.Rep, child.Rep, e.opt.Recovery)
+		e.counter.Add(sim.CatControl, res.Hops)
+		if res.Delivered {
+			e.globalOn[child.ID] = true
+		}
+	}
+}
+
+// deactivate is activate's inverse (Deactivate.square). It only pays the
+// control cost on an actual transition.
+func (e *asyncEngine) deactivate(sq *hier.Square) {
+	if !e.active[sq.ID] {
+		return
+	}
+	e.active[sq.ID] = false
+	e.res.Deactivations++
+	if e.opt.Tracer != nil {
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
+	}
+	if sq.IsLeaf() {
+		fl := routing.Flood(e.g, sq.Rep, sq.Rect)
+		e.counter.Add(sim.CatFlood, fl.Transmissions)
+		for _, v := range fl.Reached {
+			e.localOn[v] = false
+		}
+		return
+	}
+	for _, cid := range sq.Children {
+		child := e.h.Squares[cid]
+		if child.Rep < 0 {
+			continue
+		}
+		res := routing.GreedyToNode(e.g, sq.Rep, child.Rep, e.opt.Recovery)
+		e.counter.Add(sim.CatControl, res.Hops)
+		if res.Delivered {
+			e.globalOn[child.ID] = false
+		}
+	}
+}
+
+// far performs one long-range exchange (procedure Far of §4.2): the
+// representative routes to a uniformly random sibling square's
+// representative, both apply the affine update with coefficient
+// Beta·E#[□], and both counters reset so both subtrees re-average.
+func (e *asyncEngine) far(sq *hier.Square) {
+	sibs := e.siblingsWithRep[sq.ID]
+	if len(sibs) == 0 {
+		return
+	}
+	if e.count[sq.ID] < e.budget[sq.Depth] {
+		// The square's own round was still in progress: the event the
+		// paper's n^{-a} throttling is designed to make negligible.
+		e.res.OverlapFars++
+	}
+	partner := e.h.Squares[sibs[e.protoRNG.IntN(len(sibs))]]
+	if e.opt.LossRate > 0 && e.protoRNG.Bernoulli(1-(1-e.opt.LossRate)*(1-e.opt.LossRate)) {
+		out := routing.GreedyToNode(e.g, sq.Rep, partner.Rep, e.opt.Recovery)
+		cost := out.Hops
+		if cost > 0 {
+			cost = 1 + e.protoRNG.IntN(2*cost)
+		}
+		e.counter.Add(sim.CatFar, cost)
+		e.res.RouteFailures++
+		if e.opt.Tracer != nil {
+			e.opt.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: cost})
+		}
+		return
+	}
+	hops, delivered, _ := routing.RoundTrip(e.g, sq.Rep, partner.Rep, e.opt.Recovery)
+	e.counter.Add(sim.CatFar, hops)
+	if !delivered {
+		e.res.RouteFailures++
+		return
+	}
+	xi, xj := e.x[sq.Rep], e.x[partner.Rep]
+	coeff := e.opt.Beta * sq.Expected
+	e.tracker.Set(sq.Rep, xi+coeff*(xj-xi))
+	e.tracker.Set(partner.Rep, xj+coeff*(xi-xj))
+	e.res.FarExchanges++
+	if e.opt.Tracer != nil {
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindFar, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: hops})
+	}
+	// §4.2 Far step 5: the partner's counter resets too, re-activating its
+	// subtree for re-averaging.
+	e.count[partner.ID] = 0
+}
+
+// near performs one local exchange (procedure Near): average with a
+// uniformly random neighbour inside the same leaf square.
+func (e *asyncEngine) near(s int32) {
+	cands := e.leafAdj[s]
+	var v int32
+	cost := 2
+	switch {
+	case e.repairHops[s] > 0:
+		v = e.h.Squares[e.h.NodeLeaf[s]].Rep
+		cost = 2 * int(e.repairHops[s])
+	case len(cands) > 0:
+		v = cands[e.protoRNG.IntN(len(cands))]
+	default:
+		return
+	}
+	if e.opt.LossRate > 0 && e.protoRNG.Bernoulli(e.opt.LossRate) {
+		e.counter.Add(sim.CatNear, 1) // lost outbound value
+		return
+	}
+	avg := (e.x[s] + e.x[v]) / 2
+	e.tracker.Set(s, avg)
+	e.tracker.Set(v, avg)
+	e.counter.Add(sim.CatNear, cost)
+	e.res.NearExchanges++
+}

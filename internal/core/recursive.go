@@ -1,0 +1,550 @@
+// Package core implements the paper's contribution: hierarchical
+// geographic gossip with non-convex affine combinations.
+//
+// Two engines cover the two ways the paper presents the algorithm:
+//
+//   - RunRecursive follows the round structure of §3 / Observation 1
+//     directly: averaging a square means equalizing its child subsquares
+//     recursively, then performing long-range exchanges between uniformly
+//     random sibling representatives — each exchange applying the affine
+//     update with coefficient (2/5)·E#[child] and triggering a recursive
+//     re-averaging of both involved children. Every greedy-routing hop,
+//     every local pairwise exchange is charged, so measured transmissions
+//     follow the paper's H(n, r) recurrence by construction.
+//
+//   - RunAsync (async.go) is the faithful event-driven protocol of §4:
+//     per-node Poisson clocks, local.state/global.state, counters,
+//     Near/Far/Activate.square/Deactivate.square, with flooding and
+//     geographic routing as the control channel.
+//
+// Parameter substitutions relative to the paper's proof-driven constants
+// are documented in DESIGN.md §4.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"geogossip/internal/graph"
+	"geogossip/internal/hier"
+	"geogossip/internal/metrics"
+	"geogossip/internal/rng"
+	"geogossip/internal/routing"
+	"geogossip/internal/sim"
+	"geogossip/internal/trace"
+)
+
+// DefaultBeta is the paper's affine multiplier 2/5: the long-range update
+// coefficient is Beta·E#[subsquare], which puts the induced square-sum
+// coefficients α_i = Beta·E#/#(□_i) inside Lemma 1's (1/3, 1/2) band under
+// ±10% occupancy fluctuation.
+const DefaultBeta = 2.0 / 5.0
+
+// LeafMode selects how intra-leaf averaging is performed.
+type LeafMode int
+
+const (
+	// LeafSimulated runs honest nearest-neighbour gossip restricted to
+	// the leaf square, charging 2 transmissions per exchange. Default.
+	LeafSimulated LeafMode = iota + 1
+	// LeafFast snaps the leaf to its exact mean and charges a modeled
+	// exchange count (L/gap · ln(dev/target), gap from the leaf's
+	// diffusion geometry). Use only for large-n scaling projections;
+	// results carry a LeafFastCalls count so the substitution is visible.
+	LeafFast
+)
+
+// StopMode selects the round-termination rule at internal squares.
+type StopMode int
+
+const (
+	// StopOracle ends a square's rounds when its members' deviation
+	// reaches the level target — the intrinsic cost of the algorithm,
+	// which the paper's fixed budgets guarantee w.h.p. Default.
+	StopOracle StopMode = iota + 1
+	// StopFixedBudget runs exactly ceil(RoundsFactor·m·ln(m/ε_r)) rounds
+	// per square, the shape of the paper's time(n, r, ε, δ) budgets.
+	StopFixedBudget
+)
+
+// RecursiveOptions configures RunRecursive.
+type RecursiveOptions struct {
+	// Eps is the target relative ℓ₂ accuracy ε₀ at the root. Zero selects
+	// 1e-4.
+	Eps float64
+	// EpsDecayFactor sets the per-level accuracy schedule
+	// ε_{r+1} = ε_r / (EpsDecayFactor·sqrt(E#[□_r])). The affine update
+	// amplifies residual intra-child error by ≈ Beta·sqrt(E#), so the
+	// next level's target must shrink by at least that factor — the
+	// practical core of the paper's ε_{r+1} = ε_r/(25·n^{7/2+a}) schedule
+	// (Lemma 2's noise floor). Zero selects 4.
+	EpsDecayFactor float64
+	// Beta scales the affine coefficient Beta·E#[child]. Zero selects
+	// DefaultBeta = 2/5. Experiment E11 sweeps it.
+	Beta float64
+	// RoundsFactor scales the fixed round budget ceil(RoundsFactor·m·
+	// ln(m/ε_r)) used by StopFixedBudget and as the oracle-mode safety
+	// cap (4x). Zero selects 4.
+	RoundsFactor float64
+	// Stop selects the round-termination rule. Zero selects StopOracle.
+	Stop StopMode
+	// Leaf selects intra-leaf averaging. Zero selects LeafSimulated.
+	Leaf LeafMode
+	// Convex replaces the affine update with plain averaging of the two
+	// representative values (ablation E12).
+	Convex bool
+	// Recovery selects greedy-routing stall handling. Zero selects
+	// routing.RecoveryBFS.
+	Recovery routing.Recovery
+	// RecordEvery samples the convergence curve every RecordEvery far
+	// exchanges. Zero selects 16.
+	RecordEvery int
+	// MaxLeafExchanges caps one leaf-averaging call. Zero selects
+	// 200·L² + 1000 for a leaf of L members.
+	MaxLeafExchanges int
+	// LossRate is the probability that a data packet (single-hop
+	// exchange, or a leg of a long-range route) is lost. Lost exchanges
+	// pay for the transmissions made before the loss but apply no update;
+	// updates commit atomically per pair so the sum invariant survives.
+	// Zero disables loss.
+	LossRate float64
+	// Tracer, when non-nil, receives structured protocol events (far
+	// exchanges, leaf completions, losses).
+	Tracer trace.Tracer
+}
+
+func (o RecursiveOptions) withDefaults() RecursiveOptions {
+	if o.Eps <= 0 {
+		o.Eps = 1e-4
+	}
+	if o.EpsDecayFactor <= 0 {
+		o.EpsDecayFactor = 4
+	}
+	if o.Beta == 0 {
+		o.Beta = DefaultBeta
+	}
+	if o.RoundsFactor <= 0 {
+		o.RoundsFactor = 4
+	}
+	if o.Stop == 0 {
+		o.Stop = StopOracle
+	}
+	if o.Leaf == 0 {
+		o.Leaf = LeafSimulated
+	}
+	if o.Recovery == 0 {
+		o.Recovery = routing.RecoveryBFS
+	}
+	if o.RecordEvery <= 0 {
+		o.RecordEvery = 16
+	}
+	return o
+}
+
+// Result extends the shared run summary with protocol-specific counters.
+type Result struct {
+	*metrics.Result
+	// FarExchanges counts long-range affine exchanges across all levels.
+	FarExchanges uint64
+	// RouteFailures counts undeliverable representative round trips
+	// (possible only on disconnected instances).
+	RouteFailures uint64
+	// LeafStalls counts leaf-averaging calls that hit their exchange cap
+	// before reaching the level target.
+	LeafStalls uint64
+	// IncompleteSquares counts internal squares whose oracle-mode rounds
+	// hit the safety cap before reaching the level target.
+	IncompleteSquares uint64
+	// LeafFastCalls counts leaf averagings served by the LeafFast model
+	// (zero in fully honest runs).
+	LeafFastCalls uint64
+}
+
+type engine struct {
+	g       *graph.Graph
+	h       *hier.Hierarchy
+	opt     RecursiveOptions
+	x       []float64
+	tracker *sim.ErrTracker
+	counter sim.Counter
+	curve   metrics.Curve
+	scale0  float64
+	pick    *rng.RNG
+	leafRNG *rng.RNG
+	lossRNG *rng.RNG
+	// leafAdj[i] lists node i's graph neighbours inside node i's own leaf
+	// square (the candidates for Near exchanges).
+	leafAdj [][]int32
+	// repairHops[i] is the greedy-route hop count from node i to its leaf
+	// representative for bridge/orphan nodes (0 otherwise, -1 if
+	// unreachable). See leafRepair.
+	repairHops []int32
+
+	res Result
+}
+
+// RunRecursive runs the hierarchical affine-gossip algorithm over graph g
+// with hierarchy h (built over the same points), mutating x in place
+// toward consensus. It returns per-category transmission counts, the
+// convergence curve, and protocol counters.
+func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveOptions, r *rng.RNG) (*Result, error) {
+	if g.N() != len(x) {
+		return nil, fmt.Errorf("core: %d nodes but %d values", g.N(), len(x))
+	}
+	if len(h.NodeLeaf) != g.N() {
+		return nil, fmt.Errorf("core: hierarchy covers %d nodes, graph has %d", len(h.NodeLeaf), g.N())
+	}
+	opt = opt.withDefaults()
+	name := algorithmName(opt, h)
+	if g.N() == 0 {
+		return &Result{Result: &metrics.Result{
+			Algorithm:               name,
+			Converged:               true,
+			Curve:                   &metrics.Curve{},
+			TransmissionsByCategory: (&sim.Counter{}).Breakdown(),
+		}}, nil
+	}
+	e := &engine{
+		g:       g,
+		h:       h,
+		opt:     opt,
+		x:       x,
+		tracker: sim.NewErrTracker(x),
+		pick:    r.Stream("pick"),
+		leafRNG: r.Stream("leaf"),
+		lossRNG: r.Stream("loss"),
+		leafAdj: buildLeafAdj(g, h),
+	}
+	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
+	e.scale0 = e.tracker.Norm0()
+	e.curve.Record(0, 0, e.tracker.Err())
+	// A start at (numerical) consensus needs no work; the threshold keeps
+	// float residue in Norm0 from demanding impossible absolute targets.
+	if e.scale0 > 1e-12*(math.Abs(e.tracker.Mean())+1) {
+		e.avg(h.Root(), opt.Eps)
+	}
+	e.tracker.Resync()
+	finalErr := e.tracker.Err()
+	atConsensus := e.scale0 <= 1e-12*(math.Abs(e.tracker.Mean())+1)
+	e.curve.Record(e.res.FarExchanges, e.counter.Total(), finalErr)
+	e.res.Result = &metrics.Result{
+		Algorithm:               name,
+		N:                       g.N(),
+		Converged:               finalErr <= opt.Eps || atConsensus,
+		FinalErr:                finalErr,
+		Ticks:                   e.res.FarExchanges,
+		Transmissions:           e.counter.Total(),
+		TransmissionsByCategory: e.counter.Breakdown(),
+		Curve:                   &e.curve,
+	}
+	return &e.res, nil
+}
+
+func algorithmName(opt RecursiveOptions, h *hier.Hierarchy) string {
+	kind := "affine"
+	if opt.Convex {
+		kind = "convex"
+	}
+	shape := "hierarchical"
+	if h.Ell <= 2 {
+		shape = "flat"
+	}
+	return kind + "-" + shape
+}
+
+func buildLeafAdj(g *graph.Graph, h *hier.Hierarchy) [][]int32 {
+	adj := make([][]int32, g.N())
+	for i := int32(0); int(i) < g.N(); i++ {
+		leaf := h.NodeLeaf[i]
+		var in []int32
+		for _, v := range g.Neighbors(i) {
+			if h.NodeLeaf[v] == leaf {
+				in = append(in, v)
+			}
+		}
+		adj[i] = in
+	}
+	return adj
+}
+
+// leafRepair handles leaves whose internal subgraph is not connected. At
+// the paper's (log n)^8 leaf sizes a leaf's side vastly exceeds the radio
+// radius and this cannot happen; at this repository's simulable Θ(log n)
+// leaf sizes the leaf side is comparable to r, so a leaf occasionally
+// splits into in-leaf components (in the extreme, isolated nodes whose
+// neighbours all lie across the leaf boundary). Without repair those
+// components' values could never equalize and every enclosing square's
+// averaging would stall at its round cap.
+//
+// For every in-leaf component not containing the representative, the
+// component's smallest-index member becomes a bridge: whenever its clock
+// picks it for a Near exchange it exchanges with the representative over
+// a greedy-routed path, paying the hops. The returned slice holds the
+// per-node route hop count (0 = ordinary node, -1 = rep unreachable,
+// possible only on globally disconnected instances).
+func leafRepair(g *graph.Graph, h *hier.Hierarchy, leafAdj [][]int32, rec routing.Recovery) []int32 {
+	hops := make([]int32, g.N())
+	comp := make([]int32, g.N())
+	for _, sq := range h.Leaves() {
+		if sq.Rep < 0 || len(sq.Members) <= 1 {
+			continue
+		}
+		// Label in-leaf components (BFS over leaf-restricted adjacency).
+		for _, m := range sq.Members {
+			comp[m] = -1
+		}
+		next := int32(0)
+		var queue []int32
+		for _, m := range sq.Members {
+			if comp[m] >= 0 {
+				continue
+			}
+			comp[m] = next
+			queue = append(queue[:0], m)
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, v := range leafAdj[u] {
+					if comp[v] < 0 {
+						comp[v] = next
+						queue = append(queue, v)
+					}
+				}
+			}
+			next++
+		}
+		if next == 1 {
+			continue // leaf internally connected
+		}
+		repComp := comp[sq.Rep]
+		bridged := make(map[int32]bool, next)
+		for _, m := range sq.Members { // sorted: smallest index per component wins
+			c := comp[m]
+			if c == repComp || bridged[c] {
+				continue
+			}
+			bridged[c] = true
+			res := routing.GreedyToNode(g, m, sq.Rep, rec)
+			if !res.Delivered {
+				hops[m] = -1
+				continue
+			}
+			hops[m] = int32(res.Hops)
+		}
+	}
+	return hops
+}
+
+// avg drives square sq's member values to within eps·scale0 of their
+// in-square mean (the recursive protocol A of §3).
+func (e *engine) avg(sq *hier.Square, eps float64) {
+	if len(sq.Members) <= 1 {
+		return
+	}
+	if sq.IsLeaf() {
+		e.leafAverage(sq, eps)
+		return
+	}
+	kids := make([]*hier.Square, 0, len(sq.Children))
+	for _, cid := range sq.Children {
+		c := e.h.Squares[cid]
+		if len(c.Members) > 0 {
+			kids = append(kids, c)
+		}
+	}
+	epsNext := eps / (e.opt.EpsDecayFactor * math.Sqrt(sq.Expected))
+	if len(kids) == 1 {
+		// All mass in one child: averaging the child is averaging sq.
+		e.avg(kids[0], eps)
+		return
+	}
+	// Initial equalization: run A on every child independently.
+	for _, k := range kids {
+		e.avg(k, epsNext)
+	}
+	m := len(kids)
+	budget := int(math.Ceil(e.opt.RoundsFactor * float64(m) * math.Log(float64(m)/eps)))
+	target2 := eps * e.scale0 * eps * e.scale0
+	for round := 0; ; round++ {
+		switch e.opt.Stop {
+		case StopOracle:
+			if e.squareDev2(sq) <= target2 {
+				return
+			}
+			if round >= 4*budget {
+				e.res.IncompleteSquares++
+				return
+			}
+		default: // StopFixedBudget
+			if round >= budget {
+				return
+			}
+		}
+		i := e.pick.IntN(m)
+		j := e.pick.IntNExcept(m, i)
+		e.farExchange(kids[i], kids[j])
+		e.avg(kids[i], epsNext)
+		e.avg(kids[j], epsNext)
+	}
+}
+
+// farExchange performs one long-range exchange between the representatives
+// of sibling squares a and b: greedy round-trip routing plus the affine
+// (or, under the Convex ablation, convex) update on the two representative
+// values, using old values on both sides as in §3 steps 3–4.
+func (e *engine) farExchange(a, b *hier.Square) {
+	ra, rb := a.Rep, b.Rep
+	if e.opt.LossRate > 0 && e.lossRNG.Bernoulli(1-(1-e.opt.LossRate)*(1-e.opt.LossRate)) {
+		// One of the two route legs was lost: charge a partial route and
+		// apply no update (the oracle loop simply runs another round).
+		out := routing.GreedyToNode(e.g, ra, rb, e.opt.Recovery)
+		cost := out.Hops
+		if cost > 0 {
+			cost = 1 + e.lossRNG.IntN(2*cost)
+		}
+		e.counter.Add(sim.CatFar, cost)
+		e.res.RouteFailures++
+		if e.opt.Tracer != nil {
+			e.opt.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: a.ID, NodeA: ra, NodeB: rb, Hops: cost})
+		}
+		return
+	}
+	hops, delivered, _ := routing.RoundTrip(e.g, ra, rb, e.opt.Recovery)
+	e.counter.Add(sim.CatFar, hops)
+	if !delivered {
+		e.res.RouteFailures++
+		return
+	}
+	xi, xj := e.x[ra], e.x[rb]
+	var ni, nj float64
+	if e.opt.Convex {
+		avg := (xi + xj) / 2
+		ni, nj = avg, avg
+	} else {
+		coeff := e.opt.Beta * a.Expected // siblings share Expected
+		ni = xi + coeff*(xj-xi)
+		nj = xj + coeff*(xi-xj)
+	}
+	e.tracker.Set(ra, ni)
+	e.tracker.Set(rb, nj)
+	e.res.FarExchanges++
+	if e.opt.Tracer != nil {
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindFar, Square: a.ID, NodeA: ra, NodeB: rb, Hops: hops})
+	}
+	if e.res.FarExchanges%uint64(e.opt.RecordEvery) == 0 {
+		e.curve.Record(e.res.FarExchanges, e.counter.Total(), e.tracker.Err())
+	}
+}
+
+// squareDev2 returns the squared ℓ₂ deviation of sq's member values from
+// their in-square mean.
+func (e *engine) squareDev2(sq *hier.Square) float64 {
+	var sum float64
+	for _, m := range sq.Members {
+		sum += e.x[m]
+	}
+	mean := sum / float64(len(sq.Members))
+	var dev2 float64
+	for _, m := range sq.Members {
+		d := e.x[m] - mean
+		dev2 += d * d
+	}
+	return dev2
+}
+
+// leafAverage equalizes a leaf square by nearest-neighbour gossip
+// restricted to the leaf (procedure Near of §4), or by the LeafFast model.
+func (e *engine) leafAverage(sq *hier.Square, eps float64) {
+	members := sq.Members
+	l := len(members)
+	if l <= 1 {
+		return
+	}
+	var sum float64
+	for _, m := range members {
+		sum += e.x[m]
+	}
+	mean := sum / float64(l)
+	var dev2 float64
+	for _, m := range members {
+		d := e.x[m] - mean
+		dev2 += d * d
+	}
+	target := eps * e.scale0
+	target2 := target * target
+	if dev2 <= target2 {
+		return
+	}
+	if e.opt.Leaf == LeafFast {
+		e.fastLeaf(sq, mean, dev2, target)
+		return
+	}
+	maxEx := e.opt.MaxLeafExchanges
+	if maxEx <= 0 {
+		maxEx = 200*l*l + 1000
+	}
+	for k := 0; k < maxEx && dev2 > target2; k++ {
+		u := members[e.leafRNG.IntN(l)]
+		cands := e.leafAdj[u]
+		var v int32
+		cost := 2
+		switch {
+		case e.repairHops[u] > 0:
+			// Bridge/orphan: exchange with the representative over the
+			// precomputed route so in-leaf components equalize.
+			v = sq.Rep
+			cost = 2 * int(e.repairHops[u])
+		case len(cands) > 0:
+			v = cands[e.leafRNG.IntN(len(cands))]
+		default:
+			continue
+		}
+		if e.opt.LossRate > 0 && e.lossRNG.Bernoulli(e.opt.LossRate) {
+			e.counter.Add(sim.CatNear, 1) // lost outbound value
+			continue
+		}
+		xu, xv := e.x[u], e.x[v]
+		avg := (xu + xv) / 2
+		du, dv, da := xu-mean, xv-mean, avg-mean
+		dev2 += 2*da*da - du*du - dv*dv
+		e.tracker.Set(u, avg)
+		e.tracker.Set(v, avg)
+		e.counter.Add(sim.CatNear, cost)
+	}
+	if dev2 > target2 {
+		e.res.LeafStalls++
+	}
+	if e.opt.Tracer != nil {
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindLeafDone, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
+	}
+}
+
+// fastLeaf snaps the leaf to its mean and charges the modeled exchange
+// count: near-gossip on an L-node leaf contracts deviation by roughly
+// (1 − gap/L) per exchange, with gap the diffusive spectral proxy
+// (r/side)², so reaching the target needs ≈ (L/gap)·ln(dev/target)
+// exchanges.
+func (e *engine) fastLeaf(sq *hier.Square, mean, dev2 float64, target float64) {
+	l := len(sq.Members)
+	side := sq.Rect.Width()
+	gap := 0.7 * (e.g.Radius() / side) * (e.g.Radius() / side)
+	if gap > 1 {
+		gap = 1
+	}
+	if gap < 0.05 {
+		gap = 0.05
+	}
+	ratio := math.Sqrt(dev2) / target
+	if ratio < 1 {
+		ratio = 1
+	}
+	exchanges := int(math.Ceil(float64(l) / gap * math.Log(ratio)))
+	if exchanges < 1 {
+		exchanges = 1
+	}
+	e.counter.Add(sim.CatNear, 2*exchanges)
+	for _, m := range sq.Members {
+		e.tracker.Set(m, mean)
+	}
+	e.res.LeafFastCalls++
+}

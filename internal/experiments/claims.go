@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"math"
+
+	"geogossip/internal/kernel"
+	"geogossip/internal/rng"
+	"geogossip/internal/table"
+)
+
+// RunE2Lemma1 regenerates Figure 1: the measured mean of ‖x(t)‖²/‖x(0)‖²
+// under the affine pairwise dynamics on K_m against the Lemma 1 bound
+// (1 − 1/2m)^t, for α_i drawn uniformly from (1/3, 1/2).
+func RunE2Lemma1(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E2", Title: "Figure 1 — Lemma 1 contraction vs bound"}
+	ms := []int{64, 256}
+	trials := 200
+	if cfg.Quick {
+		ms = []int{64}
+		trials = 60
+	}
+	for _, m := range ms {
+		steps := kernel.StepsToContract(m, 1e-3)
+		checkpoints := 12
+		every := steps / checkpoints
+		if every < 1 {
+			every = 1
+		}
+		sumRatio := make([]float64, checkpoints+1)
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.seed() + uint64(trial)*7919
+			r := rng.New(seed)
+			vals := make([]float64, m)
+			for i := range vals {
+				vals[i] = r.NormFloat64()
+			}
+			sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
+			if err != nil {
+				return nil, err
+			}
+			sys.Center()
+			norm0 := sys.Norm2()
+			step := r.Stream("steps")
+			for cp := 0; cp <= checkpoints; cp++ {
+				if cp > 0 {
+					for k := 0; k < every; k++ {
+						sys.Step(step)
+					}
+				}
+				sumRatio[cp] += sys.Norm2() / norm0
+			}
+		}
+		tb := table.New("Lemma 1 on K_m, m=" + fmtF(float64(m)) + ", mean over trials")
+		tb.Headers = []string{"t", "measured E||x(t)||^2/||x(0)||^2", "bound (1-1/2m)^t", "measured<=bound"}
+		plot := &table.Plot{
+			Title:  "Figure 1 (m=" + fmtF(float64(m)) + "): squared-norm decay, measured (*) vs Lemma 1 bound (+)",
+			XLabel: "exchanges t",
+			YLabel: "ratio",
+			LogY:   true,
+		}
+		var xs, measured, bounds []float64
+		allBelow := true
+		for cp := 0; cp <= checkpoints; cp++ {
+			t := cp * every
+			mean := sumRatio[cp] / float64(trials)
+			bound := kernel.Lemma1Bound(m, t, 1.0)
+			below := mean <= bound*1.1 // Monte Carlo slack
+			if !below {
+				allBelow = false
+			}
+			tb.AddRowf(t, mean, bound, below)
+			xs = append(xs, float64(t))
+			measured = append(measured, mean)
+			bounds = append(bounds, bound)
+		}
+		plot.Add("measured", xs, measured)
+		plot.Add("bound", xs, bounds)
+		rep.addTable(tb)
+		rep.addPlot(plot)
+		rep.check("Lemma 1 bound holds (m="+fmtF(float64(m))+")", allBelow,
+			"mean squared-norm ratio below (1-1/2m)^t at all %d checkpoints over %d trials", checkpoints+1, trials)
+		finalMean := sumRatio[checkpoints] / float64(trials)
+		rep.check("contraction reaches target (m="+fmtF(float64(m))+")", finalMean < 1e-2,
+			"final mean ratio %v after %d exchanges", finalMean, checkpoints*every)
+	}
+	return rep, nil
+}
+
+// RunE3Tail regenerates Figure 2: the empirical tail probability
+// P(‖x(t)‖ > ε‖x(0)‖) against the Markov bound ε^{-2}(1 − 1/2m)^t of
+// Corollaries 1 and 2.
+func RunE3Tail(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E3", Title: "Figure 2 — tail probability vs Markov bound"}
+	const m = 16
+	trials := 600
+	if cfg.Quick {
+		trials = 200
+	}
+	epss := []float64{0.5, 0.3}
+	maxSteps := kernel.StepsToContract(m, 0.01)
+	checkpoints := 10
+	every := maxSteps / checkpoints
+	if every < 1 {
+		every = 1
+	}
+	for _, eps := range epss {
+		exceed := make([]int, checkpoints+1)
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.seed() + uint64(trial)*104729
+			r := rng.New(seed)
+			vals := make([]float64, m)
+			for i := range vals {
+				vals[i] = r.NormFloat64()
+			}
+			sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
+			if err != nil {
+				return nil, err
+			}
+			sys.Center()
+			norm0 := math.Sqrt(sys.Norm2())
+			step := r.Stream("steps")
+			for cp := 0; cp <= checkpoints; cp++ {
+				if cp > 0 {
+					for k := 0; k < every; k++ {
+						sys.Step(step)
+					}
+				}
+				if math.Sqrt(sys.Norm2()) > eps*norm0 {
+					exceed[cp]++
+				}
+			}
+		}
+		tb := table.New("Tail at eps="+fmtF(eps)+", m=16, "+fmtF(float64(trials))+" trials",
+			"t", "empirical P(||x||>eps||x0||)", "Markov bound", "within")
+		plot := &table.Plot{
+			Title:  "Figure 2 (eps=" + fmtF(eps) + "): tail probability, measured (*) vs bound (+)",
+			XLabel: "exchanges t",
+			YLabel: "probability",
+		}
+		var xs, emp, bnd []float64
+		allWithin := true
+		for cp := 0; cp <= checkpoints; cp++ {
+			t := cp * every
+			p := float64(exceed[cp]) / float64(trials)
+			bound := kernel.TailBound(m, t, eps)
+			// Monte Carlo slack: three standard errors.
+			within := p <= bound+3*math.Sqrt(bound*(1-bound)/float64(trials))+0.02
+			if !within {
+				allWithin = false
+			}
+			tb.AddRowf(t, p, bound, within)
+			xs = append(xs, float64(t))
+			emp = append(emp, p)
+			bnd = append(bnd, bound)
+		}
+		plot.Add("empirical", xs, emp)
+		plot.Add("bound", xs, bnd)
+		rep.addTable(tb)
+		rep.addPlot(plot)
+		rep.check("Markov tail bound holds (eps="+fmtF(eps)+")", allWithin,
+			"empirical tail below bound at all checkpoints (%d trials)", trials)
+	}
+	return rep, nil
+}
+
+// RunE4Lemma2 regenerates Figure 3: the perturbed dynamics y(t) with
+// |n(t)| < ε_noise against the Lemma 2 high-probability bound, plus the
+// noise-floor behaviour across noise scales.
+func RunE4Lemma2(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E4", Title: "Figure 3 — perturbed dynamics vs Lemma 2 bound"}
+	const m = 32
+	const a = 1.0
+	trials := 150
+	if cfg.Quick {
+		trials = 50
+	}
+	noises := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	steps := kernel.StepsToContract(m, 1e-6)
+	tb := table.New("Lemma 2: m=32, a=1, t="+fmtF(float64(steps))+" steps, "+fmtF(float64(trials))+" trials",
+		"noise eps", "median ||y(t)||", "Lemma 2 bound", "fraction within", "budget (1-5/n^a)")
+	var noiseXs, medians, bounds []float64
+	allOK := true
+	for _, eps := range noises {
+		within := 0
+		finals := make([]float64, 0, trials)
+		var bound float64
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.seed() + uint64(trial)*15485863
+			r := rng.New(seed)
+			vals := make([]float64, m)
+			for i := range vals {
+				vals[i] = r.NormFloat64()
+			}
+			sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
+			if err != nil {
+				return nil, err
+			}
+			sys.Center()
+			norm0 := math.Sqrt(sys.Norm2())
+			step := r.Stream("steps")
+			noiseRNG := r.Stream("noise")
+			noiseFn := func() float64 { return eps * (noiseRNG.Float64()*2 - 1) * 0.999 }
+			for k := 0; k < steps; k++ {
+				sys.StepPerturbed(step, noiseFn)
+			}
+			final := math.Sqrt(sys.Norm2())
+			finals = append(finals, final)
+			bound = kernel.Lemma2Bound(m, steps, a, norm0, eps)
+			if final <= bound {
+				within++
+			}
+		}
+		budget := 1 - kernel.Lemma2FailureProb(m, a)
+		frac := float64(within) / float64(trials)
+		ok := frac >= budget
+		if !ok {
+			allOK = false
+		}
+		med := medianOf(finals)
+		tb.AddRowf(eps, med, bound, frac, budget)
+		noiseXs = append(noiseXs, eps)
+		medians = append(medians, med)
+		bounds = append(bounds, bound)
+	}
+	plot := &table.Plot{
+		Title:  "Figure 3: noise floor — median ||y(t)|| (*) vs Lemma 2 bound (+), both vs noise scale",
+		XLabel: "noise eps",
+		YLabel: "||y(t)||",
+		LogX:   true,
+		LogY:   true,
+	}
+	plot.Add("median final norm", noiseXs, medians)
+	plot.Add("Lemma 2 bound", noiseXs, bounds)
+	rep.addTable(tb)
+	rep.addPlot(plot)
+	rep.check("Lemma 2 bound holds at every noise scale", allOK,
+		"fraction of runs within bound >= 1-5/n^a for all noise levels (%d trials each)", trials)
+	// The floor should scale roughly linearly with the noise.
+	ratio := medians[len(medians)-1] / medians[0]
+	noiseRatio := noiseXs[len(noiseXs)-1] / noiseXs[0]
+	rep.check("residual norm scales with noise", ratio > noiseRatio/100 && ratio < noiseRatio*100,
+		"median-final-norm ratio %v across a %vx noise sweep", fmtF(ratio), fmtF(noiseRatio))
+	return rep, nil
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp) == 0 {
+		return math.NaN()
+	}
+	return cp[len(cp)/2]
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true} }
+
+// runAndCheck executes an experiment in Quick mode and requires every
+// finding to pass; the rendered report must be well-formed.
+func runAndCheck(t *testing.T, run func(Config) (*Report, error)) *Report {
+	t.Helper()
+	rep, err := run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, rep.ID) {
+		t.Fatalf("report output missing id:\n%s", out)
+	}
+	for _, f := range rep.Findings {
+		if !f.OK {
+			t.Errorf("finding failed: %s: %s", f.Name, f.Detail)
+		}
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("experiment produced no findings")
+	}
+	if len(rep.Tables)+len(rep.Plots) == 0 {
+		t.Fatal("experiment produced no artifacts")
+	}
+	return rep
+}
+
+func TestE1Scaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E1 runs three full algorithms")
+	}
+	runAndCheck(t, RunE1Scaling)
+}
+
+func TestE2Lemma1(t *testing.T) { runAndCheck(t, RunE2Lemma1) }
+func TestE3Tail(t *testing.T)   { runAndCheck(t, RunE3Tail) }
+func TestE4Lemma2(t *testing.T) { runAndCheck(t, RunE4Lemma2) }
+
+func TestE5Connectivity(t *testing.T) { runAndCheck(t, RunE5Connectivity) }
+
+func TestE6Routing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E6 builds several graphs")
+	}
+	runAndCheck(t, RunE6Routing)
+}
+
+func TestE7Rejection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E7 draws many samples")
+	}
+	runAndCheck(t, RunE7Rejection)
+}
+
+func TestE8Occupancy(t *testing.T)  { runAndCheck(t, RunE8Occupancy) }
+func TestE10Hierarchy(t *testing.T) { runAndCheck(t, RunE10Hierarchy) }
+
+func TestE9EpsScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E9 runs the affine algorithm at six accuracy targets")
+	}
+	runAndCheck(t, RunE9EpsScaling)
+}
+
+func TestE11Stability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E11 sweeps ten multipliers")
+	}
+	runAndCheck(t, RunE11Stability)
+}
+
+func TestE12Ablation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E12 runs four variants")
+	}
+	runAndCheck(t, RunE12Ablation)
+}
+
+func TestE13Control(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E13 runs the async protocol at three throttles")
+	}
+	runAndCheck(t, RunE13Control)
+}
+
+func TestE14Convergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14 runs three full algorithms")
+	}
+	runAndCheck(t, RunE14Convergence)
+}
+
+func TestE15EpsSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 sweeps seven schedules")
+	}
+	runAndCheck(t, RunE15EpsSchedule)
+}
+
+func TestE16Mixing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 runs power iteration and full gossip at several sizes")
+	}
+	runAndCheck(t, RunE16Mixing)
+}
+
+func TestAllListsEveryExperiment(t *testing.T) {
+	runners := All()
+	if len(runners) != 16 {
+		t.Fatalf("All() lists %d experiments, want 16", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Fatalf("incomplete runner: %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestReportWriteMarksFailures(t *testing.T) {
+	rep := &Report{ID: "EX", Title: "test"}
+	rep.check("good", true, "fine")
+	rep.check("bad", false, "broken: %d", 7)
+	if rep.OK() {
+		t.Fatal("report with failure reports OK")
+	}
+	var b strings.Builder
+	if err := rep.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "[PASS] good") || !strings.Contains(out, "[FAIL] bad: broken: 7") {
+		t.Fatalf("report output:\n%s", out)
+	}
+}
+
+func TestConnectedGraphHelper(t *testing.T) {
+	g, err := connectedGraph(256, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("helper returned disconnected graph")
+	}
+	// Far sub-threshold: should fail after bounded attempts.
+	if _, err := connectedGraph(4096, 0.3, 1); err == nil {
+		t.Fatal("sub-threshold graph reported connected")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := logSpace(1, 100, 3)
+	if len(xs) != 3 || xs[0] != 1 || xs[2] != 100 {
+		t.Fatalf("logSpace = %v", xs)
+	}
+	if xs[1] < 9.9 || xs[1] > 10.1 {
+		t.Fatalf("geometric midpoint = %v", xs[1])
+	}
+	if got := logSpace(5, 50, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("single point = %v", got)
+	}
+}

@@ -1,0 +1,204 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CellIndex is a uniform-grid spatial index over a fixed set of points.
+// It supports radius-bounded neighbour queries (the geometric random graph
+// construction), nearest-point queries (greedy routing targets, square
+// representatives) and rectangle queries (square membership).
+//
+// The index is immutable after construction and safe for concurrent reads.
+type CellIndex struct {
+	bounds   Rect
+	cellSize float64
+	cols     int
+	rows     int
+	points   []Point
+	// cells[c] lists the indices of the points in cell c, sorted ascending.
+	cells [][]int32
+}
+
+// NewCellIndex builds an index over points within bounds using square
+// cells of side cellSize. Radius queries require radius <= cellSize.
+// Points outside bounds are clamped into the boundary cells.
+func NewCellIndex(points []Point, bounds Rect, cellSize float64) (*CellIndex, error) {
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("geo: cell index bounds %v are empty", bounds)
+	}
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("geo: cell size %v must be positive", cellSize)
+	}
+	cols := int(math.Ceil(bounds.Width() / cellSize))
+	rows := int(math.Ceil(bounds.Height() / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	idx := &CellIndex{
+		bounds:   bounds,
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     rows,
+		points:   points,
+		cells:    make([][]int32, cols*rows),
+	}
+	for i, p := range points {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx, nil
+}
+
+// NumPoints returns the number of indexed points.
+func (ci *CellIndex) NumPoints() int { return len(ci.points) }
+
+func (ci *CellIndex) cellOf(p Point) int {
+	col := int((p.X - ci.bounds.MinX) / ci.cellSize)
+	row := int((p.Y - ci.bounds.MinY) / ci.cellSize)
+	col = clamp(col, 0, ci.cols-1)
+	row = clamp(row, 0, ci.rows-1)
+	return row*ci.cols + col
+}
+
+// WithinRadius appends to dst the indices of all points within distance
+// radius of p (including any point exactly at p) and returns the extended
+// slice. If exclude >= 0 that index is omitted. Results are sorted
+// ascending. radius must not exceed the index cell size; larger radii
+// return an error at construction-time users should have avoided, so here
+// the method widens the scan instead of failing.
+func (ci *CellIndex) WithinRadius(p Point, radius float64, exclude int32, dst []int32) []int32 {
+	if radius < 0 {
+		return dst
+	}
+	r2 := radius * radius
+	reach := int(math.Ceil(radius / ci.cellSize)) // usually 1
+	col := clamp(int((p.X-ci.bounds.MinX)/ci.cellSize), 0, ci.cols-1)
+	row := clamp(int((p.Y-ci.bounds.MinY)/ci.cellSize), 0, ci.rows-1)
+	start := len(dst)
+	for dr := -reach; dr <= reach; dr++ {
+		rr := row + dr
+		if rr < 0 || rr >= ci.rows {
+			continue
+		}
+		for dc := -reach; dc <= reach; dc++ {
+			cc := col + dc
+			if cc < 0 || cc >= ci.cols {
+				continue
+			}
+			for _, j := range ci.cells[rr*ci.cols+cc] {
+				if j == exclude {
+					continue
+				}
+				if ci.points[j].Dist2(p) <= r2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	sortInt32(dst[start:])
+	return dst
+}
+
+// Nearest returns the index of the point nearest to p, or -1 if the index
+// is empty. Ties are broken toward the smaller index for determinism.
+func (ci *CellIndex) Nearest(p Point) int32 {
+	return ci.NearestExcept(p, -1)
+}
+
+// NearestExcept returns the index of the point nearest to p excluding the
+// given index, or -1 if no such point exists.
+func (ci *CellIndex) NearestExcept(p Point, exclude int32) int32 {
+	if len(ci.points) == 0 || (len(ci.points) == 1 && exclude == 0) {
+		return -1
+	}
+	col := clamp(int((p.X-ci.bounds.MinX)/ci.cellSize), 0, ci.cols-1)
+	row := clamp(int((p.Y-ci.bounds.MinY)/ci.cellSize), 0, ci.rows-1)
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	maxRing := ci.cols
+	if ci.rows > maxRing {
+		maxRing = ci.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is found, scanning one extra ring suffices:
+		// any point in a farther ring is at distance >= (ring-1)*cellSize.
+		if best >= 0 {
+			minPossible := float64(ring-1) * ci.cellSize
+			if minPossible > 0 && minPossible*minPossible > bestD2 {
+				break
+			}
+		}
+		found := ci.scanRing(p, row, col, ring, exclude, &best, &bestD2)
+		if !found && ring > 0 && best >= 0 {
+			continue
+		}
+	}
+	return best
+}
+
+// scanRing examines the square ring of cells at Chebyshev distance ring
+// from (row, col), updating best/bestD2. It reports whether any cell of
+// the ring was in range.
+func (ci *CellIndex) scanRing(p Point, row, col, ring int, exclude int32, best *int32, bestD2 *float64) bool {
+	any := false
+	visit := func(rr, cc int) {
+		if rr < 0 || rr >= ci.rows || cc < 0 || cc >= ci.cols {
+			return
+		}
+		any = true
+		for _, j := range ci.cells[rr*ci.cols+cc] {
+			if j == exclude {
+				continue
+			}
+			d2 := ci.points[j].Dist2(p)
+			if d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || j < *best)) {
+				*best = j
+				*bestD2 = d2
+			}
+		}
+	}
+	if ring == 0 {
+		visit(row, col)
+		return any
+	}
+	for cc := col - ring; cc <= col+ring; cc++ {
+		visit(row-ring, cc)
+		visit(row+ring, cc)
+	}
+	for rr := row - ring + 1; rr <= row+ring-1; rr++ {
+		visit(rr, col-ring)
+		visit(rr, col+ring)
+	}
+	return any
+}
+
+// InRect appends to dst the indices of all points inside rect (half-open)
+// and returns the extended slice, sorted ascending.
+func (ci *CellIndex) InRect(rect Rect, dst []int32) []int32 {
+	start := len(dst)
+	lo := ci.cellOf(Point{rect.MinX, rect.MinY})
+	hi := ci.cellOf(Point{math.Nextafter(rect.MaxX, rect.MinX), math.Nextafter(rect.MaxY, rect.MinY)})
+	loRow, loCol := lo/ci.cols, lo%ci.cols
+	hiRow, hiCol := hi/ci.cols, hi%ci.cols
+	for rr := loRow; rr <= hiRow; rr++ {
+		for cc := loCol; cc <= hiCol; cc++ {
+			for _, j := range ci.cells[rr*ci.cols+cc] {
+				if rect.Contains(ci.points[j]) {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	sortInt32(dst[start:])
+	return dst
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

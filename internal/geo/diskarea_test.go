@@ -1,0 +1,84 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiskSquareOverlapInterior(t *testing.T) {
+	// A disk fully inside the square has area πr².
+	got := DiskSquareOverlap(Pt(0.5, 0.5), 0.1)
+	want := math.Pi * 0.01
+	if math.Abs(got-want) > 2e-5 {
+		t.Fatalf("interior overlap = %v, want %v", got, want)
+	}
+}
+
+func TestDiskSquareOverlapCorner(t *testing.T) {
+	// Centered exactly at a corner: a quarter disk.
+	got := DiskSquareOverlap(Pt(0, 0), 0.2)
+	want := math.Pi * 0.04 / 4
+	if math.Abs(got-want) > 2e-5 {
+		t.Fatalf("corner overlap = %v, want %v", got, want)
+	}
+}
+
+func TestDiskSquareOverlapEdge(t *testing.T) {
+	// Centered on an edge midpoint: a half disk.
+	got := DiskSquareOverlap(Pt(0.5, 0), 0.2)
+	want := math.Pi * 0.04 / 2
+	if math.Abs(got-want) > 2e-5 {
+		t.Fatalf("edge overlap = %v, want %v", got, want)
+	}
+}
+
+func TestDiskSquareOverlapHugeRadius(t *testing.T) {
+	// A disk covering the whole square: overlap = 1.
+	got := DiskSquareOverlap(Pt(0.5, 0.5), 2)
+	if math.Abs(got-1) > 2e-5 {
+		t.Fatalf("huge radius overlap = %v, want 1", got)
+	}
+}
+
+func TestDiskSquareOverlapDegenerate(t *testing.T) {
+	if got := DiskSquareOverlap(Pt(0.5, 0.5), 0); got != 0 {
+		t.Fatalf("zero radius overlap = %v", got)
+	}
+	if got := DiskSquareOverlap(Pt(0.5, 0.5), -1); got != 0 {
+		t.Fatalf("negative radius overlap = %v", got)
+	}
+	// Disk entirely outside the square.
+	if got := DiskSquareOverlap(Pt(5, 5), 0.5); got != 0 {
+		t.Fatalf("outside overlap = %v", got)
+	}
+}
+
+func TestDiskSquareOverlapMonotoneInRadius(t *testing.T) {
+	prev := 0.0
+	for _, r := range []float64{0.01, 0.05, 0.1, 0.2, 0.5, 1.0} {
+		got := DiskSquareOverlap(Pt(0.3, 0.7), r)
+		if got < prev {
+			t.Fatalf("overlap decreased at r=%v: %v < %v", r, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestDiskSquareOverlapBoundedByBoth(t *testing.T) {
+	// Overlap never exceeds min(disk area, square area).
+	for _, tc := range []struct {
+		p Point
+		r float64
+	}{
+		{Pt(0.1, 0.1), 0.3},
+		{Pt(0.9, 0.5), 0.2},
+		{Pt(0.5, 0.5), 0.8},
+		{Pt(0.01, 0.99), 0.15},
+	} {
+		got := DiskSquareOverlap(tc.p, tc.r)
+		disk := math.Pi * tc.r * tc.r
+		if got > disk+1e-9 || got > 1+1e-9 || got < 0 {
+			t.Fatalf("overlap(%v, %v) = %v out of bounds (disk %v)", tc.p, tc.r, got, disk)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package geo provides the planar geometry substrate for geometric random
+// graphs: points, axis-aligned rectangles, regular grid partitions of the
+// unit square, and a uniform cell index for fast range and nearest-point
+// queries.
+//
+// Conventions: the sensor field is the unit square [0,1) × [0,1).
+// Rectangles are half-open ([MinX, MaxX) × [MinY, MaxY)) so that a regular
+// grid partition covers the field exactly once with no point belonging to
+// two cells.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.Dist2(q))
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. Prefer it
+// to Dist for comparisons; it avoids the square root.
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.6f, %.6f)", p.X, p.Y) }
+
+// Rect is a half-open axis-aligned rectangle [MinX, MaxX) × [MinY, MaxY).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect is shorthand for a keyed Rect literal.
+func NewRect(minX, minY, maxX, maxY float64) Rect {
+	return Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}
+
+// UnitSquare returns the unit square [0,1) × [0,1), the sensor field used
+// throughout the paper.
+func UnitSquare() Rect { return NewRect(0, 0, 1, 1) }
+
+// Contains reports whether p lies inside the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// Center returns the rectangle's midpoint.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Width returns MaxX − MinX.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns MaxY − MinY.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Diagonal returns the length of the rectangle's diagonal, the maximum
+// distance between two of its points.
+func (r Rect) Diagonal() float64 {
+	return math.Hypot(r.Width(), r.Height())
+}
+
+// IsEmpty reports whether the rectangle has nonpositive extent.
+func (r Rect) IsEmpty() bool { return r.MaxX <= r.MinX || r.MaxY <= r.MinY }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.6f,%.6f)x[%.6f,%.6f)", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// SplitGrid partitions r into a k×k grid of equal half-open cells, returned
+// in row-major order (cell (row, col) at index row*k + col, rows indexed by
+// increasing Y). It panics if k <= 0.
+func (r Rect) SplitGrid(k int) []Rect {
+	if k <= 0 {
+		panic("geo: SplitGrid with k <= 0")
+	}
+	cells := make([]Rect, 0, k*k)
+	w := r.Width() / float64(k)
+	h := r.Height() / float64(k)
+	for row := 0; row < k; row++ {
+		y0 := r.MinY + float64(row)*h
+		y1 := r.MinY + float64(row+1)*h
+		if row == k-1 {
+			y1 = r.MaxY // avoid floating-point shortfall on the last row
+		}
+		for col := 0; col < k; col++ {
+			x0 := r.MinX + float64(col)*w
+			x1 := r.MinX + float64(col+1)*w
+			if col == k-1 {
+				x1 = r.MaxX
+			}
+			cells = append(cells, Rect{x0, y0, x1, y1})
+		}
+	}
+	return cells
+}
+
+// GridCellOf returns the (row, col) of the k×k grid cell of r containing p,
+// clamped to valid indices. The caller should ensure p is inside r;
+// out-of-range points are clamped to the nearest cell.
+func (r Rect) GridCellOf(p Point, k int) (row, col int) {
+	if k <= 0 {
+		panic("geo: GridCellOf with k <= 0")
+	}
+	col = int(math.Floor((p.X - r.MinX) / r.Width() * float64(k)))
+	row = int(math.Floor((p.Y - r.MinY) / r.Height() * float64(k)))
+	return clamp(row, 0, k-1), clamp(col, 0, k-1)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clip returns the intersection of r and other, which may be empty.
+func (r Rect) Clip(other Rect) Rect {
+	out := Rect{
+		MinX: math.Max(r.MinX, other.MinX),
+		MinY: math.Max(r.MinY, other.MinY),
+		MaxX: math.Min(r.MaxX, other.MaxX),
+		MaxY: math.Min(r.MaxY, other.MaxY),
+	}
+	if out.IsEmpty() {
+		return Rect{}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package geo
+
+// Polygon is a convex polygon with vertices in counter-clockwise order.
+// The zero value is the empty polygon.
+type Polygon []Point
+
+// UnitSquarePolygon returns the unit square as a polygon.
+func UnitSquarePolygon() Polygon {
+	return Polygon{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+}
+
+// RectPolygon returns r's corners as a polygon.
+func RectPolygon(r Rect) Polygon {
+	return Polygon{
+		Pt(r.MinX, r.MinY),
+		Pt(r.MaxX, r.MinY),
+		Pt(r.MaxX, r.MaxY),
+		Pt(r.MinX, r.MaxY),
+	}
+}
+
+// Area returns the polygon's area (shoelace formula; non-negative for
+// counter-clockwise input).
+func (p Polygon) Area() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	var s float64
+	for i := range p {
+		j := (i + 1) % len(p)
+		s += p[i].X*p[j].Y - p[j].X*p[i].Y
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s / 2
+}
+
+// ClipHalfPlane returns the part of the polygon satisfying
+// a·x + b·y <= c (Sutherland–Hodgman against a single edge). The result
+// may be empty.
+func (p Polygon) ClipHalfPlane(a, b, c float64) Polygon {
+	if len(p) == 0 {
+		return nil
+	}
+	inside := func(q Point) bool { return a*q.X+b*q.Y <= c }
+	intersect := func(u, v Point) Point {
+		// Solve a·(u + t(v-u)) = c for the crossing parameter t.
+		du := a*u.X + b*u.Y - c
+		dv := a*v.X + b*v.Y - c
+		t := du / (du - dv)
+		return Pt(u.X+t*(v.X-u.X), u.Y+t*(v.Y-u.Y))
+	}
+	var out Polygon
+	for i := range p {
+		cur := p[i]
+		next := p[(i+1)%len(p)]
+		curIn, nextIn := inside(cur), inside(next)
+		switch {
+		case curIn && nextIn:
+			out = append(out, next)
+		case curIn && !nextIn:
+			out = append(out, intersect(cur, next))
+		case !curIn && nextIn:
+			out = append(out, intersect(cur, next), next)
+		}
+	}
+	return out
+}
+
+// ClipBisector returns the part of the polygon at least as close to p0 as
+// to p1 (the Voronoi half-plane of p0 against p1). Identical points leave
+// the polygon unchanged.
+func (p Polygon) ClipBisector(p0, p1 Point) Polygon {
+	a := 2 * (p1.X - p0.X)
+	b := 2 * (p1.Y - p0.Y)
+	if a == 0 && b == 0 {
+		return p
+	}
+	c := p1.X*p1.X + p1.Y*p1.Y - p0.X*p0.X - p0.Y*p0.Y
+	return p.ClipHalfPlane(a, b, c)
+}

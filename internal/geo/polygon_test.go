@@ -1,0 +1,106 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"geogossip/internal/rng"
+)
+
+func TestPolygonArea(t *testing.T) {
+	if got := UnitSquarePolygon().Area(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("unit square area = %v", got)
+	}
+	tri := Polygon{Pt(0, 0), Pt(1, 0), Pt(0, 1)}
+	if got := tri.Area(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("triangle area = %v", got)
+	}
+	if got := (Polygon{}).Area(); got != 0 {
+		t.Fatalf("empty polygon area = %v", got)
+	}
+	if got := (Polygon{Pt(0, 0), Pt(1, 1)}).Area(); got != 0 {
+		t.Fatalf("segment area = %v", got)
+	}
+	if got := RectPolygon(NewRect(0, 0, 2, 3)).Area(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("rect polygon area = %v", got)
+	}
+}
+
+func TestClipHalfPlane(t *testing.T) {
+	sq := UnitSquarePolygon()
+	// Keep x <= 0.5: left half.
+	left := sq.ClipHalfPlane(1, 0, 0.5)
+	if math.Abs(left.Area()-0.5) > 1e-12 {
+		t.Fatalf("left half area = %v", left.Area())
+	}
+	// Keep everything.
+	all := sq.ClipHalfPlane(1, 0, 2)
+	if math.Abs(all.Area()-1) > 1e-12 {
+		t.Fatalf("full clip area = %v", all.Area())
+	}
+	// Keep nothing.
+	none := sq.ClipHalfPlane(1, 0, -1)
+	if none.Area() != 0 {
+		t.Fatalf("empty clip area = %v", none.Area())
+	}
+	// Diagonal clip x + y <= 1: lower-left triangle.
+	tri := sq.ClipHalfPlane(1, 1, 1)
+	if math.Abs(tri.Area()-0.5) > 1e-12 {
+		t.Fatalf("diagonal clip area = %v", tri.Area())
+	}
+	// Clipping the empty polygon stays empty.
+	if got := (Polygon{}).ClipHalfPlane(1, 0, 0.5); got != nil {
+		t.Fatalf("clip of empty = %v", got)
+	}
+}
+
+func TestClipBisector(t *testing.T) {
+	sq := UnitSquarePolygon()
+	// Bisector of (0.25, 0.5) vs (0.75, 0.5) is x = 0.5; keep closer to
+	// the first point.
+	cell := sq.ClipBisector(Pt(0.25, 0.5), Pt(0.75, 0.5))
+	if math.Abs(cell.Area()-0.5) > 1e-12 {
+		t.Fatalf("bisector cell area = %v", cell.Area())
+	}
+	for _, v := range cell {
+		if v.X > 0.5+1e-12 {
+			t.Fatalf("cell vertex %v on the wrong side", v)
+		}
+	}
+	// Identical points: unchanged.
+	same := sq.ClipBisector(Pt(0.3, 0.3), Pt(0.3, 0.3))
+	if math.Abs(same.Area()-1) > 1e-12 {
+		t.Fatalf("degenerate bisector area = %v", same.Area())
+	}
+}
+
+func TestVoronoiCellsPartitionSquare(t *testing.T) {
+	// The locally clipped Voronoi cells of a full point set tile the unit
+	// square: areas sum to 1.
+	r := rng.New(120)
+	pts := make([]Point, 40)
+	for i := range pts {
+		pts[i] = Pt(r.Float64(), r.Float64())
+	}
+	var total float64
+	for i := range pts {
+		cell := UnitSquarePolygon()
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			cell = cell.ClipBisector(pts[i], pts[j])
+			if len(cell) == 0 {
+				break
+			}
+		}
+		a := cell.Area()
+		if a < 0 {
+			t.Fatalf("negative cell area %v", a)
+		}
+		total += a
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("voronoi areas sum to %v, want 1", total)
+	}
+}

@@ -1,0 +1,325 @@
+// Package gossip implements the two baseline averaging algorithms the
+// paper compares against:
+//
+//   - Boyd et al. (INFOCOM 2005) randomized nearest-neighbour gossip —
+//     Õ(n²) transmissions on G(n, r): RunBoyd.
+//   - Dimakis–Sarwate–Wainwright (IPSN 2006) geographic gossip —
+//     Õ(n^1.5) transmissions: RunGeographic, with either faithful
+//     rejection sampling over random positions or idealized uniform node
+//     sampling.
+//
+// Both use the shared clock model and transmission accounting from
+// internal/sim so that costs are comparable with the paper's algorithm in
+// internal/core.
+package gossip
+
+import (
+	"fmt"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+	"geogossip/internal/metrics"
+	"geogossip/internal/rng"
+	"geogossip/internal/routing"
+	"geogossip/internal/sim"
+)
+
+// Options configures a baseline run.
+type Options struct {
+	// Stop bundles the termination conditions.
+	Stop sim.StopRule
+	// RecordEvery samples the convergence curve every RecordEvery ticks.
+	// Zero selects n (≈ once per unit of simulated time).
+	RecordEvery uint64
+	// LossRate is the probability that a data packet (or, for multi-hop
+	// routes, a route leg) is lost. A lost exchange still pays for the
+	// transmissions made before the loss but applies no update, and
+	// updates commit atomically per pair, so the sum invariant survives
+	// arbitrary loss. Zero disables loss and leaves runs byte-identical
+	// to pre-loss behaviour.
+	LossRate float64
+}
+
+func (o Options) recordEvery(n int) uint64 {
+	if o.RecordEvery > 0 {
+		return o.RecordEvery
+	}
+	if n < 1 {
+		return 1
+	}
+	return uint64(n)
+}
+
+// RunBoyd runs randomized nearest-neighbour gossip: on each clock tick
+// the owner averages with a uniformly random graph neighbour (2
+// transmissions per exchange). x is mutated in place toward consensus.
+func RunBoyd(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Result, error) {
+	if g.N() != len(x) {
+		return nil, fmt.Errorf("gossip: %d nodes but %d values", g.N(), len(x))
+	}
+	if g.N() == 0 {
+		return emptyResult("boyd"), nil
+	}
+	stop := opt.Stop.WithDefaults()
+	clock := sim.NewClock(g.N(), r.Stream("clock"))
+	pick := r.Stream("pick")
+	loss := r.Stream("loss")
+	tracker := sim.NewErrTracker(x)
+	var counter sim.Counter
+	curve := &metrics.Curve{}
+	every := opt.recordEvery(g.N())
+
+	curve.Record(0, 0, tracker.Err())
+	for !stop.Done(clock.Ticks(), tracker.Err()) {
+		s := clock.Tick()
+		deg := g.Degree(s)
+		if deg > 0 {
+			nbrs := g.Neighbors(s)
+			v := nbrs[pick.IntN(deg)]
+			if opt.LossRate > 0 && loss.Bernoulli(opt.LossRate) {
+				// The outbound value was transmitted but lost; no update.
+				counter.Add(sim.CatNear, 1)
+			} else {
+				avg := (x[s] + x[v]) / 2
+				tracker.Set(s, avg)
+				tracker.Set(v, avg)
+				counter.Add(sim.CatNear, 2)
+			}
+		}
+		if clock.Ticks()%every == 0 {
+			curve.Record(clock.Ticks(), counter.Total(), tracker.Err())
+		}
+	}
+	return finishResult("boyd", g.N(), stop, clock, tracker, &counter, curve), nil
+}
+
+// Sampling selects how geographic gossip chooses long-range partners.
+type Sampling int
+
+const (
+	// SamplingRejection is the faithful mechanism of [5]: route toward a
+	// uniformly random position; the node nearest that position accepts
+	// with probability proportional to its local density estimate
+	// (degree), otherwise re-targets a fresh random position and the
+	// packet wanders on. This approximately uniformizes the partner
+	// distribution.
+	SamplingRejection Sampling = iota + 1
+	// SamplingUniformNode is the idealized mechanism rejection sampling
+	// approximates: the partner is an exact uniform random node.
+	SamplingUniformNode
+)
+
+// String implements fmt.Stringer.
+func (s Sampling) String() string {
+	switch s {
+	case SamplingRejection:
+		return "rejection"
+	case SamplingUniformNode:
+		return "uniform-node"
+	default:
+		return fmt.Sprintf("sampling(%d)", int(s))
+	}
+}
+
+// GeoOptions configures geographic gossip.
+type GeoOptions struct {
+	Options
+	// Sampling selects the partner mechanism; zero selects
+	// SamplingRejection.
+	Sampling Sampling
+	// MaxAttempts caps rejection re-targets per exchange; zero selects 10.
+	MaxAttempts int
+	// Recovery selects stall handling for node-addressed return routes;
+	// zero selects routing.RecoveryBFS.
+	Recovery routing.Recovery
+}
+
+func (o GeoOptions) withDefaults() GeoOptions {
+	if o.Sampling == 0 {
+		o.Sampling = SamplingRejection
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 10
+	}
+	if o.Recovery == 0 {
+		o.Recovery = routing.RecoveryBFS
+	}
+	return o
+}
+
+// TargetSampler draws long-range partners for a source node, charging the
+// routing cost the mechanism incurs.
+type TargetSampler struct {
+	g           *graph.Graph
+	mode        Sampling
+	maxAttempts int
+	// accept[i] is node i's rejection-sampling acceptance probability
+	// min(1, κ/(n·A_i)), where A_i is its locally computed Voronoi cell
+	// area. Nearest-to-uniform-point targeting samples node i with
+	// probability A_i; the acceptance clamps the product at κ/n, which
+	// flattens the distribution toward uniform (exactly uniform on the
+	// nodes with A_i ≥ κ/n).
+	accept []float64
+}
+
+// rejectionKappa trades uniformity against acceptance rate: acceptance
+// clamps the sampled mass per node at κ/n. 0.5 keeps the expected number
+// of attempts near 2 while removing most of the Voronoi-area spread.
+const rejectionKappa = 0.5
+
+// NewTargetSampler builds a sampler over g.
+func NewTargetSampler(g *graph.Graph, mode Sampling, maxAttempts int) *TargetSampler {
+	if maxAttempts <= 0 {
+		maxAttempts = 10
+	}
+	ts := &TargetSampler{
+		g:           g,
+		mode:        mode,
+		maxAttempts: maxAttempts,
+	}
+	if mode == SamplingRejection && g.N() > 0 {
+		areas := g.VoronoiAreas()
+		targetArea := rejectionKappa / float64(g.N())
+		ts.accept = make([]float64, g.N())
+		for i, a := range areas {
+			if a <= targetArea {
+				ts.accept[i] = 1
+			} else {
+				ts.accept[i] = targetArea / a
+			}
+		}
+	}
+	return ts
+}
+
+// SampleFrom routes a packet from src to a sampled partner and returns the
+// partner, the hops spent getting the packet there, and the number of
+// rejection attempts used (1 for uniform-node sampling). The partner may
+// equal src in degenerate geometries; callers typically skip such
+// exchanges.
+func (ts *TargetSampler) SampleFrom(src int32, r *rng.RNG) (target int32, hops, attempts int) {
+	switch ts.mode {
+	case SamplingUniformNode:
+		if ts.g.N() < 2 {
+			return src, 0, 1
+		}
+		t := int32(r.IntNExcept(ts.g.N(), int(src)))
+		res := routing.GreedyToNode(ts.g, src, t, routing.RecoveryBFS)
+		if !res.Delivered {
+			// Disconnected target: stay at the stall node.
+			return res.Path[len(res.Path)-1], res.Hops, 1
+		}
+		return t, res.Hops, 1
+	case SamplingRejection:
+		cur := src
+		for attempts = 1; ; attempts++ {
+			y := geo.Pt(r.Float64(), r.Float64())
+			res := routing.GreedyToPoint(ts.g, cur, y)
+			hops += res.Hops
+			cur = res.Path[len(res.Path)-1]
+			if attempts >= ts.maxAttempts {
+				return cur, hops, attempts
+			}
+			if r.Bernoulli(ts.accept[cur]) {
+				return cur, hops, attempts
+			}
+		}
+	default:
+		panic(fmt.Sprintf("gossip: unknown sampling mode %d", ts.mode))
+	}
+}
+
+// RunGeographic runs Dimakis-style geographic gossip: on each tick the
+// owner samples a long-range partner, the pair averages, and the new
+// value is routed back. x is mutated in place.
+func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*metrics.Result, error) {
+	if g.N() != len(x) {
+		return nil, fmt.Errorf("gossip: %d nodes but %d values", g.N(), len(x))
+	}
+	name := "geographic-" + opt.Sampling.String()
+	if g.N() == 0 {
+		return emptyResult(name), nil
+	}
+	opt = opt.withDefaults()
+	name = "geographic-" + opt.Sampling.String()
+	stop := opt.Stop.WithDefaults()
+	clock := sim.NewClock(g.N(), r.Stream("clock"))
+	sampler := NewTargetSampler(g, opt.Sampling, opt.MaxAttempts)
+	sampleRNG := r.Stream("sample")
+	loss := r.Stream("loss")
+	tracker := sim.NewErrTracker(x)
+	var counter sim.Counter
+	curve := &metrics.Curve{}
+	every := opt.recordEvery(g.N())
+
+	curve.Record(0, 0, tracker.Err())
+	for !stop.Done(clock.Ticks(), tracker.Err()) {
+		s := clock.Tick()
+		if opt.LossRate > 0 && loss.Bernoulli(opt.LossRate) {
+			// The outbound packet died at a uniformly random hop of what
+			// would have been its route; charge the partial cost.
+			target, hops, _ := sampler.SampleFrom(s, sampleRNG)
+			_ = target
+			counter.Add(sim.CatFar, partialHops(hops, loss))
+		} else {
+			target, hops, _ := sampler.SampleFrom(s, sampleRNG)
+			counter.Add(sim.CatFar, hops)
+			if target != s {
+				back := routing.GreedyToNode(g, target, s, opt.Recovery)
+				if opt.LossRate > 0 && loss.Bernoulli(opt.LossRate) {
+					// Return leg lost: partial cost, no commit.
+					counter.Add(sim.CatFar, partialHops(back.Hops, loss))
+				} else {
+					counter.Add(sim.CatFar, back.Hops)
+					// Commit the pair atomically only when the round trip
+					// completed, so a failed return route (possible only
+					// on a disconnected instance) cannot break sum
+					// preservation.
+					if back.Delivered {
+						avg := (x[s] + x[target]) / 2
+						tracker.Set(target, avg)
+						tracker.Set(s, avg)
+					}
+				}
+			}
+		}
+		if clock.Ticks()%every == 0 {
+			curve.Record(clock.Ticks(), counter.Total(), tracker.Err())
+		}
+	}
+	return finishResult(name, g.N(), stop, clock, tracker, &counter, curve), nil
+}
+
+// partialHops returns the cost of a route leg that died at a uniformly
+// random hop.
+func partialHops(hops int, r *rng.RNG) int {
+	if hops <= 0 {
+		return 0
+	}
+	return 1 + r.IntN(hops)
+}
+
+func emptyResult(name string) *metrics.Result {
+	return &metrics.Result{
+		Algorithm:               name,
+		Converged:               true,
+		Curve:                   &metrics.Curve{},
+		TransmissionsByCategory: (&sim.Counter{}).Breakdown(),
+	}
+}
+
+func finishResult(name string, n int, stop sim.StopRule, clock *sim.Clock, tracker *sim.ErrTracker, counter *sim.Counter, curve *metrics.Curve) *metrics.Result {
+	tracker.Resync()
+	finalErr := tracker.Err()
+	curve.Record(clock.Ticks(), counter.Total(), finalErr)
+	return &metrics.Result{
+		Algorithm:               name,
+		N:                       n,
+		Converged:               stop.TargetErr > 0 && finalErr <= stop.TargetErr,
+		FinalErr:                finalErr,
+		Ticks:                   clock.Ticks(),
+		Transmissions:           counter.Total(),
+		TransmissionsByCategory: counter.Breakdown(),
+		Curve:                   curve,
+	}
+}

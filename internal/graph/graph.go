@@ -1,0 +1,343 @@
+// Package graph builds and queries geometric random graphs G(n, r): n
+// points placed independently and uniformly at random on the unit square,
+// with an edge between every pair at Euclidean distance at most r.
+//
+// This is the connectivity substrate of the paper (§2): with
+// r = Θ(sqrt(log n / n)) the graph is connected with high probability
+// (Gupta–Kumar), nearest-neighbour gossip mixes in Õ(n) ticks, and greedy
+// geographic routing between far-apart nodes takes O(sqrt(n / log n))
+// hops.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/rng"
+)
+
+// ConnectivityRadius returns r = c·sqrt(log n / n), the standard scaling
+// for the radius of connectivity (natural logarithm). c = 1 is the
+// Gupta–Kumar threshold; the simulations in this repository default to
+// c ≥ 1.5 so instances are connected with overwhelming probability.
+// For n < 2 it returns 1 (a single node or empty graph is trivially
+// "connected" at any radius).
+func ConnectivityRadius(n int, c float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	r := c * math.Sqrt(math.Log(float64(n))/float64(n))
+	if r > math.Sqrt2 {
+		return math.Sqrt2 // diagonal of the unit square; larger is pointless
+	}
+	return r
+}
+
+// Graph is an immutable geometric graph: points plus the adjacency lists
+// induced by the connection radius. Safe for concurrent reads.
+type Graph struct {
+	points []geo.Point
+	radius float64
+	bounds geo.Rect
+	index  *geo.CellIndex
+	// adj is a packed adjacency structure: neighbours of i are
+	// flat[offsets[i]:offsets[i+1]], sorted ascending.
+	flat    []int32
+	offsets []int32
+	edges   int
+}
+
+// UniformPoints draws n points independently and uniformly from the unit
+// square.
+func UniformPoints(n int, r *rng.RNG) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return pts
+}
+
+// Generate builds G(n, r) with r = c·sqrt(log n / n) from fresh uniform
+// points drawn from r's "points" substream.
+func Generate(n int, c float64, r *rng.RNG) (*Graph, error) {
+	pts := UniformPoints(n, r.Stream("points"))
+	return Build(pts, ConnectivityRadius(n, c))
+}
+
+// Build constructs the geometric graph over the given points with the
+// given connection radius. All points must lie in the unit square.
+func Build(points []geo.Point, radius float64) (*Graph, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("graph: radius %v must be positive", radius)
+	}
+	bounds := geo.UnitSquare()
+	for i, p := range points {
+		if !bounds.Contains(p) {
+			return nil, fmt.Errorf("graph: point %d = %v outside the unit square", i, p)
+		}
+	}
+	// Cell size = radius keeps radius queries to a 3×3 cell scan, but cap
+	// the grid at a sane resolution for tiny radii on small inputs.
+	cell := radius
+	if cell > 0.5 {
+		cell = 0.5
+	}
+	idx, err := geo.NewCellIndex(points, bounds, cell)
+	if err != nil {
+		return nil, fmt.Errorf("graph: build index: %w", err)
+	}
+	g := &Graph{
+		points:  points,
+		radius:  radius,
+		bounds:  bounds,
+		index:   idx,
+		offsets: make([]int32, len(points)+1),
+	}
+	var scratch []int32
+	for i := range points {
+		scratch = g.index.WithinRadius(points[i], radius, int32(i), scratch[:0])
+		g.flat = append(g.flat, scratch...)
+		g.offsets[i+1] = int32(len(g.flat))
+	}
+	g.edges = len(g.flat) / 2
+	return g, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.points) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// Radius returns the connection radius.
+func (g *Graph) Radius() float64 { return g.radius }
+
+// Point returns node i's position.
+func (g *Graph) Point(i int32) geo.Point { return g.points[i] }
+
+// Points returns the backing point slice. Callers must treat it as
+// read-only.
+func (g *Graph) Points() []geo.Point { return g.points }
+
+// Neighbors returns node i's neighbour list, sorted ascending. The slice
+// aliases internal storage and must be treated as read-only.
+func (g *Graph) Neighbors(i int32) []int32 {
+	return g.flat[g.offsets[i]:g.offsets[i+1]]
+}
+
+// Degree returns the number of neighbours of node i.
+func (g *Graph) Degree(i int32) int {
+	return int(g.offsets[i+1] - g.offsets[i])
+}
+
+// HasEdge reports whether nodes i and j are adjacent.
+func (g *Graph) HasEdge(i, j int32) bool {
+	nbrs := g.Neighbors(i)
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nbrs) && nbrs[lo] == j
+}
+
+// NearestTo returns the node nearest to position p, or -1 for an empty
+// graph. This is the "node closest to a random location" primitive that
+// geographic gossip's target sampling relies on.
+func (g *Graph) NearestTo(p geo.Point) int32 { return g.index.Nearest(p) }
+
+// NodesInRect returns the nodes inside rect, sorted ascending.
+func (g *Graph) NodesInRect(rect geo.Rect) []int32 {
+	return g.index.InRect(rect, nil)
+}
+
+// ErrDisconnected is returned by operations that require a connected graph.
+var ErrDisconnected = errors.New("graph: not connected")
+
+// IsConnected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) IsConnected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, 0)
+	visited[0] = true
+	seen := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if !visited[v] {
+				visited[v] = true
+				seen++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen == n
+}
+
+// Components labels each node with a component id in [0, k) and returns
+// the labels plus the number of components k. Ids are assigned in order
+// of the smallest node index per component.
+func (g *Graph) Components() (labels []int32, k int) {
+	n := g.N()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := int32(0); int(s) < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = int32(k)
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if labels[v] < 0 {
+					labels[v] = int32(k)
+					queue = append(queue, v)
+				}
+			}
+		}
+		k++
+	}
+	return labels, k
+}
+
+// BFSDistances returns hop distances from src to every node (-1 where
+// unreachable).
+func (g *Graph) BFSDistances(src int32) []int32 {
+	n := g.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSPath returns a shortest hop path from src to dst (inclusive of both
+// endpoints), or nil if unreachable. Among shortest paths it prefers
+// smaller node indices, so output is deterministic.
+func (g *Graph) BFSPath(src, dst int32) []int32 {
+	if src == dst {
+		return []int32{src}
+	}
+	n := g.N()
+	prev := make([]int32, n)
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[src] = -1
+	queue := make([]int32, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if prev[v] == -2 {
+				prev[v] = u
+				if v == dst {
+					return buildPath(prev, dst)
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+func buildPath(prev []int32, dst int32) []int32 {
+	var rev []int32
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// VoronoiAreas returns, for every node, the area of its Voronoi cell
+// within the unit square, computed locally: the square clipped by the
+// perpendicular bisector against each graph neighbour. The estimate is
+// exact whenever all of a node's Voronoi neighbours lie within the
+// connection radius, which holds w.h.p. at the connectivity radius; for
+// sparser nodes it overestimates (the true cell is a subset).
+//
+// This is the quantity geographic gossip's rejection sampling needs: the
+// probability that a node is nearest to a uniformly random position is
+// exactly its Voronoi area.
+func (g *Graph) VoronoiAreas() []float64 {
+	areas := make([]float64, g.N())
+	for i := int32(0); int(i) < g.N(); i++ {
+		cell := geo.UnitSquarePolygon()
+		pi := g.points[i]
+		for _, j := range g.Neighbors(i) {
+			cell = cell.ClipBisector(pi, g.points[j])
+			if len(cell) == 0 {
+				break
+			}
+		}
+		areas[i] = cell.Area()
+	}
+	return areas
+}
+
+// DegreeStats summarizes the degree distribution.
+type DegreeStats struct {
+	Min, Max  int
+	Mean      float64
+	Isolated  int // nodes with degree 0
+	TotalEdge int // undirected edge count
+}
+
+// Degrees computes degree statistics for the graph.
+func (g *Graph) Degrees() DegreeStats {
+	n := g.N()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	st := DegreeStats{Min: int(^uint(0) >> 1)}
+	sum := 0
+	for i := int32(0); int(i) < n; i++ {
+		d := g.Degree(i)
+		sum += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		if d == 0 {
+			st.Isolated++
+		}
+	}
+	st.Mean = float64(sum) / float64(n)
+	st.TotalEdge = sum / 2
+	return st
+}

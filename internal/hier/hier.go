@@ -1,0 +1,387 @@
+// Package hier builds the recursive square hierarchy of §4.1: the unit
+// square is partitioned into n₁ subsquares, where n₁ is the nearest
+// integer to sqrt(n) that is the square of an even number; each subsquare
+// with expected occupancy above a threshold is partitioned again by the
+// same rule. The recursion bottoms out at squares of polylogarithmic
+// expected size, giving ℓ = Θ(log log n) levels.
+//
+// Each square owns a representative s(□), the member node nearest its
+// centre; the even-sided grids guarantee parent and child centres never
+// coincide, so w.h.p. a node represents at most one square (the
+// implementation tolerates and reports collisions). A node's level is
+// ℓ − r if it represents a depth-r square, 0 otherwise; the root
+// representative s(unit square) has level ℓ.
+//
+// Substitution note (DESIGN.md §4.2): the paper recurses while
+// E# > (log n)^8, which exceeds n itself for every simulable n. We keep
+// the branching rule exactly and replace only the stopping threshold with
+// the configurable LeafTarget (default Θ(log n)).
+package hier
+
+import (
+	"fmt"
+	"math"
+
+	"geogossip/internal/geo"
+)
+
+// Config controls hierarchy construction.
+type Config struct {
+	// LeafTarget stops the recursion: a square is a leaf when its expected
+	// occupancy E# is at most LeafTarget. Zero selects the default
+	// max(16, 4·log₂(n+1)).
+	LeafTarget float64
+	// MaxDepth caps the recursion depth as a safety net. Zero selects 12.
+	MaxDepth int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.LeafTarget <= 0 {
+		c.LeafTarget = math.Max(16, 4*math.Log2(float64(n)+1))
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	return c
+}
+
+// Square is one node of the partition tree.
+type Square struct {
+	// ID indexes the square in Hierarchy.Squares (BFS order, root = 0).
+	ID int
+	// Rect is the square's half-open region.
+	Rect geo.Rect
+	// Depth is the recursion depth r (root = 0).
+	Depth int
+	// Parent is the parent square's ID, or -1 for the root.
+	Parent int
+	// Children lists child square IDs in row-major grid order; nil for a
+	// leaf.
+	Children []int
+	// GridK is the side of the child grid (children = GridK²); 0 for a
+	// leaf.
+	GridK int
+	// Expected is E#□, the expected number of sensors in the square
+	// (n · area).
+	Expected float64
+	// Members lists the node ids inside the square, sorted ascending.
+	Members []int32
+	// Rep is the member nearest the square's centre (s(□)), or -1 if the
+	// square is empty.
+	Rep int32
+	// Level is ℓ − Depth, the protocol level of the square's
+	// representative.
+	Level int
+}
+
+// IsLeaf reports whether the square has no children.
+func (s *Square) IsLeaf() bool { return len(s.Children) == 0 }
+
+// Hierarchy is the complete partition tree over a fixed point set.
+type Hierarchy struct {
+	// Squares lists every square in BFS order; Squares[0] is the root.
+	Squares []*Square
+	// Ell is ℓ = 1 + (deepest depth), the number of levels in the
+	// recursion (paper §4.1).
+	Ell int
+	// Branching[r] is the number of children of every depth-r square
+	// (uniform across siblings because expected occupancy is).
+	Branching []int
+	// NodeLeaf maps each node to the ID of its leaf square.
+	NodeLeaf []int32
+	// NodeLevel maps each node to its protocol level (0 for
+	// non-representatives; the maximum across roles for the rare node
+	// representing multiple squares).
+	NodeLevel []int32
+	// RepRoles maps each node to the IDs of the squares it represents
+	// (nil for most nodes).
+	RepRoles map[int32][]int
+
+	points []geo.Point
+}
+
+// NearestEvenSquare returns the integer of the form (2k)², k ≥ 1, nearest
+// to x, breaking ties toward the smaller value.
+func NearestEvenSquare(x float64) int {
+	if x < 4 {
+		return 4
+	}
+	k := math.Sqrt(x) / 2
+	lo := int(math.Floor(k))
+	if lo < 1 {
+		lo = 1
+	}
+	best, bestDiff := 0, math.Inf(1)
+	for _, kk := range []int{lo, lo + 1} {
+		v := (2 * kk) * (2 * kk)
+		diff := math.Abs(float64(v) - x)
+		if diff < bestDiff || (diff == bestDiff && v < best) {
+			best, bestDiff = v, diff
+		}
+	}
+	return best
+}
+
+// Build constructs the hierarchy over the given points (all inside the
+// unit square).
+func Build(points []geo.Point, cfg Config) (*Hierarchy, error) {
+	n := len(points)
+	cfg = cfg.withDefaults(n)
+	unit := geo.UnitSquare()
+	for i, p := range points {
+		if !unit.Contains(p) {
+			return nil, fmt.Errorf("hier: point %d = %v outside the unit square", i, p)
+		}
+	}
+
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	root := &Square{
+		ID:       0,
+		Rect:     unit,
+		Depth:    0,
+		Parent:   -1,
+		Expected: float64(n),
+		Members:  all,
+	}
+	h := &Hierarchy{
+		Squares: []*Square{root},
+		points:  points,
+	}
+
+	// Breadth-first expansion; all squares at the same depth share the
+	// same Expected, so the stopping rule is depth-uniform and the tree
+	// has all leaves at the same depth.
+	frontier := []*Square{root}
+	for len(frontier) > 0 {
+		sq := frontier[0]
+		if sq.Expected <= cfg.LeafTarget || sq.Depth >= cfg.MaxDepth {
+			break // entire frontier is leaves
+		}
+		branch := NearestEvenSquare(math.Sqrt(sq.Expected))
+		childExpected := sq.Expected / float64(branch)
+		if childExpected < 2 {
+			break // further splitting would create mostly-empty squares
+		}
+		h.Branching = append(h.Branching, branch)
+		k := int(math.Round(math.Sqrt(float64(branch))))
+		next := make([]*Square, 0, len(frontier)*branch)
+		for _, parent := range frontier {
+			cells := parent.Rect.SplitGrid(k)
+			kids := make([][]int32, len(cells))
+			for _, m := range parent.Members {
+				row, col := parent.Rect.GridCellOf(points[m], k)
+				ci := row*k + col
+				kids[ci] = append(kids[ci], m)
+			}
+			parent.GridK = k
+			for ci, cell := range cells {
+				child := &Square{
+					ID:       len(h.Squares),
+					Rect:     cell,
+					Depth:    parent.Depth + 1,
+					Parent:   parent.ID,
+					Expected: childExpected,
+					Members:  kids[ci],
+				}
+				parent.Children = append(parent.Children, child.ID)
+				h.Squares = append(h.Squares, child)
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+
+	maxDepth := h.Squares[len(h.Squares)-1].Depth
+	h.Ell = maxDepth + 1
+	h.RepRoles = make(map[int32][]int)
+	h.NodeLeaf = make([]int32, n)
+	h.NodeLevel = make([]int32, n)
+	for _, sq := range h.Squares {
+		sq.Level = h.Ell - sq.Depth
+		sq.Rep = nearestMember(points, sq.Members, sq.Rect.Center())
+		if sq.Rep >= 0 {
+			h.RepRoles[sq.Rep] = append(h.RepRoles[sq.Rep], sq.ID)
+			if int32(sq.Level) > h.NodeLevel[sq.Rep] {
+				h.NodeLevel[sq.Rep] = int32(sq.Level)
+			}
+		}
+		if sq.IsLeaf() {
+			for _, m := range sq.Members {
+				h.NodeLeaf[m] = int32(sq.ID)
+			}
+		}
+	}
+	return h, nil
+}
+
+func nearestMember(points []geo.Point, members []int32, c geo.Point) int32 {
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	for _, m := range members {
+		if d2 := points[m].Dist2(c); d2 < bestD2 {
+			best = m
+			bestD2 = d2
+		}
+	}
+	return best
+}
+
+// Root returns the root square.
+func (h *Hierarchy) Root() *Square { return h.Squares[0] }
+
+// Leaves returns the leaf squares in BFS order.
+func (h *Hierarchy) Leaves() []*Square {
+	var out []*Square
+	for _, sq := range h.Squares {
+		if sq.IsLeaf() {
+			out = append(out, sq)
+		}
+	}
+	return out
+}
+
+// Leaf returns the leaf square containing node i.
+func (h *Hierarchy) Leaf(i int32) *Square { return h.Squares[h.NodeLeaf[i]] }
+
+// Siblings returns the IDs of sq's siblings (children of the same parent,
+// excluding sq itself). The root has none.
+func (h *Hierarchy) Siblings(sq *Square) []int {
+	if sq.Parent < 0 {
+		return nil
+	}
+	parent := h.Squares[sq.Parent]
+	out := make([]int, 0, len(parent.Children)-1)
+	for _, c := range parent.Children {
+		if c != sq.ID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RepCollisions returns the number of nodes that represent more than one
+// square (the paper argues this is empty w.h.p.).
+func (h *Hierarchy) RepCollisions() int {
+	c := 0
+	for _, roles := range h.RepRoles {
+		if len(roles) > 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// EmptySquares returns the number of squares with no members.
+func (h *Hierarchy) EmptySquares() int {
+	c := 0
+	for _, sq := range h.Squares {
+		if len(sq.Members) == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Stats summarizes the hierarchy's shape.
+type Stats struct {
+	N             int
+	Ell           int
+	Squares       int
+	Leaves        int
+	Branching     []int
+	LeafExpected  float64
+	MinLeafSize   int
+	MaxLeafSize   int
+	MeanLeafSize  float64
+	EmptySquares  int
+	RepCollisions int
+}
+
+// ComputeStats returns shape statistics for the hierarchy.
+func (h *Hierarchy) ComputeStats() Stats {
+	st := Stats{
+		N:             len(h.NodeLeaf),
+		Ell:           h.Ell,
+		Squares:       len(h.Squares),
+		Branching:     append([]int(nil), h.Branching...),
+		EmptySquares:  h.EmptySquares(),
+		RepCollisions: h.RepCollisions(),
+		MinLeafSize:   int(^uint(0) >> 1),
+	}
+	total := 0
+	for _, sq := range h.Leaves() {
+		st.Leaves++
+		st.LeafExpected = sq.Expected
+		sz := len(sq.Members)
+		total += sz
+		if sz < st.MinLeafSize {
+			st.MinLeafSize = sz
+		}
+		if sz > st.MaxLeafSize {
+			st.MaxLeafSize = sz
+		}
+	}
+	if st.Leaves > 0 {
+		st.MeanLeafSize = float64(total) / float64(st.Leaves)
+	} else {
+		st.MinLeafSize = 0
+	}
+	return st
+}
+
+// Validate checks structural invariants: children tile their parent,
+// members partition correctly, representatives are members nearest the
+// centre, expected counts are consistent. It returns the first violation
+// found.
+func (h *Hierarchy) Validate() error {
+	for _, sq := range h.Squares {
+		if sq.IsLeaf() {
+			continue
+		}
+		if len(sq.Children) != sq.GridK*sq.GridK {
+			return fmt.Errorf("hier: square %d has %d children, grid %d", sq.ID, len(sq.Children), sq.GridK)
+		}
+		var area float64
+		memberCount := 0
+		for _, cid := range sq.Children {
+			child := h.Squares[cid]
+			if child.Parent != sq.ID {
+				return fmt.Errorf("hier: square %d child %d has parent %d", sq.ID, cid, child.Parent)
+			}
+			if child.Depth != sq.Depth+1 {
+				return fmt.Errorf("hier: square %d child %d depth %d", sq.ID, cid, child.Depth)
+			}
+			area += child.Rect.Area()
+			memberCount += len(child.Members)
+			for _, m := range child.Members {
+				if !child.Rect.Contains(h.points[m]) {
+					return fmt.Errorf("hier: node %d outside its square %d", m, cid)
+				}
+			}
+		}
+		if math.Abs(area-sq.Rect.Area()) > 1e-9 {
+			return fmt.Errorf("hier: square %d children cover area %v of %v", sq.ID, area, sq.Rect.Area())
+		}
+		if memberCount != len(sq.Members) {
+			return fmt.Errorf("hier: square %d members %d but children hold %d", sq.ID, len(sq.Members), memberCount)
+		}
+	}
+	for _, sq := range h.Squares {
+		if len(sq.Members) == 0 {
+			if sq.Rep != -1 {
+				return fmt.Errorf("hier: empty square %d has rep %d", sq.ID, sq.Rep)
+			}
+			continue
+		}
+		repD2 := h.points[sq.Rep].Dist2(sq.Rect.Center())
+		for _, m := range sq.Members {
+			if h.points[m].Dist2(sq.Rect.Center()) < repD2 {
+				return fmt.Errorf("hier: square %d rep %d is not nearest centre (node %d closer)", sq.ID, sq.Rep, m)
+			}
+		}
+	}
+	return nil
+}

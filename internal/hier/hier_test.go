@@ -1,0 +1,378 @@
+package hier
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+	"geogossip/internal/rng"
+)
+
+func buildN(t *testing.T, n int, seed uint64, cfg Config) *Hierarchy {
+	t.Helper()
+	pts := graph.UniformPoints(n, rng.New(seed))
+	h, err := Build(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNearestEvenSquare(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 4},
+		{1, 4},
+		{4, 4},
+		{9, 4},   // |9-4|=5 < |9-16|=7
+		{10, 4},  // tie |10-4| = |10-16| → smaller
+		{11, 16}, // |11-16|=5 < |11-4|=7
+		{16, 16},
+		{25, 16}, // |25-16|=9 < |25-36|=11
+		{26, 16}, // tie → smaller
+		{27, 36},
+		{100, 100},
+		{1000, 1024}, // 31.6² → between 30²=900 and 32²=1024: |1000-900|=100 vs 24
+		{10000, 10000},
+	}
+	for _, tc := range cases {
+		if got := NearestEvenSquare(tc.x); got != tc.want {
+			t.Fatalf("NearestEvenSquare(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNearestEvenSquareAlwaysEvenSquare(t *testing.T) {
+	f := func(raw uint32) bool {
+		x := float64(raw % 10_000_000)
+		v := NearestEvenSquare(x)
+		root := int(math.Round(math.Sqrt(float64(v))))
+		return root*root == v && root%2 == 0 && root >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsOutsidePoints(t *testing.T) {
+	if _, err := Build([]geo.Point{geo.Pt(1.2, 0.5)}, Config{}); err == nil {
+		t.Fatal("point outside unit square accepted")
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	h, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Squares) != 1 || !h.Root().IsLeaf() || h.Ell != 1 {
+		t.Fatalf("empty hierarchy: %d squares, ell %d", len(h.Squares), h.Ell)
+	}
+	if h.Root().Rep != -1 {
+		t.Fatalf("empty root has rep %d", h.Root().Rep)
+	}
+
+	h1, err := Build([]geo.Point{geo.Pt(0.3, 0.7)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Root().Rep != 0 {
+		t.Fatalf("singleton rep = %d", h1.Root().Rep)
+	}
+	if h1.NodeLevel[0] != int32(h1.Ell) {
+		t.Fatalf("singleton level = %d, want %d", h1.NodeLevel[0], h1.Ell)
+	}
+}
+
+func TestSmallNIsSingleLeaf(t *testing.T) {
+	// n=10 with default LeafTarget ≥ 16: no partitioning.
+	h := buildN(t, 10, 50, Config{})
+	if !h.Root().IsLeaf() {
+		t.Fatal("n=10 should be a single leaf")
+	}
+	if h.Ell != 1 {
+		t.Fatalf("ell = %d", h.Ell)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	const n = 4096
+	h := buildN(t, n, 51, Config{})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Root().Expected != n {
+		t.Fatalf("root expected = %v", h.Root().Expected)
+	}
+	if len(h.Branching) == 0 {
+		t.Fatal("no branching for n=4096")
+	}
+	// First branching: nearest even square to sqrt(4096) = 64 → 64.
+	if h.Branching[0] != 64 {
+		t.Fatalf("first branching = %d, want 64", h.Branching[0])
+	}
+	// All n nodes assigned to exactly one leaf.
+	counts := make(map[int32]int)
+	for _, leafID := range h.NodeLeaf {
+		counts[leafID]++
+	}
+	total := 0
+	for id, c := range counts {
+		if !h.Squares[id].IsLeaf() {
+			t.Fatalf("NodeLeaf points at non-leaf %d", id)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("leaf assignment covers %d of %d nodes", total, n)
+	}
+}
+
+func TestAllLeavesSameDepth(t *testing.T) {
+	h := buildN(t, 8192, 52, Config{})
+	depth := -1
+	for _, leaf := range h.Leaves() {
+		if depth < 0 {
+			depth = leaf.Depth
+		}
+		if leaf.Depth != depth {
+			t.Fatalf("leaf depths differ: %d vs %d", leaf.Depth, depth)
+		}
+	}
+	if h.Ell != depth+1 {
+		t.Fatalf("ell = %d, leaf depth = %d", h.Ell, depth)
+	}
+}
+
+func TestLevelAssignment(t *testing.T) {
+	h := buildN(t, 4096, 53, Config{})
+	root := h.Root()
+	if root.Level != h.Ell {
+		t.Fatalf("root level = %d, want %d", root.Level, h.Ell)
+	}
+	for _, leaf := range h.Leaves() {
+		if leaf.Level != 1 {
+			t.Fatalf("leaf level = %d, want 1", leaf.Level)
+		}
+	}
+	// Root rep has the top level.
+	if root.Rep >= 0 && h.NodeLevel[root.Rep] != int32(h.Ell) {
+		t.Fatalf("root rep level = %d", h.NodeLevel[root.Rep])
+	}
+	// Non-rep nodes are level 0.
+	zero := 0
+	for i, lvl := range h.NodeLevel {
+		if lvl == 0 {
+			zero++
+			if len(h.RepRoles[int32(i)]) != 0 {
+				t.Fatalf("level-0 node %d has rep roles", i)
+			}
+		}
+	}
+	if zero == 0 {
+		t.Fatal("no level-0 nodes")
+	}
+}
+
+func TestExpectedCountsConsistent(t *testing.T) {
+	h := buildN(t, 10000, 54, Config{})
+	for _, sq := range h.Squares {
+		if sq.IsLeaf() {
+			continue
+		}
+		child := h.Squares[sq.Children[0]]
+		want := sq.Expected / float64(len(sq.Children))
+		if math.Abs(child.Expected-want) > 1e-9 {
+			t.Fatalf("square %d child expected %v, want %v", sq.ID, child.Expected, want)
+		}
+		// Expected ≈ n·area for every square.
+		areaWant := float64(10000) * sq.Rect.Area()
+		if math.Abs(sq.Expected-areaWant) > 1e-6*areaWant {
+			t.Fatalf("square %d expected %v but n·area = %v", sq.ID, sq.Expected, areaWant)
+		}
+	}
+}
+
+func TestLeafTargetRespected(t *testing.T) {
+	const target = 50.0
+	h := buildN(t, 4096, 55, Config{LeafTarget: target})
+	for _, leaf := range h.Leaves() {
+		if leaf.Expected > target {
+			// Leaves may only exceed the target if MaxDepth stopped the
+			// recursion, which 4096 with target 50 cannot hit.
+			t.Fatalf("leaf expected %v > target %v", leaf.Expected, target)
+		}
+	}
+	parentDepth := h.Leaves()[0].Depth - 1
+	if parentDepth >= 0 {
+		// Parents of leaves must exceed the target (minimality).
+		for _, sq := range h.Squares {
+			if sq.Depth == parentDepth && !sq.IsLeaf() && sq.Expected <= target {
+				t.Fatalf("non-leaf %d at depth %d has expected %v <= target", sq.ID, sq.Depth, sq.Expected)
+			}
+		}
+	}
+}
+
+func TestMaxDepthCap(t *testing.T) {
+	h := buildN(t, 100000, 56, Config{LeafTarget: 1, MaxDepth: 2})
+	for _, leaf := range h.Leaves() {
+		if leaf.Depth > 2 {
+			t.Fatalf("depth %d exceeds cap", leaf.Depth)
+		}
+	}
+}
+
+func TestEllGrowsSlowly(t *testing.T) {
+	// ℓ should grow like log log n: tiny even for large n.
+	ell1 := buildN(t, 1000, 57, Config{}).Ell
+	ell2 := buildN(t, 100000, 57, Config{}).Ell
+	if ell2 < ell1 {
+		t.Fatalf("ell decreased with n: %d -> %d", ell1, ell2)
+	}
+	if ell2 > 5 {
+		t.Fatalf("ell = %d too large for n=100000", ell2)
+	}
+}
+
+func TestSiblings(t *testing.T) {
+	h := buildN(t, 4096, 58, Config{})
+	if sibs := h.Siblings(h.Root()); sibs != nil {
+		t.Fatalf("root has siblings %v", sibs)
+	}
+	child := h.Squares[h.Root().Children[0]]
+	sibs := h.Siblings(child)
+	if len(sibs) != len(h.Root().Children)-1 {
+		t.Fatalf("sibling count %d, want %d", len(sibs), len(h.Root().Children)-1)
+	}
+	for _, s := range sibs {
+		if s == child.ID {
+			t.Fatal("square listed as its own sibling")
+		}
+		if h.Squares[s].Parent != child.Parent {
+			t.Fatal("sibling with different parent")
+		}
+	}
+}
+
+func TestLeafLookup(t *testing.T) {
+	h := buildN(t, 2048, 59, Config{})
+	pts := h.points
+	for i := int32(0); int(i) < len(pts); i++ {
+		leaf := h.Leaf(i)
+		if !leaf.Rect.Contains(pts[i]) {
+			t.Fatalf("node %d not inside its leaf", i)
+		}
+		found := false
+		for _, m := range leaf.Members {
+			if m == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missing from leaf members", i)
+		}
+	}
+}
+
+func TestMembersSortedEverywhere(t *testing.T) {
+	h := buildN(t, 4096, 60, Config{})
+	for _, sq := range h.Squares {
+		for i := 1; i < len(sq.Members); i++ {
+			if sq.Members[i-1] >= sq.Members[i] {
+				t.Fatalf("square %d members not sorted", sq.ID)
+			}
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	const n = 4096
+	h := buildN(t, n, 61, Config{})
+	st := h.ComputeStats()
+	if st.N != n || st.Ell != h.Ell || st.Squares != len(h.Squares) {
+		t.Fatalf("stats header wrong: %+v", st)
+	}
+	if st.Leaves == 0 || st.MeanLeafSize <= 0 {
+		t.Fatalf("leaf stats wrong: %+v", st)
+	}
+	if st.MinLeafSize > st.MaxLeafSize {
+		t.Fatalf("min leaf %d > max leaf %d", st.MinLeafSize, st.MaxLeafSize)
+	}
+	// Mean leaf size times leaf count = n.
+	if math.Abs(st.MeanLeafSize*float64(st.Leaves)-n) > 1e-6 {
+		t.Fatalf("leaf sizes do not sum to n: %+v", st)
+	}
+}
+
+func TestOccupancyConcentration(t *testing.T) {
+	// §3's Chernoff claim: at the first level, |#□_i/E# − 1| < 1/10 w.h.p.
+	// At n=16384 (E# = 128 per square), most squares should be within a
+	// modest band; we verify the normalized max deviation is sane (< 1,
+	// i.e. no square is empty or double-occupancy) for a fixed seed.
+	const n = 16384
+	h := buildN(t, n, 62, Config{})
+	root := h.Root()
+	exp := h.Squares[root.Children[0]].Expected
+	maxDev := 0.0
+	for _, cid := range root.Children {
+		dev := math.Abs(float64(len(h.Squares[cid].Members))/exp - 1)
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if maxDev >= 1 {
+		t.Fatalf("max occupancy deviation %v >= 1", maxDev)
+	}
+}
+
+func TestRepIsNearestToCentre(t *testing.T) {
+	h := buildN(t, 2048, 63, Config{})
+	// Validate() already checks this; assert it passes and spot-check one.
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaf := h.Leaves()[0]
+	if len(leaf.Members) > 0 {
+		c := leaf.Rect.Center()
+		repD := h.points[leaf.Rep].Dist2(c)
+		for _, m := range leaf.Members {
+			if h.points[m].Dist2(c) < repD {
+				t.Fatal("rep not nearest centre")
+			}
+		}
+	}
+}
+
+func TestQuickHierarchyInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%4000) + 2
+		pts := graph.UniformPoints(n, rng.New(seed))
+		h, err := Build(pts, Config{})
+		if err != nil {
+			return false
+		}
+		return h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := buildN(t, 3000, 64, Config{})
+	b := buildN(t, 3000, 64, Config{})
+	if len(a.Squares) != len(b.Squares) || a.Ell != b.Ell {
+		t.Fatal("same seed produced different hierarchies")
+	}
+	for i := range a.Squares {
+		if a.Squares[i].Rep != b.Squares[i].Rep {
+			t.Fatalf("square %d rep differs", i)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package kernel implements the complete-graph averaging dynamics analysed
+// in the paper's appendix (Lemmas 1 and 2) together with their analytic
+// bounds.
+//
+// The update: when node i's clock ticks it picks j uniformly from the
+// other nodes and the pair applies the sum-preserving affine update
+//
+//	x_i(t) = (1 − α_i)·x_i(t−1) + α_j·x_j(t−1)
+//	x_j(t) = α_i·x_i(t−1) + (1 − α_j)·x_j(t−1)
+//
+// with per-node coefficients α_i. For α_i ∈ (1/3, 1/2), Lemma 1 gives
+// E‖x(t)‖² < (1 − 1/2n)^t · ‖x(0)‖² for centered x. In the paper these
+// dynamics arise for the vector of *square sums* z_i = Σ_{s∈□_i} x_s,
+// where α_i = (2/5)·E#[□] / #(□_i); the physical node update uses the
+// non-convex affine coefficient (2/5)·E#[□] = Ω(sqrt(n)).
+//
+// Lemma 2 adds an adversarial perturbation n(t) (|n(t)| < ε) injected
+// antisymmetrically into each exchange, modelling the residual error of
+// the imperfect intra-square averaging; the contraction survives with an
+// additive O(n^{3/2}·ε) floor.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"geogossip/internal/rng"
+)
+
+// AlphaMin and AlphaMax delimit the coefficient band (1/3, 1/2) required
+// by Lemma 1.
+const (
+	AlphaMin = 1.0 / 3.0
+	AlphaMax = 1.0 / 2.0
+)
+
+// System is the state of the pairwise-exchange dynamics on the complete
+// graph K_n.
+type System struct {
+	values []float64
+	alphas []float64
+	steps  int
+}
+
+// NewSystem builds a system over the given initial values and per-node
+// coefficients. len(alphas) must equal len(values) and be at least 2.
+// Coefficients outside (1/3, 1/2) are accepted — experiments probe the
+// unstable regime deliberately — but ValidateAlphas can be used to check.
+func NewSystem(values, alphas []float64) (*System, error) {
+	if len(values) != len(alphas) {
+		return nil, fmt.Errorf("kernel: %d values but %d alphas", len(values), len(alphas))
+	}
+	if len(values) < 2 {
+		return nil, fmt.Errorf("kernel: need at least 2 nodes, got %d", len(values))
+	}
+	s := &System{
+		values: append([]float64(nil), values...),
+		alphas: append([]float64(nil), alphas...),
+	}
+	return s, nil
+}
+
+// ValidateAlphas reports an error if any coefficient lies outside the open
+// interval (1/3, 1/2) required by Lemma 1.
+func ValidateAlphas(alphas []float64) error {
+	for i, a := range alphas {
+		if a <= AlphaMin || a >= AlphaMax {
+			return fmt.Errorf("kernel: alpha[%d] = %v outside (1/3, 1/2)", i, a)
+		}
+	}
+	return nil
+}
+
+// UniformAlphas returns n coefficients drawn uniformly from (1/3, 1/2).
+func UniformAlphas(n int, r *rng.RNG) []float64 {
+	alphas := make([]float64, n)
+	for i := range alphas {
+		alphas[i] = r.Range(AlphaMin+1e-9, AlphaMax)
+	}
+	return alphas
+}
+
+// N returns the number of nodes.
+func (s *System) N() int { return len(s.values) }
+
+// Steps returns the number of exchanges performed so far.
+func (s *System) Steps() int { return s.steps }
+
+// Values returns a copy of the current state.
+func (s *System) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// Value returns node i's current value.
+func (s *System) Value(i int) float64 { return s.values[i] }
+
+// Sum returns the (invariant) total of the values.
+func (s *System) Sum() float64 {
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+// Norm2 returns ‖x‖² (the raw squared Euclidean norm; Lemma 1 assumes
+// the values are centered, which Center arranges).
+func (s *System) Norm2() float64 {
+	var sum float64
+	for _, v := range s.values {
+		sum += v * v
+	}
+	return sum
+}
+
+// CenteredNorm2 returns ‖x − x̄·1‖², the squared deviation from the mean.
+func (s *System) CenteredNorm2() float64 {
+	mean := s.Sum() / float64(len(s.values))
+	var sum float64
+	for _, v := range s.values {
+		d := v - mean
+		sum += d * d
+	}
+	return sum
+}
+
+// Center subtracts the mean from every value, as the paper's WLOG
+// normalization Σx_i = 0.
+func (s *System) Center() {
+	mean := s.Sum() / float64(len(s.values))
+	for i := range s.values {
+		s.values[i] -= mean
+	}
+}
+
+// StepPair applies one exchange between nodes i (the clock owner) and j.
+// It panics if i == j or either index is out of range, which indicates a
+// caller bug.
+func (s *System) StepPair(i, j int) {
+	if i == j {
+		panic("kernel: StepPair with i == j")
+	}
+	xi, xj := s.values[i], s.values[j]
+	ai, aj := s.alphas[i], s.alphas[j]
+	s.values[i] = (1-ai)*xi + aj*xj
+	s.values[j] = ai*xi + (1-aj)*xj
+	s.steps++
+}
+
+// Step performs one clock tick: a uniform node i exchanges with a uniform
+// other node j.
+func (s *System) Step(r *rng.RNG) (i, j int) {
+	i = r.IntN(len(s.values))
+	j = r.IntNExcept(len(s.values), i)
+	s.StepPair(i, j)
+	return i, j
+}
+
+// StepPairPerturbed applies the Lemma 2 update: the exchange between i and
+// j followed by the antisymmetric perturbation +noise on i and −noise on j.
+func (s *System) StepPairPerturbed(i, j int, noise float64) {
+	s.StepPair(i, j)
+	s.values[i] += noise
+	s.values[j] -= noise
+}
+
+// StepPerturbed performs one perturbed clock tick with noise drawn from
+// noiseFn (the caller guarantees |noise| < ε when comparing to the Lemma 2
+// bound).
+func (s *System) StepPerturbed(r *rng.RNG, noiseFn func() float64) (i, j int) {
+	i = r.IntN(len(s.values))
+	j = r.IntNExcept(len(s.values), i)
+	s.StepPairPerturbed(i, j, noiseFn())
+	return i, j
+}
+
+// Lemma1Rate returns the per-step contraction factor (1 − 1/2n) from
+// Lemma 1.
+func Lemma1Rate(n int) float64 {
+	return 1 - 1/(2*float64(n))
+}
+
+// Lemma1Bound returns the Lemma 1 upper bound on E‖x(t)‖²:
+// (1 − 1/2n)^t · norm0Sq.
+func Lemma1Bound(n, t int, norm0Sq float64) float64 {
+	return math.Pow(Lemma1Rate(n), float64(t)) * norm0Sq
+}
+
+// TailBound returns the Corollary 1/2 Markov bound on
+// P(‖x(t)‖ > ε‖x(0)‖): ε^{-2}·(1 − 1/2n)^t, clamped to 1.
+func TailBound(n, t int, eps float64) float64 {
+	b := math.Pow(Lemma1Rate(n), float64(t)) / (eps * eps)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// Lemma2Bound returns the Lemma 2 high-probability bound on ‖y(t)‖:
+//
+//	n^{a/2} · ( (1 − 1/2n)^{t/2}·‖y(0)‖ + 8·sqrt(2)·n^{3/2}·ε )
+//
+// valid with probability at least 1 − 5/n^a when every perturbation
+// satisfies |n(t)| < ε.
+func Lemma2Bound(n, t int, a, norm0, eps float64) float64 {
+	nf := float64(n)
+	decay := math.Pow(Lemma1Rate(n), float64(t)/2) * norm0
+	floor := 8 * math.Sqrt2 * math.Pow(nf, 1.5) * eps
+	return math.Pow(nf, a/2) * (decay + floor)
+}
+
+// Lemma2FailureProb returns 5/n^a, the probability budget outside which
+// the Lemma 2 bound may fail.
+func Lemma2FailureProb(n int, a float64) float64 {
+	return 5 / math.Pow(float64(n), a)
+}
+
+// StepsToContract returns the number of exchanges after which the Lemma 1
+// bound guarantees E‖x(t)‖² ≤ target·‖x(0)‖², i.e. the smallest t with
+// (1 − 1/2n)^t ≤ target. target must be in (0, 1].
+func StepsToContract(n int, target float64) int {
+	if target >= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log(target) / math.Log(Lemma1Rate(n))))
+}

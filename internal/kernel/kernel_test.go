@@ -1,0 +1,399 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geogossip/internal/rng"
+)
+
+func newCentered(t *testing.T, n int, seed uint64) *System {
+	t.Helper()
+	r := rng.New(seed)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.NormFloat64()
+	}
+	s, err := NewSystem(vals, UniformAlphas(n, r.Stream("alphas")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Center()
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem([]float64{1, 2}, []float64{0.4}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewSystem([]float64{1}, []float64{0.4}); err == nil {
+		t.Fatal("single node accepted")
+	}
+	if _, err := NewSystem(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	s, err := NewSystem([]float64{1, 2}, []float64{0.4, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 2 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestNewSystemCopiesInputs(t *testing.T) {
+	vals := []float64{1, 2}
+	alphas := []float64{0.4, 0.45}
+	s, err := NewSystem(vals, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 99
+	alphas[0] = 99
+	if s.Value(0) != 1 {
+		t.Fatal("system aliases caller's values slice")
+	}
+	s.StepPair(0, 1)
+	if math.Abs(s.Value(0)-((1-0.4)*1+0.45*2)) > 1e-15 {
+		t.Fatal("system aliases caller's alphas slice")
+	}
+}
+
+func TestValidateAlphas(t *testing.T) {
+	if err := ValidateAlphas([]float64{0.34, 0.4, 0.49}); err != nil {
+		t.Fatalf("legal alphas rejected: %v", err)
+	}
+	for _, bad := range [][]float64{
+		{0.4, 1.0 / 3.0}, // boundary excluded
+		{0.4, 0.5},       // boundary excluded
+		{0.4, 0.2},
+		{0.4, 0.7},
+		{0.4, -0.1},
+	} {
+		if err := ValidateAlphas(bad); err == nil {
+			t.Fatalf("alphas %v accepted", bad)
+		}
+	}
+}
+
+func TestUniformAlphasInBand(t *testing.T) {
+	alphas := UniformAlphas(10000, rng.New(40))
+	if err := ValidateAlphas(alphas); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepPairPreservesSum(t *testing.T) {
+	s := newCentered(t, 50, 41)
+	r := rng.New(42)
+	before := s.Sum()
+	for k := 0; k < 10000; k++ {
+		s.Step(r)
+	}
+	if math.Abs(s.Sum()-before) > 1e-9 {
+		t.Fatalf("sum drifted from %v to %v", before, s.Sum())
+	}
+	if s.Steps() != 10000 {
+		t.Fatalf("Steps = %d", s.Steps())
+	}
+}
+
+func TestStepPairExactUpdate(t *testing.T) {
+	s, err := NewSystem([]float64{2, -2}, []float64{0.4, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepPair(0, 1)
+	// x0' = (1-0.4)*2 + 0.45*(-2) = 1.2 - 0.9 = 0.3
+	// x1' = 0.4*2 + (1-0.45)*(-2) = 0.8 - 1.1 = -0.3
+	if math.Abs(s.Value(0)-0.3) > 1e-15 || math.Abs(s.Value(1)+0.3) > 1e-15 {
+		t.Fatalf("values = %v", s.Values())
+	}
+}
+
+func TestStepPairPanicsOnSelf(t *testing.T) {
+	s := newCentered(t, 4, 43)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepPair(1,1) did not panic")
+		}
+	}()
+	s.StepPair(1, 1)
+}
+
+func TestCenter(t *testing.T) {
+	s, err := NewSystem([]float64{1, 2, 3, 6}, []float64{0.4, 0.4, 0.4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Center()
+	if math.Abs(s.Sum()) > 1e-12 {
+		t.Fatalf("sum after Center = %v", s.Sum())
+	}
+	if math.Abs(s.Norm2()-s.CenteredNorm2()) > 1e-12 {
+		t.Fatal("Norm2 != CenteredNorm2 after centering")
+	}
+}
+
+func TestLemma1ContractionEmpirical(t *testing.T) {
+	// The mean of ||x(t)||² over many runs must respect the Lemma 1 bound
+	// (within Monte Carlo slack).
+	const n = 32
+	const steps = 400
+	const trials = 300
+	var sumRatio float64
+	for trial := 0; trial < trials; trial++ {
+		s := newCentered(t, n, uint64(100+trial))
+		r := rng.New(uint64(200 + trial))
+		norm0 := s.Norm2()
+		for k := 0; k < steps; k++ {
+			s.Step(r)
+		}
+		sumRatio += s.Norm2() / norm0
+	}
+	meanRatio := sumRatio / trials
+	bound := Lemma1Bound(n, steps, 1.0)
+	if meanRatio > bound*1.15 { // 15% Monte Carlo slack
+		t.Fatalf("mean ratio %v exceeds Lemma 1 bound %v", meanRatio, bound)
+	}
+	if meanRatio <= 0 {
+		t.Fatalf("mean ratio %v not positive", meanRatio)
+	}
+}
+
+func TestLemma1BoundMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, tt := range []int{0, 10, 100, 1000} {
+		b := Lemma1Bound(64, tt, 1.0)
+		if b > prev {
+			t.Fatalf("bound not monotone at t=%d", tt)
+		}
+		prev = b
+	}
+	if got := Lemma1Bound(64, 0, 3.5); got != 3.5 {
+		t.Fatalf("t=0 bound = %v, want 3.5", got)
+	}
+}
+
+func TestLemma1Rate(t *testing.T) {
+	if got := Lemma1Rate(1); got != 0.5 {
+		t.Fatalf("rate(1) = %v", got)
+	}
+	if got := Lemma1Rate(100); math.Abs(got-0.995) > 1e-12 {
+		t.Fatalf("rate(100) = %v", got)
+	}
+}
+
+func TestAlphaOutsideBandDoesNotContract(t *testing.T) {
+	// With alphas far above 1/2 the update is expansive: after the same
+	// number of steps the norm must be much larger than the in-band run.
+	const n = 16
+	const steps = 600
+	run := func(alpha float64) float64 {
+		r := rng.New(44)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64()
+		}
+		alphas := make([]float64, n)
+		for i := range alphas {
+			alphas[i] = alpha
+		}
+		s, err := NewSystem(vals, alphas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Center()
+		norm0 := s.Norm2()
+		rr := rng.New(45)
+		for k := 0; k < steps; k++ {
+			s.Step(rr)
+		}
+		return s.Norm2() / norm0
+	}
+	good := run(0.4)
+	bad := run(1.8)
+	if bad < good*1e3 {
+		t.Fatalf("expansive alphas did not blow up: good=%v bad=%v", good, bad)
+	}
+	if good > 1 {
+		t.Fatalf("in-band run did not contract: %v", good)
+	}
+}
+
+func TestPerturbedPreservesSum(t *testing.T) {
+	s := newCentered(t, 20, 46)
+	r := rng.New(47)
+	noise := func() float64 { return 1e-4 * (r.Float64()*2 - 1) }
+	before := s.Sum()
+	for k := 0; k < 5000; k++ {
+		s.StepPerturbed(r, noise)
+	}
+	if math.Abs(s.Sum()-before) > 1e-9 {
+		t.Fatalf("perturbed sum drifted: %v -> %v", before, s.Sum())
+	}
+}
+
+func TestLemma2BoundHolds(t *testing.T) {
+	// With noise magnitude eps, ||y(t)|| must stay below the Lemma 2 bound
+	// in (almost) all runs; with a = 1 and n = 32, failures are allowed on
+	// at most ~5/n of runs — with our slack there should be none.
+	const n = 32
+	const steps = 2000
+	const eps = 1e-5
+	const a = 1.0
+	failures := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		s := newCentered(t, n, uint64(300+trial))
+		r := rng.New(uint64(400 + trial))
+		norm0 := math.Sqrt(s.Norm2())
+		noise := func() float64 { return eps * (r.Float64()*2 - 1) * 0.999 }
+		for k := 0; k < steps; k++ {
+			s.StepPerturbed(r, noise)
+		}
+		bound := Lemma2Bound(n, steps, a, norm0, eps)
+		if math.Sqrt(s.Norm2()) > bound {
+			failures++
+		}
+	}
+	maxFailures := int(math.Ceil(Lemma2FailureProb(n, a) * trials))
+	if failures > maxFailures {
+		t.Fatalf("%d/%d runs exceeded Lemma 2 bound (budget %d)", failures, trials, maxFailures)
+	}
+}
+
+func TestLemma2NoiseFloor(t *testing.T) {
+	// Under sustained noise the norm should not decay to zero: it settles
+	// at a floor related to the noise scale — but always below the bound.
+	const n = 16
+	const eps = 1e-3
+	s := newCentered(t, n, 48)
+	r := rng.New(49)
+	noise := func() float64 { return eps * (r.Float64()*2 - 1) * 0.999 }
+	for k := 0; k < 50000; k++ {
+		s.StepPerturbed(r, noise)
+	}
+	norm := math.Sqrt(s.Norm2())
+	if norm == 0 {
+		t.Fatal("norm decayed to exactly zero despite noise")
+	}
+	bound := Lemma2Bound(n, 50000, 1.0, 1.0, eps)
+	if norm > bound {
+		t.Fatalf("norm %v above asymptotic Lemma 2 bound %v", norm, bound)
+	}
+}
+
+func TestTailBound(t *testing.T) {
+	if got := TailBound(32, 0, 0.5); got != 1 {
+		t.Fatalf("tail bound should clamp to 1, got %v", got)
+	}
+	// Large t: bound decays below 1.
+	b := TailBound(32, 1000, 0.5)
+	if b >= 1 || b <= 0 {
+		t.Fatalf("tail bound at t=1000: %v", b)
+	}
+	// Tail bound is ε^{-2}(1-1/2n)^t exactly when below 1.
+	want := math.Pow(Lemma1Rate(32), 1000) / 0.25
+	if math.Abs(b-want) > 1e-15 {
+		t.Fatalf("tail bound = %v, want %v", b, want)
+	}
+}
+
+func TestTailBoundEmpirical(t *testing.T) {
+	// Empirical exceedance frequency must not exceed the Markov bound
+	// materially.
+	const n = 16
+	const steps = 800
+	const eps = 0.3
+	const trials = 400
+	exceed := 0
+	for trial := 0; trial < trials; trial++ {
+		s := newCentered(t, n, uint64(500+trial))
+		r := rng.New(uint64(600 + trial))
+		norm0 := math.Sqrt(s.Norm2())
+		for k := 0; k < steps; k++ {
+			s.Step(r)
+		}
+		if math.Sqrt(s.Norm2()) > eps*norm0 {
+			exceed++
+		}
+	}
+	bound := TailBound(n, steps, eps)
+	freq := float64(exceed) / trials
+	if freq > bound+0.05 {
+		t.Fatalf("empirical tail %v above Markov bound %v", freq, bound)
+	}
+}
+
+func TestStepsToContract(t *testing.T) {
+	if got := StepsToContract(32, 1.0); got != 0 {
+		t.Fatalf("target 1.0: %d steps", got)
+	}
+	tSteps := StepsToContract(32, 1e-4)
+	if Lemma1Bound(32, tSteps, 1.0) > 1e-4 {
+		t.Fatalf("bound after %d steps is %v > 1e-4", tSteps, Lemma1Bound(32, tSteps, 1.0))
+	}
+	if tSteps > 0 && Lemma1Bound(32, tSteps-1, 1.0) <= 1e-4 {
+		t.Fatalf("StepsToContract not minimal: %d", tSteps)
+	}
+}
+
+func TestLemma2FailureProb(t *testing.T) {
+	if got := Lemma2FailureProb(5, 1); got != 1 {
+		t.Fatalf("5/n with n=5: %v", got)
+	}
+	if got := Lemma2FailureProb(100, 2); math.Abs(got-5e-4) > 1e-15 {
+		t.Fatalf("5/n² with n=100: %v", got)
+	}
+}
+
+func TestQuickSumPreservation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, stepsRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		steps := int(stepsRaw) + 1
+		r := rng.New(seed)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()*10 - 5
+		}
+		s, err := NewSystem(vals, UniformAlphas(n, r))
+		if err != nil {
+			return false
+		}
+		before := s.Sum()
+		for k := 0; k < steps; k++ {
+			s.Step(r)
+		}
+		return math.Abs(s.Sum()-before) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCenteredNormNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.IntN(20) + 2
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64()
+		}
+		s, err := NewSystem(vals, UniformAlphas(n, r))
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 50; k++ {
+			s.Step(r)
+			if s.CenteredNorm2() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

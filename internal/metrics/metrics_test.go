@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCurveRecordAndLast(t *testing.T) {
+	var c Curve
+	if _, ok := c.Last(); ok {
+		t.Fatal("empty curve has a last sample")
+	}
+	c.Record(1, 10, 0.9)
+	c.Record(2, 20, 0.5)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	last, ok := c.Last()
+	if !ok || last.Transmissions != 20 || last.Err != 0.5 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+}
+
+func TestTransmissionsAt(t *testing.T) {
+	var c Curve
+	c.Record(1, 10, 0.9)
+	c.Record(2, 20, 0.5)
+	c.Record(3, 30, 0.05)
+	c.Record(4, 40, 0.01)
+	tx, ok := c.TransmissionsAt(0.1)
+	if !ok || tx != 30 {
+		t.Fatalf("TransmissionsAt(0.1) = %d ok=%v", tx, ok)
+	}
+	if _, ok := c.TransmissionsAt(0.001); ok {
+		t.Fatal("found crossing below final error")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var c Curve
+	for i := 0; i < 1000; i++ {
+		c.Record(uint64(i), uint64(i*10), 1.0/float64(i+1))
+	}
+	d := c.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled len = %d", d.Len())
+	}
+	if d.Samples[0] != c.Samples[0] {
+		t.Fatal("first sample not kept")
+	}
+	if d.Samples[9] != c.Samples[999] {
+		t.Fatal("last sample not kept")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No-op cases.
+	if got := c.Downsample(0); got.Len() != 1000 {
+		t.Fatal("maxPoints 0 should be a no-op")
+	}
+	small := &Curve{}
+	small.Record(1, 1, 1)
+	if got := small.Downsample(10); got.Len() != 1 {
+		t.Fatal("small curve should be unchanged")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Curve{}
+	good.Record(1, 10, 0.9)
+	good.Record(2, 20, 0.95) // error may rise; that is legal
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	badTicks := &Curve{}
+	badTicks.Record(5, 10, 0.9)
+	badTicks.Record(4, 20, 0.8)
+	if badTicks.Validate() == nil {
+		t.Fatal("decreasing ticks accepted")
+	}
+
+	badTx := &Curve{}
+	badTx.Record(1, 20, 0.9)
+	badTx.Record(2, 10, 0.8)
+	if badTx.Validate() == nil {
+		t.Fatal("decreasing transmissions accepted")
+	}
+
+	badErr := &Curve{}
+	badErr.Record(1, 10, -0.5)
+	if badErr.Validate() == nil {
+		t.Fatal("negative error accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{Algorithm: "boyd", N: 100, Converged: true, FinalErr: 0.001, Ticks: 5, Transmissions: 10}
+	s := r.String()
+	if !strings.Contains(s, "boyd") || !strings.Contains(s, "converged") {
+		t.Fatalf("String = %q", s)
+	}
+	r.Converged = false
+	if !strings.Contains(r.String(), "NOT converged") {
+		t.Fatalf("String = %q", r.String())
+	}
+}

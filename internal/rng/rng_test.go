@@ -1,0 +1,333 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 agreed on %d/100 draws", same)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := New(77).Seed(); got != 77 {
+		t.Fatalf("Seed() = %d, want 77", got)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	root := New(7)
+	s1 := root.Stream("routing")
+	s2 := root.Stream("clock")
+	s1again := New(7).Stream("routing")
+
+	var a, b, c [64]uint64
+	for i := range a {
+		a[i] = s1.Uint64()
+		b[i] = s2.Uint64()
+		c[i] = s1again.Uint64()
+	}
+	if a != c {
+		t.Fatal("same (seed, name) did not reproduce the stream")
+	}
+	if a == b {
+		t.Fatal("streams with different names produced identical output")
+	}
+}
+
+func TestStreamDoesNotConsumeParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Stream("x")
+	_ = a.Stream("y")
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("deriving streams perturbed the parent sequence")
+		}
+	}
+}
+
+func TestStreamDiffersFromParent(t *testing.T) {
+	// Stream("") must not be the parent stream itself.
+	a := New(3)
+	b := New(3).Stream("")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("Stream(\"\") tracked the parent on %d/64 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.IntN(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("IntN(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("IntN(10) hit only %d distinct values in 10000 draws", len(seen))
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2.5, 7.5)
+		if v < -2.5 || v >= 7.5 {
+			t.Fatalf("Range(-2.5, 7.5) = %v", v)
+		}
+	}
+}
+
+func TestRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(1, 0) did not panic")
+		}
+	}()
+	New(1).Range(1, 0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(17)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestIntNExcept(t *testing.T) {
+	r := New(19)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		v := r.IntNExcept(5, 2)
+		if v == 2 {
+			t.Fatal("IntNExcept returned the excluded value")
+		}
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntNExcept(5, 2) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if i == 2 {
+			continue
+		}
+		got := float64(c) / 50000
+		if math.Abs(got-0.25) > 0.02 {
+			t.Fatalf("IntNExcept bias: value %d frequency %v, want 0.25", i, got)
+		}
+	}
+}
+
+func TestIntNExceptPanics(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, skip int
+	}{
+		{"n too small", 1, 0},
+		{"skip negative", 5, -1},
+		{"skip too large", 5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("IntNExcept(%d, %d) did not panic", tc.n, tc.skip)
+				}
+			}()
+			New(1).IntNExcept(tc.n, tc.skip)
+		})
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(23)
+	const trials = 100000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64() = %v < 0", v)
+		}
+		sum += v
+	}
+	mean := sum / trials
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(29)
+	const trials = 200000
+	var sum, sumsq float64
+	for i := 0; i < trials; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("NormFloat64 mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("NormFloat64 variance = %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	for n := 0; n <= 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(37)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), s...)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	wantSum := 0
+	for _, v := range orig {
+		wantSum += v
+	}
+	if sum != wantSum {
+		t.Fatalf("Shuffle changed multiset: %v", s)
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one input bit should change roughly half the output bits.
+	base := mix(0x12345678, 0x9abcdef0)
+	totalFlips := 0
+	for bit := 0; bit < 64; bit++ {
+		flipped := mix(0x12345678^(1<<uint(bit)), 0x9abcdef0)
+		totalFlips += popcount(base ^ flipped)
+	}
+	avg := float64(totalFlips) / 64
+	if avg < 24 || avg > 40 {
+		t.Fatalf("mix avalanche average %v bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestQuickStreamDeterminism(t *testing.T) {
+	f := func(seed uint64, name string) bool {
+		a := New(seed).Stream(name)
+		b := New(seed).Stream(name)
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntNExceptNeverReturnsSkip(t *testing.T) {
+	r := New(99)
+	f := func(nRaw uint8, skipRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		skip := int(skipRaw) % n
+		for i := 0; i < 16; i++ {
+			if r.IntNExcept(n, skip) == skip {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package routing implements the packet-movement primitives the paper's
+// protocol relies on: greedy geographic routing (each hop forwards to the
+// neighbour nearest the destination position, as in Dimakis et al. [5])
+// and region-restricted flooding (used by Activate.square/Deactivate.square
+// at the lowest hierarchy level).
+//
+// Transmission accounting convention (see DESIGN.md §4): a route of h hops
+// costs h transmissions; flooding a region of m reachable nodes costs m
+// transmissions (every reached node rebroadcasts once).
+package routing
+
+import (
+	"sort"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+)
+
+// Recovery selects what to do when greedy forwarding stalls at a local
+// minimum (a node closer to the target than all of its neighbours, that is
+// still not the destination node).
+type Recovery int
+
+const (
+	// RecoveryNone reports failure on a stall. Use it to measure the raw
+	// greedy success rate (experiment E6).
+	RecoveryNone Recovery = iota + 1
+	// RecoveryBFS completes the route along a shortest path from the stall
+	// node, charging its hops. This stands in for the face-routing repair
+	// used in practice; stalls are rare at the connectivity radius, and the
+	// experiments report how often recovery fired.
+	RecoveryBFS
+)
+
+// Result describes one routing attempt.
+type Result struct {
+	// Path lists the nodes visited, starting with the source. For
+	// recovered routes it includes the recovery segment.
+	Path []int32
+	// Hops is the number of transmissions used (len(Path) - 1 when the
+	// route made progress; 0 for an immediate stall or self-delivery).
+	Hops int
+	// Delivered reports whether the packet reached the intended node (or,
+	// for GreedyToPoint, the node nearest the target point).
+	Delivered bool
+	// Recovered reports whether BFS recovery was needed.
+	Recovered bool
+}
+
+// GreedyToPoint routes a packet from node src greedily toward the position
+// target. Each hop moves to the neighbour strictly closest to target among
+// those closer than the current node. The route ends at a node that is
+// closer to target than all of its neighbours — by construction the
+// greedy-reachable node nearest the target. This is the primitive
+// geographic gossip uses to contact "the node nearest a random position",
+// so the result is always Delivered.
+func GreedyToPoint(g *graph.Graph, src int32, target geo.Point) Result {
+	path := []int32{src}
+	cur := src
+	curD2 := g.Point(cur).Dist2(target)
+	for {
+		next := int32(-1)
+		nextD2 := curD2
+		for _, v := range g.Neighbors(cur) {
+			if d2 := g.Point(v).Dist2(target); d2 < nextD2 {
+				next = v
+				nextD2 = d2
+			}
+		}
+		if next < 0 {
+			return Result{Path: path, Hops: len(path) - 1, Delivered: true}
+		}
+		cur, curD2 = next, nextD2
+		path = append(path, cur)
+	}
+}
+
+// GreedyToNode routes a packet from src toward the position of node dst.
+// Delivery succeeds if the greedy walk reaches dst exactly. On a stall,
+// behaviour depends on rec: RecoveryNone reports failure; RecoveryBFS
+// finishes the route along a shortest path (if one exists) and marks the
+// result Recovered.
+func GreedyToNode(g *graph.Graph, src, dst int32, rec Recovery) Result {
+	if src == dst {
+		return Result{Path: []int32{src}, Delivered: true}
+	}
+	res := GreedyToPoint(g, src, g.Point(dst))
+	last := res.Path[len(res.Path)-1]
+	if last == dst {
+		return res
+	}
+	res.Delivered = false
+	if rec != RecoveryBFS {
+		return res
+	}
+	tail := g.BFSPath(last, dst)
+	if tail == nil {
+		return res // disconnected: recovery impossible
+	}
+	res.Path = append(res.Path, tail[1:]...)
+	res.Hops = len(res.Path) - 1
+	res.Delivered = true
+	res.Recovered = true
+	return res
+}
+
+// RoundTrip performs the two greedy routes of one long-range exchange
+// (value out, value back, §3 steps 1–2) and returns the total hop count
+// plus delivery status. The return trip starts where the outbound trip
+// ended.
+func RoundTrip(g *graph.Graph, src, dst int32, rec Recovery) (hops int, delivered, recovered bool) {
+	out := GreedyToNode(g, src, dst, rec)
+	if !out.Delivered {
+		return out.Hops, false, out.Recovered
+	}
+	back := GreedyToNode(g, dst, src, rec)
+	return out.Hops + back.Hops, back.Delivered, out.Recovered || back.Recovered
+}
+
+// FloodResult describes a region-restricted flood.
+type FloodResult struct {
+	// Reached lists the nodes the flood reached (including the source),
+	// sorted ascending.
+	Reached []int32
+	// Transmissions is the flood's cost: one broadcast per reached node.
+	Transmissions int
+}
+
+// Flood performs a BFS broadcast from src restricted to nodes inside
+// within: a node relays the packet only to neighbours inside the region.
+// This is how a level-1 representative switches its square's nodes on or
+// off. If src itself is outside the region the flood dies immediately
+// (zero cost, only src reached).
+func Flood(g *graph.Graph, src int32, within geo.Rect) FloodResult {
+	if !within.Contains(g.Point(src)) {
+		return FloodResult{Reached: []int32{src}}
+	}
+	visited := map[int32]bool{src: true}
+	queue := []int32{src}
+	reached := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if visited[v] || !within.Contains(g.Point(v)) {
+				continue
+			}
+			visited[v] = true
+			reached = append(reached, v)
+			queue = append(queue, v)
+		}
+	}
+	sortInt32(reached)
+	return FloodResult{Reached: reached, Transmissions: len(reached)}
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,297 @@
+package routing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+	"geogossip/internal/rng"
+)
+
+func build(t *testing.T, pts []geo.Point, radius float64) *graph.Graph {
+	t.Helper()
+	g, err := graph.Build(pts, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func generate(t *testing.T, n int, c float64, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.Generate(n, c, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGreedyToPointOnChain(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0.1, 0.5), geo.Pt(0.2, 0.5), geo.Pt(0.3, 0.5), geo.Pt(0.4, 0.5), geo.Pt(0.5, 0.5)}
+	g := build(t, pts, 0.11)
+	res := GreedyToPoint(g, 0, geo.Pt(0.5, 0.5))
+	if !res.Delivered {
+		t.Fatal("not delivered")
+	}
+	if res.Hops != 4 {
+		t.Fatalf("hops = %d, want 4", res.Hops)
+	}
+	want := []int32{0, 1, 2, 3, 4}
+	for i, v := range want {
+		if res.Path[i] != v {
+			t.Fatalf("path = %v, want %v", res.Path, want)
+		}
+	}
+}
+
+func TestGreedyToPointAlreadyNearest(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0.5, 0.5), geo.Pt(0.6, 0.5)}
+	g := build(t, pts, 0.2)
+	res := GreedyToPoint(g, 0, geo.Pt(0.49, 0.5))
+	if res.Hops != 0 || !res.Delivered || len(res.Path) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestGreedyPathDistanceMonotone(t *testing.T) {
+	g := generate(t, 800, 1.8, 21)
+	r := rng.New(22)
+	for trial := 0; trial < 200; trial++ {
+		src := int32(r.IntN(g.N()))
+		target := geo.Pt(r.Float64(), r.Float64())
+		res := GreedyToPoint(g, src, target)
+		prev := math.Inf(1)
+		for _, v := range res.Path {
+			d := g.Point(v).Dist(target)
+			if d >= prev {
+				t.Fatalf("distance to target not strictly decreasing along path")
+			}
+			prev = d
+		}
+		// End node must be a local minimum.
+		last := res.Path[len(res.Path)-1]
+		lastD2 := g.Point(last).Dist2(target)
+		for _, v := range g.Neighbors(last) {
+			if g.Point(v).Dist2(target) < lastD2 {
+				t.Fatal("greedy stopped although a closer neighbour exists")
+			}
+		}
+	}
+}
+
+func TestGreedyToNodeDelivers(t *testing.T) {
+	g := generate(t, 1000, 1.8, 23)
+	r := rng.New(24)
+	delivered := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		src := int32(r.IntN(g.N()))
+		dst := int32(r.IntN(g.N()))
+		res := GreedyToNode(g, src, dst, RecoveryNone)
+		if res.Delivered {
+			delivered++
+			if res.Path[len(res.Path)-1] != dst {
+				t.Fatal("delivered but path does not end at dst")
+			}
+		}
+	}
+	// At c=1.8 greedy should deliver the overwhelming majority.
+	if float64(delivered)/trials < 0.95 {
+		t.Fatalf("greedy delivery rate %v too low", float64(delivered)/trials)
+	}
+}
+
+func TestGreedyToNodeSelf(t *testing.T) {
+	g := generate(t, 100, 2.0, 25)
+	res := GreedyToNode(g, 7, 7, RecoveryNone)
+	if !res.Delivered || res.Hops != 0 || len(res.Path) != 1 {
+		t.Fatalf("self route = %+v", res)
+	}
+}
+
+func TestGreedyToNodeStallAndRecovery(t *testing.T) {
+	// A "C" shape: greedy from the lower lip toward the upper lip gets
+	// stuck at the tip because the gap is wider than the radius.
+	//
+	//   4 5          (upper arm)    y=0.30
+	//   3            (elbow)
+	//   0 1 2        (lower arm)    y=0.10
+	//
+	// Target = node 6 placed right of node 2 but above, reachable only by
+	// walking back around. Construct explicitly:
+	pts := []geo.Point{
+		geo.Pt(0.10, 0.10), // 0
+		geo.Pt(0.20, 0.10), // 1
+		geo.Pt(0.30, 0.10), // 2  lower tip (local minimum for target)
+		geo.Pt(0.10, 0.20), // 3  elbow above 0
+		geo.Pt(0.10, 0.30), // 4
+		geo.Pt(0.20, 0.30), // 5
+		geo.Pt(0.30, 0.30), // 6  target: 0.2 above node 2, out of radius
+	}
+	g := build(t, pts, 0.12)
+	if g.HasEdge(2, 6) {
+		t.Fatal("test geometry broken: 2-6 should not be an edge")
+	}
+	res := GreedyToNode(g, 0, 6, RecoveryNone)
+	if res.Delivered {
+		t.Fatalf("expected stall, got delivery via %v", res.Path)
+	}
+	rec := GreedyToNode(g, 0, 6, RecoveryBFS)
+	if !rec.Delivered || !rec.Recovered {
+		t.Fatalf("recovery failed: %+v", rec)
+	}
+	if rec.Path[len(rec.Path)-1] != 6 {
+		t.Fatalf("recovered path does not end at target: %v", rec.Path)
+	}
+	for i := 0; i+1 < len(rec.Path); i++ {
+		if !g.HasEdge(rec.Path[i], rec.Path[i+1]) {
+			t.Fatalf("recovered path uses non-edge %d-%d", rec.Path[i], rec.Path[i+1])
+		}
+	}
+	if rec.Hops != len(rec.Path)-1 {
+		t.Fatalf("hops %d inconsistent with path length %d", rec.Hops, len(rec.Path))
+	}
+}
+
+func TestGreedyRecoveryImpossibleWhenDisconnected(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0.1, 0.1), geo.Pt(0.9, 0.9)}
+	g := build(t, pts, 0.1)
+	res := GreedyToNode(g, 0, 1, RecoveryBFS)
+	if res.Delivered {
+		t.Fatal("delivered across disconnected components")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := generate(t, 500, 2.0, 26)
+	r := rng.New(27)
+	for trial := 0; trial < 100; trial++ {
+		src := int32(r.IntN(g.N()))
+		dst := int32(r.IntN(g.N()))
+		hops, delivered, _ := RoundTrip(g, src, dst, RecoveryBFS)
+		if !delivered {
+			t.Fatalf("round trip %d->%d failed", src, dst)
+		}
+		if src != dst && hops < 2 {
+			// at least one hop each way unless adjacent? no: adjacent is 1+1.
+			t.Fatalf("round trip hops = %d for distinct nodes", hops)
+		}
+		if src == dst && hops != 0 {
+			t.Fatalf("self round trip hops = %d", hops)
+		}
+	}
+}
+
+func TestRoundTripHopsScaling(t *testing.T) {
+	// Hop counts for cross-square routes should grow roughly like
+	// sqrt(n / log n); check the ratio between n=256 and n=4096 is
+	// within a loose band around 4x.
+	mean := func(n int) float64 {
+		g := generate(t, n, 1.8, 28)
+		r := rng.New(29)
+		total := 0
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			src := int32(r.IntN(g.N()))
+			dst := int32(r.IntN(g.N()))
+			h, ok, _ := RoundTrip(g, src, dst, RecoveryBFS)
+			if !ok {
+				continue
+			}
+			total += h
+		}
+		return float64(total) / trials
+	}
+	m256 := mean(256)
+	m4096 := mean(4096)
+	ratio := m4096 / m256
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("hop scaling ratio %v (m256=%v, m4096=%v) outside [2, 8]", ratio, m256, m4096)
+	}
+}
+
+func TestFloodReachesRegion(t *testing.T) {
+	g := generate(t, 600, 2.0, 30)
+	region := geo.NewRect(0.25, 0.25, 0.75, 0.75)
+	// Find a source in the region.
+	src := int32(-1)
+	for i := int32(0); int(i) < g.N(); i++ {
+		if region.Contains(g.Point(i)) {
+			src = i
+			break
+		}
+	}
+	if src < 0 {
+		t.Fatal("no node in region")
+	}
+	res := Flood(g, src, region)
+	for _, v := range res.Reached {
+		if !region.Contains(g.Point(v)) {
+			t.Fatalf("flood escaped region: node %d at %v", v, g.Point(v))
+		}
+	}
+	if res.Transmissions != len(res.Reached) {
+		t.Fatalf("cost %d != reached %d", res.Transmissions, len(res.Reached))
+	}
+	// The region subgraph at c=2.0 over the half-width square is dense;
+	// the flood should cover the bulk of the region's nodes.
+	inRegion := g.NodesInRect(region)
+	if float64(len(res.Reached)) < 0.9*float64(len(inRegion)) {
+		t.Fatalf("flood reached %d of %d region nodes", len(res.Reached), len(inRegion))
+	}
+	// Sorted output.
+	for i := 1; i < len(res.Reached); i++ {
+		if res.Reached[i-1] >= res.Reached[i] {
+			t.Fatal("reached list not sorted")
+		}
+	}
+}
+
+func TestFloodFromOutsideRegion(t *testing.T) {
+	g := generate(t, 100, 2.0, 31)
+	region := geo.NewRect(0.4, 0.4, 0.6, 0.6)
+	src := int32(-1)
+	for i := int32(0); int(i) < g.N(); i++ {
+		if !region.Contains(g.Point(i)) {
+			src = i
+			break
+		}
+	}
+	res := Flood(g, src, region)
+	if len(res.Reached) != 1 || res.Reached[0] != src || res.Transmissions != 0 {
+		t.Fatalf("flood from outside = %+v", res)
+	}
+}
+
+func TestFloodSingleNodeRegion(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0.5, 0.5), geo.Pt(0.52, 0.5)}
+	g := build(t, pts, 0.1)
+	region := geo.NewRect(0.49, 0.49, 0.51, 0.51) // only node 0
+	res := Flood(g, 0, region)
+	if len(res.Reached) != 1 || res.Reached[0] != 0 {
+		t.Fatalf("reached = %v", res.Reached)
+	}
+	if res.Transmissions != 1 {
+		t.Fatalf("transmissions = %d, want 1", res.Transmissions)
+	}
+}
+
+func TestQuickGreedyPathsAreEdges(t *testing.T) {
+	g := generate(t, 400, 1.8, 32)
+	f := func(sRaw, xRaw, yRaw uint16) bool {
+		src := int32(int(sRaw) % g.N())
+		target := geo.Pt(float64(xRaw)/65536, float64(yRaw)/65536)
+		res := GreedyToPoint(g, src, target)
+		for i := 0; i+1 < len(res.Path); i++ {
+			if !g.HasEdge(res.Path[i], res.Path[i+1]) {
+				return false
+			}
+		}
+		return res.Hops == len(res.Path)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+	"geogossip/internal/rng"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(0.05+0.9*float64(i)/float64(n), 0.5)
+	}
+	g, err := graph.Build(pts, 0.9/float64(n)+1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("path not connected")
+	}
+	return g
+}
+
+func TestEstimatePathGraph(t *testing.T) {
+	// The lazy walk on a path of n nodes has relaxation time ~ n²·(2/π²):
+	// λ₂(lazy) = (1 + cos(π/n))/2 for the natural walk on a path.
+	const n = 20
+	g := pathGraph(t, n)
+	res, err := Estimate(g, 6000, rng.New(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + math.Cos(math.Pi/float64(n))) / 2
+	if math.Abs(res.Lambda2-want) > 0.01 {
+		t.Fatalf("lambda2 = %v, theory %v", res.Lambda2, want)
+	}
+	if res.RelaxationTime < 1 {
+		t.Fatalf("relaxation time %v < 1", res.RelaxationTime)
+	}
+}
+
+func TestEstimateDenseFasterThanSparse(t *testing.T) {
+	// A denser geometric graph mixes faster: larger radius → smaller
+	// relaxation time.
+	mk := func(c float64) float64 {
+		g, err := graph.Generate(400, c, rng.New(501))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsConnected() {
+			t.Skip("disconnected instance")
+		}
+		res, err := Estimate(g, 1500, rng.New(502))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RelaxationTime
+	}
+	sparse := mk(1.2)
+	dense := mk(3.0)
+	if dense >= sparse {
+		t.Fatalf("dense relaxation %v not below sparse %v", dense, sparse)
+	}
+}
+
+func TestEstimateRelaxationGrowsWithN(t *testing.T) {
+	relax := func(n int) float64 {
+		g, err := graph.Generate(n, 1.5, rng.New(503))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsConnected() {
+			t.Skip("disconnected instance")
+		}
+		res, err := Estimate(g, 2000, rng.New(504))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RelaxationTime
+	}
+	small := relax(256)
+	large := relax(2048)
+	if large <= small {
+		t.Fatalf("relaxation time should grow with n: %v (n=256) vs %v (n=2048)", small, large)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	g, err := graph.Build([]geo.Point{geo.Pt(0.5, 0.5)}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(g, 10, rng.New(1)); err == nil {
+		t.Fatal("singleton accepted")
+	}
+	disc, err := graph.Build([]geo.Point{geo.Pt(0.1, 0.1), geo.Pt(0.9, 0.9)}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(disc, 10, rng.New(1)); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestLambdaInRange(t *testing.T) {
+	g, err := graph.Generate(300, 2.0, rng.New(505))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Skip("disconnected instance")
+	}
+	res, err := Estimate(g, 800, rng.New(506))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lambda2 <= 0 || res.Lambda2 >= 1 {
+		t.Fatalf("lambda2 = %v outside (0,1)", res.Lambda2)
+	}
+}
+
+func TestMixingTimeBound(t *testing.T) {
+	if got := MixingTimeBound(10, 1, 0.1); got != 0 {
+		t.Fatalf("n=1 bound = %v", got)
+	}
+	b1 := MixingTimeBound(10, 1000, 0.01)
+	b2 := MixingTimeBound(10, 1000, 0.001)
+	if b2 <= b1 {
+		t.Fatal("tighter eps should increase the bound")
+	}
+	if b1 <= 0 {
+		t.Fatalf("bound = %v", b1)
+	}
+}

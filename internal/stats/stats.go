@@ -1,0 +1,211 @@
+// Package stats provides the statistical analysis used by the experiment
+// harness: log–log regression for scaling exponents, summary statistics,
+// quantiles, and total-variation distance for sampling-uniformity checks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic moments of a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes summary statistics (population standard deviation).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	var sum float64
+	for _, v := range xs {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var dev2 float64
+	for _, v := range xs {
+		d := v - s.Mean
+		dev2 += d * d
+	}
+	s.Std = math.Sqrt(dev2 / float64(s.N))
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation. It returns NaN for an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Fit is a least-squares linear fit y = Intercept + Slope·x.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// OLS fits y = a + b·x by ordinary least squares. It requires at least
+// two points with distinct x.
+func OLS(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: %d xs but %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: all x values identical")
+	}
+	slope := sxy / sxx
+	fit := Fit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+	}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// PowerLawFit fits y = C·x^p by OLS on (log x, log y) and returns the
+// exponent p, the constant C, and R² in log space. All inputs must be
+// positive.
+func PowerLawFit(xs, ys []float64) (exponent, constant, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("stats: %d xs but %d ys", len(xs), len(ys))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("stats: power-law fit needs positive data, got (%v, %v)", xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	fit, err := OLS(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return fit.Slope, math.Exp(fit.Intercept), fit.R2, nil
+}
+
+// TVDistanceUniform returns the total-variation distance between the
+// empirical distribution given by counts and the uniform distribution
+// over the same support: ½·Σ|p_i − 1/k|. It returns 0 for an empty or
+// zero-count input.
+func TVDistanceUniform(counts []int) float64 {
+	k := len(counts)
+	if k == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	u := 1 / float64(k)
+	var tv float64
+	for _, c := range counts {
+		tv += math.Abs(float64(c)/float64(total) - u)
+	}
+	return tv / 2
+}
+
+// MaxAbsDeviation returns max_i |xs[i]/ref − 1|, the normalized maximum
+// occupancy deviation of §3's Chernoff claim. It returns NaN when ref is
+// zero or the sample empty.
+func MaxAbsDeviation(xs []float64, ref float64) float64 {
+	if len(xs) == 0 || ref == 0 {
+		return math.NaN()
+	}
+	worst := 0.0
+	for _, v := range xs {
+		d := math.Abs(v/ref - 1)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Fraction returns the fraction of values satisfying pred.
+func Fraction(xs []float64, pred func(float64) bool) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	k := 0
+	for _, v := range xs {
+		if pred(v) {
+			k++
+		}
+	}
+	return float64(k) / float64(len(xs))
+}
+
+// GeometricMean returns the geometric mean of positive values; it returns
+// NaN if any value is non-positive or the sample is empty.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sumLog float64
+	for _, v := range xs {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sumLog += math.Log(v)
+	}
+	return math.Exp(sumLog / float64(len(xs)))
+}

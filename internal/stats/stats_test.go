@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geogossip/internal/rng"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {-1, 1}, {2, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Interpolation between points.
+	if got := Quantile([]float64{0, 10}, 0.5); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestOLSExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestOLSNoisy(t *testing.T) {
+	r := rng.New(200)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := r.Range(0, 10)
+		xs = append(xs, x)
+		ys = append(ys, 2+3*x+r.NormFloat64()*0.1)
+	}
+	fit, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.02 || math.Abs(fit.Intercept-2) > 0.05 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := OLS([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+}
+
+func TestPowerLawFit(t *testing.T) {
+	// y = 5·x^1.5 exactly.
+	var xs, ys []float64
+	for _, x := range []float64{10, 100, 1000, 10000} {
+		xs = append(xs, x)
+		ys = append(ys, 5*math.Pow(x, 1.5))
+	}
+	p, c, r2, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.5) > 1e-9 || math.Abs(c-5) > 1e-6 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("p=%v c=%v r2=%v", p, c, r2)
+	}
+}
+
+func TestPowerLawFitRejectsNonPositive(t *testing.T) {
+	if _, _, _, err := PowerLawFit([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("zero x accepted")
+	}
+	if _, _, _, err := PowerLawFit([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("negative y accepted")
+	}
+	if _, _, _, err := PowerLawFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTVDistanceUniform(t *testing.T) {
+	// Perfectly uniform: 0.
+	if got := TVDistanceUniform([]int{10, 10, 10, 10}); got != 0 {
+		t.Fatalf("uniform TV = %v", got)
+	}
+	// All mass on one of two outcomes: TV = 1/2.
+	if got := TVDistanceUniform([]int{10, 0}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("point-mass TV = %v", got)
+	}
+	// All mass on one of k outcomes: TV = 1 - 1/k.
+	if got := TVDistanceUniform([]int{10, 0, 0, 0, 0}); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("point-mass k=5 TV = %v", got)
+	}
+	if got := TVDistanceUniform(nil); got != 0 {
+		t.Fatalf("empty TV = %v", got)
+	}
+	if got := TVDistanceUniform([]int{0, 0}); got != 0 {
+		t.Fatalf("zero-count TV = %v", got)
+	}
+}
+
+func TestTVDistanceRange(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		tv := TVDistanceUniform(counts)
+		return tv >= 0 && tv <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsDeviation(t *testing.T) {
+	got := MaxAbsDeviation([]float64{90, 100, 115}, 100)
+	if math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("max dev = %v", got)
+	}
+	if !math.IsNaN(MaxAbsDeviation(nil, 100)) {
+		t.Fatal("empty input not NaN")
+	}
+	if !math.IsNaN(MaxAbsDeviation([]float64{1}, 0)) {
+		t.Fatal("zero ref not NaN")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := Fraction(xs, func(v float64) bool { return v <= 2 })
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("fraction = %v", got)
+	}
+	if Fraction(nil, func(float64) bool { return true }) != 0 {
+		t.Fatal("empty fraction not 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	got := GeometricMean([]float64{1, 100})
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("geomean = %v", got)
+	}
+	if !math.IsNaN(GeometricMean([]float64{1, -1})) {
+		t.Fatal("negative input not NaN")
+	}
+	if !math.IsNaN(GeometricMean(nil)) {
+		t.Fatal("empty input not NaN")
+	}
+}

@@ -1,0 +1,145 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one curve of an ASCII plot.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Plot is a multi-series ASCII line plot. It is the repository's
+// replacement for the figures a plotting library would produce: good
+// enough to eyeball curve shapes and crossovers directly in a terminal
+// or a text report.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX / LogY select logarithmic axes (points with non-positive
+	// coordinates are dropped).
+	LogX, LogY bool
+	// Width and Height are the canvas dimensions in characters; zero
+	// selects 72×20.
+	Width, Height int
+	Series        []Series
+}
+
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Add appends a series.
+func (p *Plot) Add(name string, xs, ys []float64) {
+	p.Series = append(p.Series, Series{Name: name, Xs: xs, Ys: ys})
+}
+
+// Render writes the plot to w.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	type pt struct{ x, y float64 }
+	var all []pt
+	tf := func(v float64, log bool) (float64, bool) {
+		if !log {
+			return v, true
+		}
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	transformed := make([][]pt, len(p.Series))
+	for si, s := range p.Series {
+		for i := range s.Xs {
+			if i >= len(s.Ys) {
+				break
+			}
+			x, okx := tf(s.Xs[i], p.LogX)
+			y, oky := tf(s.Ys[i], p.LogY)
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			q := pt{x, y}
+			transformed[si] = append(transformed[si], q)
+			all = append(all, q)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if len(all) == 0 {
+		fmt.Fprintln(&b, "(no plottable data)")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	minX, maxX := all[0].x, all[0].x
+	minY, maxY := all[0].y, all[0].y
+	for _, q := range all {
+		minX = math.Min(minX, q.x)
+		maxX = math.Max(maxX, q.x)
+		minY = math.Min(minY, q.y)
+		maxY = math.Max(maxY, q.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, pts := range transformed {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, q := range pts {
+			col := int(math.Round((q.x - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((q.y - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row // origin bottom-left
+			if r >= 0 && r < height && col >= 0 && col < width {
+				canvas[r][col] = mark
+			}
+		}
+	}
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	yLo, yHi := axisVal(minY, p.LogY), axisVal(maxY, p.LogY)
+	xLo, xHi := axisVal(minX, p.LogX), axisVal(maxX, p.LogX)
+	fmt.Fprintf(&b, "%s\n", p.YLabel)
+	fmt.Fprintf(&b, "%10s +%s\n", FormatFloat(yHi), strings.Repeat("-", width))
+	for _, row := range canvas {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", FormatFloat(yLo), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", width-len(FormatFloat(xHi)), FormatFloat(xLo), FormatFloat(xHi))
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", p.XLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderString returns the rendered plot as a string.
+func (p *Plot) RenderString() string {
+	var b strings.Builder
+	_ = p.Render(&b)
+	return b.String()
+}

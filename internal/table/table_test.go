@@ -1,0 +1,134 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("My Table", "name", "count")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.RenderString()
+	if !strings.Contains(out, "My Table") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: "count" starts at the same offset everywhere.
+	hdr := lines[1]
+	idx := strings.Index(hdr, "count")
+	if idx < 0 {
+		t.Fatalf("no count header: %q", hdr)
+	}
+	if lines[3][idx] != '1' {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 || tb.Rows[0][1] != "" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "n", "v", "s")
+	tb.AddRowf(42, 3.14159, "hi")
+	row := tb.Rows[0]
+	if row[0] != "42" || row[2] != "hi" {
+		t.Fatalf("row = %v", row)
+	}
+	if !strings.HasPrefix(row[1], "3.14") {
+		t.Fatalf("float cell = %q", row[1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{-3, "-3"},
+		{1234567, "1234567"},
+		{12345678, "1.23e+07"},
+		{0.25, "0.25"},
+		{0.0001234, "0.000123"},
+	}
+	for _, tc := range cases {
+		if got := FormatFloat(tc.in); got != tc.want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("plain", `with,comma`)
+	tb.AddRow(`with"quote`, "x")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := &Plot{Title: "growth", XLabel: "n", YLabel: "cost", Width: 40, Height: 10}
+	p.Add("linear", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	p.Add("quadratic", []float64{1, 2, 3, 4}, []float64{1, 4, 9, 16})
+	out := p.RenderString()
+	if !strings.Contains(out, "growth") || !strings.Contains(out, "linear") || !strings.Contains(out, "quadratic") {
+		t.Fatalf("plot output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("plot missing series marks:\n%s", out)
+	}
+}
+
+func TestPlotLogAxesDropNonPositive(t *testing.T) {
+	p := &Plot{LogX: true, LogY: true, Width: 30, Height: 8}
+	p.Add("s", []float64{0, 10, 100}, []float64{-1, 10, 100})
+	out := p.RenderString()
+	// Only the two positive points survive; plot must still render.
+	if strings.Contains(out, "no plottable data") {
+		t.Fatalf("log plot dropped everything:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{}
+	out := p.RenderString()
+	if !strings.Contains(out, "no plottable data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	p := &Plot{Width: 20, Height: 5}
+	p.Add("pt", []float64{5}, []float64{5})
+	out := p.RenderString()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotMismatchedLengths(t *testing.T) {
+	p := &Plot{Width: 20, Height: 5}
+	p.Add("s", []float64{1, 2, 3}, []float64{1}) // extra xs ignored
+	out := p.RenderString()
+	if strings.Contains(out, "no plottable data") {
+		t.Fatalf("plot with one valid point rendered nothing:\n%s", out)
+	}
+}

@@ -1,0 +1,62 @@
+package geogossip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithLossRateAllAlgorithms(t *testing.T) {
+	nw, err := NewNetwork(384, WithSeed(60), WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []Algorithm{
+		Boyd(WithTargetError(1e-2), WithLossRate(0.2), WithMaxTicks(20_000_000)),
+		Geographic(WithTargetError(1e-2), WithLossRate(0.2), WithMaxTicks(20_000_000)),
+		AffineHierarchical(WithTargetError(1e-2), WithLossRate(0.2)),
+		AffineAsync(WithTargetError(3e-2), WithLossRate(0.2), WithMaxTicks(60_000_000)),
+	}
+	for _, algo := range algos {
+		t.Run(algo.Name(), func(t *testing.T) {
+			values := make([]float64, nw.N())
+			for i, p := range nw.Positions() {
+				values[i] = p[0] * 5
+			}
+			want := Mean(values)
+			res, err := algo.Run(nw, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%s with 20%% loss did not converge: final err %v", algo.Name(), res.FinalErr)
+			}
+			if math.Abs(Mean(values)-want) > 1e-9 {
+				t.Fatalf("mean drifted under loss: %v -> %v", want, Mean(values))
+			}
+		})
+	}
+}
+
+func TestLossCostsMoreAtFacadeLevel(t *testing.T) {
+	nw, err := NewNetwork(384, WithSeed(61), WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(loss float64) uint64 {
+		values := make([]float64, nw.N())
+		for i, p := range nw.Positions() {
+			values[i] = p[1]
+		}
+		res, err := Boyd(WithTargetError(1e-2), WithLossRate(loss), WithMaxTicks(20_000_000)).Run(nw, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("loss %v did not converge", loss)
+		}
+		return res.Transmissions
+	}
+	if run(0.4) <= run(0) {
+		t.Fatal("40% loss should cost more transmissions than lossless")
+	}
+}

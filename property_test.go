@@ -1,0 +1,120 @@
+package geogossip
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Cross-algorithm invariants checked on randomized small instances:
+// every protocol preserves the mean exactly and never reports a negative
+// or non-finite error, regardless of network seed, field shape, or loss.
+
+func TestQuickAllAlgorithmsPreserveMean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized integration property")
+	}
+	f := func(netSeed, runSeed uint64, fieldKind uint8, lossRaw uint8) bool {
+		nw, err := NewNetwork(128, WithSeed(netSeed%1000), WithRadiusMultiplier(2.2))
+		if err != nil {
+			return true // disconnected instance: nothing to check
+		}
+		loss := float64(lossRaw%50) / 100 // 0 .. 0.49
+		base := make([]float64, nw.N())
+		for i, p := range nw.Positions() {
+			switch fieldKind % 3 {
+			case 0:
+				base[i] = p[0]
+			case 1:
+				base[i] = math.Sin(p[0]*11) * 100
+			default:
+				base[i] = float64(i%7) - 3
+			}
+		}
+		want := Mean(base)
+		algos := []Algorithm{
+			Boyd(WithTargetError(5e-2), WithRunSeed(runSeed), WithLossRate(loss), WithMaxTicks(3_000_000)),
+			Geographic(WithTargetError(5e-2), WithRunSeed(runSeed), WithLossRate(loss), WithMaxTicks(1_000_000)),
+			AffineHierarchical(WithTargetError(5e-2), WithRunSeed(runSeed), WithLossRate(loss)),
+		}
+		for _, algo := range algos {
+			values := append([]float64(nil), base...)
+			res, err := algo.Run(nw, values)
+			if err != nil {
+				return false
+			}
+			if math.Abs(Mean(values)-want) > 1e-8*(1+math.Abs(want)) {
+				return false
+			}
+			if math.IsNaN(res.FinalErr) || math.IsInf(res.FinalErr, 0) || res.FinalErr < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCurvesAreMonotoneInCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized integration property")
+	}
+	f := func(seed uint64) bool {
+		nw, err := NewNetwork(128, WithSeed(seed%500), WithRadiusMultiplier(2.2))
+		if err != nil {
+			return true
+		}
+		values := make([]float64, nw.N())
+		for i, p := range nw.Positions() {
+			values[i] = p[1]
+		}
+		res, err := Boyd(WithTargetError(1e-2), WithRunSeed(seed), WithMaxTicks(3_000_000)).Run(nw, values)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for _, pt := range res.Curve {
+			if pt[0] < prev { // transmissions never decrease
+				return false
+			}
+			prev = pt[0]
+		}
+		return len(res.Curve) >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSaveLoadIsLossless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized round-trip property")
+	}
+	f := func(seed uint64, flat bool) bool {
+		opts := []NetworkOption{WithSeed(seed % 2000), WithRadiusMultiplier(2.0)}
+		if flat {
+			opts = append(opts, WithFlatHierarchy())
+		}
+		nw, err := NewNetwork(200, opts...)
+		if err != nil {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := nw.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := LoadNetwork(&buf)
+		if err != nil {
+			return false
+		}
+		return loaded.Edges() == nw.Edges() &&
+			loaded.HierarchyLevels() == nw.HierarchyLevels() &&
+			loaded.Radius() == nw.Radius()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

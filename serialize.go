@@ -1,0 +1,65 @@
+package geogossip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+	"geogossip/internal/hier"
+)
+
+// networkJSON is the on-disk representation of a Network: positions plus
+// the parameters needed to rebuild the connectivity graph and hierarchy
+// exactly.
+type networkJSON struct {
+	Version    int          `json:"version"`
+	Radius     float64      `json:"radius"`
+	LeafTarget float64      `json:"leafTarget,omitempty"`
+	MaxDepth   int          `json:"maxDepth,omitempty"`
+	Points     [][2]float64 `json:"points"`
+}
+
+const networkFormatVersion = 1
+
+// Save writes the network to w as JSON. The encoding stores positions and
+// construction parameters, not the derived adjacency, so files stay small
+// and loading always reproduces the exact same graph and hierarchy.
+func (nw *Network) Save(w io.Writer) error {
+	out := networkJSON{
+		Version:    networkFormatVersion,
+		Radius:     nw.g.Radius(),
+		LeafTarget: nw.leafTarget,
+		MaxDepth:   nw.maxDepth,
+		Points:     nw.Positions(),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadNetwork reads a network previously written by Save and rebuilds the
+// connectivity graph and hierarchy.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	var in networkJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("geogossip: decode network: %w", err)
+	}
+	if in.Version != networkFormatVersion {
+		return nil, fmt.Errorf("geogossip: unsupported network format version %d", in.Version)
+	}
+	pts := make([]geo.Point, len(in.Points))
+	for i, p := range in.Points {
+		pts[i] = geo.Pt(p[0], p[1])
+	}
+	g, err := graph.Build(pts, in.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("geogossip: rebuild graph: %w", err)
+	}
+	h, err := hier.Build(pts, hier.Config{LeafTarget: in.LeafTarget, MaxDepth: in.MaxDepth})
+	if err != nil {
+		return nil, fmt.Errorf("geogossip: rebuild hierarchy: %w", err)
+	}
+	return &Network{g: g, h: h, leafTarget: in.LeafTarget, maxDepth: in.MaxDepth}, nil
+}

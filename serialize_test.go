@@ -1,0 +1,83 @@
+package geogossip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := NewNetwork(512, WithSeed(50), WithRadiusMultiplier(1.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != orig.N() || loaded.Edges() != orig.Edges() ||
+		loaded.Radius() != orig.Radius() || loaded.HierarchyLevels() != orig.HierarchyLevels() {
+		t.Fatalf("round trip changed network: %d/%d edges, %v/%v radius, %d/%d levels",
+			loaded.Edges(), orig.Edges(), loaded.Radius(), orig.Radius(),
+			loaded.HierarchyLevels(), orig.HierarchyLevels())
+	}
+	lp, op := loaded.Positions(), orig.Positions()
+	for i := range op {
+		if lp[i] != op[i] {
+			t.Fatalf("position %d changed: %v -> %v", i, op[i], lp[i])
+		}
+	}
+	// An algorithm run on the loaded network behaves identically.
+	mk := func(nw *Network) *Result {
+		values := make([]float64, nw.N())
+		for i, p := range nw.Positions() {
+			values[i] = p[0]
+		}
+		res, err := Boyd(WithTargetError(1e-2), WithRunSeed(9)).Run(nw, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(orig), mk(loaded)
+	if a.Transmissions != b.Transmissions || a.FinalErr != b.FinalErr {
+		t.Fatal("run on loaded network differs from original")
+	}
+}
+
+func TestSaveLoadPreservesHierarchyOptions(t *testing.T) {
+	orig, err := NewNetwork(1024, WithSeed(51), WithFlatHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.HierarchyLevels() != orig.HierarchyLevels() {
+		t.Fatalf("levels %d != %d", loaded.HierarchyLevels(), orig.HierarchyLevels())
+	}
+}
+
+func TestLoadNetworkErrors(t *testing.T) {
+	if _, err := LoadNetwork(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadNetwork(strings.NewReader(`{"version":99,"radius":0.1,"points":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := LoadNetwork(strings.NewReader(`{"version":1,"radius":0.1,"points":[[2.5,0.5]]}`)); err == nil {
+		t.Fatal("out-of-square point accepted")
+	}
+	if _, err := LoadNetwork(strings.NewReader(`{"version":1,"radius":-1,"points":[]}`)); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package geogossip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWithTraceWriter(t *testing.T) {
+	nw, err := NewNetwork(256, WithSeed(70), WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, nw.N())
+	for i, p := range nw.Positions() {
+		values[i] = p[0]
+	}
+	var buf bytes.Buffer
+	res, err := AffineHierarchical(WithTargetError(1e-2), WithTraceWriter(&buf)).Run(nw, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("run did not converge: %+v", res)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "far") {
+		t.Fatalf("trace output missing far events:\n%.300s", out)
+	}
+	if strings.Count(out, "\n") < 2 {
+		t.Fatalf("trace output too short: %q", out)
+	}
+}
