@@ -9,8 +9,10 @@
 package geogossip
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -78,6 +80,38 @@ func BenchmarkFigure10EpsSchedule(b *testing.B) {
 func BenchmarkTable6Mixing(b *testing.B) {
 	benchExperiment(b, "E16", experiments.RunE16Mixing)
 }
+
+// --- sweep-engine benchmarks ----------------------------------------------
+
+// benchSweepGrid pushes a small comparison grid (3 algorithms × 2 sizes ×
+// 4 seeds, 24 tasks) through the public sweep API at a fixed worker count; the
+// 1-worker and NumCPU variants together track the engine's parallel
+// speedup across the bench trajectory.
+func benchSweepGrid(b *testing.B, workers int) {
+	spec := SweepSpec{
+		Algorithms: []string{"boyd", "geographic", "affine-hierarchical"},
+		Ns:         []int{256, 512},
+		Seeds:      4,
+		TargetErr:  5e-2,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Sweep(context.Background(), spec, WithSweepWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			if r.Err != "" {
+				b.Fatalf("task %d: %s", r.TaskID, r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepGrid1Worker(b *testing.B) { benchSweepGrid(b, 1) }
+
+func BenchmarkSweepGridNumCPU(b *testing.B) { benchSweepGrid(b, runtime.NumCPU()) }
 
 // --- substrate micro-benchmarks -------------------------------------------
 

@@ -28,10 +28,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "reduced sizes and trial counts")
-		only  = fs.String("only", "", "comma-separated experiment ids (default: all)")
-		out   = fs.String("out", "results", "output directory")
-		seed  = fs.Uint64("seed", 1, "base seed")
+		quick   = fs.Bool("quick", false, "reduced sizes and trial counts")
+		only    = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		out     = fs.String("out", "results", "output directory")
+		seed    = fs.Uint64("seed", 1, "base seed")
+		workers = fs.Int("workers", 0, "worker pool for multi-trial runners (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,7 +46,7 @@ func run(args []string) error {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	summary, err := os.Create(filepath.Join(*out, "SUMMARY.txt"))
 	if err != nil {

@@ -1,0 +1,266 @@
+// Command sweep runs a parameter grid of gossip-averaging scenarios
+// concurrently and writes one JSON result per task, plus an aggregation
+// (per-cell statistics and scaling-exponent fits) at the end.
+//
+// The grid comes from flags:
+//
+//	sweep -algos boyd,geographic,affine-hierarchical -ns 256,512,1024 -seeds 2 -out grid.jsonl
+//
+// or from a JSON config file holding a geogossip.SweepSpec:
+//
+//	sweep -config grid.json -out grid.jsonl
+//
+// Output is resumable: re-running with -resume skips every task already
+// present in -out (a truncated final line from a killed run is
+// tolerated) and appends the rest. Results are bit-identical for any
+// -workers value, so a resumed or parallelized sweep matches a
+// single-core run line for line once sorted by task id.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"geogossip"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		algos    = fs.String("algos", "boyd,geographic,affine-hierarchical", "comma-separated algorithms")
+		ns       = fs.String("ns", "256,512,1024", "comma-separated network sizes")
+		seeds    = fs.Int("seeds", 1, "independent placements per grid cell")
+		baseSeed = fs.Uint64("base-seed", 1, "base seed all per-task seeds derive from")
+		loss     = fs.String("loss", "", "comma-separated packet-loss rates (default 0)")
+		betas    = fs.String("betas", "", "comma-separated affine multipliers (default engine 2/5)")
+		sampling = fs.String("sampling", "", "comma-separated sampling modes: rejection,uniform")
+		hier     = fs.String("hier", "", "comma-separated hierarchy shapes: deep,flat")
+		target   = fs.Float64("target", 1e-2, "relative l2 accuracy every run stops at")
+		maxTicks = fs.Uint64("max-ticks", 0, "simulated clock cap per run (0 = default)")
+		radius   = fs.Float64("radius", 0, "radius multiplier c (0 = default 1.5)")
+		field    = fs.String("field", "", "initial field: smooth or gaussian (default smooth)")
+		config   = fs.String("config", "", "JSON file holding the full spec (overrides grid flags)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		out      = fs.String("out", "-", "JSONL output path (- = stdout)")
+		resume   = fs.Bool("resume", false, "skip tasks already present in -out and append")
+		quiet    = fs.Bool("quiet", false, "suppress progress reporting on stderr")
+		agg      = fs.Bool("agg", true, "print per-cell statistics and scaling fits")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec geogossip.SweepSpec
+	if *config != "" {
+		raw, err := os.ReadFile(*config)
+		if err != nil {
+			return err
+		}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return fmt.Errorf("config %s: %w", *config, err)
+		}
+	} else {
+		var err error
+		spec = geogossip.SweepSpec{
+			Seeds:            *seeds,
+			BaseSeed:         *baseSeed,
+			TargetErr:        *target,
+			MaxTicks:         *maxTicks,
+			RadiusMultiplier: *radius,
+			Field:            *field,
+			Algorithms:       splitList(*algos),
+			Samplings:        splitList(*sampling),
+			Hierarchies:      splitList(*hier),
+		}
+		if spec.Ns, err = parseInts(*ns); err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		if spec.LossRates, err = parseFloats(*loss); err != nil {
+			return fmt.Errorf("-loss: %w", err)
+		}
+		if spec.Betas, err = parseFloats(*betas); err != nil {
+			return fmt.Errorf("-betas: %w", err)
+		}
+	}
+
+	if *resume && *out == "-" {
+		return fmt.Errorf("-resume needs -out FILE: stdout output cannot be re-read")
+	}
+
+	opts := []geogossip.SweepOption{geogossip.WithSweepWorkers(*workers)}
+
+	// Resolve the output stream and, under -resume, the prior results.
+	var sink io.Writer = os.Stdout
+	if *out != "-" {
+		var prior []geogossip.SweepResult
+		if *resume {
+			if f, err := os.Open(*out); err == nil {
+				prior, err = geogossip.ReadSweepResults(f)
+				f.Close()
+				if err != nil {
+					return fmt.Errorf("resume from %s: %w", *out, err)
+				}
+				// A killed run can leave a truncated final line; drop it so
+				// the appended results start on a clean line boundary.
+				if err := truncateToLastLine(*out); err != nil {
+					return err
+				}
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if *resume {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(*out, mode, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+		if len(prior) > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d of %d tasks already done\n",
+				len(prior), spec.TaskCount())
+			// Sweep validates the prior results against the current grid
+			// and folds them into the report, so the aggregation below
+			// always covers the whole grid.
+			opts = append(opts, geogossip.WithSweepResume(prior))
+		}
+	}
+	opts = append(opts, geogossip.WithSweepJSONL(sink))
+	if !*quiet {
+		opts = append(opts, geogossip.WithSweepProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d tasks (%.0f%%)", done, total,
+				100*float64(done)/float64(total))
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+
+	// Ctrl-C stops scheduling and drains in-flight tasks; with -resume the
+	// next invocation picks up where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := geogossip.Sweep(ctx, spec, opts...)
+	if err != nil {
+		if err == context.Canceled && rep != nil {
+			fmt.Fprintf(os.Stderr, "\ninterrupted after %d tasks; re-run with -resume to continue\n",
+				len(rep.Results))
+			return nil
+		}
+		return err
+	}
+	if *agg {
+		printAggregation(os.Stdout, rep)
+	}
+	return nil
+}
+
+func printAggregation(w io.Writer, rep *geogossip.SweepReport) {
+	fmt.Fprintf(w, "\n%-22s %6s %5s %5s %5s  %14s %12s %10s %6s\n",
+		"algorithm", "n", "loss", "beta", "conv", "tx mean", "tx std", "err p50", "fail")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(w, "%-22s %6d %5.2f %5.2f %2d/%2d  %14.0f %12.0f %10.2e %6d\n",
+			c.Algorithm, c.N, c.LossRate, c.Beta, c.ConvergedCount, c.Count,
+			c.Transmissions.Mean, c.Transmissions.Std, c.FinalErr.P50, c.Errors)
+	}
+	if len(rep.Fits) > 0 {
+		fmt.Fprintf(w, "\nscaling fits (transmissions ~ C·n^p):\n")
+		for _, f := range rep.Fits {
+			fmt.Fprintf(w, "  %-22s loss=%.2f beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
+				f.Algorithm, f.LossRate, f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
+		}
+	}
+}
+
+// truncateToLastLine cuts path back to the end of its last complete
+// (newline-terminated) line, scanning backwards in chunks so multi-GB
+// output files are never loaded whole.
+func truncateToLastLine(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	const chunk = 1 << 20
+	buf := make([]byte, chunk)
+	for end := size; end > 0; {
+		start := end - chunk
+		if start < 0 {
+			start = 0
+		}
+		b := buf[:end-start]
+		if _, err := f.ReadAt(b, start); err != nil {
+			return err
+		}
+		if end == size && b[len(b)-1] == '\n' {
+			return nil // already ends on a line boundary
+		}
+		if i := strings.LastIndexByte(string(b), '\n'); i >= 0 {
+			return os.Truncate(path, start+int64(i)+1)
+		}
+		end = start
+	}
+	return os.Truncate(path, 0) // no newline at all: drop the partial line
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -29,12 +29,18 @@
 //	res, err := geogossip.AffineHierarchical(geogossip.WithTargetError(1e-3)).Run(nw, values)
 //	// values now hold (approximately) their original mean everywhere;
 //	// res reports transmissions, convergence, and the error trajectory.
+//
+// For whole comparison grids (algorithm × n × seed × loss × ...), Sweep
+// expands a declarative SweepSpec into tasks and runs them concurrently
+// with deterministic per-task seeding — bit-identical results at any
+// worker count. See SweepSpec and cmd/sweep.
 package geogossip
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"maps"
 
 	"geogossip/internal/core"
 	"geogossip/internal/gossip"
@@ -169,8 +175,10 @@ func fromMetrics(res *metrics.Result) *Result {
 		Converged:     res.Converged,
 		FinalErr:      res.FinalErr,
 		Transmissions: res.Transmissions,
-		Breakdown:     res.TransmissionsByCategory,
 	}
+	// Clone, not alias: callers own the returned Result and must not be
+	// able to mutate the engine's internal metrics state through it.
+	out.Breakdown = maps.Clone(res.TransmissionsByCategory)
 	if res.Curve != nil {
 		for _, s := range res.Curve.Samples {
 			out.Curve = append(out.Curve, [2]float64{float64(s.Transmissions), s.Err})

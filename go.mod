@@ -1,0 +1,3 @@
+module geogossip
+
+go 1.24

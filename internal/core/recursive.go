@@ -365,13 +365,26 @@ func (e *engine) avg(sq *hier.Square, eps float64) {
 	m := len(kids)
 	budget := int(math.Ceil(e.opt.RoundsFactor * float64(m) * math.Log(float64(m)/eps)))
 	target2 := eps * e.scale0 * eps * e.scale0
+	// Divergence guard for the oracle loop. The affine coefficient
+	// Beta·E#[child] contracts only while the induced per-member
+	// coefficients stay inside Lemma 1's band; at simulable Θ(log n) leaf
+	// sizes an occupancy far below E# (or an extreme Beta, E11) pushes
+	// them out and rounds amplify deviation geometrically instead of
+	// shrinking it. Detecting the blow-up early keeps values at sane
+	// magnitudes — the sum invariant then survives in floating point —
+	// and avoids burning the full 4x round cap on a lost cause.
+	var dev0 float64
 	for round := 0; ; round++ {
 		switch e.opt.Stop {
 		case StopOracle:
-			if e.squareDev2(sq) <= target2 {
+			d2 := e.squareDev2(sq)
+			if round == 0 {
+				dev0 = d2
+			}
+			if d2 <= target2 {
 				return
 			}
-			if round >= 4*budget {
+			if round >= 4*budget || d2 > 64*dev0 {
 				e.res.IncompleteSquares++
 				return
 			}

@@ -1,12 +1,20 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"geogossip/internal/kernel"
 	"geogossip/internal/rng"
+	"geogossip/internal/sweep"
 	"geogossip/internal/table"
 )
+
+// The kernel-claim experiments are Monte Carlo: hundreds of independent
+// trials of the affine pairwise dynamics. Each trial seeds its own
+// generators from the base seed and the trial index, so the trials run
+// concurrently on the sweep engine and reduce — in trial order — to
+// exactly the tables the old sequential loops produced.
 
 // RunE2Lemma1 regenerates Figure 1: the measured mean of ‖x(t)‖²/‖x(0)‖²
 // under the affine pairwise dynamics on K_m against the Lemma 1 bound
@@ -26,28 +34,40 @@ func RunE2Lemma1(cfg Config) (*Report, error) {
 		if every < 1 {
 			every = 1
 		}
-		sumRatio := make([]float64, checkpoints+1)
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.seed() + uint64(trial)*7919
-			r := rng.New(seed)
-			vals := make([]float64, m)
-			for i := range vals {
-				vals[i] = r.NormFloat64()
-			}
-			sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
-			if err != nil {
-				return nil, err
-			}
-			sys.Center()
-			norm0 := sys.Norm2()
-			step := r.Stream("steps")
-			for cp := 0; cp <= checkpoints; cp++ {
-				if cp > 0 {
-					for k := 0; k < every; k++ {
-						sys.Step(step)
-					}
+		// One trial returns its squared-norm ratio at every checkpoint.
+		perTrial, err := sweep.Map(context.Background(), trials, cfg.Workers,
+			func(trial int) ([]float64, error) {
+				seed := cfg.seed() + uint64(trial)*7919
+				r := rng.New(seed)
+				vals := make([]float64, m)
+				for i := range vals {
+					vals[i] = r.NormFloat64()
 				}
-				sumRatio[cp] += sys.Norm2() / norm0
+				sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
+				if err != nil {
+					return nil, err
+				}
+				sys.Center()
+				norm0 := sys.Norm2()
+				step := r.Stream("steps")
+				ratios := make([]float64, checkpoints+1)
+				for cp := 0; cp <= checkpoints; cp++ {
+					if cp > 0 {
+						for k := 0; k < every; k++ {
+							sys.Step(step)
+						}
+					}
+					ratios[cp] = sys.Norm2() / norm0
+				}
+				return ratios, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		sumRatio := make([]float64, checkpoints+1)
+		for _, ratios := range perTrial {
+			for cp, v := range ratios {
+				sumRatio[cp] += v
 			}
 		}
 		tb := table.New("Lemma 1 on K_m, m=" + fmtF(float64(m)) + ", mean over trials")
@@ -104,28 +124,41 @@ func RunE3Tail(cfg Config) (*Report, error) {
 		every = 1
 	}
 	for _, eps := range epss {
-		exceed := make([]int, checkpoints+1)
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.seed() + uint64(trial)*104729
-			r := rng.New(seed)
-			vals := make([]float64, m)
-			for i := range vals {
-				vals[i] = r.NormFloat64()
-			}
-			sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
-			if err != nil {
-				return nil, err
-			}
-			sys.Center()
-			norm0 := math.Sqrt(sys.Norm2())
-			step := r.Stream("steps")
-			for cp := 0; cp <= checkpoints; cp++ {
-				if cp > 0 {
-					for k := 0; k < every; k++ {
-						sys.Step(step)
-					}
+		// One trial reports, per checkpoint, whether its norm exceeded
+		// the eps threshold.
+		perTrial, err := sweep.Map(context.Background(), trials, cfg.Workers,
+			func(trial int) ([]bool, error) {
+				seed := cfg.seed() + uint64(trial)*104729
+				r := rng.New(seed)
+				vals := make([]float64, m)
+				for i := range vals {
+					vals[i] = r.NormFloat64()
 				}
-				if math.Sqrt(sys.Norm2()) > eps*norm0 {
+				sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
+				if err != nil {
+					return nil, err
+				}
+				sys.Center()
+				norm0 := math.Sqrt(sys.Norm2())
+				step := r.Stream("steps")
+				over := make([]bool, checkpoints+1)
+				for cp := 0; cp <= checkpoints; cp++ {
+					if cp > 0 {
+						for k := 0; k < every; k++ {
+							sys.Step(step)
+						}
+					}
+					over[cp] = math.Sqrt(sys.Norm2()) > eps*norm0
+				}
+				return over, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		exceed := make([]int, checkpoints+1)
+		for _, over := range perTrial {
+			for cp, v := range over {
+				if v {
 					exceed[cp]++
 				}
 			}
@@ -181,32 +214,44 @@ func RunE4Lemma2(cfg Config) (*Report, error) {
 	var noiseXs, medians, bounds []float64
 	allOK := true
 	for _, eps := range noises {
+		type trialOut struct {
+			final, bound float64
+		}
+		perTrial, err := sweep.Map(context.Background(), trials, cfg.Workers,
+			func(trial int) (trialOut, error) {
+				seed := cfg.seed() + uint64(trial)*15485863
+				r := rng.New(seed)
+				vals := make([]float64, m)
+				for i := range vals {
+					vals[i] = r.NormFloat64()
+				}
+				sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
+				if err != nil {
+					return trialOut{}, err
+				}
+				sys.Center()
+				norm0 := math.Sqrt(sys.Norm2())
+				step := r.Stream("steps")
+				noiseRNG := r.Stream("noise")
+				noiseFn := func() float64 { return eps * (noiseRNG.Float64()*2 - 1) * 0.999 }
+				for k := 0; k < steps; k++ {
+					sys.StepPerturbed(step, noiseFn)
+				}
+				return trialOut{
+					final: math.Sqrt(sys.Norm2()),
+					bound: kernel.Lemma2Bound(m, steps, a, norm0, eps),
+				}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		within := 0
 		finals := make([]float64, 0, trials)
 		var bound float64
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.seed() + uint64(trial)*15485863
-			r := rng.New(seed)
-			vals := make([]float64, m)
-			for i := range vals {
-				vals[i] = r.NormFloat64()
-			}
-			sys, err := kernel.NewSystem(vals, kernel.UniformAlphas(m, r.Stream("alphas")))
-			if err != nil {
-				return nil, err
-			}
-			sys.Center()
-			norm0 := math.Sqrt(sys.Norm2())
-			step := r.Stream("steps")
-			noiseRNG := r.Stream("noise")
-			noiseFn := func() float64 { return eps * (noiseRNG.Float64()*2 - 1) * 0.999 }
-			for k := 0; k < steps; k++ {
-				sys.StepPerturbed(step, noiseFn)
-			}
-			final := math.Sqrt(sys.Norm2())
-			finals = append(finals, final)
-			bound = kernel.Lemma2Bound(m, steps, a, norm0, eps)
-			if final <= bound {
+		for _, out := range perTrial {
+			finals = append(finals, out.final)
+			bound = out.bound
+			if out.final <= out.bound {
 				within++
 			}
 		}

@@ -176,3 +176,29 @@ func TestLogSpace(t *testing.T) {
 		t.Fatalf("single point = %v", got)
 	}
 }
+
+// The multi-trial runners execute on the sweep engine; their reports must
+// be bit-identical at any worker count (reductions happen in trial
+// order, never completion order).
+func TestTrialRunnersDeterministicAcrossWorkers(t *testing.T) {
+	runners := []func(Config) (*Report, error){RunE2Lemma1, RunE3Tail, RunE4Lemma2}
+	if !testing.Short() {
+		runners = append(runners, RunE16Mixing)
+	}
+	for i, run := range runners {
+		render := func(workers int) string {
+			rep, err := run(Config{Quick: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("runner %d workers=%d: %v", i, workers, err)
+			}
+			var b strings.Builder
+			if err := rep.Write(&b); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}
+		if render(1) != render(8) {
+			t.Errorf("runner %d renders differently at 1 and 8 workers", i)
+		}
+	}
+}

@@ -26,6 +26,10 @@ type Config struct {
 	Quick bool
 	// Seed is the base seed; zero selects 1.
 	Seed uint64
+	// Workers sizes the sweep-engine pool the multi-trial runners execute
+	// on; zero selects GOMAXPROCS. Per-trial seeds derive from Seed and
+	// the trial index, so every worker count reproduces the same tables.
+	Workers int
 }
 
 func (c Config) seed() uint64 {

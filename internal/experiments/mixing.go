@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,7 @@ import (
 	"geogossip/internal/sim"
 	"geogossip/internal/spectral"
 	"geogossip/internal/stats"
+	"geogossip/internal/sweep"
 	"geogossip/internal/table"
 )
 
@@ -17,6 +19,11 @@ import (
 // on G(n, r), with T_mix driven by diffusion at scale r (T_rel ≈ Θ(1/r²)
 // up to logarithms). The experiment measures the walk's relaxation time
 // spectrally and compares it with the simulated gossip cost.
+//
+// Each network size is an independent measurement (its graph, power
+// iteration, and gossip run seed only from the base seed and n), so the
+// sizes run concurrently on the sweep engine and the rows assemble in
+// size order.
 func RunE16Mixing(cfg Config) (*Report, error) {
 	rep := &Report{ID: "E16", Title: "Table 6 — mixing time vs nearest-neighbour gossip cost"}
 	ns := []int{256, 512, 1024, 2048}
@@ -24,39 +31,57 @@ func RunE16Mixing(cfg Config) (*Report, error) {
 		ns = []int{256, 512, 1024}
 	}
 	const c = 1.5
+	type row struct {
+		lambda2, relax, invR2, ratio float64
+		transmissions                uint64
+	}
+	rows, err := sweep.Map(context.Background(), len(ns), cfg.Workers,
+		func(i int) (row, error) {
+			n := ns[i]
+			g, err := connectedGraph(n, c, cfg.seed())
+			if err != nil {
+				return row{}, err
+			}
+			iters := int(40 * float64(n) / (c * c * math.Log(float64(n))))
+			if iters < 800 {
+				iters = 800
+			}
+			sp, err := spectral.Estimate(g, iters, rng.New(cfg.seed()+600))
+			if err != nil {
+				return row{}, err
+			}
+			x := e1Field(g)
+			res, err := gossip.RunBoyd(g, x, gossip.Options{
+				Stop: sim.StopRule{TargetErr: 1e-2, MaxTicks: 200_000_000},
+			}, rng.New(cfg.seed()+601))
+			if err != nil {
+				return row{}, err
+			}
+			if !res.Converged {
+				return row{}, fmt.Errorf("E16: boyd at n=%d did not converge", n)
+			}
+			invR2 := 1 / (g.Radius() * g.Radius())
+			return row{
+				lambda2:       sp.Lambda2,
+				relax:         sp.RelaxationTime,
+				invR2:         invR2,
+				ratio:         float64(res.Transmissions) / (float64(n) * sp.RelaxationTime),
+				transmissions: res.Transmissions,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	tb := table.New("Lazy natural walk on G(n, 1.5·sqrt(log n/n)) vs simulated gossip cost (target 1e-2)",
 		"n", "lambda2", "T_rel", "1/r^2", "boyd transmissions", "tx / (n·T_rel)")
 	var xs, relaxes, invR2s, ratios []float64
-	for _, n := range ns {
-		g, err := connectedGraph(n, c, cfg.seed())
-		if err != nil {
-			return nil, err
-		}
-		iters := int(40 * float64(n) / (c * c * math.Log(float64(n))))
-		if iters < 800 {
-			iters = 800
-		}
-		sp, err := spectral.Estimate(g, iters, rng.New(cfg.seed()+600))
-		if err != nil {
-			return nil, err
-		}
-		x := e1Field(g)
-		res, err := gossip.RunBoyd(g, x, gossip.Options{
-			Stop: sim.StopRule{TargetErr: 1e-2, MaxTicks: 200_000_000},
-		}, rng.New(cfg.seed()+601))
-		if err != nil {
-			return nil, err
-		}
-		if !res.Converged {
-			return nil, fmt.Errorf("E16: boyd at n=%d did not converge", n)
-		}
-		invR2 := 1 / (g.Radius() * g.Radius())
-		ratio := float64(res.Transmissions) / (float64(n) * sp.RelaxationTime)
-		tb.AddRowf(n, sp.Lambda2, sp.RelaxationTime, invR2, res.Transmissions, ratio)
+	for i, n := range ns {
+		r := rows[i]
+		tb.AddRowf(n, r.lambda2, r.relax, r.invR2, r.transmissions, r.ratio)
 		xs = append(xs, float64(n))
-		relaxes = append(relaxes, sp.RelaxationTime)
-		invR2s = append(invR2s, invR2)
-		ratios = append(ratios, ratio)
+		relaxes = append(relaxes, r.relax)
+		invR2s = append(invR2s, r.invR2)
+		ratios = append(ratios, r.ratio)
 	}
 	rep.addTable(tb)
 	plot := &table.Plot{

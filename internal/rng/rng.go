@@ -36,13 +36,31 @@ func (r *RNG) Seed() uint64 { return r.seed }
 // always yields the same stream. Deriving a stream does not consume state
 // from the parent.
 func (r *RNG) Stream(name string) *RNG {
-	h := r.seed
+	return New(DeriveString(r.seed, name))
+}
+
+// Derive deterministically folds a sequence of words (task coordinates,
+// trial indices, attempt counters) into seed with the SplitMix64
+// finalizer. It is pure: the same inputs always yield the same seed, so
+// per-task generators built from a shared base seed reproduce bit-for-bit
+// regardless of execution order or worker count.
+func Derive(seed uint64, words ...uint64) uint64 {
+	h := seed
+	for _, w := range words {
+		h = mix(h, w)
+	}
+	return mix(h, 0xa0761d6478bd642f)
+}
+
+// DeriveString folds a string label into seed — the derivation Stream is
+// built on, returning the derived seed value rather than a generator.
+// The trailing offset makes DeriveString(s, "") differ from s itself.
+func DeriveString(seed uint64, name string) uint64 {
+	h := seed
 	for i := 0; i < len(name); i++ {
 		h = mix(h, uint64(name[i]))
 	}
-	// Offset so that Stream("") differs from the parent itself.
-	h = mix(h, 0xd1342543de82ef95)
-	return New(h)
+	return mix(h, 0xd1342543de82ef95)
 }
 
 // mix is a SplitMix64-style finalizer combining two words.

@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"sort"
+
+	"geogossip/internal/stats"
+)
+
+// CellKey identifies one grid cell: the task coordinates minus the seed
+// index. Aggregation averages the cell's seeds.
+type CellKey struct {
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`
+	LossRate  float64 `json:"loss_rate"`
+	Beta      float64 `json:"beta"`
+	Sampling  string  `json:"sampling,omitempty"`
+	Hierarchy string  `json:"hierarchy,omitempty"`
+}
+
+// lineKey is a CellKey minus N: the grouping for scaling fits across n.
+type lineKey struct {
+	Algorithm string
+	LossRate  float64
+	Beta      float64
+	Sampling  string
+	Hierarchy string
+}
+
+func (k CellKey) line() lineKey {
+	return lineKey{Algorithm: k.Algorithm, LossRate: k.LossRate, Beta: k.Beta,
+		Sampling: k.Sampling, Hierarchy: k.Hierarchy}
+}
+
+// Dist summarizes one metric across a cell's seeds.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+}
+
+func distOf(xs []float64) Dist {
+	s := stats.Summarize(xs)
+	return Dist{
+		Mean: s.Mean,
+		Std:  s.Std,
+		Min:  s.Min,
+		Max:  s.Max,
+		P50:  stats.Quantile(xs, 0.5),
+		P90:  stats.Quantile(xs, 0.9),
+	}
+}
+
+// CellStats aggregates all seeds of one grid cell.
+type CellStats struct {
+	CellKey
+	// Count is the number of per-seed results in the cell (errored tasks
+	// excluded; see Errors).
+	Count int `json:"count"`
+	// ConvergedCount is how many of them reached the target error.
+	ConvergedCount int `json:"converged"`
+	// Errors counts tasks that failed outright (no connected instance,
+	// engine error).
+	Errors int `json:"errors,omitempty"`
+	// Transmissions and FinalErr summarize the per-seed metrics.
+	Transmissions Dist `json:"transmissions"`
+	FinalErr      Dist `json:"final_err"`
+}
+
+// ScalingFit is a fitted power law transmissions ≈ C·n^p across the cells
+// of one algorithm/parameter line — the paper's headline quantity.
+type ScalingFit struct {
+	Algorithm string  `json:"algorithm"`
+	LossRate  float64 `json:"loss_rate"`
+	Beta      float64 `json:"beta"`
+	Sampling  string  `json:"sampling,omitempty"`
+	Hierarchy string  `json:"hierarchy,omitempty"`
+	// Points is the number of (n, mean transmissions) cells fitted.
+	Points   int     `json:"points"`
+	Exponent float64 `json:"exponent"`
+	Constant float64 `json:"constant"`
+	R2       float64 `json:"r2"`
+}
+
+// Summary is the aggregation of one sweep: per-cell statistics plus
+// scaling-exponent fits across n.
+type Summary struct {
+	Cells []CellStats  `json:"cells"`
+	Fits  []ScalingFit `json:"fits"`
+}
+
+// Aggregate groups per-task results into grid cells, summarizes each, and
+// fits transmissions ~ C·n^p for every parameter line with at least two
+// network sizes. Input order does not matter; output order is canonical
+// (sorted by cell key), so aggregation of a sweep is as deterministic as
+// the sweep itself.
+func Aggregate(results []TaskResult) *Summary {
+	type acc struct {
+		tx, err   []float64
+		converged int
+		errors    int
+	}
+	cells := make(map[CellKey]*acc)
+	for _, r := range results {
+		a := cells[r.Cell()]
+		if a == nil {
+			a = &acc{}
+			cells[r.Cell()] = a
+		}
+		if r.Error != "" {
+			a.errors++
+			continue
+		}
+		a.tx = append(a.tx, float64(r.Transmissions))
+		a.err = append(a.err, r.FinalErr)
+		if r.Converged {
+			a.converged++
+		}
+	}
+	sum := &Summary{}
+	for k, a := range cells {
+		cs := CellStats{
+			CellKey:        k,
+			Count:          len(a.tx),
+			ConvergedCount: a.converged,
+			Errors:         a.errors,
+		}
+		if len(a.tx) > 0 {
+			cs.Transmissions = distOf(a.tx)
+			cs.FinalErr = distOf(a.err)
+		}
+		sum.Cells = append(sum.Cells, cs)
+	}
+	sort.Slice(sum.Cells, func(i, j int) bool { return cellLess(sum.Cells[i].CellKey, sum.Cells[j].CellKey) })
+
+	lines := make(map[lineKey][]CellStats)
+	for _, cs := range sum.Cells {
+		if cs.Count > 0 {
+			lines[cs.line()] = append(lines[cs.line()], cs)
+		}
+	}
+	for lk, lcells := range lines {
+		var ns, txs []float64
+		for _, cs := range lcells {
+			if cs.Transmissions.Mean > 0 {
+				ns = append(ns, float64(cs.N))
+				txs = append(txs, cs.Transmissions.Mean)
+			}
+		}
+		if len(ns) < 2 {
+			continue
+		}
+		p, c, r2, err := stats.PowerLawFit(ns, txs)
+		if err != nil {
+			continue
+		}
+		sum.Fits = append(sum.Fits, ScalingFit{
+			Algorithm: lk.Algorithm,
+			LossRate:  lk.LossRate,
+			Beta:      lk.Beta,
+			Sampling:  lk.Sampling,
+			Hierarchy: lk.Hierarchy,
+			Points:    len(ns),
+			Exponent:  p,
+			Constant:  c,
+			R2:        r2,
+		})
+	}
+	sort.Slice(sum.Fits, func(i, j int) bool { return fitLess(sum.Fits[i], sum.Fits[j]) })
+	return sum
+}
+
+func cellLess(a, b CellKey) bool {
+	if a.Algorithm != b.Algorithm {
+		return a.Algorithm < b.Algorithm
+	}
+	if a.N != b.N {
+		return a.N < b.N
+	}
+	if a.LossRate != b.LossRate {
+		return a.LossRate < b.LossRate
+	}
+	if a.Beta != b.Beta {
+		return a.Beta < b.Beta
+	}
+	if a.Sampling != b.Sampling {
+		return a.Sampling < b.Sampling
+	}
+	return a.Hierarchy < b.Hierarchy
+}
+
+func fitLess(a, b ScalingFit) bool {
+	if a.Algorithm != b.Algorithm {
+		return a.Algorithm < b.Algorithm
+	}
+	if a.LossRate != b.LossRate {
+		return a.LossRate < b.LossRate
+	}
+	if a.Beta != b.Beta {
+		return a.Beta < b.Beta
+	}
+	if a.Sampling != b.Sampling {
+		return a.Sampling < b.Sampling
+	}
+	return a.Hierarchy < b.Hierarchy
+}

@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"fmt"
+	"maps"
+	"math"
+	"sync"
+
+	"geogossip/internal/core"
+	"geogossip/internal/gossip"
+	"geogossip/internal/graph"
+	"geogossip/internal/hier"
+	"geogossip/internal/rng"
+	"geogossip/internal/sim"
+)
+
+// netAttempts bounds the deterministic seed-retry loop used to find a
+// connected instance for a (n, seed index) cell.
+const netAttempts = 8
+
+// netKey identifies one cached network build. The hierarchy shape is part
+// of the key because hier.Build differs between shapes; tasks that share
+// placement but not shape share the graph seed, not the cache entry.
+type netKey struct {
+	n      int
+	seed   uint64
+	radius float64
+	shape  string
+}
+
+type netEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	h    *hier.Hierarchy
+	err  error
+}
+
+// netCache deduplicates network construction across the tasks of a grid:
+// every (algorithm × loss × beta × ...) combination at the same
+// (n, seed index) runs on one shared immutable Network build. Entries are
+// built exactly once under a per-entry sync.Once so concurrent workers
+// never duplicate or block each other on unrelated keys.
+type netCache struct {
+	mu      sync.Mutex
+	entries map[netKey]*netEntry
+}
+
+func newNetCache() *netCache {
+	return &netCache{entries: make(map[netKey]*netEntry)}
+}
+
+var errNotConnected = fmt.Errorf("sweep: generated network is not connected")
+
+func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &netEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		g, err := graph.Generate(key.n, key.radius, rng.New(key.seed))
+		if err != nil {
+			e.err = err
+			return
+		}
+		if key.n > 1 && !g.IsConnected() {
+			e.err = errNotConnected
+			return
+		}
+		hcfg := hier.Config{}
+		if key.shape == HierarchyFlat {
+			hcfg.MaxDepth = 1
+		}
+		h, err := hier.Build(g.Points(), hcfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.g, e.h = g, h
+	})
+	return e.g, e.h, e.err
+}
+
+// network finds a connected instance for the task, retrying derived seeds
+// deterministically. Every task of a (n, seed index) cell walks the same
+// attempt sequence, so all of them land on the same instance.
+func (t Task) network(cache *netCache) (*graph.Graph, *hier.Hierarchy, uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < netAttempts; attempt++ {
+		seed := t.netSeed(attempt)
+		g, h, err := cache.get(netKey{n: t.N, seed: seed, radius: t.RadiusMultiplier, shape: t.Hierarchy})
+		if err == nil {
+			return g, h, seed, nil
+		}
+		lastErr = err
+		if err != errNotConnected {
+			break
+		}
+	}
+	return nil, nil, 0, fmt.Errorf("sweep: n=%d seed-index=%d: no usable instance in %d attempts: %w",
+		t.N, t.SeedIndex, netAttempts, lastErr)
+}
+
+// values builds the initial measurement field. It depends only on the
+// cell's network and field seed, so every algorithm of a cell averages
+// the same measurements.
+func (t Task) values(g *graph.Graph) []float64 {
+	x := make([]float64, g.N())
+	switch t.Field {
+	case FieldGaussian:
+		r := rng.New(t.fieldSeed())
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+	default: // FieldSmooth
+		for i := int32(0); int(i) < g.N(); i++ {
+			p := g.Point(i)
+			x[i] = 10*p.X + math.Sin(7*p.Y)
+		}
+	}
+	return x
+}
+
+// Execute runs one task to completion. It never panics on a bad grid
+// point: per-task failures are reported in TaskResult.Error so one
+// pathological cell cannot sink a thousand-task sweep.
+func Execute(t Task, cache *netCache) TaskResult {
+	out := TaskResult{
+		TaskID:           t.ID,
+		Algorithm:        t.Algorithm,
+		N:                t.N,
+		SeedIndex:        t.SeedIndex,
+		LossRate:         t.LossRate,
+		Beta:             t.Beta,
+		Sampling:         t.Sampling,
+		Hierarchy:        t.Hierarchy,
+		TargetErr:        t.TargetErr,
+		MaxTicks:         t.MaxTicks,
+		RadiusMultiplier: t.RadiusMultiplier,
+		Field:            t.Field,
+		RunSeed:          t.runSeed(),
+	}
+	g, h, netSeed, err := t.network(cache)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.NetSeed = netSeed
+	x := t.values(g)
+	stop := sim.StopRule{TargetErr: t.TargetErr, MaxTicks: t.MaxTicks}
+	switch t.Algorithm {
+	case AlgoBoyd:
+		res, err := gossip.RunBoyd(g, x, gossip.Options{
+			Stop:     stop,
+			LossRate: t.LossRate,
+		}, rng.New(out.RunSeed))
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+	case AlgoGeographic:
+		mode := gossip.SamplingRejection
+		if t.Sampling == SamplingUniform {
+			mode = gossip.SamplingUniformNode
+		}
+		res, err := gossip.RunGeographic(g, x, gossip.GeoOptions{
+			Options: gossip.Options{
+				Stop:     stop,
+				LossRate: t.LossRate,
+			},
+			Sampling: mode,
+		}, rng.New(out.RunSeed))
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+	case AlgoAffine:
+		res, err := core.RunRecursive(g, h, x, core.RecursiveOptions{
+			Eps:      t.TargetErr,
+			Beta:     t.Beta,
+			LossRate: t.LossRate,
+		}, rng.New(out.RunSeed))
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+		out.FarExchanges = res.FarExchanges
+		out.HierarchyEll = h.Ell
+	case AlgoAsync:
+		res, err := core.RunAsync(g, h, x, core.AsyncOptions{
+			Eps:          t.TargetErr,
+			Beta:         t.Beta,
+			RoundsFactor: 2,
+			LossRate:     t.LossRate,
+			Stop:         stop,
+		}, rng.New(out.RunSeed))
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+		out.FarExchanges = res.FarExchanges
+		out.HierarchyEll = h.Ell
+	default:
+		out.Error = fmt.Sprintf("sweep: unknown algorithm %q", t.Algorithm)
+	}
+	return out
+}
+
+func (r *TaskResult) fill(converged bool, finalErr float64, tx uint64, byCat map[string]uint64) {
+	r.Converged = converged
+	r.FinalErr = finalErr
+	r.Transmissions = tx
+	r.Breakdown = maps.Clone(byCat)
+}

@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sink receives task results as they complete. The engine serializes
+// calls, but implementations guard their own state anyway so a sink can
+// be shared between concurrent sweeps.
+type Sink interface {
+	Write(TaskResult) error
+}
+
+// JSONL streams one JSON object per line. Lines are self-describing
+// (they carry the task ID and full coordinates), so a file sorted by
+// task ID is byte-identical regardless of the worker count that
+// produced it, and an interrupted file can seed a resumed run via
+// ReadCompleted.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL returns a sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Write implements Sink.
+func (s *JSONL) Write(r TaskResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(r)
+}
+
+// Collector accumulates results in memory (the test sink).
+type Collector struct {
+	mu      sync.Mutex
+	results []TaskResult
+}
+
+// Write implements Sink.
+func (c *Collector) Write(r TaskResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results = append(c.results, r)
+	return nil
+}
+
+// Results returns a copy of the collected results in arrival order.
+func (c *Collector) Results() []TaskResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TaskResult(nil), c.results...)
+}
+
+// ReadCompleted scans JSONL sweep output and returns the set of task IDs
+// that already have a result — the Skip set for a resumed run. A
+// truncated final line (the signature of a killed run) is tolerated;
+// malformed content anywhere else is an error.
+func ReadCompleted(r io.Reader) (map[int]bool, error) {
+	results, err := ReadResults(r)
+	if err != nil {
+		return nil, err
+	}
+	done := make(map[int]bool, len(results))
+	for _, res := range results {
+		done[res.TaskID] = true
+	}
+	return done, nil
+}
+
+// ReadResults parses JSONL sweep output back into task results, in file
+// order. Like ReadCompleted it tolerates a truncated final line from a
+// killed run; malformed content anywhere else is an error.
+func ReadResults(r io.Reader) ([]TaskResult, error) {
+	var out []TaskResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var res TaskResult
+		if err := json.Unmarshal(text, &res); err != nil {
+			// Defer the error one line: only a malformed *final* line is
+			// forgivable.
+			pendingErr = fmt.Errorf("sweep: malformed result on line %d: %w", line, err)
+			continue
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

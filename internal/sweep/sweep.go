@@ -1,0 +1,319 @@
+// Package sweep is the concurrent multi-scenario experiment orchestrator:
+// it expands a declarative parameter grid (algorithm × n × seed × loss
+// rate × beta × sampling mode × hierarchy shape) into independent tasks,
+// executes them on a worker pool, and streams per-task results to a
+// pluggable sink.
+//
+// Determinism is the design invariant. Every task derives its own seeds
+// from the spec's base seed and the task's semantic coordinates (never
+// from scheduling state), so a grid produces bit-identical per-task
+// results whether it runs on one worker or sixty-four, and regardless of
+// completion order. Sinks observe results in completion order; consumers
+// that need a canonical order sort by TaskID.
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"geogossip/internal/rng"
+)
+
+// Algorithm names accepted by Spec.Algorithms.
+const (
+	AlgoBoyd       = "boyd"
+	AlgoGeographic = "geographic"
+	AlgoAffine     = "affine-hierarchical"
+	AlgoAsync      = "affine-async"
+)
+
+// Sampling mode names accepted by Spec.Samplings.
+const (
+	SamplingRejection = "rejection"
+	SamplingUniform   = "uniform"
+)
+
+// Hierarchy shape names accepted by Spec.Hierarchies.
+const (
+	HierarchyDeep = "deep"
+	HierarchyFlat = "flat"
+)
+
+// Field names accepted by Spec.Field.
+const (
+	// FieldSmooth is the worst-case low-frequency field 10·x + sin(7·y):
+	// global information must cross the square, the regime every cost
+	// bound addresses.
+	FieldSmooth = "smooth"
+	// FieldGaussian draws iid standard normal measurements from a seed
+	// derived from (base seed, n, seed index) — identical across the
+	// algorithms of one grid cell.
+	FieldGaussian = "gaussian"
+)
+
+// Spec is a declarative parameter grid. Zero-valued axes default to a
+// single neutral point, so callers only write the axes they sweep.
+type Spec struct {
+	// Algorithms lists protocol names (AlgoBoyd, AlgoGeographic,
+	// AlgoAffine, AlgoAsync). Required.
+	Algorithms []string
+	// Ns lists network sizes. Required.
+	Ns []int
+	// Seeds is the number of independent placements/runs per grid cell
+	// (seed indices 0..Seeds-1). Zero selects 1.
+	Seeds int
+	// BaseSeed roots all per-task seed derivation. Zero selects 1.
+	BaseSeed uint64
+	// LossRates lists packet-loss probabilities. Empty selects {0}.
+	LossRates []float64
+	// Betas lists affine multipliers (only the affine algorithms read
+	// them; 0 means the engine default 2/5). Empty selects {0}.
+	Betas []float64
+	// Samplings lists partner-sampling modes for geographic gossip
+	// (SamplingRejection, SamplingUniform). Empty selects rejection.
+	Samplings []string
+	// Hierarchies lists hierarchy shapes for the affine algorithms
+	// (HierarchyDeep, HierarchyFlat). Empty selects deep.
+	Hierarchies []string
+	// TargetErr is the relative ℓ₂ accuracy every run stops at. Zero
+	// selects 1e-2.
+	TargetErr float64
+	// MaxTicks caps the simulated clock of the tick-driven engines
+	// (boyd, geographic, affine-async). Zero selects 200,000,000. The
+	// round-structured recursive engine has no clock; its runs are
+	// bounded by its per-square round budgets.
+	MaxTicks uint64
+	// RadiusMultiplier is c in r = c·sqrt(log n / n). Zero selects 1.5.
+	RadiusMultiplier float64
+	// Field selects the initial measurement field (FieldSmooth or
+	// FieldGaussian). Empty selects FieldSmooth.
+	Field string
+}
+
+// Normalized returns a copy with every defaulted field filled in.
+func (s Spec) Normalized() Spec {
+	if s.Seeds <= 0 {
+		s.Seeds = 1
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	if len(s.LossRates) == 0 {
+		s.LossRates = []float64{0}
+	}
+	if len(s.Betas) == 0 {
+		s.Betas = []float64{0}
+	}
+	if len(s.Samplings) == 0 {
+		s.Samplings = []string{SamplingRejection}
+	}
+	if len(s.Hierarchies) == 0 {
+		s.Hierarchies = []string{HierarchyDeep}
+	}
+	if s.TargetErr <= 0 {
+		s.TargetErr = 1e-2
+	}
+	if s.MaxTicks == 0 {
+		s.MaxTicks = 200_000_000
+	}
+	if s.RadiusMultiplier <= 0 {
+		s.RadiusMultiplier = 1.5
+	}
+	if s.Field == "" {
+		s.Field = FieldSmooth
+	}
+	return s
+}
+
+// Validate reports the first problem with a normalized spec.
+func (s Spec) Validate() error {
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("sweep: spec has no algorithms")
+	}
+	for _, a := range s.Algorithms {
+		switch a {
+		case AlgoBoyd, AlgoGeographic, AlgoAffine, AlgoAsync:
+		default:
+			return fmt.Errorf("sweep: unknown algorithm %q", a)
+		}
+	}
+	if len(s.Ns) == 0 {
+		return fmt.Errorf("sweep: spec has no network sizes")
+	}
+	for _, n := range s.Ns {
+		if n <= 0 {
+			return fmt.Errorf("sweep: invalid network size %d", n)
+		}
+	}
+	for _, p := range s.LossRates {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("sweep: loss rate %v outside [0, 1)", p)
+		}
+	}
+	for _, m := range s.Samplings {
+		switch m {
+		case SamplingRejection, SamplingUniform:
+		default:
+			return fmt.Errorf("sweep: unknown sampling mode %q", m)
+		}
+	}
+	for _, h := range s.Hierarchies {
+		switch h {
+		case HierarchyDeep, HierarchyFlat:
+		default:
+			return fmt.Errorf("sweep: unknown hierarchy shape %q", h)
+		}
+	}
+	switch s.Field {
+	case FieldSmooth, FieldGaussian:
+	default:
+		return fmt.Errorf("sweep: unknown field %q", s.Field)
+	}
+	return nil
+}
+
+// TaskCount returns the number of tasks the normalized spec expands to.
+func (s Spec) TaskCount() int {
+	s = s.Normalized()
+	return len(s.Algorithms) * len(s.Ns) * s.Seeds *
+		len(s.LossRates) * len(s.Betas) * len(s.Samplings) * len(s.Hierarchies)
+}
+
+// Task is one expanded grid point. IDs are assigned in expansion order
+// (algorithm outermost, hierarchy innermost), so the same spec always
+// yields the same Task list.
+type Task struct {
+	ID        int
+	Algorithm string
+	N         int
+	SeedIndex int
+	LossRate  float64
+	Beta      float64
+	Sampling  string
+	Hierarchy string
+
+	// Run-level parameters copied from the spec.
+	TargetErr        float64
+	MaxTicks         uint64
+	RadiusMultiplier float64
+	Field            string
+	BaseSeed         uint64
+}
+
+// Expand lists every task of the grid in deterministic ID order.
+func (s Spec) Expand() []Task {
+	s = s.Normalized()
+	tasks := make([]Task, 0, s.TaskCount())
+	id := 0
+	for _, algo := range s.Algorithms {
+		for _, n := range s.Ns {
+			for seed := 0; seed < s.Seeds; seed++ {
+				for _, loss := range s.LossRates {
+					for _, beta := range s.Betas {
+						for _, sampling := range s.Samplings {
+							for _, shape := range s.Hierarchies {
+								tasks = append(tasks, Task{
+									ID:               id,
+									Algorithm:        algo,
+									N:                n,
+									SeedIndex:        seed,
+									LossRate:         loss,
+									Beta:             beta,
+									Sampling:         sampling,
+									Hierarchy:        shape,
+									TargetErr:        s.TargetErr,
+									MaxTicks:         s.MaxTicks,
+									RadiusMultiplier: s.RadiusMultiplier,
+									Field:            s.Field,
+									BaseSeed:         s.BaseSeed,
+								})
+								id++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return tasks
+}
+
+// netSeed derives the placement seed for a (n, seed index) cell at a
+// given connectivity retry attempt. It deliberately ignores the
+// algorithm and protocol axes so every algorithm of a cell runs on the
+// identical network instance.
+func (t Task) netSeed(attempt int) uint64 {
+	return rng.Derive(rng.DeriveString(t.BaseSeed, "sweep/net"),
+		uint64(t.N), uint64(t.SeedIndex), uint64(attempt))
+}
+
+// runSeed derives the protocol seed from the full semantic coordinates of
+// the task, so results depend only on what the task *is*, never on grid
+// shape, task ID, or scheduling.
+func (t Task) runSeed() uint64 {
+	return rng.Derive(
+		rng.DeriveString(rng.DeriveString(t.BaseSeed, "sweep/run"), t.Algorithm),
+		uint64(t.N),
+		uint64(t.SeedIndex),
+		math.Float64bits(t.LossRate),
+		math.Float64bits(t.Beta),
+		rng.DeriveString(0, t.Sampling),
+		rng.DeriveString(0, t.Hierarchy),
+	)
+}
+
+// fieldSeed derives the seed for iid initial measurements; like netSeed
+// it is shared across the algorithms of a cell.
+func (t Task) fieldSeed() uint64 {
+	return rng.Derive(rng.DeriveString(t.BaseSeed, "sweep/field"),
+		uint64(t.N), uint64(t.SeedIndex))
+}
+
+// TaskResult is the outcome of one task. It contains only deterministic
+// fields: serializing results sorted by TaskID yields byte-identical
+// output regardless of worker count.
+type TaskResult struct {
+	TaskID    int     `json:"task_id"`
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`
+	SeedIndex int     `json:"seed"`
+	LossRate  float64 `json:"loss_rate"`
+	Beta      float64 `json:"beta"`
+	Sampling  string  `json:"sampling,omitempty"`
+	Hierarchy string  `json:"hierarchy,omitempty"`
+
+	// The run-level parameters the task executed under, recorded so a
+	// result line is fully self-describing (replayable in isolation, and
+	// checkable against the grid a resumed run expands).
+	TargetErr        float64 `json:"target_err"`
+	MaxTicks         uint64  `json:"max_ticks"`
+	RadiusMultiplier float64 `json:"radius"`
+	Field            string  `json:"field"`
+
+	NetSeed uint64 `json:"net_seed"`
+	RunSeed uint64 `json:"run_seed"`
+
+	Converged     bool              `json:"converged"`
+	FinalErr      float64           `json:"final_err"`
+	Transmissions uint64            `json:"transmissions"`
+	Breakdown     map[string]uint64 `json:"breakdown,omitempty"`
+	FarExchanges  uint64            `json:"far_exchanges,omitempty"`
+	HierarchyEll  int               `json:"hierarchy_ell,omitempty"`
+
+	// Error carries a per-task failure (e.g. no connected instance
+	// found); all result fields above it are zero when set.
+	Error string `json:"error,omitempty"`
+}
+
+// Cell returns the grid-cell key of the result: the task coordinates
+// minus the seed index, the unit results aggregate over.
+func (r TaskResult) Cell() CellKey {
+	return CellKey{
+		Algorithm: r.Algorithm,
+		N:         r.N,
+		LossRate:  r.LossRate,
+		Beta:      r.Beta,
+		Sampling:  r.Sampling,
+		Hierarchy: r.Hierarchy,
+	}
+}

@@ -1,0 +1,398 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallSpec is a grid cheap enough for unit tests but wide enough to
+// exercise every axis: 2 algorithms × 2 sizes × 2 seeds × 2 loss rates.
+func smallSpec() Spec {
+	return Spec{
+		Algorithms:       []string{AlgoBoyd, AlgoAffine},
+		Ns:               []int{96, 128},
+		Seeds:            2,
+		LossRates:        []float64{0, 0.1},
+		TargetErr:        5e-2,
+		RadiusMultiplier: 2.2,
+	}
+}
+
+func TestExpandAssignsSequentialIDs(t *testing.T) {
+	spec := smallSpec()
+	tasks := spec.Expand()
+	want := spec.TaskCount()
+	if len(tasks) != want {
+		t.Fatalf("expanded %d tasks, TaskCount says %d", len(tasks), want)
+	}
+	if want != 2*2*2*2 {
+		t.Fatalf("grid size %d, want 16", want)
+	}
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Fatalf("task %d has ID %d", i, task.ID)
+		}
+		if task.TargetErr != 5e-2 || task.Field != FieldSmooth {
+			t.Fatalf("task %d missing spec defaults: %+v", i, task)
+		}
+	}
+	// Expansion must be reproducible.
+	if !reflect.DeepEqual(tasks, spec.Expand()) {
+		t.Fatal("Expand is not deterministic")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Algorithms: []string{"boid"}, Ns: []int{64}},
+		{Algorithms: []string{AlgoBoyd}},
+		{Algorithms: []string{AlgoBoyd}, Ns: []int{-1}},
+		{Algorithms: []string{AlgoBoyd}, Ns: []int{64}, LossRates: []float64{1.5}},
+		{Algorithms: []string{AlgoBoyd}, Ns: []int{64}, Samplings: []string{"psychic"}},
+		{Algorithms: []string{AlgoBoyd}, Ns: []int{64}, Hierarchies: []string{"sideways"}},
+		{Algorithms: []string{AlgoBoyd}, Ns: []int{64}, Field: "spiky"},
+	}
+	for i, s := range bad {
+		if err := s.Normalized().Validate(); err == nil {
+			t.Errorf("spec %d validated: %+v", i, s)
+		}
+	}
+	if err := smallSpec().Normalized().Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestSeedsIgnoreAlgorithmButNotCell(t *testing.T) {
+	tasks := smallSpec().Expand()
+	byCoord := func(algo string, n, seed int) Task {
+		for _, task := range tasks {
+			if task.Algorithm == algo && task.N == n && task.SeedIndex == seed && task.LossRate == 0 {
+				return task
+			}
+		}
+		t.Fatalf("no task %s/%d/%d", algo, n, seed)
+		return Task{}
+	}
+	a := byCoord(AlgoBoyd, 96, 0)
+	b := byCoord(AlgoAffine, 96, 0)
+	if a.netSeed(0) != b.netSeed(0) || a.fieldSeed() != b.fieldSeed() {
+		t.Fatal("algorithms of one cell must share network and field seeds")
+	}
+	if a.runSeed() == b.runSeed() {
+		t.Fatal("different algorithms share a run seed")
+	}
+	c := byCoord(AlgoBoyd, 96, 1)
+	if a.netSeed(0) == c.netSeed(0) {
+		t.Fatal("different seed indices share a network seed")
+	}
+	d := byCoord(AlgoBoyd, 128, 0)
+	if a.netSeed(0) == d.netSeed(0) {
+		t.Fatal("different sizes share a network seed")
+	}
+}
+
+// The headline determinism guarantee: identical per-task results and
+// identical (order-normalized) JSONL bytes at 1 worker and 8 workers.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := smallSpec()
+	run := func(workers int) ([]TaskResult, []byte) {
+		var buf bytes.Buffer
+		res, err := Run(context.Background(), spec, Options{
+			Workers: workers,
+			Sink:    NewJSONL(&buf),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, buf.Bytes()
+	}
+	res1, jsonl1 := run(1)
+	res8, jsonl8 := run(8)
+	if len(res1) != spec.TaskCount() {
+		t.Fatalf("got %d results, want %d", len(res1), spec.TaskCount())
+	}
+	if !reflect.DeepEqual(res1, res8) {
+		for i := range res1 {
+			if !reflect.DeepEqual(res1[i], res8[i]) {
+				t.Fatalf("task %d differs:\n  1 worker: %+v\n  8 workers: %+v", i, res1[i], res8[i])
+			}
+		}
+		t.Fatal("results differ")
+	}
+	if !bytes.Equal(sortLines(jsonl1), sortLines(jsonl8)) {
+		t.Fatal("JSONL output not byte-identical after sorting by line")
+	}
+	for _, r := range res1 {
+		if r.Error != "" {
+			t.Fatalf("task %d errored: %s", r.TaskID, r.Error)
+		}
+	}
+}
+
+// sortLines order-normalizes JSONL output: lines are unique (each carries
+// its task ID), so sorted-equal means identical result sets.
+func sortLines(b []byte) []byte {
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n"))
+}
+
+func TestRunSkipsCompletedTasks(t *testing.T) {
+	spec := smallSpec()
+	skip := map[int]bool{0: true, 3: true, 7: true}
+	res, err := Run(context.Background(), spec, Options{Workers: 4, Skip: skip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != spec.TaskCount()-len(skip) {
+		t.Fatalf("got %d results, want %d", len(res), spec.TaskCount()-len(skip))
+	}
+	for _, r := range res {
+		if skip[r.TaskID] {
+			t.Fatalf("skipped task %d was executed", r.TaskID)
+		}
+	}
+}
+
+func TestRunStopsOnCancel(t *testing.T) {
+	spec := smallSpec()
+	spec.Ns = []int{256, 384}
+	spec.Seeds = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelOnce bool
+	start := time.Now()
+	res, err := Run(ctx, spec, Options{
+		Workers: 2,
+		Progress: func(done, total int) {
+			if !cancelOnce {
+				cancelOnce = true
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) >= spec.TaskCount() {
+		t.Fatalf("cancelled run completed all %d tasks", len(res))
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled run took %v to stop", elapsed)
+	}
+}
+
+func TestRunReportsSinkError(t *testing.T) {
+	spec := smallSpec()
+	_, err := Run(context.Background(), spec, Options{Workers: 2, Sink: failSink{}})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want sink failure", err)
+	}
+}
+
+type failSink struct{}
+
+func (failSink) Write(TaskResult) error { return errDiskFull }
+
+var errDiskFull = &sinkErr{}
+
+type sinkErr struct{}
+
+func (*sinkErr) Error() string { return "disk full" }
+
+func TestReadCompletedRoundTripAndTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, id := range []int{4, 0, 9} {
+		if err := sink.Write(TaskResult{TaskID: id, Algorithm: AlgoBoyd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a killed run: a truncated trailing line.
+	full := buf.String() + `{"task_id": 12, "algo`
+	done, err := ReadCompleted(strings.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(done, map[int]bool{0: true, 4: true, 9: true}) {
+		t.Fatalf("done = %v", done)
+	}
+	// Malformed content before the end is an error, not silent data loss.
+	corrupt := `{"task_id": 1}` + "\nnot json at all\n" + `{"task_id": 2}` + "\n"
+	if _, err := ReadCompleted(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-file corruption not reported")
+	}
+}
+
+func TestCollectorAndResumeEquivalence(t *testing.T) {
+	spec := smallSpec()
+	var col Collector
+	full, err := Run(context.Background(), spec, Options{Workers: 4, Sink: &col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Results(); len(got) != len(full) {
+		t.Fatalf("collector saw %d results, run returned %d", len(got), len(full))
+	}
+	// A run resumed from the first half must reproduce the second half
+	// bit-for-bit.
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, r := range full[:len(full)/2] {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := ReadCompleted(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := Run(context.Background(), spec, Options{Workers: 4, Skip: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rest, full[len(full)/2:]) {
+		t.Fatal("resumed run does not reproduce the remaining tasks")
+	}
+}
+
+func TestMapPlacesResultsByIndex(t *testing.T) {
+	got, err := Map(context.Background(), 100, 8, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapFailsFastOnError(t *testing.T) {
+	// Single worker: scheduling is in index order, so the failure at 7
+	// stops everything after it and is the error returned.
+	ran := 0
+	_, err := Map(context.Background(), 50, 1, func(i int) (int, error) {
+		ran++
+		if i == 41 || i == 7 {
+			return 0, &indexErr{i}
+		}
+		return i, nil
+	})
+	ie, ok := err.(*indexErr)
+	if !ok || ie.i != 7 {
+		t.Fatalf("err = %v, want index 7", err)
+	}
+	if ran >= 50 {
+		t.Fatal("error did not stop scheduling")
+	}
+	// Parallel: some error must surface, whichever worker hit one first.
+	if _, err := Map(context.Background(), 50, 8, func(i int) (int, error) {
+		if i == 41 || i == 7 {
+			return 0, &indexErr{i}
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("parallel Map swallowed the error")
+	}
+}
+
+type indexErr struct{ i int }
+
+func (e *indexErr) Error() string { return "boom" }
+
+func TestMapHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := Map(ctx, 1000, 1, func(i int) (int, error) {
+		ran++
+		if i == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if ran >= 1000 {
+		t.Fatal("cancellation did not stop scheduling")
+	}
+}
+
+func TestAggregateCellsAndFits(t *testing.T) {
+	// Synthetic results: tx = n² exactly, two seeds per cell, one errored
+	// task that must not poison its cell.
+	var results []TaskResult
+	for _, n := range []int{100, 200, 400} {
+		for seed := 0; seed < 2; seed++ {
+			results = append(results, TaskResult{
+				TaskID:        len(results),
+				Algorithm:     AlgoBoyd,
+				N:             n,
+				SeedIndex:     seed,
+				Converged:     true,
+				FinalErr:      1e-3,
+				Transmissions: uint64(n) * uint64(n),
+			})
+		}
+	}
+	results = append(results, TaskResult{
+		TaskID: len(results), Algorithm: AlgoBoyd, N: 100, SeedIndex: 2,
+		Error: "no connected instance",
+	})
+	sum := Aggregate(results)
+	if len(sum.Cells) != 3 {
+		t.Fatalf("got %d cells: %+v", len(sum.Cells), sum.Cells)
+	}
+	first := sum.Cells[0]
+	if first.N != 100 || first.Count != 2 || first.ConvergedCount != 2 || first.Errors != 1 {
+		t.Fatalf("first cell = %+v", first)
+	}
+	if first.Transmissions.Mean != 100*100 || first.Transmissions.Std != 0 {
+		t.Fatalf("first cell transmissions = %+v", first.Transmissions)
+	}
+	if len(sum.Fits) != 1 {
+		t.Fatalf("got %d fits", len(sum.Fits))
+	}
+	fit := sum.Fits[0]
+	if fit.Points != 3 || fit.Exponent < 1.999 || fit.Exponent > 2.001 {
+		t.Fatalf("fit = %+v, want exponent 2", fit)
+	}
+	// Aggregation must not depend on input order.
+	shuffled := append([]TaskResult(nil), results...)
+	for i := range shuffled {
+		j := (i * 7) % len(shuffled)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	if !reflect.DeepEqual(sum, Aggregate(shuffled)) {
+		t.Fatal("aggregation depends on input order")
+	}
+}
+
+func TestExecuteReportsUnusableCell(t *testing.T) {
+	// Sub-threshold radius: no connected instance exists, the task must
+	// fail gracefully rather than hang or panic.
+	task := Task{
+		Algorithm:        AlgoBoyd,
+		N:                512,
+		RadiusMultiplier: 0.2,
+		TargetErr:        1e-2,
+		MaxTicks:         1000,
+		Field:            FieldSmooth,
+		BaseSeed:         1,
+	}
+	res := Execute(task, newNetCache())
+	if res.Error == "" {
+		t.Fatal("unusable cell produced no error")
+	}
+	if res.Transmissions != 0 || res.Converged {
+		t.Fatalf("errored task carries results: %+v", res)
+	}
+}

@@ -1,0 +1,321 @@
+package geogossip
+
+import (
+	"context"
+	"io"
+
+	"geogossip/internal/sweep"
+)
+
+// SweepSpec is a declarative parameter grid for Sweep: every listed axis
+// is crossed with every other, and each grid cell runs Seeds independent
+// placements. Zero-valued fields default to a single neutral point, so a
+// spec only names the axes it sweeps:
+//
+//	spec := geogossip.SweepSpec{
+//	    Algorithms: []string{"boyd", "geographic", "affine-hierarchical"},
+//	    Ns:         []int{256, 512, 1024},
+//	    Seeds:      2,
+//	}
+type SweepSpec struct {
+	// Algorithms lists protocols: "boyd", "geographic",
+	// "affine-hierarchical", "affine-async". Required.
+	Algorithms []string
+	// Ns lists network sizes. Required.
+	Ns []int
+	// Seeds is the number of independent placements per cell (default 1).
+	Seeds int
+	// BaseSeed roots all per-task seed derivation (default 1). Tasks
+	// derive their own seeds from it and their coordinates, so results
+	// are bit-identical for any worker count.
+	BaseSeed uint64
+	// LossRates lists packet-loss probabilities (default {0}).
+	LossRates []float64
+	// Betas lists affine multipliers (default {0}, the engine's 2/5).
+	Betas []float64
+	// Samplings lists geographic partner sampling modes: "rejection",
+	// "uniform" (default rejection).
+	Samplings []string
+	// Hierarchies lists hierarchy shapes for the affine algorithms:
+	// "deep", "flat" (default deep).
+	Hierarchies []string
+	// TargetErr is the stopping accuracy (default 1e-2).
+	TargetErr float64
+	// MaxTicks caps the simulated clock of the tick-driven engines
+	// (boyd, geographic, affine-async; default 200,000,000). The
+	// round-structured affine-hierarchical engine has no clock; its
+	// runs are bounded by its own per-square round budgets instead.
+	MaxTicks uint64
+	// RadiusMultiplier is c in r = c·sqrt(log n / n) (default 1.5).
+	RadiusMultiplier float64
+	// Field selects initial measurements: "smooth" (worst-case
+	// low-frequency field, default) or "gaussian" (iid normals).
+	Field string
+}
+
+func (s SweepSpec) internal() sweep.Spec {
+	return sweep.Spec{
+		Algorithms:       s.Algorithms,
+		Ns:               s.Ns,
+		Seeds:            s.Seeds,
+		BaseSeed:         s.BaseSeed,
+		LossRates:        s.LossRates,
+		Betas:            s.Betas,
+		Samplings:        s.Samplings,
+		Hierarchies:      s.Hierarchies,
+		TargetErr:        s.TargetErr,
+		MaxTicks:         s.MaxTicks,
+		RadiusMultiplier: s.RadiusMultiplier,
+		Field:            s.Field,
+	}
+}
+
+// TaskCount returns the number of runs the grid expands to.
+func (s SweepSpec) TaskCount() int { return s.internal().TaskCount() }
+
+// SweepResult is the outcome of one grid task.
+type SweepResult struct {
+	// TaskID is the task's position in the grid expansion; sorting by it
+	// yields the canonical order.
+	TaskID int
+	// Algorithm, N, SeedIndex, LossRate, Beta, Sampling and Hierarchy
+	// are the task's grid coordinates.
+	Algorithm string
+	N         int
+	SeedIndex int
+	LossRate  float64
+	Beta      float64
+	Sampling  string
+	Hierarchy string
+	// TargetErr, MaxTicks, RadiusMultiplier and Field record the
+	// run-level parameters the task executed under, making each result
+	// self-describing and checkable on resume.
+	TargetErr        float64
+	MaxTicks         uint64
+	RadiusMultiplier float64
+	Field            string
+	// NetSeed and RunSeed are the derived seeds the task ran with
+	// (recorded so any single task can be replayed in isolation).
+	NetSeed uint64
+	RunSeed uint64
+	// Converged, FinalErr, Transmissions and Breakdown mirror Result.
+	Converged     bool
+	FinalErr      float64
+	Transmissions uint64
+	Breakdown     map[string]uint64
+	// FarExchanges counts long-range affine exchanges (affine algorithms
+	// only).
+	FarExchanges uint64
+	// Err carries a per-task failure (e.g. no connected instance at the
+	// derived seeds); the result fields are zero when set.
+	Err string
+}
+
+// SweepDist summarizes a metric across the seeds of one grid cell.
+type SweepDist struct {
+	Mean, Std, Min, Max, P50, P90 float64
+}
+
+// SweepCell aggregates the seeds of one grid cell.
+type SweepCell struct {
+	Algorithm string
+	N         int
+	LossRate  float64
+	Beta      float64
+	Sampling  string
+	Hierarchy string
+	// Count is the number of successful runs; ConvergedCount how many
+	// reached the target; Errors how many tasks failed outright.
+	Count          int
+	ConvergedCount int
+	Errors         int
+	Transmissions  SweepDist
+	FinalErr       SweepDist
+}
+
+// SweepFit is a fitted power law transmissions ≈ Constant·n^Exponent
+// across the cells of one algorithm/parameter line.
+type SweepFit struct {
+	Algorithm string
+	LossRate  float64
+	Beta      float64
+	Sampling  string
+	Hierarchy string
+	Points    int
+	Exponent  float64
+	Constant  float64
+	R2        float64
+}
+
+// SweepReport is the output of one sweep: per-task results in canonical
+// (task ID) order plus the aggregation over grid cells.
+type SweepReport struct {
+	Results []SweepResult
+	Cells   []SweepCell
+	Fits    []SweepFit
+}
+
+// SweepOption configures Sweep.
+type SweepOption func(*sweepConfig)
+
+type sweepConfig struct {
+	workers  int
+	jsonl    io.Writer
+	progress func(done, total int)
+	resume   []SweepResult
+}
+
+// WithSweepWorkers sizes the worker pool (default GOMAXPROCS). Results
+// are bit-identical for every worker count.
+func WithSweepWorkers(n int) SweepOption {
+	return func(c *sweepConfig) { c.workers = n }
+}
+
+// WithSweepJSONL streams every task result to w as one JSON object per
+// line, in completion order. A file sorted by task_id is byte-identical
+// regardless of worker count, and feeds WithSweepResume.
+func WithSweepJSONL(w io.Writer) SweepOption {
+	return func(c *sweepConfig) { c.jsonl = w }
+}
+
+// WithSweepProgress reports completion after every task (single
+// goroutine, done out of total).
+func WithSweepProgress(fn func(done, total int)) SweepOption {
+	return func(c *sweepConfig) { c.progress = fn }
+}
+
+// WithSweepResume seeds the sweep with results from an interrupted run
+// of the same spec (typically parsed by ReadSweepResults from its JSONL
+// output). Their tasks are not re-executed; the prior results are
+// validated against the current grid — Sweep fails if an ID's
+// coordinates disagree, rather than silently mixing two different grids
+// — and merged into the returned report, so Results, Cells and Fits
+// always cover the whole grid. Only newly executed tasks are streamed
+// to WithSweepJSONL.
+func WithSweepResume(prior []SweepResult) SweepOption {
+	return func(c *sweepConfig) { c.resume = prior }
+}
+
+// ReadSweepResults parses JSONL sweep output (as written by
+// WithSweepJSONL) back into results, tolerating a truncated final line
+// from a killed run. Feed them to WithSweepResume to continue an
+// interrupted sweep — when everything already completed, the resumed
+// Sweep executes nothing and just rebuilds the full report.
+func ReadSweepResults(r io.Reader) ([]SweepResult, error) {
+	internal, err := sweep.ReadResults(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepResult, 0, len(internal))
+	for _, r := range internal {
+		out = append(out, fromInternalResult(r))
+	}
+	return out, nil
+}
+
+// Sweep expands the grid and runs every task on a worker pool.
+// Per-task seeds derive from BaseSeed and the task's coordinates — never
+// from scheduling — so the same spec produces bit-identical results
+// whether it runs on one core or all of them. On context cancellation
+// the partial report is returned alongside ctx.Err().
+func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepReport, error) {
+	var cfg sweepConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	iopt := sweep.Options{
+		Workers:  cfg.workers,
+		Progress: cfg.progress,
+	}
+	for _, r := range cfg.resume {
+		iopt.Resume = append(iopt.Resume, toInternalResult(r))
+	}
+	if cfg.jsonl != nil {
+		iopt.Sink = sweep.NewJSONL(cfg.jsonl)
+	}
+	results, err := sweep.Run(ctx, spec.internal(), iopt)
+	rep := &SweepReport{Results: make([]SweepResult, 0, len(results))}
+	for _, r := range results {
+		rep.Results = append(rep.Results, fromInternalResult(r))
+	}
+	agg := sweep.Aggregate(results)
+	for _, c := range agg.Cells {
+		rep.Cells = append(rep.Cells, SweepCell{
+			Algorithm:      c.Algorithm,
+			N:              c.N,
+			LossRate:       c.LossRate,
+			Beta:           c.Beta,
+			Sampling:       c.Sampling,
+			Hierarchy:      c.Hierarchy,
+			Count:          c.Count,
+			ConvergedCount: c.ConvergedCount,
+			Errors:         c.Errors,
+			Transmissions:  SweepDist(c.Transmissions),
+			FinalErr:       SweepDist(c.FinalErr),
+		})
+	}
+	for _, f := range agg.Fits {
+		rep.Fits = append(rep.Fits, SweepFit{
+			Algorithm: f.Algorithm,
+			LossRate:  f.LossRate,
+			Beta:      f.Beta,
+			Sampling:  f.Sampling,
+			Hierarchy: f.Hierarchy,
+			Points:    f.Points,
+			Exponent:  f.Exponent,
+			Constant:  f.Constant,
+			R2:        f.R2,
+		})
+	}
+	return rep, err
+}
+
+func fromInternalResult(r sweep.TaskResult) SweepResult {
+	return SweepResult{
+		TaskID:           r.TaskID,
+		Algorithm:        r.Algorithm,
+		N:                r.N,
+		SeedIndex:        r.SeedIndex,
+		LossRate:         r.LossRate,
+		Beta:             r.Beta,
+		Sampling:         r.Sampling,
+		Hierarchy:        r.Hierarchy,
+		TargetErr:        r.TargetErr,
+		MaxTicks:         r.MaxTicks,
+		RadiusMultiplier: r.RadiusMultiplier,
+		Field:            r.Field,
+		NetSeed:          r.NetSeed,
+		RunSeed:          r.RunSeed,
+		Converged:        r.Converged,
+		FinalErr:         r.FinalErr,
+		Transmissions:    r.Transmissions,
+		Breakdown:        r.Breakdown,
+		FarExchanges:     r.FarExchanges,
+		Err:              r.Error,
+	}
+}
+
+func toInternalResult(r SweepResult) sweep.TaskResult {
+	return sweep.TaskResult{
+		TaskID:           r.TaskID,
+		Algorithm:        r.Algorithm,
+		N:                r.N,
+		SeedIndex:        r.SeedIndex,
+		LossRate:         r.LossRate,
+		Beta:             r.Beta,
+		Sampling:         r.Sampling,
+		Hierarchy:        r.Hierarchy,
+		TargetErr:        r.TargetErr,
+		MaxTicks:         r.MaxTicks,
+		RadiusMultiplier: r.RadiusMultiplier,
+		Field:            r.Field,
+		NetSeed:          r.NetSeed,
+		RunSeed:          r.RunSeed,
+		Converged:        r.Converged,
+		FinalErr:         r.FinalErr,
+		Transmissions:    r.Transmissions,
+		Breakdown:        r.Breakdown,
+		FarExchanges:     r.FarExchanges,
+		Error:            r.Err,
+	}
+}
