@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/core"
 	"geogossip/internal/experiments"
 	"geogossip/internal/geo"
@@ -191,6 +192,38 @@ func BenchmarkBoydTick2048(b *testing.B) {
 		b.Fatal(err)
 	}
 	_ = res
+}
+
+// benchBoydMedium measures the per-tick cost of one engine under a
+// given radio fault model, so the channel abstraction's overhead —
+// Perfect vs Bernoulli vs Gilbert–Elliott — is visible side by side.
+func benchBoydMedium(b *testing.B, faults channel.Spec) {
+	g := benchGraph(b, 2048)
+	x := make([]float64, g.N())
+	r := rng.New(6)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	if _, err := gossip.RunBoyd(g, x, gossip.Options{
+		Stop:   sim.StopRule{MaxTicks: uint64(b.N)},
+		Faults: faults,
+	}, r); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBoydChannelPerfect(b *testing.B) { benchBoydMedium(b, channel.Spec{}) }
+
+func BenchmarkBoydChannelBernoulli(b *testing.B) {
+	benchBoydMedium(b, channel.Spec{Loss: channel.LossBernoulli, LossRate: 0.2})
+}
+
+func BenchmarkBoydChannelGilbertElliott(b *testing.B) {
+	benchBoydMedium(b, channel.Spec{
+		Loss: channel.LossGilbertElliott,
+		GE:   channel.GEParams{PGoodToBad: 0.025, PBadToGood: 0.1, LossGood: 0.01, LossBad: 0.95},
+	})
 }
 
 func BenchmarkVoronoiAreas2048(b *testing.B) {

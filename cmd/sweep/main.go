@@ -6,6 +6,11 @@
 //
 //	sweep -algos boyd,geographic,affine-hierarchical -ns 256,512,1024 -seeds 2 -out grid.jsonl
 //
+// A fault-model axis sweeps radio media (burst loss, node churn) across
+// every algorithm:
+//
+//	sweep -algos boyd,push-sum -ns 256 -faults perfect,ge:0.05/0.2/0.01/0.6,churn:50000/10000
+//
 // or from a JSON config file holding a geogossip.SweepSpec:
 //
 //	sweep -config grid.json -out grid.jsonl
@@ -46,6 +51,7 @@ func run(args []string) error {
 		seeds    = fs.Int("seeds", 1, "independent placements per grid cell")
 		baseSeed = fs.Uint64("base-seed", 1, "base seed all per-task seeds derive from")
 		loss     = fs.String("loss", "", "comma-separated packet-loss rates (default 0)")
+		faults   = fs.String("faults", "", "comma-separated fault models: perfect, bernoulli:P, ge:PGB/PBG/EG/EB, churn:UP/DOWN, composable with + (default perfect)")
 		betas    = fs.String("betas", "", "comma-separated affine multipliers (default engine 2/5)")
 		sampling = fs.String("sampling", "", "comma-separated sampling modes: rejection,uniform")
 		hier     = fs.String("hier", "", "comma-separated hierarchy shapes: deep,flat")
@@ -85,6 +91,7 @@ func run(args []string) error {
 			RadiusMultiplier: *radius,
 			Field:            *field,
 			Algorithms:       splitList(*algos),
+			FaultModels:      splitList(*faults),
 			Samplings:        splitList(*sampling),
 			Hierarchies:      splitList(*hier),
 		}
@@ -176,20 +183,29 @@ func run(args []string) error {
 }
 
 func printAggregation(w io.Writer, rep *geogossip.SweepReport) {
-	fmt.Fprintf(w, "\n%-22s %6s %5s %5s %5s  %14s %12s %10s %6s\n",
-		"algorithm", "n", "loss", "beta", "conv", "tx mean", "tx std", "err p50", "fail")
+	fmt.Fprintf(w, "\n%-22s %6s %5s %-18s %5s %5s  %14s %12s %10s %6s\n",
+		"algorithm", "n", "loss", "faults", "beta", "conv", "tx mean", "tx std", "err p50", "fail")
 	for _, c := range rep.Cells {
-		fmt.Fprintf(w, "%-22s %6d %5.2f %5.2f %2d/%2d  %14.0f %12.0f %10.2e %6d\n",
-			c.Algorithm, c.N, c.LossRate, c.Beta, c.ConvergedCount, c.Count,
+		fmt.Fprintf(w, "%-22s %6d %5.2f %-18s %5.2f %2d/%2d  %14.0f %12.0f %10.2e %6d\n",
+			c.Algorithm, c.N, c.LossRate, faultLabel(c.FaultModel), c.Beta, c.ConvergedCount, c.Count,
 			c.Transmissions.Mean, c.Transmissions.Std, c.FinalErr.P50, c.Errors)
 	}
 	if len(rep.Fits) > 0 {
 		fmt.Fprintf(w, "\nscaling fits (transmissions ~ C·n^p):\n")
 		for _, f := range rep.Fits {
-			fmt.Fprintf(w, "  %-22s loss=%.2f beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
-				f.Algorithm, f.LossRate, f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
+			fmt.Fprintf(w, "  %-22s loss=%.2f faults=%s beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
+				f.Algorithm, f.LossRate, faultLabel(f.FaultModel), f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
 		}
 	}
+}
+
+// faultLabel renders the fault-model column, naming the default axis
+// value explicitly so the table stays scannable.
+func faultLabel(fm string) string {
+	if fm == "" {
+		return "-"
+	}
+	return fm
 }
 
 // truncateToLastLine cuts path back to the end of its last complete

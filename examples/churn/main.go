@@ -1,0 +1,126 @@
+// Churn: crash-stop node failure versus the averaging protocols — the
+// scenario lossy sensor radios actually face. Plain pairwise averaging
+// (Boyd) conserves the value sum, but every node that dies carries away
+// un-averaged deviation, so the survivors' consensus drifts off the true
+// mean with no way to tell. Push-sum conserves (Σs, Σw) mass exactly —
+// mass is stranded in dead nodes, never destroyed — so when crashed
+// nodes revive, the stranded mass returns and the estimates land on the
+// exact initial mean again.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"geogossip"
+)
+
+const (
+	n = 512
+	// meanUp is the mean node lifetime in clock ticks (n ticks ≈ one
+	// unit of simulated time): most nodes crash during the run.
+	meanUp = 3_000_000
+	// meanDown is the revival scenario's mean downtime.
+	meanDown = 400_000
+	maxTicks = 6_000_000
+)
+
+func values(nw *geogossip.Network) []float64 {
+	// A worst-case smooth field: global information must cross the
+	// square, so early deaths strand genuinely unmixed values.
+	out := make([]float64, nw.N())
+	for i, p := range nw.Positions() {
+		out[i] = 10*p[0] + math.Sin(7*p[1])
+	}
+	return out
+}
+
+// survivorStats reports the consensus the live nodes actually reached:
+// their mean and their spread around it.
+func survivorStats(x []float64, alive []bool) (mean, spread float64, count int) {
+	for i, a := range alive {
+		if a {
+			mean += x[i]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0, 0
+	}
+	mean /= float64(count)
+	for i, a := range alive {
+		if a {
+			if d := math.Abs(x[i] - mean); d > spread {
+				spread = d
+			}
+		}
+	}
+	return mean, spread, count
+}
+
+func main() {
+	nw, err := geogossip.NewNetwork(n, geogossip.WithSeed(41))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueMean := geogossip.Mean(values(nw))
+	fmt.Printf("n=%d nodes, true mean %.6f\n\n", nw.N(), trueMean)
+
+	type scenario struct {
+		label string
+		algo  geogossip.Algorithm
+	}
+	run := func(sc scenario) {
+		x := values(nw)
+		res, err := sc.algo.Run(nw, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alive := res.Alive
+		if alive == nil { // no churn, or everyone happened to be up
+			alive = make([]bool, len(x))
+			for i := range alive {
+				alive[i] = true
+			}
+		}
+		mean, spread, count := survivorStats(x, alive)
+		fmt.Printf("%-34s %4d/%4d up  consensus %.6f  drift %9.2e  spread %8.1e\n",
+			sc.label, count, len(x), mean, math.Abs(mean-trueMean), spread)
+	}
+
+	fmt.Println("crash-stop churn (dead nodes never return):")
+	for _, sc := range []scenario{
+		{"boyd (pairwise averaging)", geogossip.Boyd(
+			geogossip.WithTargetError(1e-6),
+			geogossip.WithChurn(meanUp, 0),
+			geogossip.WithMaxTicks(maxTicks))},
+		{"push-sum", geogossip.PushSum(
+			geogossip.WithTargetError(1e-6),
+			geogossip.WithChurn(meanUp, 0),
+			geogossip.WithMaxTicks(maxTicks))},
+	} {
+		run(sc)
+	}
+	fmt.Println("\nchurn with revival (crashed nodes return, state intact):")
+	for _, sc := range []scenario{
+		{"boyd (pairwise averaging)", geogossip.Boyd(
+			geogossip.WithTargetError(1e-6),
+			geogossip.WithChurn(meanUp, meanDown),
+			geogossip.WithMaxTicks(maxTicks))},
+		{"push-sum", geogossip.PushSum(
+			geogossip.WithTargetError(1e-6),
+			geogossip.WithChurn(meanUp, meanDown),
+			geogossip.WithMaxTicks(maxTicks))},
+	} {
+		run(sc)
+	}
+
+	fmt.Println(`
+(under crash-stop churn the survivors agree tightly with each other —
+ small spread — yet sit a measurable drift away from the true mean:
+ the deviation the dead carried away is unrecoverable. Push-sum's
+ mass-conservation bookkeeping rolls back every unacknowledged push,
+ so Σs and Σw over all nodes stay exact; with revival the stranded
+ mass rejoins and the drift collapses toward zero.)`)
+}

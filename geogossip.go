@@ -9,16 +9,22 @@
 // radio transmission — single-hop exchanges, multi-hop greedy-routed
 // packets, and control traffic.
 //
-// Three algorithm families are provided:
+// Four algorithm families are provided:
 //
 //   - Boyd: randomized nearest-neighbour gossip (Boyd et al., INFOCOM
 //     2005), Õ(n²) transmissions.
 //   - Geographic: geographic gossip with rejection sampling (Dimakis et
 //     al., IPSN 2006), Õ(n^1.5) transmissions.
+//   - PushSum: one-way push-sum averaging (Kempe–Dobra–Gehrke, FOCS
+//     2003), loss- and churn-tolerant by mass conservation.
 //   - AffineHierarchical / AffineAsync: the paper's hierarchical protocol
 //     using non-convex affine combinations, n^{1+o(1)} transmissions
 //     asymptotically; AffineAsync is the faithful event-driven §4
 //     protocol, AffineHierarchical the round-structured §3 engine.
+//
+// Every engine transmits through a pluggable radio fault model — i.i.d.
+// loss (WithLossRate), Gilbert–Elliott burst loss, and crash-stop node
+// churn with optional revival (WithFaults, WithChurn).
 //
 // Quickstart:
 //
@@ -42,6 +48,7 @@ import (
 	"io"
 	"maps"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/core"
 	"geogossip/internal/gossip"
 	"geogossip/internal/graph"
@@ -167,6 +174,10 @@ type Result struct {
 	Breakdown map[string]uint64
 	// Curve is the sampled (transmissions, relative error) trajectory.
 	Curve [][2]float64
+	// Alive is the per-node liveness at termination under a churn fault
+	// model (WithChurn or a churn WithFaults spec); nil when every node
+	// was up. Dead nodes hold their last pre-crash value.
+	Alive []bool
 }
 
 func fromMetrics(res *metrics.Result) *Result {
@@ -175,6 +186,7 @@ func fromMetrics(res *metrics.Result) *Result {
 		Converged:     res.Converged,
 		FinalErr:      res.FinalErr,
 		Transmissions: res.Transmissions,
+		Alive:         append([]bool(nil), res.Alive...),
 	}
 	// Clone, not alias: callers own the returned Result and must not be
 	// able to mutate the engine's internal metrics state through it.
@@ -201,14 +213,20 @@ type Algorithm interface {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	targetErr float64
-	maxTicks  uint64
-	seed      uint64
-	beta      float64
-	sampling  gossip.Sampling
-	throttle  float64
-	lossRate  float64
-	tracer    trace.Tracer
+	targetErr   float64
+	maxTicks    uint64
+	seed        uint64
+	beta        float64
+	betaSet     bool
+	sampling    gossip.Sampling
+	throttle    float64
+	throttleSet bool
+	lossRate    float64
+	faults      string
+	churnUp     float64
+	churnDown   float64
+	churnSet    bool
+	tracer      trace.Tracer
 }
 
 // WithTargetError sets the relative ℓ₂ accuracy at which the run stops
@@ -228,9 +246,10 @@ func WithRunSeed(seed uint64) RunOption {
 }
 
 // WithBeta overrides the affine multiplier (default 2/5, the paper's
-// value; only meaningful for the affine algorithms).
+// value; only meaningful for the affine algorithms). It must be
+// positive; Run reports an error otherwise.
 func WithBeta(beta float64) RunOption {
-	return func(c *runConfig) { c.beta = beta }
+	return func(c *runConfig) { c.beta = beta; c.betaSet = true }
 }
 
 // WithUniformSampling switches geographic gossip to idealized exact
@@ -240,23 +259,61 @@ func WithUniformSampling() RunOption {
 }
 
 // WithThrottle sets the async protocol's round-serialization factor
-// (default 8; stands in for the paper's n^a).
+// (default 8; stands in for the paper's n^a). It must be positive; Run
+// reports an error otherwise.
 func WithThrottle(t float64) RunOption {
-	return func(c *runConfig) { c.throttle = t }
+	return func(c *runConfig) { c.throttle = t; c.throttleSet = true }
 }
 
 // WithLossRate makes every data packet (single-hop exchange or route
-// leg) independently lost with probability p. Lost exchanges pay the
+// leg) independently lost with probability p — shorthand for the
+// "bernoulli:p" fault model of WithFaults. Lost exchanges pay the
 // transmissions made before the loss and apply no update; pair updates
 // commit atomically, so the consensus value is preserved under arbitrary
-// loss. Default 0.
+// loss. Default 0. Run validates p ∈ [0, 1] and rejects combining it
+// with a WithFaults loss model.
 func WithLossRate(p float64) RunOption {
 	return func(c *runConfig) { c.lossRate = p }
 }
 
-// WithTraceWriter streams structured protocol events (long-range
-// exchanges, round activations, packet losses) to w as they happen.
-// Supported by the affine algorithms; the baselines ignore it.
+// WithFaults selects the radio fault model from a compact spec:
+//
+//	"perfect"                      lossless medium (the default)
+//	"bernoulli:P"                  i.i.d. loss with probability P
+//	"ge:PGB/PBG/EG/EB"             Gilbert–Elliott burst loss: the
+//	                               channel flips Good→Bad with PGB and
+//	                               Bad→Good with PBG per packet, losing
+//	                               packets with probability EG (good)
+//	                               or EB (bad)
+//	"churn:UP/DOWN"                crash-stop node failure: nodes stay
+//	                               up for Exp(UP) ticks, then down for
+//	                               Exp(DOWN) ticks (DOWN = 0 means dead
+//	                               forever)
+//
+// A loss model composes with churn via "+", e.g.
+// "bernoulli:0.2+churn:50000/10000". The spec is validated at Run time.
+// Churn durations are engine time units: clock ticks for boyd,
+// geographic, push-sum and affine-async; transmissions for the
+// round-structured affine-hierarchical engine.
+func WithFaults(spec string) RunOption {
+	return func(c *runConfig) { c.faults = spec }
+}
+
+// WithChurn overlays crash-stop node failure on the run: each node
+// stays up for an exponential duration with mean meanUp, crashes, and
+// (when meanDown > 0) revives after an exponential downtime with mean
+// meanDown, resuming from its pre-crash state. meanDown = 0 means
+// crashed nodes never return. Durations are engine time units (see
+// WithFaults). Composes with WithLossRate and loss-only WithFaults
+// specs; combining it with a WithFaults spec that already has churn is
+// an error.
+func WithChurn(meanUp, meanDown float64) RunOption {
+	return func(c *runConfig) { c.churnUp, c.churnDown, c.churnSet = meanUp, meanDown, true }
+}
+
+// WithTraceWriter streams structured protocol events to w as they
+// happen: long-range exchanges, round activations and packet losses for
+// the affine algorithms; packet losses for the baselines.
 func WithTraceWriter(w io.Writer) RunOption {
 	return func(c *runConfig) { c.tracer = &trace.Writer{W: w} }
 }
@@ -274,6 +331,57 @@ func newRunConfig(opts []RunOption) runConfig {
 	return cfg
 }
 
+// validate checks every RunOption input at Run time — returning a
+// descriptive error instead of silently accepting garbage — and yields
+// the assembled fault spec for the engine.
+func (c runConfig) validate() (channel.Spec, error) {
+	if c.targetErr <= 0 {
+		return channel.Spec{}, fmt.Errorf("geogossip: target error %v must be positive", c.targetErr)
+	}
+	if c.betaSet && c.beta <= 0 {
+		return channel.Spec{}, fmt.Errorf("geogossip: beta %v must be positive", c.beta)
+	}
+	if c.throttleSet && c.throttle <= 0 {
+		return channel.Spec{}, fmt.Errorf("geogossip: throttle %v must be positive", c.throttle)
+	}
+	return c.engineFaults()
+}
+
+// engineFaults assembles the channel spec the engines run on from the
+// WithFaults / WithLossRate / WithChurn options.
+func (c runConfig) engineFaults() (channel.Spec, error) {
+	spec, err := channel.Parse(c.faults)
+	if err != nil {
+		return spec, fmt.Errorf("geogossip: WithFaults: %w", err)
+	}
+	if c.lossRate != 0 {
+		if c.lossRate < 0 || c.lossRate > 1 {
+			return spec, fmt.Errorf("geogossip: loss rate %v outside [0, 1]", c.lossRate)
+		}
+		if spec.Loss != channel.LossNone {
+			return spec, fmt.Errorf("geogossip: WithLossRate combined with a WithFaults loss model")
+		}
+		spec.Loss = channel.LossBernoulli
+		spec.LossRate = c.lossRate
+	}
+	if c.churnSet {
+		if spec.HasChurn() {
+			return spec, fmt.Errorf("geogossip: WithChurn combined with a WithFaults churn component")
+		}
+		if c.churnUp <= 0 {
+			return spec, fmt.Errorf("geogossip: churn mean up-time %v must be positive", c.churnUp)
+		}
+		if c.churnDown < 0 {
+			return spec, fmt.Errorf("geogossip: churn mean down-time %v must not be negative", c.churnDown)
+		}
+		spec.Churn = channel.ChurnParams{MeanUp: c.churnUp, MeanDown: c.churnDown}
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, fmt.Errorf("geogossip: %w", err)
+	}
+	return spec, nil
+}
+
 type boydAlgo struct{ cfg runConfig }
 
 // Boyd returns randomized nearest-neighbour gossip (Boyd et al.).
@@ -282,9 +390,14 @@ func Boyd(opts ...RunOption) Algorithm { return boydAlgo{newRunConfig(opts)} }
 func (a boydAlgo) Name() string { return "boyd" }
 
 func (a boydAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	faults, err := a.cfg.validate()
+	if err != nil {
+		return nil, err
+	}
 	res, err := gossip.RunBoyd(nw.g, values, gossip.Options{
-		Stop:     sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
-		LossRate: a.cfg.lossRate,
+		Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+		Faults: faults,
+		Tracer: a.cfg.tracer,
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
@@ -301,10 +414,15 @@ func Geographic(opts ...RunOption) Algorithm { return geoAlgo{newRunConfig(opts)
 func (a geoAlgo) Name() string { return "geographic" }
 
 func (a geoAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	faults, err := a.cfg.validate()
+	if err != nil {
+		return nil, err
+	}
 	res, err := gossip.RunGeographic(nw.g, values, gossip.GeoOptions{
 		Options: gossip.Options{
-			Stop:     sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
-			LossRate: a.cfg.lossRate,
+			Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+			Faults: faults,
+			Tracer: a.cfg.tracer,
 		},
 		Sampling: a.cfg.sampling,
 	}, rng.New(a.cfg.seed))
@@ -324,11 +442,15 @@ func AffineHierarchical(opts ...RunOption) Algorithm { return affineAlgo{newRunC
 func (a affineAlgo) Name() string { return "affine-hierarchical" }
 
 func (a affineAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	faults, err := a.cfg.validate()
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.RunRecursive(nw.g, nw.h, values, core.RecursiveOptions{
-		Eps:      a.cfg.targetErr,
-		Beta:     a.cfg.beta,
-		LossRate: a.cfg.lossRate,
-		Tracer:   a.cfg.tracer,
+		Eps:    a.cfg.targetErr,
+		Beta:   a.cfg.beta,
+		Faults: faults,
+		Tracer: a.cfg.tracer,
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
@@ -345,12 +467,16 @@ func AffineAsync(opts ...RunOption) Algorithm { return asyncAlgo{newRunConfig(op
 func (a asyncAlgo) Name() string { return "affine-async" }
 
 func (a asyncAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	faults, err := a.cfg.validate()
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.RunAsync(nw.g, nw.h, values, core.AsyncOptions{
 		Eps:          a.cfg.targetErr,
 		Beta:         a.cfg.beta,
 		Throttle:     a.cfg.throttle,
 		RoundsFactor: 2,
-		LossRate:     a.cfg.lossRate,
+		Faults:       faults,
 		Tracer:       a.cfg.tracer,
 		Stop:         sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 	}, rng.New(a.cfg.seed))
@@ -360,12 +486,40 @@ func (a asyncAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	return fromMetrics(res.Result), nil
 }
 
+type pushSumAlgo struct{ cfg runConfig }
+
+// PushSum returns asynchronous push-sum averaging (Kempe–Dobra–Gehrke,
+// FOCS 2003): one one-way message per exchange. Under faults, lost
+// pushes roll back at the sender (mass-conservation bookkeeping), so
+// the Σs and Σw invariants — and with them the consensus target — hold
+// under arbitrary loss and churn; see the examples/churn scenario.
+func PushSum(opts ...RunOption) Algorithm { return pushSumAlgo{newRunConfig(opts)} }
+
+func (a pushSumAlgo) Name() string { return "push-sum" }
+
+func (a pushSumAlgo) Run(nw *Network, values []float64) (*Result, error) {
+	faults, err := a.cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	res, err := gossip.RunPushSum(nw.g, values, gossip.Options{
+		Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+		Faults: faults,
+		Tracer: a.cfg.tracer,
+	}, rng.New(a.cfg.seed))
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(res), nil
+}
+
 // Compile-time interface checks.
 var (
 	_ Algorithm = boydAlgo{}
 	_ Algorithm = geoAlgo{}
 	_ Algorithm = affineAlgo{}
 	_ Algorithm = asyncAlgo{}
+	_ Algorithm = pushSumAlgo{}
 )
 
 // Mean returns the arithmetic mean of values (the consensus target), or 0

@@ -1,0 +1,376 @@
+// Package channel models the radio medium every gossip engine transmits
+// through: per-packet delivery decisions (loss) and a node-liveness view
+// (churn). Engines route every data-packet delivery through a Channel
+// instead of hand-rolling inline Bernoulli checks, so a new fault model —
+// bursty loss, crash-stop failures, revival — becomes available to every
+// algorithm and the whole sweep grid at once.
+//
+// The three delivery methods mirror the three packet shapes the engines
+// use: a single-hop exchange with a graph neighbour (DeliverHop), one leg
+// of a multi-hop greedy route (DeliverRoute), and a representative
+// round trip out-and-back (DeliverRoundTrip). Each reports whether the
+// packet survived and, when it did not, how many transmissions were paid
+// before it died — lost packets still cost radio energy.
+//
+// Determinism contract: a Channel draws randomness only from the RNG
+// streams it was built over, in a fixed per-call order, so runs replay
+// bit-for-bit. Bernoulli is additionally draw-compatible with the inline
+// `LossRate` checks the engines used before this package existed: the
+// same streams see the same draw sequence, keeping historical results
+// bit-identical.
+package channel
+
+import "geogossip/internal/rng"
+
+// Channel decides the fate of every data packet and reports node
+// liveness. Implementations are single-goroutine, like the engines.
+type Channel interface {
+	// Advance moves the channel's clock to the global time now (engine
+	// ticks for the clock-driven engines, transmissions for the
+	// round-structured recursive engine). Time-dependent state — churn
+	// up/down flips — is evaluated against the most recent Advance.
+	Advance(now uint64)
+	// Alive reports whether node i is currently up. Engines skip clock
+	// ticks owned by dead nodes; deliveries to dead nodes fail inside
+	// Deliver*.
+	Alive(i int32) bool
+	// DeliverHop decides a single-hop data packet src→dst. When the
+	// packet is lost, paid is the transmissions already spent (the
+	// outbound message: 1).
+	DeliverHop(src, dst int32) (ok bool, paid int)
+	// DeliverRoute decides one leg of a multi-hop route of hops hops.
+	// When the packet is lost, paid is the cost up to the hop where it
+	// died (uniform over the route).
+	DeliverRoute(src, dst int32, hops int) (ok bool, paid int)
+	// DeliverRoundTrip decides a representative round trip src→dst→src
+	// whose outbound leg is outHops (return assumed symmetric). When
+	// either leg is lost, paid is the cost up to the failure point.
+	DeliverRoundTrip(src, dst int32, outHops int) (ok bool, paid int)
+	// Name identifies the fault model for results and traces.
+	Name() string
+}
+
+// Perfect is the lossless, failure-free medium: every packet delivered,
+// every node alive, no randomness consumed.
+type Perfect struct{}
+
+// Advance implements Channel.
+func (Perfect) Advance(uint64) {}
+
+// Alive implements Channel.
+func (Perfect) Alive(int32) bool { return true }
+
+// DeliverHop implements Channel.
+func (Perfect) DeliverHop(src, dst int32) (bool, int) { return true, 0 }
+
+// DeliverRoute implements Channel.
+func (Perfect) DeliverRoute(src, dst int32, hops int) (bool, int) { return true, 0 }
+
+// DeliverRoundTrip implements Channel.
+func (Perfect) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) { return true, 0 }
+
+// Name implements Channel.
+func (Perfect) Name() string { return "perfect" }
+
+// Bernoulli loses every packet (or route leg) independently with
+// probability P — the i.i.d. loss model the engines previously inlined.
+//
+// Draw compatibility: with P == 0 no randomness is consumed, and with
+// P > 0 the draw sequence on the supplied stream exactly matches the
+// historical inline checks (one Bernoulli per leg; on a lost multi-hop
+// leg, one IntN for the failure point; single-hop losses draw no failure
+// point), so pre-refactor results replay bit-identically.
+type Bernoulli struct {
+	// P is the per-packet (per-leg) loss probability in [0, 1].
+	P float64
+	// R is the stream losses are drawn from.
+	R *rng.RNG
+}
+
+// Advance implements Channel.
+func (b *Bernoulli) Advance(uint64) {}
+
+// Alive implements Channel.
+func (b *Bernoulli) Alive(int32) bool { return true }
+
+// DeliverHop implements Channel.
+func (b *Bernoulli) DeliverHop(src, dst int32) (bool, int) {
+	if b.P > 0 && b.R.Bernoulli(b.P) {
+		return false, 1 // the outbound value was transmitted but lost
+	}
+	return true, 0
+}
+
+// DeliverRoute implements Channel.
+func (b *Bernoulli) DeliverRoute(src, dst int32, hops int) (bool, int) {
+	if b.P > 0 && b.R.Bernoulli(b.P) {
+		return false, b.partial(hops)
+	}
+	return true, 0
+}
+
+// DeliverRoundTrip implements Channel.
+func (b *Bernoulli) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) {
+	// One combined draw for the two legs: lost unless both survive.
+	if b.P > 0 && b.R.Bernoulli(1-(1-b.P)*(1-b.P)) {
+		return false, b.partial(2 * outHops)
+	}
+	return true, 0
+}
+
+func (b *Bernoulli) partial(hops int) int { return partialCost(b.R, hops) }
+
+// Name implements Channel.
+func (b *Bernoulli) Name() string { return "bernoulli" }
+
+// partialCost returns the cost of a route that died at a uniformly
+// random hop of a hops-hop journey.
+func partialCost(r *rng.RNG, hops int) int {
+	if hops <= 0 {
+		return 0
+	}
+	return 1 + r.IntN(hops)
+}
+
+// GEParams parameterizes the Gilbert–Elliott burst-loss chain.
+type GEParams struct {
+	// PGoodToBad and PBadToGood are the per-packet state transition
+	// probabilities. Their ratio sets the stationary fraction of time in
+	// the bad state; their magnitudes set the burst length (mean bad
+	// burst = 1/PBadToGood packets).
+	PGoodToBad, PBadToGood float64
+	// LossGood and LossBad are the per-packet loss probabilities in each
+	// state (LossGood << LossBad for a bursty medium).
+	LossGood, LossBad float64
+}
+
+// StationaryLoss returns the long-run per-packet loss probability of the
+// chain: the bad-state occupancy times LossBad plus the complement times
+// LossGood.
+func (p GEParams) StationaryLoss() float64 {
+	denom := p.PGoodToBad + p.PBadToGood
+	if denom <= 0 {
+		return p.LossGood
+	}
+	piBad := p.PGoodToBad / denom
+	return piBad*p.LossBad + (1-piBad)*p.LossGood
+}
+
+// GilbertElliott is a two-state Markov burst-loss medium: the channel
+// wanders between a Good state (rare loss) and a Bad state (dense loss),
+// advancing one chain step per packet decision. Unlike Bernoulli, losses
+// cluster: a route that just lost a packet is likely to lose the next
+// one too, which is what defeats protocols that rely on quick retries.
+type GilbertElliott struct {
+	params GEParams
+	r      *rng.RNG
+	bad    bool
+}
+
+// NewGilbertElliott builds the chain over r, starting in the Good state.
+func NewGilbertElliott(p GEParams, r *rng.RNG) *GilbertElliott {
+	return &GilbertElliott{params: p, r: r}
+}
+
+// step advances the chain one packet and returns whether that packet is
+// lost.
+func (g *GilbertElliott) step() bool {
+	if g.bad {
+		if g.r.Bernoulli(g.params.PBadToGood) {
+			g.bad = false
+		}
+	} else {
+		if g.r.Bernoulli(g.params.PGoodToBad) {
+			g.bad = true
+		}
+	}
+	if g.bad {
+		return g.r.Bernoulli(g.params.LossBad)
+	}
+	return g.r.Bernoulli(g.params.LossGood)
+}
+
+// Advance implements Channel.
+func (g *GilbertElliott) Advance(uint64) {}
+
+// Alive implements Channel.
+func (g *GilbertElliott) Alive(int32) bool { return true }
+
+// DeliverHop implements Channel.
+func (g *GilbertElliott) DeliverHop(src, dst int32) (bool, int) {
+	if g.step() {
+		return false, 1
+	}
+	return true, 0
+}
+
+// DeliverRoute implements Channel.
+func (g *GilbertElliott) DeliverRoute(src, dst int32, hops int) (bool, int) {
+	if g.step() {
+		return false, g.partial(hops)
+	}
+	return true, 0
+}
+
+// DeliverRoundTrip implements Channel.
+func (g *GilbertElliott) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) {
+	if g.step() { // outbound leg
+		return false, g.partial(outHops)
+	}
+	if g.step() { // return leg
+		return false, g.partial(outHops) + outHops
+	}
+	return true, 0
+}
+
+func (g *GilbertElliott) partial(hops int) int { return partialCost(g.r, hops) }
+
+// Name implements Channel.
+func (g *GilbertElliott) Name() string { return "gilbert-elliott" }
+
+// Bad reports whether the chain currently sits in the Bad state (exposed
+// for tests and diagnostics).
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// ChurnParams parameterizes crash-stop node failure with optional
+// revival. Durations are in the channel's Advance time unit (ticks for
+// the clock-driven engines).
+type ChurnParams struct {
+	// MeanUp is the mean up-duration before a node crashes
+	// (exponentially distributed, minimum 1).
+	MeanUp float64
+	// MeanDown is the mean down-duration before a crashed node revives
+	// with its pre-crash state intact. Zero means crash-stop: dead nodes
+	// never return.
+	MeanDown float64
+}
+
+// Churn overlays crash-stop node failure (with optional revival) on an
+// inner loss medium: packets to or from a dead node are lost regardless
+// of the inner channel, and engines skip clock ticks owned by dead
+// nodes. Each node follows its own alternating-renewal up/down schedule
+// drawn lazily from a per-node substream, so liveness at any time is a
+// pure function of (seed, node, time) — independent of query order.
+type Churn struct {
+	inner  Channel
+	params ChurnParams
+	now    uint64
+	nodes  []churnNode
+	seed   uint64
+}
+
+type churnNode struct {
+	r        *rng.RNG
+	alive    bool
+	nextFlip uint64
+	started  bool
+}
+
+// NewChurn wraps inner with churn over n nodes, drawing schedules from r.
+func NewChurn(inner Channel, n int, p ChurnParams, r *rng.RNG) *Churn {
+	if inner == nil {
+		inner = Perfect{}
+	}
+	c := &Churn{inner: inner, params: p, nodes: make([]churnNode, n), seed: r.Seed()}
+	return c
+}
+
+// Advance implements Channel.
+func (c *Churn) Advance(now uint64) {
+	c.now = now
+	c.inner.Advance(now)
+}
+
+// Alive implements Channel. The node's schedule is evaluated lazily up
+// to the current time.
+func (c *Churn) Alive(i int32) bool {
+	n := &c.nodes[i]
+	if !n.started {
+		n.started = true
+		n.alive = true
+		n.r = rng.New(rng.Derive(c.seed, uint64(i)))
+		n.nextFlip = c.duration(n.r, c.params.MeanUp)
+	}
+	for c.now >= n.nextFlip {
+		if n.alive {
+			n.alive = false
+			if c.params.MeanDown <= 0 {
+				n.nextFlip = ^uint64(0) // crash-stop: never revives
+				break
+			}
+			n.nextFlip += c.duration(n.r, c.params.MeanDown)
+		} else {
+			n.alive = true
+			n.nextFlip += c.duration(n.r, c.params.MeanUp)
+		}
+	}
+	return n.alive
+}
+
+func (c *Churn) duration(r *rng.RNG, mean float64) uint64 {
+	d := r.ExpFloat64() * mean
+	if d < 1 {
+		d = 1
+	}
+	return uint64(d)
+}
+
+// AliveCount returns the number of nodes currently up.
+func (c *Churn) AliveCount() int {
+	count := 0
+	for i := range c.nodes {
+		if c.Alive(int32(i)) {
+			count++
+		}
+	}
+	return count
+}
+
+// DeliverHop implements Channel.
+func (c *Churn) DeliverHop(src, dst int32) (bool, int) {
+	if !c.Alive(src) {
+		return false, 0
+	}
+	if !c.Alive(dst) {
+		return false, 1 // transmitted into the void
+	}
+	return c.inner.DeliverHop(src, dst)
+}
+
+// DeliverRoute implements Channel.
+func (c *Churn) DeliverRoute(src, dst int32, hops int) (bool, int) {
+	if !c.Alive(src) {
+		return false, 0
+	}
+	if !c.Alive(dst) {
+		return false, hops // traveled the route, found the endpoint dead
+	}
+	return c.inner.DeliverRoute(src, dst, hops)
+}
+
+// DeliverRoundTrip implements Channel.
+func (c *Churn) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) {
+	if !c.Alive(src) {
+		return false, 0
+	}
+	if !c.Alive(dst) {
+		return false, outHops // out leg traveled, partner dead, no return
+	}
+	return c.inner.DeliverRoundTrip(src, dst, outHops)
+}
+
+// Name implements Channel.
+func (c *Churn) Name() string {
+	if c.inner.Name() == "perfect" {
+		return "churn"
+	}
+	return c.inner.Name() + "+churn"
+}
+
+// Compile-time interface checks.
+var (
+	_ Channel = Perfect{}
+	_ Channel = (*Bernoulli)(nil)
+	_ Channel = (*GilbertElliott)(nil)
+	_ Channel = (*Churn)(nil)
+)

@@ -1,0 +1,241 @@
+package channel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"geogossip/internal/rng"
+)
+
+// LossModel enumerates the packet-loss processes a Spec can select.
+type LossModel int
+
+const (
+	// LossNone delivers every packet (between live nodes).
+	LossNone LossModel = iota
+	// LossBernoulli loses packets i.i.d. with Spec.LossRate.
+	LossBernoulli
+	// LossGilbertElliott loses packets in bursts per Spec.GE.
+	LossGilbertElliott
+)
+
+// String implements fmt.Stringer.
+func (m LossModel) String() string {
+	switch m {
+	case LossNone:
+		return "perfect"
+	case LossBernoulli:
+		return "bernoulli"
+	case LossGilbertElliott:
+		return "gilbert-elliott"
+	default:
+		return fmt.Sprintf("loss-model(%d)", int(m))
+	}
+}
+
+// Spec is a declarative, serializable fault-model description: a loss
+// process optionally composed with node churn. The zero Spec is the
+// perfect medium. Specs travel through facade options, sweep axes, and
+// CLI flags; Build turns one into a live Channel wired to an engine's
+// RNG streams.
+type Spec struct {
+	// Loss selects the packet-loss process.
+	Loss LossModel
+	// LossRate is the i.i.d. loss probability (LossBernoulli only).
+	LossRate float64
+	// GE parameterizes burst loss (LossGilbertElliott only).
+	GE GEParams
+	// Churn overlays crash-stop node failure when Churn.MeanUp > 0.
+	Churn ChurnParams
+}
+
+// IsZero reports whether the spec is the perfect medium.
+func (s Spec) IsZero() bool {
+	return s.Loss == LossNone && !s.HasChurn()
+}
+
+// HasChurn reports whether the spec overlays node churn.
+func (s Spec) HasChurn() bool { return s.Churn.MeanUp > 0 }
+
+// HasLoss reports whether the spec's loss process can drop packets
+// between live nodes.
+func (s Spec) HasLoss() bool {
+	switch s.Loss {
+	case LossBernoulli:
+		return s.LossRate > 0
+	case LossGilbertElliott:
+		return s.GE.LossGood > 0 || s.GE.LossBad > 0
+	}
+	return false
+}
+
+// ExpectedLossRate returns the long-run per-packet loss probability of
+// the loss process (churn excluded).
+func (s Spec) ExpectedLossRate() float64 {
+	switch s.Loss {
+	case LossBernoulli:
+		return s.LossRate
+	case LossGilbertElliott:
+		return s.GE.StationaryLoss()
+	}
+	return 0
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	switch s.Loss {
+	case LossNone:
+		if s.LossRate != 0 {
+			return fmt.Errorf("channel: loss rate %v set without a loss model", s.LossRate)
+		}
+	case LossBernoulli:
+		if s.LossRate < 0 || s.LossRate > 1 {
+			return fmt.Errorf("channel: loss rate %v outside [0, 1]", s.LossRate)
+		}
+	case LossGilbertElliott:
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{
+			{"good-to-bad transition", s.GE.PGoodToBad},
+			{"bad-to-good transition", s.GE.PBadToGood},
+			{"good-state loss", s.GE.LossGood},
+			{"bad-state loss", s.GE.LossBad},
+		} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("channel: gilbert-elliott %s probability %v outside [0, 1]", p.name, p.v)
+			}
+		}
+	default:
+		return fmt.Errorf("channel: unknown loss model %d", int(s.Loss))
+	}
+	if s.Churn.MeanUp < 0 || s.Churn.MeanDown < 0 {
+		return fmt.Errorf("channel: negative churn duration (up %v, down %v)", s.Churn.MeanUp, s.Churn.MeanDown)
+	}
+	if s.Churn.MeanUp == 0 && s.Churn.MeanDown != 0 {
+		return fmt.Errorf("channel: churn mean-down %v set without mean-up", s.Churn.MeanDown)
+	}
+	return nil
+}
+
+// Build turns the spec into a live Channel over n nodes. Loss draws come
+// from lossRNG and churn schedules from churnRNG, so an engine wires its
+// own deterministic streams in. Build with a zero spec returns Perfect
+// and retains neither stream.
+func (s Spec) Build(n int, lossRNG, churnRNG *rng.RNG) Channel {
+	var ch Channel
+	switch s.Loss {
+	case LossBernoulli:
+		ch = &Bernoulli{P: s.LossRate, R: lossRNG}
+	case LossGilbertElliott:
+		ch = NewGilbertElliott(s.GE, lossRNG)
+	default:
+		ch = Perfect{}
+	}
+	if s.HasChurn() {
+		ch = NewChurn(ch, n, s.Churn, churnRNG)
+	}
+	return ch
+}
+
+// String renders the spec in the compact form Parse accepts:
+// "perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", "churn:UP/DOWN", or a
+// loss model composed with churn via "+", e.g.
+// "bernoulli:0.2+churn:50000/10000".
+func (s Spec) String() string {
+	var parts []string
+	switch s.Loss {
+	case LossBernoulli:
+		parts = append(parts, "bernoulli:"+formatFloat(s.LossRate))
+	case LossGilbertElliott:
+		parts = append(parts, fmt.Sprintf("ge:%s/%s/%s/%s",
+			formatFloat(s.GE.PGoodToBad), formatFloat(s.GE.PBadToGood),
+			formatFloat(s.GE.LossGood), formatFloat(s.GE.LossBad)))
+	}
+	if s.HasChurn() {
+		parts = append(parts, fmt.Sprintf("churn:%s/%s",
+			formatFloat(s.Churn.MeanUp), formatFloat(s.Churn.MeanDown)))
+	}
+	if len(parts) == 0 {
+		return "perfect"
+	}
+	return strings.Join(parts, "+")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Parse reads the compact spec form produced by String. The empty string
+// and "perfect" both mean the perfect medium. Components separated by
+// "+" compose; parameters within a component separate with "/".
+func Parse(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" || text == "perfect" {
+		return s, nil
+	}
+	for _, part := range strings.Split(text, "+") {
+		part = strings.TrimSpace(part)
+		kind, args, _ := strings.Cut(part, ":")
+		switch kind {
+		case "perfect":
+			// no-op component, composes with anything
+		case "bernoulli", "loss":
+			if s.Loss != LossNone {
+				return s, fmt.Errorf("channel: spec %q has two loss models", text)
+			}
+			s.Loss = LossBernoulli
+			vals, err := parseFloatList(part, args, 1)
+			if err != nil {
+				return s, err
+			}
+			s.LossRate = vals[0]
+		case "ge", "gilbert-elliott":
+			if s.Loss != LossNone {
+				return s, fmt.Errorf("channel: spec %q has two loss models", text)
+			}
+			s.Loss = LossGilbertElliott
+			vals, err := parseFloatList(part, args, 4)
+			if err != nil {
+				return s, err
+			}
+			s.GE = GEParams{PGoodToBad: vals[0], PBadToGood: vals[1], LossGood: vals[2], LossBad: vals[3]}
+		case "churn":
+			if s.HasChurn() {
+				return s, fmt.Errorf("channel: spec %q has two churn components", text)
+			}
+			vals, err := parseFloatList(part, args, 2)
+			if err != nil {
+				return s, err
+			}
+			if vals[0] <= 0 {
+				return s, fmt.Errorf("channel: churn component %q: mean up-time must be positive", part)
+			}
+			s.Churn = ChurnParams{MeanUp: vals[0], MeanDown: vals[1]}
+		default:
+			return s, fmt.Errorf("channel: unknown fault component %q (want perfect, bernoulli:P, ge:PGB/PBG/EG/EB, or churn:UP/DOWN)", part)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+func parseFloatList(part, args string, want int) ([]float64, error) {
+	fields := strings.Split(args, "/")
+	if args == "" || len(fields) != want {
+		return nil, fmt.Errorf("channel: component %q wants %d parameter(s)", part, want)
+	}
+	out := make([]float64, want)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("channel: component %q: bad parameter %q", part, f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
 	"geogossip/internal/metrics"
@@ -51,10 +52,15 @@ type AsyncOptions struct {
 	// Recovery selects routing stall handling; zero selects RecoveryBFS.
 	Recovery routing.Recovery
 	// LossRate is the probability that a data packet (Near exchange or a
-	// leg of a Far route) is lost; the control plane (activation floods
-	// and routes) is assumed reliable. Lost exchanges pay partial cost
-	// and apply no update. Zero disables loss.
+	// leg of a Far route) is lost — shorthand for a Bernoulli fault model
+	// in Faults; the control plane (activation floods and routes) is
+	// assumed reliable. Lost exchanges pay partial cost and apply no
+	// update. Zero disables loss. Setting both LossRate and a loss model
+	// in Faults is an error.
 	LossRate float64
+	// Faults selects the radio fault model for the data plane (loss
+	// process and/or node churn). The zero Spec is the perfect medium.
+	Faults channel.Spec
 	// Tracer, when non-nil, receives structured protocol events
 	// (activations, deactivations, far exchanges, losses).
 	Tracer trace.Tracer
@@ -89,6 +95,10 @@ func (o AsyncOptions) withDefaults() AsyncOptions {
 	return o
 }
 
+func (o AsyncOptions) faultSpec() (channel.Spec, error) {
+	return faultSpec(o.LossRate, o.Faults)
+}
+
 // AsyncResult extends the shared summary with protocol counters.
 type AsyncResult struct {
 	*metrics.Result
@@ -115,9 +125,12 @@ type asyncEngine struct {
 	opt AsyncOptions
 	x   []float64
 
-	tracker *sim.ErrTracker
-	counter sim.Counter
-	curve   metrics.Curve
+	// run bundles the clock, error tracker, transmission counter,
+	// convergence curve, and the radio medium.
+	run *sim.Harness
+	// expectedLoss is the data-plane medium's long-run loss rate, used
+	// to inflate round budgets.
+	expectedLoss float64
 
 	localOn  []bool // per node
 	globalOn []bool // per square
@@ -151,26 +164,29 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	}
 	opt = opt.withDefaults()
 	if g.N() == 0 {
-		return &AsyncResult{Result: &metrics.Result{
-			Algorithm:               "affine-async",
-			Converged:               true,
-			Curve:                   &metrics.Curve{},
-			TransmissionsByCategory: (&sim.Counter{}).Breakdown(),
-		}}, nil
+		return &AsyncResult{Result: sim.EmptyResult("affine-async")}, nil
+	}
+	spec, err := opt.faultSpec()
+	if err != nil {
+		return nil, err
 	}
 	e := &asyncEngine{
-		g:        g,
-		h:        h,
-		opt:      opt,
-		x:        x,
-		tracker:  sim.NewErrTracker(x),
-		localOn:  make([]bool, g.N()),
-		globalOn: make([]bool, len(h.Squares)),
-		active:   make([]bool, len(h.Squares)),
-		count:    make([]uint64, len(h.Squares)),
-		leafAdj:  buildLeafAdj(g, h),
-		protoRNG: r.Stream("protocol"),
+		g:            g,
+		h:            h,
+		opt:          opt,
+		x:            x,
+		expectedLoss: spec.ExpectedLossRate(),
+		localOn:      make([]bool, g.N()),
+		globalOn:     make([]bool, len(h.Squares)),
+		active:       make([]bool, len(h.Squares)),
+		count:        make([]uint64, len(h.Squares)),
+		leafAdj:      buildLeafAdj(g, h),
+		protoRNG:     r.Stream("protocol"),
 	}
+	// The data-plane medium draws losses from the protocol stream (the
+	// same stream the inline checks used, keeping pre-channel runs
+	// bit-identical) and churn schedules from their own stream.
+	medium := spec.Build(g.N(), e.protoRNG, r.Stream("churn"))
 	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
 	e.buildBudgets()
 	e.buildRoles()
@@ -182,38 +198,27 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 		e.globalOn[root.ID] = true
 	}
 
-	stop := opt.Stop.WithDefaults()
-	clock := sim.NewClock(g.N(), r.Stream("clock"))
-	every := opt.RecordEvery
-	if every == 0 {
-		every = uint64(g.N())
-	}
-	e.curve.Record(0, 0, e.tracker.Err())
-	for !stop.Done(clock.Ticks(), e.tracker.Err()) {
-		s := clock.Tick()
+	e.run = sim.NewHarness(x, sim.HarnessConfig{
+		Stop:        opt.Stop,
+		RecordEvery: opt.RecordEvery,
+		Medium:      medium,
+		Tracer:      opt.Tracer,
+	}, r.Stream("clock"))
+	for !e.run.Done() {
+		s := e.run.Tick()
+		if !e.run.Alive(s) {
+			e.run.Sample()
+			continue
+		}
 		for _, sqID := range e.nodeRoles[s] {
 			e.repStep(sqID)
 		}
 		if e.localOn[s] {
 			e.near(s)
 		}
-		if clock.Ticks()%every == 0 {
-			e.curve.Record(clock.Ticks(), e.counter.Total(), e.tracker.Err())
-		}
+		e.run.Sample()
 	}
-	e.tracker.Resync()
-	finalErr := e.tracker.Err()
-	e.curve.Record(clock.Ticks(), e.counter.Total(), finalErr)
-	e.res.Result = &metrics.Result{
-		Algorithm:               "affine-async",
-		N:                       g.N(),
-		Converged:               stop.TargetErr > 0 && finalErr <= stop.TargetErr,
-		FinalErr:                finalErr,
-		Ticks:                   clock.Ticks(),
-		Transmissions:           e.counter.Total(),
-		TransmissionsByCategory: e.counter.Breakdown(),
-		Curve:                   &e.curve,
-	}
+	e.res.Result = e.run.Finish("affine-async")
 	e.res.BudgetByDepth = append([]uint64(nil), e.budget...)
 	return &e.res, nil
 }
@@ -237,8 +242,8 @@ func (e *asyncEngine) buildBudgets() {
 	// Under packet loss a Far exchange survives only with probability
 	// (1-loss)²; rounds are budgeted for the effective exchange count.
 	lossFactor := 1.0
-	if e.opt.LossRate > 0 && e.opt.LossRate < 1 {
-		surv := (1 - e.opt.LossRate) * (1 - e.opt.LossRate)
+	if e.expectedLoss > 0 && e.expectedLoss < 1 {
+		surv := (1 - e.expectedLoss) * (1 - e.expectedLoss)
 		lossFactor = 1 / surv
 	}
 	for r := leafDepth - 1; r >= 0; r-- {
@@ -310,12 +315,10 @@ func (e *asyncEngine) activate(sq *hier.Square) {
 	}
 	e.active[sq.ID] = true
 	e.res.Activations++
-	if e.opt.Tracer != nil {
-		e.opt.Tracer.Record(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
-	}
+	e.run.Trace(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
 	if sq.IsLeaf() {
 		fl := routing.Flood(e.g, sq.Rep, sq.Rect)
-		e.counter.Add(sim.CatFlood, fl.Transmissions)
+		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
 		for _, v := range fl.Reached {
 			e.localOn[v] = true
 		}
@@ -327,7 +330,7 @@ func (e *asyncEngine) activate(sq *hier.Square) {
 			continue
 		}
 		res := routing.GreedyToNode(e.g, sq.Rep, child.Rep, e.opt.Recovery)
-		e.counter.Add(sim.CatControl, res.Hops)
+		e.run.Counter.Add(sim.CatControl, res.Hops)
 		if res.Delivered {
 			e.globalOn[child.ID] = true
 		}
@@ -342,12 +345,10 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 	}
 	e.active[sq.ID] = false
 	e.res.Deactivations++
-	if e.opt.Tracer != nil {
-		e.opt.Tracer.Record(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
-	}
+	e.run.Trace(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
 	if sq.IsLeaf() {
 		fl := routing.Flood(e.g, sq.Rep, sq.Rect)
-		e.counter.Add(sim.CatFlood, fl.Transmissions)
+		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
 		for _, v := range fl.Reached {
 			e.localOn[v] = false
 		}
@@ -359,7 +360,7 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 			continue
 		}
 		res := routing.GreedyToNode(e.g, sq.Rep, child.Rep, e.opt.Recovery)
-		e.counter.Add(sim.CatControl, res.Hops)
+		e.run.Counter.Add(sim.CatControl, res.Hops)
 		if res.Delivered {
 			e.globalOn[child.ID] = false
 		}
@@ -381,33 +382,31 @@ func (e *asyncEngine) far(sq *hier.Square) {
 		e.res.OverlapFars++
 	}
 	partner := e.h.Squares[sibs[e.protoRNG.IntN(len(sibs))]]
-	if e.opt.LossRate > 0 && e.protoRNG.Bernoulli(1-(1-e.opt.LossRate)*(1-e.opt.LossRate)) {
-		out := routing.GreedyToNode(e.g, sq.Rep, partner.Rep, e.opt.Recovery)
-		cost := out.Hops
-		if cost > 0 {
-			cost = 1 + e.protoRNG.IntN(2*cost)
-		}
-		e.counter.Add(sim.CatFar, cost)
+	out := routing.GreedyToNode(e.g, sq.Rep, partner.Rep, e.opt.Recovery)
+	if ok, paid := e.run.Medium.DeliverRoundTrip(sq.Rep, partner.Rep, out.Hops); !ok {
+		e.run.Counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
-		if e.opt.Tracer != nil {
-			e.opt.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: cost})
-		}
+		e.run.Trace(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: paid})
 		return
 	}
-	hops, delivered, _ := routing.RoundTrip(e.g, sq.Rep, partner.Rep, e.opt.Recovery)
-	e.counter.Add(sim.CatFar, hops)
+	hops := out.Hops
+	delivered := out.Delivered
+	if delivered {
+		back := routing.GreedyToNode(e.g, partner.Rep, sq.Rep, e.opt.Recovery)
+		hops += back.Hops
+		delivered = back.Delivered
+	}
+	e.run.Counter.Add(sim.CatFar, hops)
 	if !delivered {
 		e.res.RouteFailures++
 		return
 	}
 	xi, xj := e.x[sq.Rep], e.x[partner.Rep]
 	coeff := e.opt.Beta * sq.Expected
-	e.tracker.Set(sq.Rep, xi+coeff*(xj-xi))
-	e.tracker.Set(partner.Rep, xj+coeff*(xi-xj))
+	e.run.Tracker.Set(sq.Rep, xi+coeff*(xj-xi))
+	e.run.Tracker.Set(partner.Rep, xj+coeff*(xi-xj))
 	e.res.FarExchanges++
-	if e.opt.Tracer != nil {
-		e.opt.Tracer.Record(trace.Event{Kind: trace.KindFar, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: hops})
-	}
+	e.run.Trace(trace.Event{Kind: trace.KindFar, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: hops})
 	// §4.2 Far step 5: the partner's counter resets too, re-activating its
 	// subtree for re-averaging.
 	e.count[partner.ID] = 0
@@ -428,13 +427,13 @@ func (e *asyncEngine) near(s int32) {
 	default:
 		return
 	}
-	if e.opt.LossRate > 0 && e.protoRNG.Bernoulli(e.opt.LossRate) {
-		e.counter.Add(sim.CatNear, 1) // lost outbound value
+	if ok, paid := e.run.Medium.DeliverHop(s, v); !ok {
+		e.run.Counter.Add(sim.CatNear, paid) // lost outbound value
 		return
 	}
 	avg := (e.x[s] + e.x[v]) / 2
-	e.tracker.Set(s, avg)
-	e.tracker.Set(v, avg)
-	e.counter.Add(sim.CatNear, cost)
+	e.run.Tracker.Set(s, avg)
+	e.run.Tracker.Set(v, avg)
+	e.run.Counter.Add(sim.CatNear, cost)
 	e.res.NearExchanges++
 }

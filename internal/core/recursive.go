@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
 	"geogossip/internal/metrics"
@@ -103,11 +104,17 @@ type RecursiveOptions struct {
 	// 200·L² + 1000 for a leaf of L members.
 	MaxLeafExchanges int
 	// LossRate is the probability that a data packet (single-hop
-	// exchange, or a leg of a long-range route) is lost. Lost exchanges
-	// pay for the transmissions made before the loss but apply no update;
-	// updates commit atomically per pair so the sum invariant survives.
-	// Zero disables loss.
+	// exchange, or a leg of a long-range route) is lost — shorthand for
+	// a Bernoulli fault model in Faults. Lost exchanges pay for the
+	// transmissions made before the loss but apply no update; updates
+	// commit atomically per pair so the sum invariant survives. Zero
+	// disables loss. Setting both LossRate and a loss model in Faults is
+	// an error.
 	LossRate float64
+	// Faults selects the radio fault model (loss process and/or node
+	// churn). The zero Spec is the perfect medium. This engine has no
+	// global clock, so churn durations are measured in transmissions.
+	Faults channel.Spec
 	// Tracer, when non-nil, receives structured protocol events (far
 	// exchanges, leaf completions, losses).
 	Tracer trace.Tracer
@@ -171,7 +178,10 @@ type engine struct {
 	scale0  float64
 	pick    *rng.RNG
 	leafRNG *rng.RNG
-	lossRNG *rng.RNG
+	// ch is the radio medium every data packet goes through; its clock
+	// is driven by the transmission counter (this engine has no tick
+	// clock).
+	ch channel.Channel
 	// leafAdj[i] lists node i's graph neighbours inside node i's own leaf
 	// square (the candidates for Near exchanges).
 	leafAdj [][]int32
@@ -197,12 +207,11 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 	opt = opt.withDefaults()
 	name := algorithmName(opt, h)
 	if g.N() == 0 {
-		return &Result{Result: &metrics.Result{
-			Algorithm:               name,
-			Converged:               true,
-			Curve:                   &metrics.Curve{},
-			TransmissionsByCategory: (&sim.Counter{}).Breakdown(),
-		}}, nil
+		return &Result{Result: sim.EmptyResult(name)}, nil
+	}
+	spec, err := opt.faultSpec()
+	if err != nil {
+		return nil, err
 	}
 	e := &engine{
 		g:       g,
@@ -212,7 +221,7 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		tracker: sim.NewErrTracker(x),
 		pick:    r.Stream("pick"),
 		leafRNG: r.Stream("leaf"),
-		lossRNG: r.Stream("loss"),
+		ch:      spec.Build(g.N(), r.Stream("loss"), r.Stream("churn")),
 		leafAdj: buildLeafAdj(g, h),
 	}
 	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
@@ -236,8 +245,33 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		Transmissions:           e.counter.Total(),
 		TransmissionsByCategory: e.counter.Breakdown(),
 		Curve:                   &e.curve,
+		Alive:                   sim.AliveMask(e.ch, g.N()),
 	}
 	return &e.res, nil
+}
+
+// faultSpec folds a legacy LossRate shorthand into a fault spec and
+// validates the result (shared by the recursive and async engines).
+func faultSpec(lossRate float64, faults channel.Spec) (channel.Spec, error) {
+	spec := faults
+	if lossRate != 0 {
+		if lossRate < 0 || lossRate > 1 {
+			return spec, fmt.Errorf("core: loss rate %v outside [0, 1]", lossRate)
+		}
+		if spec.Loss != channel.LossNone {
+			return spec, fmt.Errorf("core: LossRate and Faults both select a loss model")
+		}
+		spec.Loss = channel.LossBernoulli
+		spec.LossRate = lossRate
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+func (o RecursiveOptions) faultSpec() (channel.Spec, error) {
+	return faultSpec(o.LossRate, o.Faults)
 }
 
 func algorithmName(opt RecursiveOptions, h *hier.Hierarchy) string {
@@ -407,22 +441,25 @@ func (e *engine) avg(sq *hier.Square, eps float64) {
 // values, using old values on both sides as in §3 steps 3–4.
 func (e *engine) farExchange(a, b *hier.Square) {
 	ra, rb := a.Rep, b.Rep
-	if e.opt.LossRate > 0 && e.lossRNG.Bernoulli(1-(1-e.opt.LossRate)*(1-e.opt.LossRate)) {
-		// One of the two route legs was lost: charge a partial route and
+	e.ch.Advance(e.counter.Total())
+	out := routing.GreedyToNode(e.g, ra, rb, e.opt.Recovery)
+	if ok, paid := e.ch.DeliverRoundTrip(ra, rb, out.Hops); !ok {
+		// One of the two route legs was lost: charge the partial cost and
 		// apply no update (the oracle loop simply runs another round).
-		out := routing.GreedyToNode(e.g, ra, rb, e.opt.Recovery)
-		cost := out.Hops
-		if cost > 0 {
-			cost = 1 + e.lossRNG.IntN(2*cost)
-		}
-		e.counter.Add(sim.CatFar, cost)
+		e.counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
 		if e.opt.Tracer != nil {
-			e.opt.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: a.ID, NodeA: ra, NodeB: rb, Hops: cost})
+			e.opt.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: a.ID, NodeA: ra, NodeB: rb, Hops: paid})
 		}
 		return
 	}
-	hops, delivered, _ := routing.RoundTrip(e.g, ra, rb, e.opt.Recovery)
+	hops := out.Hops
+	delivered := out.Delivered
+	if delivered {
+		back := routing.GreedyToNode(e.g, rb, ra, e.opt.Recovery)
+		hops += back.Hops
+		delivered = back.Delivered
+	}
 	e.counter.Add(sim.CatFar, hops)
 	if !delivered {
 		e.res.RouteFailures++
@@ -498,6 +535,10 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 	}
 	for k := 0; k < maxEx && dev2 > target2; k++ {
 		u := members[e.leafRNG.IntN(l)]
+		e.ch.Advance(e.counter.Total())
+		if !e.ch.Alive(u) {
+			continue // a dead node's clock never picks it
+		}
 		cands := e.leafAdj[u]
 		var v int32
 		cost := 2
@@ -512,8 +553,8 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		default:
 			continue
 		}
-		if e.opt.LossRate > 0 && e.lossRNG.Bernoulli(e.opt.LossRate) {
-			e.counter.Add(sim.CatNear, 1) // lost outbound value
+		if ok, paid := e.ch.DeliverHop(u, v); !ok {
+			e.counter.Add(sim.CatNear, paid) // lost outbound value
 			continue
 		}
 		xu, xv := e.x[u], e.x[v]

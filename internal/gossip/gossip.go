@@ -1,4 +1,4 @@
-// Package gossip implements the two baseline averaging algorithms the
+// Package gossip implements three baseline averaging algorithms the
 // paper compares against:
 //
 //   - Boyd et al. (INFOCOM 2005) randomized nearest-neighbour gossip —
@@ -7,21 +7,25 @@
 //     Õ(n^1.5) transmissions: RunGeographic, with either faithful
 //     rejection sampling over random positions or idealized uniform node
 //     sampling.
+//   - Kempe–Dobra–Gehrke (FOCS 2003) push-sum: RunPushSum.
 //
-// Both use the shared clock model and transmission accounting from
-// internal/sim so that costs are comparable with the paper's algorithm in
-// internal/core.
+// All use the shared run harness from internal/sim (clock model,
+// transmission accounting, error tracking) and route every data-packet
+// delivery through internal/channel, so costs and fault behaviour are
+// comparable with the paper's algorithm in internal/core.
 package gossip
 
 import (
 	"fmt"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/geo"
 	"geogossip/internal/graph"
 	"geogossip/internal/metrics"
 	"geogossip/internal/rng"
 	"geogossip/internal/routing"
 	"geogossip/internal/sim"
+	"geogossip/internal/trace"
 )
 
 // Options configures a baseline run.
@@ -32,22 +36,49 @@ type Options struct {
 	// Zero selects n (≈ once per unit of simulated time).
 	RecordEvery uint64
 	// LossRate is the probability that a data packet (or, for multi-hop
-	// routes, a route leg) is lost. A lost exchange still pays for the
-	// transmissions made before the loss but applies no update, and
-	// updates commit atomically per pair, so the sum invariant survives
-	// arbitrary loss. Zero disables loss and leaves runs byte-identical
-	// to pre-loss behaviour.
+	// routes, a route leg) is lost — shorthand for a Bernoulli fault
+	// model in Faults. A lost exchange still pays for the transmissions
+	// made before the loss but applies no update, and updates commit
+	// atomically per pair, so the sum invariant survives arbitrary loss.
+	// Zero disables loss and leaves runs byte-identical to pre-loss
+	// behaviour. Setting both LossRate and a loss model in Faults is an
+	// error.
 	LossRate float64
+	// Faults selects the radio fault model (loss process and/or node
+	// churn). The zero Spec is the perfect medium.
+	Faults channel.Spec
+	// Tracer, when non-nil, receives loss events.
+	Tracer trace.Tracer
 }
 
-func (o Options) recordEvery(n int) uint64 {
-	if o.RecordEvery > 0 {
-		return o.RecordEvery
+// faultSpec folds the legacy LossRate shorthand into the fault spec and
+// validates the result.
+func (o Options) faultSpec() (channel.Spec, error) {
+	spec := o.Faults
+	if o.LossRate != 0 {
+		if o.LossRate < 0 || o.LossRate > 1 {
+			return spec, fmt.Errorf("gossip: loss rate %v outside [0, 1]", o.LossRate)
+		}
+		if spec.Loss != channel.LossNone {
+			return spec, fmt.Errorf("gossip: LossRate and Faults both select a loss model")
+		}
+		spec.Loss = channel.LossBernoulli
+		spec.LossRate = o.LossRate
 	}
-	if n < 1 {
-		return 1
+	if err := spec.Validate(); err != nil {
+		return spec, err
 	}
-	return uint64(n)
+	return spec, nil
+}
+
+// medium builds the run's radio channel over the engine's deterministic
+// streams: losses draw from "loss", churn schedules from "churn".
+func (o Options) medium(n int, r *rng.RNG) (channel.Channel, error) {
+	spec, err := o.faultSpec()
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(n, r.Stream("loss"), r.Stream("churn")), nil
 }
 
 // RunBoyd runs randomized nearest-neighbour gossip: on each clock tick
@@ -58,39 +89,43 @@ func RunBoyd(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Res
 		return nil, fmt.Errorf("gossip: %d nodes but %d values", g.N(), len(x))
 	}
 	if g.N() == 0 {
-		return emptyResult("boyd"), nil
+		return sim.EmptyResult("boyd"), nil
 	}
-	stop := opt.Stop.WithDefaults()
-	clock := sim.NewClock(g.N(), r.Stream("clock"))
+	medium, err := opt.medium(g.N(), r)
+	if err != nil {
+		return nil, err
+	}
+	h := sim.NewHarness(x, sim.HarnessConfig{
+		Stop:        opt.Stop,
+		RecordEvery: opt.RecordEvery,
+		Medium:      medium,
+		Tracer:      opt.Tracer,
+	}, r.Stream("clock"))
 	pick := r.Stream("pick")
-	loss := r.Stream("loss")
-	tracker := sim.NewErrTracker(x)
-	var counter sim.Counter
-	curve := &metrics.Curve{}
-	every := opt.recordEvery(g.N())
 
-	curve.Record(0, 0, tracker.Err())
-	for !stop.Done(clock.Ticks(), tracker.Err()) {
-		s := clock.Tick()
+	for !h.Done() {
+		s := h.Tick()
+		if !h.Alive(s) {
+			h.Sample()
+			continue
+		}
 		deg := g.Degree(s)
 		if deg > 0 {
-			nbrs := g.Neighbors(s)
-			v := nbrs[pick.IntN(deg)]
-			if opt.LossRate > 0 && loss.Bernoulli(opt.LossRate) {
+			v := g.Neighbors(s)[pick.IntN(deg)]
+			if ok, paid := h.Medium.DeliverHop(s, v); !ok {
 				// The outbound value was transmitted but lost; no update.
-				counter.Add(sim.CatNear, 1)
+				h.Counter.Add(sim.CatNear, paid)
+				h.TraceLoss(s, v, paid)
 			} else {
 				avg := (x[s] + x[v]) / 2
-				tracker.Set(s, avg)
-				tracker.Set(v, avg)
-				counter.Add(sim.CatNear, 2)
+				h.Tracker.Set(s, avg)
+				h.Tracker.Set(v, avg)
+				h.Counter.Add(sim.CatNear, 2)
 			}
 		}
-		if clock.Ticks()%every == 0 {
-			curve.Record(clock.Ticks(), counter.Total(), tracker.Err())
-		}
+		h.Sample()
 	}
-	return finishResult("boyd", g.N(), stop, clock, tracker, &counter, curve), nil
+	return h.Finish("boyd"), nil
 }
 
 // Sampling selects how geographic gossip chooses long-range partners.
@@ -238,88 +273,58 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 	}
 	name := "geographic-" + opt.Sampling.String()
 	if g.N() == 0 {
-		return emptyResult(name), nil
+		return sim.EmptyResult(name), nil
 	}
 	opt = opt.withDefaults()
 	name = "geographic-" + opt.Sampling.String()
-	stop := opt.Stop.WithDefaults()
-	clock := sim.NewClock(g.N(), r.Stream("clock"))
+	medium, err := opt.medium(g.N(), r)
+	if err != nil {
+		return nil, err
+	}
+	h := sim.NewHarness(x, sim.HarnessConfig{
+		Stop:        opt.Stop,
+		RecordEvery: opt.RecordEvery,
+		Medium:      medium,
+		Tracer:      opt.Tracer,
+	}, r.Stream("clock"))
 	sampler := NewTargetSampler(g, opt.Sampling, opt.MaxAttempts)
 	sampleRNG := r.Stream("sample")
-	loss := r.Stream("loss")
-	tracker := sim.NewErrTracker(x)
-	var counter sim.Counter
-	curve := &metrics.Curve{}
-	every := opt.recordEvery(g.N())
 
-	curve.Record(0, 0, tracker.Err())
-	for !stop.Done(clock.Ticks(), tracker.Err()) {
-		s := clock.Tick()
-		if opt.LossRate > 0 && loss.Bernoulli(opt.LossRate) {
-			// The outbound packet died at a uniformly random hop of what
-			// would have been its route; charge the partial cost.
-			target, hops, _ := sampler.SampleFrom(s, sampleRNG)
-			_ = target
-			counter.Add(sim.CatFar, partialHops(hops, loss))
+	for !h.Done() {
+		s := h.Tick()
+		if !h.Alive(s) {
+			h.Sample()
+			continue
+		}
+		target, hops, _ := sampler.SampleFrom(s, sampleRNG)
+		if ok, paid := h.Medium.DeliverRoute(s, target, hops); !ok {
+			// The outbound packet died partway along its route; charge the
+			// partial cost.
+			h.Counter.Add(sim.CatFar, paid)
+			h.TraceLoss(s, target, paid)
 		} else {
-			target, hops, _ := sampler.SampleFrom(s, sampleRNG)
-			counter.Add(sim.CatFar, hops)
+			h.Counter.Add(sim.CatFar, hops)
 			if target != s {
 				back := routing.GreedyToNode(g, target, s, opt.Recovery)
-				if opt.LossRate > 0 && loss.Bernoulli(opt.LossRate) {
+				if ok, paid := h.Medium.DeliverRoute(target, s, back.Hops); !ok {
 					// Return leg lost: partial cost, no commit.
-					counter.Add(sim.CatFar, partialHops(back.Hops, loss))
+					h.Counter.Add(sim.CatFar, paid)
+					h.TraceLoss(target, s, paid)
 				} else {
-					counter.Add(sim.CatFar, back.Hops)
+					h.Counter.Add(sim.CatFar, back.Hops)
 					// Commit the pair atomically only when the round trip
 					// completed, so a failed return route (possible only
 					// on a disconnected instance) cannot break sum
 					// preservation.
 					if back.Delivered {
 						avg := (x[s] + x[target]) / 2
-						tracker.Set(target, avg)
-						tracker.Set(s, avg)
+						h.Tracker.Set(target, avg)
+						h.Tracker.Set(s, avg)
 					}
 				}
 			}
 		}
-		if clock.Ticks()%every == 0 {
-			curve.Record(clock.Ticks(), counter.Total(), tracker.Err())
-		}
+		h.Sample()
 	}
-	return finishResult(name, g.N(), stop, clock, tracker, &counter, curve), nil
-}
-
-// partialHops returns the cost of a route leg that died at a uniformly
-// random hop.
-func partialHops(hops int, r *rng.RNG) int {
-	if hops <= 0 {
-		return 0
-	}
-	return 1 + r.IntN(hops)
-}
-
-func emptyResult(name string) *metrics.Result {
-	return &metrics.Result{
-		Algorithm:               name,
-		Converged:               true,
-		Curve:                   &metrics.Curve{},
-		TransmissionsByCategory: (&sim.Counter{}).Breakdown(),
-	}
-}
-
-func finishResult(name string, n int, stop sim.StopRule, clock *sim.Clock, tracker *sim.ErrTracker, counter *sim.Counter, curve *metrics.Curve) *metrics.Result {
-	tracker.Resync()
-	finalErr := tracker.Err()
-	curve.Record(clock.Ticks(), counter.Total(), finalErr)
-	return &metrics.Result{
-		Algorithm:               name,
-		N:                       n,
-		Converged:               stop.TargetErr > 0 && finalErr <= stop.TargetErr,
-		FinalErr:                finalErr,
-		Ticks:                   clock.Ticks(),
-		Transmissions:           counter.Total(),
-		TransmissionsByCategory: counter.Breakdown(),
-		Curve:                   curve,
-	}
+	return h.Finish(name), nil
 }

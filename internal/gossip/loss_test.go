@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/rng"
 	"geogossip/internal/sim"
 )
@@ -118,15 +119,22 @@ func TestGeographicConvergesUnderLoss(t *testing.T) {
 	}
 }
 
-func TestPartialHops(t *testing.T) {
-	r := rng.New(415)
-	if got := partialHops(0, r); got != 0 {
-		t.Fatalf("partialHops(0) = %d", got)
-	}
-	for i := 0; i < 1000; i++ {
-		h := partialHops(10, r)
-		if h < 1 || h > 10 {
-			t.Fatalf("partialHops(10) = %d out of [1,10]", h)
+func TestLossRateValidation(t *testing.T) {
+	g := generate(t, 50, 2.5, 416)
+	for _, bad := range []float64{-0.1, 1.5} {
+		if _, err := RunBoyd(g, make([]float64, g.N()), Options{LossRate: bad}, rng.New(1)); err == nil {
+			t.Fatalf("boyd accepted loss rate %v", bad)
 		}
+		if _, err := RunGeographic(g, make([]float64, g.N()), GeoOptions{Options: Options{LossRate: bad}}, rng.New(1)); err == nil {
+			t.Fatalf("geographic accepted loss rate %v", bad)
+		}
+	}
+	// LossRate and an explicit Faults loss model together are ambiguous.
+	both := Options{
+		LossRate: 0.1,
+		Faults:   channel.Spec{Loss: channel.LossBernoulli, LossRate: 0.2},
+	}
+	if _, err := RunBoyd(g, make([]float64, g.N()), both, rng.New(1)); err == nil {
+		t.Fatal("boyd accepted LossRate combined with a Faults loss model")
 	}
 }

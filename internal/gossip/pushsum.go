@@ -22,23 +22,35 @@ import (
 // Push-sum is included as a third baseline because the paper's related
 // work leans on it; its transmission scaling on G(n, r) matches
 // nearest-neighbour gossip (Õ(n²)) while halving the per-exchange cost.
-// Packet loss is NOT supported here: losing a one-way push permanently
-// destroys mass, so Options.LossRate must be zero.
+//
+// Fault model: a naive lossy push would permanently destroy mass, so
+// faults use the mass-conservation bookkeeping of KDG §4 — a push that
+// is not acknowledged is rolled back at the sender (equivalently, the
+// sender retains the outbound half until an ack arrives and restores it
+// on timeout). A lost push therefore pays its transmission but moves no
+// mass: Σs and Σw over all nodes stay exact under arbitrary loss and
+// churn, which is precisely the property the churn scenarios measure.
+// Dead nodes freeze their pair and carry it back on revival.
 func RunPushSum(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Result, error) {
+	res, _, _, err := RunPushSumState(g, x, opt, r)
+	return res, err
+}
+
+// RunPushSumState is RunPushSum, additionally returning the final mass
+// vectors (s, w) so callers can check the conservation invariants
+// Σs = Σx(0) and Σw = n directly (see PushSumMass).
+func RunPushSumState(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Result, []float64, []float64, error) {
 	if g.N() != len(x) {
-		return nil, fmt.Errorf("gossip: %d nodes but %d values", g.N(), len(x))
-	}
-	if opt.LossRate != 0 {
-		return nil, fmt.Errorf("gossip: push-sum does not support packet loss (mass would be destroyed)")
+		return nil, nil, nil, fmt.Errorf("gossip: %d nodes but %d values", g.N(), len(x))
 	}
 	if g.N() == 0 {
-		return emptyResult("push-sum"), nil
+		return sim.EmptyResult("push-sum"), nil, nil, nil
 	}
-	stop := opt.Stop.WithDefaults()
-	clock := sim.NewClock(g.N(), r.Stream("clock"))
-	pick := r.Stream("pick")
+	medium, err := opt.medium(g.N(), r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	n := g.N()
-
 	s := append([]float64(nil), x...)
 	w := make([]float64, n)
 	for i := range w {
@@ -47,32 +59,55 @@ func RunPushSum(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.
 	// The error tracker runs on the estimates s/w, refreshed in place.
 	est := make([]float64, n)
 	copy(est, s)
-	tracker := sim.NewErrTracker(est)
-	var counter sim.Counter
-	curve := &metrics.Curve{}
-	every := opt.recordEvery(n)
+	h := sim.NewHarness(est, sim.HarnessConfig{
+		Stop:        opt.Stop,
+		RecordEvery: opt.RecordEvery,
+		Medium:      medium,
+		Tracer:      opt.Tracer,
+	}, r.Stream("clock"))
+	pick := r.Stream("pick")
 
-	curve.Record(0, 0, tracker.Err())
-	for !stop.Done(clock.Ticks(), tracker.Err()) {
-		i := clock.Tick()
+	for !h.Done() {
+		i := h.Tick()
+		if !h.Alive(i) {
+			h.Sample()
+			continue
+		}
 		deg := g.Degree(i)
 		if deg > 0 {
 			j := g.Neighbors(i)[pick.IntN(deg)]
-			s[i] /= 2
-			w[i] /= 2
-			s[j] += s[i]
-			w[j] += w[i]
-			counter.Add(sim.CatNear, 1)
-			tracker.Set(i, s[i]/w[i])
-			tracker.Set(j, s[j]/w[j])
+			if ok, paid := h.Medium.DeliverHop(i, j); !ok {
+				// Unacknowledged push: the sender rolls its halves back, so
+				// no mass moves — only the transmission is paid.
+				h.Counter.Add(sim.CatNear, paid)
+				h.TraceLoss(i, j, paid)
+			} else {
+				s[i] /= 2
+				w[i] /= 2
+				s[j] += s[i]
+				w[j] += w[i]
+				h.Counter.Add(sim.CatNear, 1)
+				h.Tracker.Set(i, s[i]/w[i])
+				h.Tracker.Set(j, s[j]/w[j])
+			}
 		}
-		if clock.Ticks()%every == 0 {
-			curve.Record(clock.Ticks(), counter.Total(), tracker.Err())
-		}
+		h.Sample()
 	}
-	res := finishResult("push-sum", n, stop, clock, tracker, &counter, curve)
+	res := h.Finish("push-sum")
 	// Expose the final estimates through x, matching the other runners'
 	// contract that x converges toward the mean in place.
 	copy(x, est)
-	return res, nil
+	return res, s, w, nil
+}
+
+// PushSumMass returns the invariant totals Σs and Σw a push-sum run
+// preserves; exposed for mass-conservation tests and the churn example.
+func PushSumMass(s, w []float64) (sumS, sumW float64) {
+	for _, v := range s {
+		sumS += v
+	}
+	for _, v := range w {
+		sumW += v
+	}
+	return sumS, sumW
 }

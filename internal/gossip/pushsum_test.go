@@ -86,10 +86,35 @@ func TestPushSumMassInvariants(t *testing.T) {
 	}
 }
 
-func TestPushSumRejectsLoss(t *testing.T) {
-	g := generate(t, 50, 2.5, 442)
-	if _, err := RunPushSum(g, make([]float64, g.N()), Options{LossRate: 0.1}, rng.New(1)); err == nil {
-		t.Fatal("push-sum accepted a loss rate")
+func TestPushSumConservesMassUnderLoss(t *testing.T) {
+	// A lost push is rolled back at the sender (KDG mass-conservation
+	// bookkeeping), so Σs = Σx(0) and Σw = n stay exact under arbitrary
+	// i.i.d. loss and the estimates still converge to the true mean.
+	g := generate(t, 200, 2.0, 442)
+	x := randomValues(g.N(), 443)
+	mean := meanOf(x)
+	sum0 := mean * float64(g.N())
+	res, s, w, err := RunPushSumState(g, x, Options{
+		Stop:     sim.StopRule{TargetErr: 1e-3, MaxTicks: 10_000_000},
+		LossRate: 0.3,
+	}, rng.New(444))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("push-sum with 30%% loss did not converge: %v", res)
+	}
+	sumS, sumW := PushSumMass(s, w)
+	if math.Abs(sumS-sum0) > 1e-9*(math.Abs(sum0)+1) {
+		t.Fatalf("Σs drifted under loss: %v -> %v", sum0, sumS)
+	}
+	if math.Abs(sumW-float64(g.N())) > 1e-9 {
+		t.Fatalf("Σw drifted under loss: %v -> %v", g.N(), sumW)
+	}
+	for i, v := range x {
+		if math.Abs(v-mean) > 0.05 {
+			t.Fatalf("node %d estimate %v far from mean %v", i, v, mean)
+		}
 	}
 }
 

@@ -112,6 +112,10 @@ type Result struct {
 	// Curve is the sampled trajectory (may be empty if sampling was
 	// disabled).
 	Curve *Curve
+	// Alive is the per-node liveness at termination under a churn fault
+	// model; nil when every node was up (any fault-free or loss-only
+	// run). Dead nodes hold their last pre-crash value.
+	Alive []bool
 }
 
 // String implements fmt.Stringer with a one-line summary.

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"geogossip/internal/channel"
+	"geogossip/internal/metrics"
+	"geogossip/internal/rng"
+	"geogossip/internal/trace"
+)
+
+// Harness bundles the per-run state every clock-driven engine previously
+// assembled by hand: the Poisson clock, the incremental error tracker,
+// transmission accounting, the convergence curve, the radio medium, and
+// optional event tracing. Engines drive it as
+//
+//	h := sim.NewHarness(x, sim.HarnessConfig{...}, r.Stream("clock"))
+//	for !h.Done() {
+//	    s := h.Tick()
+//	    if !h.Alive(s) { h.Sample(); continue }
+//	    ... protocol step using h.Medium, h.Tracker, h.Counter ...
+//	    h.Sample()
+//	}
+//	return h.Finish(name), nil
+//
+// which keeps the clock/tracker/counter/curve wiring — and its exact
+// draw and sampling order — identical across engines.
+type Harness struct {
+	// Stop is the termination rule (defaults already applied).
+	Stop StopRule
+	// Clock assigns ticks to nodes.
+	Clock *Clock
+	// Tracker maintains the relative ℓ₂ error over x.
+	Tracker *ErrTracker
+	// Counter accumulates transmissions by category.
+	Counter Counter
+	// Curve is the sampled convergence trajectory.
+	Curve metrics.Curve
+	// Medium is the radio fault model every data packet goes through.
+	Medium channel.Channel
+	// Tracer receives protocol events; nil costs nothing.
+	Tracer trace.Tracer
+
+	n     int
+	every uint64
+}
+
+// HarnessConfig configures NewHarness.
+type HarnessConfig struct {
+	// Stop bundles the termination conditions (WithDefaults is applied).
+	Stop StopRule
+	// RecordEvery samples the curve every RecordEvery ticks; zero
+	// selects n.
+	RecordEvery uint64
+	// Medium is the radio fault model; nil selects channel.Perfect.
+	Medium channel.Channel
+	// Tracer optionally receives protocol events.
+	Tracer trace.Tracer
+}
+
+// NewHarness builds the run state over x (n = len(x) > 0) with the clock
+// drawing from clockRNG, and records the initial curve sample.
+func NewHarness(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) *Harness {
+	medium := cfg.Medium
+	if medium == nil {
+		medium = channel.Perfect{}
+	}
+	every := cfg.RecordEvery
+	if every == 0 {
+		every = uint64(len(x))
+		if every == 0 {
+			every = 1
+		}
+	}
+	h := &Harness{
+		Stop:    cfg.Stop.WithDefaults(),
+		Clock:   NewClock(len(x), clockRNG),
+		Tracker: NewErrTracker(x),
+		Medium:  medium,
+		Tracer:  cfg.Tracer,
+		n:       len(x),
+		every:   every,
+	}
+	h.Curve.Record(0, 0, h.Tracker.Err())
+	return h
+}
+
+// Done reports whether the run should stop.
+func (h *Harness) Done() bool {
+	return h.Stop.Done(h.Clock.Ticks(), h.Tracker.Err())
+}
+
+// Tick advances the clock and the medium together and returns the node
+// whose clock fired.
+func (h *Harness) Tick() int32 {
+	s := h.Clock.Tick()
+	h.Medium.Advance(h.Clock.Ticks())
+	return s
+}
+
+// Alive reports whether node i is up on the medium.
+func (h *Harness) Alive(i int32) bool { return h.Medium.Alive(i) }
+
+// Sample records a curve point when the tick count hits the sampling
+// period. Call it at the end of every loop iteration.
+func (h *Harness) Sample() {
+	if h.Clock.Ticks()%h.every == 0 {
+		h.Curve.Record(h.Clock.Ticks(), h.Counter.Total(), h.Tracker.Err())
+	}
+}
+
+// Trace records ev when a tracer is attached.
+func (h *Harness) Trace(ev trace.Event) {
+	if h.Tracer != nil {
+		h.Tracer.Record(ev)
+	}
+}
+
+// TraceLoss records a lost data packet between a and b costing paid.
+func (h *Harness) TraceLoss(a, b int32, paid int) {
+	if h.Tracer != nil {
+		h.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: -1, NodeA: a, NodeB: b, Hops: paid})
+	}
+}
+
+// Finish resyncs the tracker, appends the final curve sample, and
+// assembles the standard result (Converged = target error set and
+// reached). The liveness mask is included when the medium killed nodes.
+func (h *Harness) Finish(name string) *metrics.Result {
+	h.Tracker.Resync()
+	finalErr := h.Tracker.Err()
+	h.Curve.Record(h.Clock.Ticks(), h.Counter.Total(), finalErr)
+	return &metrics.Result{
+		Algorithm:               name,
+		N:                       h.n,
+		Converged:               h.Stop.TargetErr > 0 && finalErr <= h.Stop.TargetErr,
+		FinalErr:                finalErr,
+		Ticks:                   h.Clock.Ticks(),
+		Transmissions:           h.Counter.Total(),
+		TransmissionsByCategory: h.Counter.Breakdown(),
+		Curve:                   &h.Curve,
+		Alive:                   AliveMask(h.Medium, h.n),
+	}
+}
+
+// AliveMask returns the per-node liveness of the medium at the current
+// time, or nil when every node is up (the common, fault-free case).
+func AliveMask(medium channel.Channel, n int) []bool {
+	allUp := true
+	for i := 0; i < n; i++ {
+		if !medium.Alive(int32(i)) {
+			allUp = false
+			break
+		}
+	}
+	if allUp {
+		return nil
+	}
+	mask := make([]bool, n)
+	for i := 0; i < n; i++ {
+		mask[i] = medium.Alive(int32(i))
+	}
+	return mask
+}
+
+// EmptyResult is the degenerate n = 0 run: converged, zero cost.
+func EmptyResult(name string) *metrics.Result {
+	return &metrics.Result{
+		Algorithm:               name,
+		Converged:               true,
+		Curve:                   &metrics.Curve{},
+		TransmissionsByCategory: (&Counter{}).Breakdown(),
+	}
+}

@@ -9,26 +9,28 @@ import (
 // CellKey identifies one grid cell: the task coordinates minus the seed
 // index. Aggregation averages the cell's seeds.
 type CellKey struct {
-	Algorithm string  `json:"algorithm"`
-	N         int     `json:"n"`
-	LossRate  float64 `json:"loss_rate"`
-	Beta      float64 `json:"beta"`
-	Sampling  string  `json:"sampling,omitempty"`
-	Hierarchy string  `json:"hierarchy,omitempty"`
+	Algorithm  string  `json:"algorithm"`
+	N          int     `json:"n"`
+	LossRate   float64 `json:"loss_rate"`
+	FaultModel string  `json:"fault_model,omitempty"`
+	Beta       float64 `json:"beta"`
+	Sampling   string  `json:"sampling,omitempty"`
+	Hierarchy  string  `json:"hierarchy,omitempty"`
 }
 
 // lineKey is a CellKey minus N: the grouping for scaling fits across n.
 type lineKey struct {
-	Algorithm string
-	LossRate  float64
-	Beta      float64
-	Sampling  string
-	Hierarchy string
+	Algorithm  string
+	LossRate   float64
+	FaultModel string
+	Beta       float64
+	Sampling   string
+	Hierarchy  string
 }
 
 func (k CellKey) line() lineKey {
-	return lineKey{Algorithm: k.Algorithm, LossRate: k.LossRate, Beta: k.Beta,
-		Sampling: k.Sampling, Hierarchy: k.Hierarchy}
+	return lineKey{Algorithm: k.Algorithm, LossRate: k.LossRate, FaultModel: k.FaultModel,
+		Beta: k.Beta, Sampling: k.Sampling, Hierarchy: k.Hierarchy}
 }
 
 // Dist summarizes one metric across a cell's seeds.
@@ -72,11 +74,12 @@ type CellStats struct {
 // ScalingFit is a fitted power law transmissions ≈ C·n^p across the cells
 // of one algorithm/parameter line — the paper's headline quantity.
 type ScalingFit struct {
-	Algorithm string  `json:"algorithm"`
-	LossRate  float64 `json:"loss_rate"`
-	Beta      float64 `json:"beta"`
-	Sampling  string  `json:"sampling,omitempty"`
-	Hierarchy string  `json:"hierarchy,omitempty"`
+	Algorithm  string  `json:"algorithm"`
+	LossRate   float64 `json:"loss_rate"`
+	FaultModel string  `json:"fault_model,omitempty"`
+	Beta       float64 `json:"beta"`
+	Sampling   string  `json:"sampling,omitempty"`
+	Hierarchy  string  `json:"hierarchy,omitempty"`
 	// Points is the number of (n, mean transmissions) cells fitted.
 	Points   int     `json:"points"`
 	Exponent float64 `json:"exponent"`
@@ -157,15 +160,16 @@ func Aggregate(results []TaskResult) *Summary {
 			continue
 		}
 		sum.Fits = append(sum.Fits, ScalingFit{
-			Algorithm: lk.Algorithm,
-			LossRate:  lk.LossRate,
-			Beta:      lk.Beta,
-			Sampling:  lk.Sampling,
-			Hierarchy: lk.Hierarchy,
-			Points:    len(ns),
-			Exponent:  p,
-			Constant:  c,
-			R2:        r2,
+			Algorithm:  lk.Algorithm,
+			LossRate:   lk.LossRate,
+			FaultModel: lk.FaultModel,
+			Beta:       lk.Beta,
+			Sampling:   lk.Sampling,
+			Hierarchy:  lk.Hierarchy,
+			Points:     len(ns),
+			Exponent:   p,
+			Constant:   c,
+			R2:         r2,
 		})
 	}
 	sort.Slice(sum.Fits, func(i, j int) bool { return fitLess(sum.Fits[i], sum.Fits[j]) })
@@ -182,6 +186,9 @@ func cellLess(a, b CellKey) bool {
 	if a.LossRate != b.LossRate {
 		return a.LossRate < b.LossRate
 	}
+	if a.FaultModel != b.FaultModel {
+		return a.FaultModel < b.FaultModel
+	}
 	if a.Beta != b.Beta {
 		return a.Beta < b.Beta
 	}
@@ -197,6 +204,9 @@ func fitLess(a, b ScalingFit) bool {
 	}
 	if a.LossRate != b.LossRate {
 		return a.LossRate < b.LossRate
+	}
+	if a.FaultModel != b.FaultModel {
+		return a.FaultModel < b.FaultModel
 	}
 	if a.Beta != b.Beta {
 		return a.Beta < b.Beta

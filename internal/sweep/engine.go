@@ -88,7 +88,7 @@ func Run(ctx context.Context, spec Spec, opt Options) ([]TaskResult, error) {
 // even though it appears in no other field.
 func (r TaskResult) matches(t Task) bool {
 	return r.Algorithm == t.Algorithm && r.N == t.N && r.SeedIndex == t.SeedIndex &&
-		r.LossRate == t.LossRate && r.Beta == t.Beta &&
+		r.LossRate == t.LossRate && r.FaultModel == t.FaultModel && r.Beta == t.Beta &&
 		r.Sampling == t.Sampling && r.Hierarchy == t.Hierarchy &&
 		r.TargetErr == t.TargetErr && r.MaxTicks == t.MaxTicks &&
 		r.RadiusMultiplier == t.RadiusMultiplier && r.Field == t.Field &&

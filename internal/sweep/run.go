@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/core"
 	"geogossip/internal/gossip"
 	"geogossip/internal/graph"
@@ -123,6 +124,24 @@ func (t Task) values(g *graph.Graph) []float64 {
 	return x
 }
 
+// faults resolves the task's effective radio fault model: the parsed
+// FaultModel axis entry, with the LossRate axis folded in as a Bernoulli
+// loss process when set.
+func (t Task) faults() (channel.Spec, error) {
+	spec, err := channel.Parse(t.FaultModel)
+	if err != nil {
+		return spec, err
+	}
+	if t.LossRate != 0 {
+		if spec.Loss != channel.LossNone {
+			return spec, fmt.Errorf("sweep: task crosses loss rate %v with fault model %q", t.LossRate, t.FaultModel)
+		}
+		spec.Loss = channel.LossBernoulli
+		spec.LossRate = t.LossRate
+	}
+	return spec, nil
+}
+
 // Execute runs one task to completion. It never panics on a bad grid
 // point: per-task failures are reported in TaskResult.Error so one
 // pathological cell cannot sink a thousand-task sweep.
@@ -133,6 +152,7 @@ func Execute(t Task, cache *netCache) TaskResult {
 		N:                t.N,
 		SeedIndex:        t.SeedIndex,
 		LossRate:         t.LossRate,
+		FaultModel:       t.FaultModel,
 		Beta:             t.Beta,
 		Sampling:         t.Sampling,
 		Hierarchy:        t.Hierarchy,
@@ -148,13 +168,18 @@ func Execute(t Task, cache *netCache) TaskResult {
 		return out
 	}
 	out.NetSeed = netSeed
+	faults, err := t.faults()
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
 	x := t.values(g)
 	stop := sim.StopRule{TargetErr: t.TargetErr, MaxTicks: t.MaxTicks}
 	switch t.Algorithm {
 	case AlgoBoyd:
 		res, err := gossip.RunBoyd(g, x, gossip.Options{
-			Stop:     stop,
-			LossRate: t.LossRate,
+			Stop:   stop,
+			Faults: faults,
 		}, rng.New(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
@@ -168,8 +193,8 @@ func Execute(t Task, cache *netCache) TaskResult {
 		}
 		res, err := gossip.RunGeographic(g, x, gossip.GeoOptions{
 			Options: gossip.Options{
-				Stop:     stop,
-				LossRate: t.LossRate,
+				Stop:   stop,
+				Faults: faults,
 			},
 			Sampling: mode,
 		}, rng.New(out.RunSeed))
@@ -178,11 +203,21 @@ func Execute(t Task, cache *netCache) TaskResult {
 			return out
 		}
 		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+	case AlgoPushSum:
+		res, err := gossip.RunPushSum(g, x, gossip.Options{
+			Stop:   stop,
+			Faults: faults,
+		}, rng.New(out.RunSeed))
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
 	case AlgoAffine:
 		res, err := core.RunRecursive(g, h, x, core.RecursiveOptions{
-			Eps:      t.TargetErr,
-			Beta:     t.Beta,
-			LossRate: t.LossRate,
+			Eps:    t.TargetErr,
+			Beta:   t.Beta,
+			Faults: faults,
 		}, rng.New(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
@@ -196,7 +231,7 @@ func Execute(t Task, cache *netCache) TaskResult {
 			Eps:          t.TargetErr,
 			Beta:         t.Beta,
 			RoundsFactor: 2,
-			LossRate:     t.LossRate,
+			Faults:       faults,
 			Stop:         stop,
 		}, rng.New(out.RunSeed))
 		if err != nil {

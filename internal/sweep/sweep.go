@@ -1,6 +1,7 @@
 // Package sweep is the concurrent multi-scenario experiment orchestrator:
 // it expands a declarative parameter grid (algorithm × n × seed × loss
-// rate × beta × sampling mode × hierarchy shape) into independent tasks,
+// rate × fault model × beta × sampling mode × hierarchy shape) into
+// independent tasks,
 // executes them on a worker pool, and streams per-task results to a
 // pluggable sink.
 //
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/rng"
 )
 
@@ -23,6 +25,7 @@ import (
 const (
 	AlgoBoyd       = "boyd"
 	AlgoGeographic = "geographic"
+	AlgoPushSum    = "push-sum"
 	AlgoAffine     = "affine-hierarchical"
 	AlgoAsync      = "affine-async"
 )
@@ -55,7 +58,7 @@ const (
 // single neutral point, so callers only write the axes they sweep.
 type Spec struct {
 	// Algorithms lists protocol names (AlgoBoyd, AlgoGeographic,
-	// AlgoAffine, AlgoAsync). Required.
+	// AlgoPushSum, AlgoAffine, AlgoAsync). Required.
 	Algorithms []string
 	// Ns lists network sizes. Required.
 	Ns []int
@@ -66,6 +69,12 @@ type Spec struct {
 	BaseSeed uint64
 	// LossRates lists packet-loss probabilities. Empty selects {0}.
 	LossRates []float64
+	// FaultModels lists radio fault models in channel.Parse form
+	// ("perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", "churn:UP/DOWN",
+	// composable via "+"). Empty selects {""} (the perfect medium, or
+	// the LossRates axis when that is swept). Entries carrying their own
+	// loss model cannot be crossed with non-zero LossRates.
+	FaultModels []string
 	// Betas lists affine multipliers (only the affine algorithms read
 	// them; 0 means the engine default 2/5). Empty selects {0}.
 	Betas []float64
@@ -101,6 +110,25 @@ func (s Spec) Normalized() Spec {
 	if len(s.LossRates) == 0 {
 		s.LossRates = []float64{0}
 	}
+	if len(s.FaultModels) == 0 {
+		s.FaultModels = []string{""}
+	}
+	// Canonicalize fault-model spellings ("perfect" -> "", ".2" -> "0.2")
+	// so physically identical media share run seeds and aggregation
+	// cells regardless of how the spec was written. Unparsable entries
+	// pass through untouched for Validate to reject.
+	models := make([]string, len(s.FaultModels))
+	for i, fm := range s.FaultModels {
+		models[i] = fm
+		if spec, err := channel.Parse(fm); err == nil {
+			if spec.IsZero() {
+				models[i] = ""
+			} else {
+				models[i] = spec.String()
+			}
+		}
+	}
+	s.FaultModels = models
 	if len(s.Betas) == 0 {
 		s.Betas = []float64{0}
 	}
@@ -132,7 +160,7 @@ func (s Spec) Validate() error {
 	}
 	for _, a := range s.Algorithms {
 		switch a {
-		case AlgoBoyd, AlgoGeographic, AlgoAffine, AlgoAsync:
+		case AlgoBoyd, AlgoGeographic, AlgoPushSum, AlgoAffine, AlgoAsync:
 		default:
 			return fmt.Errorf("sweep: unknown algorithm %q", a)
 		}
@@ -148,6 +176,21 @@ func (s Spec) Validate() error {
 	for _, p := range s.LossRates {
 		if p < 0 || p >= 1 {
 			return fmt.Errorf("sweep: loss rate %v outside [0, 1)", p)
+		}
+	}
+	lossAxis := false
+	for _, p := range s.LossRates {
+		if p > 0 {
+			lossAxis = true
+		}
+	}
+	for _, fm := range s.FaultModels {
+		spec, err := channel.Parse(fm)
+		if err != nil {
+			return fmt.Errorf("sweep: fault model %q: %w", fm, err)
+		}
+		if lossAxis && spec.Loss != channel.LossNone {
+			return fmt.Errorf("sweep: fault model %q carries a loss model; it cannot be crossed with non-zero LossRates (use churn-only fault models or drop the loss axis)", fm)
 		}
 	}
 	for _, m := range s.Samplings {
@@ -175,22 +218,23 @@ func (s Spec) Validate() error {
 // TaskCount returns the number of tasks the normalized spec expands to.
 func (s Spec) TaskCount() int {
 	s = s.Normalized()
-	return len(s.Algorithms) * len(s.Ns) * s.Seeds *
-		len(s.LossRates) * len(s.Betas) * len(s.Samplings) * len(s.Hierarchies)
+	return len(s.Algorithms) * len(s.Ns) * s.Seeds * len(s.LossRates) *
+		len(s.FaultModels) * len(s.Betas) * len(s.Samplings) * len(s.Hierarchies)
 }
 
 // Task is one expanded grid point. IDs are assigned in expansion order
 // (algorithm outermost, hierarchy innermost), so the same spec always
 // yields the same Task list.
 type Task struct {
-	ID        int
-	Algorithm string
-	N         int
-	SeedIndex int
-	LossRate  float64
-	Beta      float64
-	Sampling  string
-	Hierarchy string
+	ID         int
+	Algorithm  string
+	N          int
+	SeedIndex  int
+	LossRate   float64
+	FaultModel string
+	Beta       float64
+	Sampling   string
+	Hierarchy  string
 
 	// Run-level parameters copied from the spec.
 	TargetErr        float64
@@ -209,25 +253,28 @@ func (s Spec) Expand() []Task {
 		for _, n := range s.Ns {
 			for seed := 0; seed < s.Seeds; seed++ {
 				for _, loss := range s.LossRates {
-					for _, beta := range s.Betas {
-						for _, sampling := range s.Samplings {
-							for _, shape := range s.Hierarchies {
-								tasks = append(tasks, Task{
-									ID:               id,
-									Algorithm:        algo,
-									N:                n,
-									SeedIndex:        seed,
-									LossRate:         loss,
-									Beta:             beta,
-									Sampling:         sampling,
-									Hierarchy:        shape,
-									TargetErr:        s.TargetErr,
-									MaxTicks:         s.MaxTicks,
-									RadiusMultiplier: s.RadiusMultiplier,
-									Field:            s.Field,
-									BaseSeed:         s.BaseSeed,
-								})
-								id++
+					for _, fm := range s.FaultModels {
+						for _, beta := range s.Betas {
+							for _, sampling := range s.Samplings {
+								for _, shape := range s.Hierarchies {
+									tasks = append(tasks, Task{
+										ID:               id,
+										Algorithm:        algo,
+										N:                n,
+										SeedIndex:        seed,
+										LossRate:         loss,
+										FaultModel:       fm,
+										Beta:             beta,
+										Sampling:         sampling,
+										Hierarchy:        shape,
+										TargetErr:        s.TargetErr,
+										MaxTicks:         s.MaxTicks,
+										RadiusMultiplier: s.RadiusMultiplier,
+										Field:            s.Field,
+										BaseSeed:         s.BaseSeed,
+									})
+									id++
+								}
 							}
 						}
 					}
@@ -249,9 +296,11 @@ func (t Task) netSeed(attempt int) uint64 {
 
 // runSeed derives the protocol seed from the full semantic coordinates of
 // the task, so results depend only on what the task *is*, never on grid
-// shape, task ID, or scheduling.
+// shape, task ID, or scheduling. The fault model folds in only when set,
+// keeping seeds — and therefore results — of pre-fault-axis grids
+// unchanged.
 func (t Task) runSeed() uint64 {
-	return rng.Derive(
+	seed := rng.Derive(
 		rng.DeriveString(rng.DeriveString(t.BaseSeed, "sweep/run"), t.Algorithm),
 		uint64(t.N),
 		uint64(t.SeedIndex),
@@ -260,6 +309,10 @@ func (t Task) runSeed() uint64 {
 		rng.DeriveString(0, t.Sampling),
 		rng.DeriveString(0, t.Hierarchy),
 	)
+	if t.FaultModel != "" {
+		seed = rng.DeriveString(rng.DeriveString(seed, "sweep/faults"), t.FaultModel)
+	}
+	return seed
 }
 
 // fieldSeed derives the seed for iid initial measurements; like netSeed
@@ -278,9 +331,12 @@ type TaskResult struct {
 	N         int     `json:"n"`
 	SeedIndex int     `json:"seed"`
 	LossRate  float64 `json:"loss_rate"`
-	Beta      float64 `json:"beta"`
-	Sampling  string  `json:"sampling,omitempty"`
-	Hierarchy string  `json:"hierarchy,omitempty"`
+	// FaultModel is the channel.Parse spec the task ran under; empty for
+	// the perfect medium / plain LossRate axis.
+	FaultModel string  `json:"fault_model,omitempty"`
+	Beta       float64 `json:"beta"`
+	Sampling   string  `json:"sampling,omitempty"`
+	Hierarchy  string  `json:"hierarchy,omitempty"`
 
 	// The run-level parameters the task executed under, recorded so a
 	// result line is fully self-describing (replayable in isolation, and
@@ -309,11 +365,12 @@ type TaskResult struct {
 // minus the seed index, the unit results aggregate over.
 func (r TaskResult) Cell() CellKey {
 	return CellKey{
-		Algorithm: r.Algorithm,
-		N:         r.N,
-		LossRate:  r.LossRate,
-		Beta:      r.Beta,
-		Sampling:  r.Sampling,
-		Hierarchy: r.Hierarchy,
+		Algorithm:  r.Algorithm,
+		N:          r.N,
+		LossRate:   r.LossRate,
+		FaultModel: r.FaultModel,
+		Beta:       r.Beta,
+		Sampling:   r.Sampling,
+		Hierarchy:  r.Hierarchy,
 	}
 }

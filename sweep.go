@@ -18,7 +18,7 @@ import (
 //	    Seeds:      2,
 //	}
 type SweepSpec struct {
-	// Algorithms lists protocols: "boyd", "geographic",
+	// Algorithms lists protocols: "boyd", "geographic", "push-sum",
 	// "affine-hierarchical", "affine-async". Required.
 	Algorithms []string
 	// Ns lists network sizes. Required.
@@ -31,6 +31,12 @@ type SweepSpec struct {
 	BaseSeed uint64
 	// LossRates lists packet-loss probabilities (default {0}).
 	LossRates []float64
+	// FaultModels lists radio fault models in WithFaults spec form
+	// ("perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", "churn:UP/DOWN",
+	// composable via "+"; default {""}, the perfect medium). Entries
+	// carrying their own loss model cannot be crossed with non-zero
+	// LossRates; churn-only entries compose with the loss axis.
+	FaultModels []string
 	// Betas lists affine multipliers (default {0}, the engine's 2/5).
 	Betas []float64
 	// Samplings lists geographic partner sampling modes: "rejection",
@@ -60,6 +66,7 @@ func (s SweepSpec) internal() sweep.Spec {
 		Seeds:            s.Seeds,
 		BaseSeed:         s.BaseSeed,
 		LossRates:        s.LossRates,
+		FaultModels:      s.FaultModels,
 		Betas:            s.Betas,
 		Samplings:        s.Samplings,
 		Hierarchies:      s.Hierarchies,
@@ -73,20 +80,30 @@ func (s SweepSpec) internal() sweep.Spec {
 // TaskCount returns the number of runs the grid expands to.
 func (s SweepSpec) TaskCount() int { return s.internal().TaskCount() }
 
+// SweepCoords are the grid-cell coordinates shared by tasks, cells and
+// fits: one point of the algorithm × n × loss × fault-model × beta ×
+// sampling × hierarchy grid.
+type SweepCoords struct {
+	Algorithm string
+	N         int
+	LossRate  float64
+	// FaultModel is the WithFaults spec the cell ran under; empty for
+	// the perfect medium / plain LossRate axis.
+	FaultModel string
+	Beta       float64
+	Sampling   string
+	Hierarchy  string
+}
+
 // SweepResult is the outcome of one grid task.
 type SweepResult struct {
 	// TaskID is the task's position in the grid expansion; sorting by it
 	// yields the canonical order.
 	TaskID int
-	// Algorithm, N, SeedIndex, LossRate, Beta, Sampling and Hierarchy
-	// are the task's grid coordinates.
-	Algorithm string
-	N         int
+	// SweepCoords are the task's grid-cell coordinates; SeedIndex
+	// selects the placement within the cell.
+	SweepCoords
 	SeedIndex int
-	LossRate  float64
-	Beta      float64
-	Sampling  string
-	Hierarchy string
 	// TargetErr, MaxTicks, RadiusMultiplier and Field record the
 	// run-level parameters the task executed under, making each result
 	// self-describing and checkable on resume.
@@ -118,12 +135,7 @@ type SweepDist struct {
 
 // SweepCell aggregates the seeds of one grid cell.
 type SweepCell struct {
-	Algorithm string
-	N         int
-	LossRate  float64
-	Beta      float64
-	Sampling  string
-	Hierarchy string
+	SweepCoords
 	// Count is the number of successful runs; ConvergedCount how many
 	// reached the target; Errors how many tasks failed outright.
 	Count          int
@@ -134,17 +146,14 @@ type SweepCell struct {
 }
 
 // SweepFit is a fitted power law transmissions ≈ Constant·n^Exponent
-// across the cells of one algorithm/parameter line.
+// across the cells of one algorithm/parameter line. Its coordinates
+// carry N = 0: a fit aggregates across network sizes.
 type SweepFit struct {
-	Algorithm string
-	LossRate  float64
-	Beta      float64
-	Sampling  string
-	Hierarchy string
-	Points    int
-	Exponent  float64
-	Constant  float64
-	R2        float64
+	SweepCoords
+	Points   int
+	Exponent float64
+	Constant float64
+	R2       float64
 }
 
 // SweepReport is the output of one sweep: per-task results in canonical
@@ -241,12 +250,15 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 	agg := sweep.Aggregate(results)
 	for _, c := range agg.Cells {
 		rep.Cells = append(rep.Cells, SweepCell{
-			Algorithm:      c.Algorithm,
-			N:              c.N,
-			LossRate:       c.LossRate,
-			Beta:           c.Beta,
-			Sampling:       c.Sampling,
-			Hierarchy:      c.Hierarchy,
+			SweepCoords: SweepCoords{
+				Algorithm:  c.Algorithm,
+				N:          c.N,
+				LossRate:   c.LossRate,
+				FaultModel: c.FaultModel,
+				Beta:       c.Beta,
+				Sampling:   c.Sampling,
+				Hierarchy:  c.Hierarchy,
+			},
 			Count:          c.Count,
 			ConvergedCount: c.ConvergedCount,
 			Errors:         c.Errors,
@@ -256,15 +268,18 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 	}
 	for _, f := range agg.Fits {
 		rep.Fits = append(rep.Fits, SweepFit{
-			Algorithm: f.Algorithm,
-			LossRate:  f.LossRate,
-			Beta:      f.Beta,
-			Sampling:  f.Sampling,
-			Hierarchy: f.Hierarchy,
-			Points:    f.Points,
-			Exponent:  f.Exponent,
-			Constant:  f.Constant,
-			R2:        f.R2,
+			SweepCoords: SweepCoords{
+				Algorithm:  f.Algorithm,
+				LossRate:   f.LossRate,
+				FaultModel: f.FaultModel,
+				Beta:       f.Beta,
+				Sampling:   f.Sampling,
+				Hierarchy:  f.Hierarchy,
+			},
+			Points:   f.Points,
+			Exponent: f.Exponent,
+			Constant: f.Constant,
+			R2:       f.R2,
 		})
 	}
 	return rep, err
@@ -272,14 +287,17 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 
 func fromInternalResult(r sweep.TaskResult) SweepResult {
 	return SweepResult{
-		TaskID:           r.TaskID,
-		Algorithm:        r.Algorithm,
-		N:                r.N,
+		TaskID: r.TaskID,
+		SweepCoords: SweepCoords{
+			Algorithm:  r.Algorithm,
+			N:          r.N,
+			LossRate:   r.LossRate,
+			FaultModel: r.FaultModel,
+			Beta:       r.Beta,
+			Sampling:   r.Sampling,
+			Hierarchy:  r.Hierarchy,
+		},
 		SeedIndex:        r.SeedIndex,
-		LossRate:         r.LossRate,
-		Beta:             r.Beta,
-		Sampling:         r.Sampling,
-		Hierarchy:        r.Hierarchy,
 		TargetErr:        r.TargetErr,
 		MaxTicks:         r.MaxTicks,
 		RadiusMultiplier: r.RadiusMultiplier,
@@ -302,6 +320,7 @@ func toInternalResult(r SweepResult) sweep.TaskResult {
 		N:                r.N,
 		SeedIndex:        r.SeedIndex,
 		LossRate:         r.LossRate,
+		FaultModel:       r.FaultModel,
 		Beta:             r.Beta,
 		Sampling:         r.Sampling,
 		Hierarchy:        r.Hierarchy,

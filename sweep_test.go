@@ -126,13 +126,13 @@ func TestSweepResumeRejectsForeignGrid(t *testing.T) {
 		RadiusMultiplier: 2.2,
 	}
 	// A result whose ID maps to different coordinates under this grid.
-	prior := []SweepResult{{TaskID: 0, Algorithm: "geographic", N: 4096}}
+	prior := []SweepResult{{TaskID: 0, SweepCoords: SweepCoords{Algorithm: "geographic", N: 4096}}}
 	if _, err := Sweep(context.Background(), spec, WithSweepResume(prior)); err == nil ||
 		!strings.Contains(err.Error(), "different spec") {
 		t.Fatalf("foreign-grid resume accepted (err=%v)", err)
 	}
 	// An ID outside the grid entirely.
-	prior = []SweepResult{{TaskID: 99, Algorithm: "boyd", N: 96}}
+	prior = []SweepResult{{TaskID: 99, SweepCoords: SweepCoords{Algorithm: "boyd", N: 96}}}
 	if _, err := Sweep(context.Background(), spec, WithSweepResume(prior)); err == nil {
 		t.Fatal("out-of-range resume accepted")
 	}
