@@ -51,7 +51,7 @@ func run(args []string) error {
 		seeds    = fs.Int("seeds", 1, "independent placements per grid cell")
 		baseSeed = fs.Uint64("base-seed", 1, "base seed all per-task seeds derive from")
 		loss     = fs.String("loss", "", "comma-separated packet-loss rates (default 0)")
-		faults   = fs.String("faults", "", "comma-separated fault models: perfect, bernoulli:P, ge:PGB/PBG/EG/EB, churn:UP/DOWN, composable with + (default perfect)")
+		faults   = fs.String("faults", "", "comma-separated fault models: perfect, bernoulli:P, ge:PGB/PBG/EG/EB, jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]], mjam:CX/CY/R/LOSS/VX/VY, jampoly:LOSS/X1/Y1/..., cut:A/B/C/FROM/UNTIL, churn:UP/DOWN, repchurn:UP/DOWN, hubchurn:UP/DOWN/K, composable with + (default perfect)")
 		betas    = fs.String("betas", "", "comma-separated affine multipliers (default engine 2/5)")
 		sampling = fs.String("sampling", "", "comma-separated sampling modes: rejection,uniform")
 		hier     = fs.String("hier", "", "comma-separated hierarchy shapes: deep,flat")
@@ -195,6 +195,13 @@ func printAggregation(w io.Writer, rep *geogossip.SweepReport) {
 		for _, f := range rep.Fits {
 			fmt.Fprintf(w, "  %-22s loss=%.2f faults=%s beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
 				f.Algorithm, f.LossRate, faultLabel(f.FaultModel), f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
+		}
+	}
+	if len(rep.LossFits) > 0 {
+		fmt.Fprintf(w, "\ncost-vs-loss fits (transmissions ~ C·(1/(1-p))^q over the fault grid):\n")
+		for _, f := range rep.LossFits {
+			fmt.Fprintf(w, "  %-22s n=%-6d beta=%.2f  q=%.3f  C=%.3g  R2=%.3f  (%d cells)\n",
+				f.Algorithm, f.N, f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
 		}
 	}
 }

@@ -23,8 +23,13 @@
 //     protocol, AffineHierarchical the round-structured §3 engine.
 //
 // Every engine transmits through a pluggable radio fault model — i.i.d.
-// loss (WithLossRate), Gilbert–Elliott burst loss, and crash-stop node
-// churn with optional revival (WithFaults, WithChurn).
+// loss (WithLossRate), Gilbert–Elliott burst loss, spatially correlated
+// jamming fields (static, scheduled and moving disks, convex polygons),
+// partition/heal cut lines, and crash-stop node churn with optional
+// revival — uniform or adversarially targeted at hierarchy
+// representatives / high-degree hubs (WithFaults, WithChurn). The
+// matching recovery protocols — representative re-election and
+// restart-from-neighbor state resync — switch on with WithRecovery.
 //
 // Quickstart:
 //
@@ -94,8 +99,8 @@ func WithRadiusMultiplier(c float64) NetworkOption {
 }
 
 // WithLeafTarget overrides the hierarchy's leaf occupancy target
-// (default Θ(log n); see DESIGN.md on the substitution for the paper's
-// asymptotic (log n)^8 threshold).
+// (default Θ(log n); see DESIGN.md §4.2 on the substitution for the
+// paper's asymptotic (log n)^8 threshold).
 func WithLeafTarget(t float64) NetworkOption {
 	return func(c *networkConfig) { c.leafTarget = t }
 }
@@ -178,6 +183,11 @@ type Result struct {
 	// model (WithChurn or a churn WithFaults spec); nil when every node
 	// was up. Dead nodes hold their last pre-crash value.
 	Alive []bool
+	// Reelections counts representative re-elections and Resyncs counts
+	// restart-from-neighbor state resyncs performed under WithRecovery
+	// (both zero otherwise).
+	Reelections uint64
+	Resyncs     uint64
 }
 
 func fromMetrics(res *metrics.Result) *Result {
@@ -187,6 +197,8 @@ func fromMetrics(res *metrics.Result) *Result {
 		FinalErr:      res.FinalErr,
 		Transmissions: res.Transmissions,
 		Alive:         append([]bool(nil), res.Alive...),
+		Reelections:   res.Reelections,
+		Resyncs:       res.Resyncs,
 	}
 	// Clone, not alias: callers own the returned Result and must not be
 	// able to mutate the engine's internal metrics state through it.
@@ -226,6 +238,7 @@ type runConfig struct {
 	churnUp     float64
 	churnDown   float64
 	churnSet    bool
+	recover     bool
 	tracer      trace.Tracer
 }
 
@@ -285,18 +298,59 @@ func WithLossRate(p float64) RunOption {
 //	                               Bad→Good with PBG per packet, losing
 //	                               packets with probability EG (good)
 //	                               or EB (bad)
+//	"jam:CX/CY/R/LOSS"             jamming disk: packets whose source,
+//	                               route midpoint or destination falls
+//	                               inside the disk of radius R at
+//	                               (CX, CY) are lost with probability
+//	                               LOSS; append /FROM/UNTIL for a
+//	                               one-shot active window and a further
+//	                               /PERIOD for a repeating on/off cycle
+//	"mjam:CX/CY/R/LOSS/VX/VY"      moving jammer: the disk travels at
+//	                               (VX, VY) per time unit, reflecting
+//	                               off the unit-square walls
+//	"jampoly:LOSS/X1/Y1/X2/Y2/..." convex polygonal jamming region
+//	                               (counter-clockwise vertices)
+//	"cut:A/B/C/FROM/UNTIL"         partition/heal: during [FROM, UNTIL)
+//	                               every packet crossing the line
+//	                               a·x + b·y = c is dropped, then the
+//	                               medium heals
 //	"churn:UP/DOWN"                crash-stop node failure: nodes stay
 //	                               up for Exp(UP) ticks, then down for
 //	                               Exp(DOWN) ticks (DOWN = 0 means dead
 //	                               forever)
+//	"repchurn:UP/DOWN"             adversarial churn restricted to the
+//	                               nodes holding hierarchy-representative
+//	                               roles at run start (affine algorithms
+//	                               only) — a decapitation strike;
+//	                               successors installed by WithRecovery
+//	                               re-election are not chased
+//	"hubchurn:UP/DOWN/K"           adversarial churn restricted to the
+//	                               K highest-degree nodes
 //
-// A loss model composes with churn via "+", e.g.
-// "bernoulli:0.2+churn:50000/10000". The spec is validated at Run time.
-// Churn durations are engine time units: clock ticks for boyd,
-// geographic, push-sum and affine-async; transmissions for the
-// round-structured affine-hierarchical engine.
+// Components compose via "+", e.g.
+// "bernoulli:0.2+jam:0.5/0.5/0.2/0.9+churn:50000/10000". The spec is
+// validated at Run time. Churn durations, field windows and cut windows
+// are engine time units: clock ticks for boyd, geographic, push-sum and
+// affine-async; transmissions for the round-structured
+// affine-hierarchical engine.
 func WithFaults(spec string) RunOption {
 	return func(c *runConfig) { c.faults = spec }
+}
+
+// WithRecovery enables the engines' fault-recovery protocols. For the
+// affine algorithms: representative re-election — when a square's
+// representative dies, the member nearest the square's centre among the
+// survivors takes over (paying an election flood), so targeted churn
+// against representatives no longer stalls the hierarchy — plus, for
+// the async engine, control-state resync for revived nodes. For boyd
+// and geographic: restart-from-neighbor state resync — a revived node
+// first adopts a live neighbour's current estimate (2 transmissions)
+// before rejoining, trading exact initial-sum preservation for
+// convergence near the survivors' consensus. Push-sum ignores it: its
+// mass-conservation bookkeeping already survives churn. Off by default;
+// fault runs without it reproduce historical results bit-for-bit.
+func WithRecovery() RunOption {
+	return func(c *runConfig) { c.recover = true }
 }
 
 // WithChurn overlays crash-stop node failure on the run: each node
@@ -397,6 +451,7 @@ func (a boydAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	res, err := gossip.RunBoyd(nw.g, values, gossip.Options{
 		Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 		Faults: faults,
+		Resync: a.cfg.recover,
 		Tracer: a.cfg.tracer,
 	}, rng.New(a.cfg.seed))
 	if err != nil {
@@ -422,6 +477,7 @@ func (a geoAlgo) Run(nw *Network, values []float64) (*Result, error) {
 		Options: gossip.Options{
 			Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 			Faults: faults,
+			Resync: a.cfg.recover,
 			Tracer: a.cfg.tracer,
 		},
 		Sampling: a.cfg.sampling,
@@ -447,10 +503,11 @@ func (a affineAlgo) Run(nw *Network, values []float64) (*Result, error) {
 		return nil, err
 	}
 	res, err := core.RunRecursive(nw.g, nw.h, values, core.RecursiveOptions{
-		Eps:    a.cfg.targetErr,
-		Beta:   a.cfg.beta,
-		Faults: faults,
-		Tracer: a.cfg.tracer,
+		Eps:     a.cfg.targetErr,
+		Beta:    a.cfg.beta,
+		Faults:  faults,
+		Recover: a.cfg.recover,
+		Tracer:  a.cfg.tracer,
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
@@ -477,6 +534,7 @@ func (a asyncAlgo) Run(nw *Network, values []float64) (*Result, error) {
 		Throttle:     a.cfg.throttle,
 		RoundsFactor: 2,
 		Faults:       faults,
+		Recover:      a.cfg.recover,
 		Tracer:       a.cfg.tracer,
 		Stop:         sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 	}, rng.New(a.cfg.seed))

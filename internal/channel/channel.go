@@ -2,15 +2,21 @@
 // through: per-packet delivery decisions (loss) and a node-liveness view
 // (churn). Engines route every data-packet delivery through a Channel
 // instead of hand-rolling inline Bernoulli checks, so a new fault model —
-// bursty loss, crash-stop failures, revival — becomes available to every
-// algorithm and the whole sweep grid at once.
+// bursty loss, spatially correlated jamming, partitions, crash-stop
+// failures, revival — becomes available to every algorithm and the whole
+// sweep grid at once.
 //
 // The three delivery methods mirror the three packet shapes the engines
 // use: a single-hop exchange with a graph neighbour (DeliverHop), one leg
 // of a multi-hop greedy route (DeliverRoute), and a representative
-// round trip out-and-back (DeliverRoundTrip). Each reports whether the
-// packet survived and, when it did not, how many transmissions were paid
-// before it died — lost packets still cost radio energy.
+// round trip out-and-back (DeliverRoundTrip). Each receives a Packet —
+// the delivery's full spatial and temporal context, not bare node ids —
+// and reports whether the packet survived and, when it did not, how many
+// transmissions were paid before it died — lost packets still cost radio
+// energy. The context is what lets geometry-aware media (field.go) lose
+// packets by where they travel and when, the failure mode geometric
+// sensor deployments actually exhibit. See DESIGN.md §5 for the full
+// contract.
 //
 // Determinism contract: a Channel draws randomness only from the RNG
 // streams it was built over, in a fixed per-call order, so runs replay
@@ -20,7 +26,43 @@
 // bit-identical.
 package channel
 
-import "geogossip/internal/rng"
+import (
+	"geogossip/internal/geo"
+	"geogossip/internal/rng"
+)
+
+// Packet is the delivery context every Channel verdict receives: endpoint
+// node ids and positions, the route length, and the simulation time of
+// the decision. Non-spatial media (Bernoulli, GilbertElliott) read only
+// ids and hop counts; spatial media (SpatialLoss, Partition) read
+// positions and time. Engines therefore thread their geometry through
+// every delivery call — see sim.Harness.Packet for the standard
+// constructor.
+type Packet struct {
+	// Src and Dst are the endpoint node ids.
+	Src, Dst int32
+	// SrcPos and DstPos are the endpoint positions in the unit square.
+	// Engines without position data may leave them zero; spatial media
+	// then see all traffic at the origin.
+	SrcPos, DstPos geo.Point
+	// Hops is the route length in transmissions: 1 for a single-hop
+	// exchange, the leg's hop count for DeliverRoute, and the outbound
+	// hop count for DeliverRoundTrip (the return leg is assumed
+	// symmetric).
+	Hops int
+	// Now is the engine's simulation time at the decision, in the same
+	// unit as Advance (ticks for the clock-driven engines, transmissions
+	// for the round-structured recursive engine).
+	Now uint64
+}
+
+// Mid returns the midpoint of the src→dst segment — the cheap proxy for
+// "where the route travels" that spatial fields sample in addition to
+// the endpoints (greedy geographic routes hug the straight line between
+// their endpoints).
+func (p Packet) Mid() geo.Point {
+	return geo.Pt((p.SrcPos.X+p.DstPos.X)/2, (p.SrcPos.Y+p.DstPos.Y)/2)
+}
 
 // Channel decides the fate of every data packet and reports node
 // liveness. Implementations are single-goroutine, like the engines.
@@ -34,18 +76,18 @@ type Channel interface {
 	// ticks owned by dead nodes; deliveries to dead nodes fail inside
 	// Deliver*.
 	Alive(i int32) bool
-	// DeliverHop decides a single-hop data packet src→dst. When the
-	// packet is lost, paid is the transmissions already spent (the
+	// DeliverHop decides a single-hop data packet (p.Hops is 1). When
+	// the packet is lost, paid is the transmissions already spent (the
 	// outbound message: 1).
-	DeliverHop(src, dst int32) (ok bool, paid int)
-	// DeliverRoute decides one leg of a multi-hop route of hops hops.
+	DeliverHop(p Packet) (ok bool, paid int)
+	// DeliverRoute decides one leg of a multi-hop route of p.Hops hops.
 	// When the packet is lost, paid is the cost up to the hop where it
 	// died (uniform over the route).
-	DeliverRoute(src, dst int32, hops int) (ok bool, paid int)
+	DeliverRoute(p Packet) (ok bool, paid int)
 	// DeliverRoundTrip decides a representative round trip src→dst→src
-	// whose outbound leg is outHops (return assumed symmetric). When
-	// either leg is lost, paid is the cost up to the failure point.
-	DeliverRoundTrip(src, dst int32, outHops int) (ok bool, paid int)
+	// whose outbound leg is p.Hops. When either leg is lost, paid is the
+	// cost up to the failure point.
+	DeliverRoundTrip(p Packet) (ok bool, paid int)
 	// Name identifies the fault model for results and traces.
 	Name() string
 }
@@ -61,13 +103,13 @@ func (Perfect) Advance(uint64) {}
 func (Perfect) Alive(int32) bool { return true }
 
 // DeliverHop implements Channel.
-func (Perfect) DeliverHop(src, dst int32) (bool, int) { return true, 0 }
+func (Perfect) DeliverHop(Packet) (bool, int) { return true, 0 }
 
 // DeliverRoute implements Channel.
-func (Perfect) DeliverRoute(src, dst int32, hops int) (bool, int) { return true, 0 }
+func (Perfect) DeliverRoute(Packet) (bool, int) { return true, 0 }
 
 // DeliverRoundTrip implements Channel.
-func (Perfect) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) { return true, 0 }
+func (Perfect) DeliverRoundTrip(Packet) (bool, int) { return true, 0 }
 
 // Name implements Channel.
 func (Perfect) Name() string { return "perfect" }
@@ -94,7 +136,7 @@ func (b *Bernoulli) Advance(uint64) {}
 func (b *Bernoulli) Alive(int32) bool { return true }
 
 // DeliverHop implements Channel.
-func (b *Bernoulli) DeliverHop(src, dst int32) (bool, int) {
+func (b *Bernoulli) DeliverHop(Packet) (bool, int) {
 	if b.P > 0 && b.R.Bernoulli(b.P) {
 		return false, 1 // the outbound value was transmitted but lost
 	}
@@ -102,18 +144,18 @@ func (b *Bernoulli) DeliverHop(src, dst int32) (bool, int) {
 }
 
 // DeliverRoute implements Channel.
-func (b *Bernoulli) DeliverRoute(src, dst int32, hops int) (bool, int) {
+func (b *Bernoulli) DeliverRoute(p Packet) (bool, int) {
 	if b.P > 0 && b.R.Bernoulli(b.P) {
-		return false, b.partial(hops)
+		return false, b.partial(p.Hops)
 	}
 	return true, 0
 }
 
 // DeliverRoundTrip implements Channel.
-func (b *Bernoulli) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) {
+func (b *Bernoulli) DeliverRoundTrip(p Packet) (bool, int) {
 	// One combined draw for the two legs: lost unless both survive.
 	if b.P > 0 && b.R.Bernoulli(1-(1-b.P)*(1-b.P)) {
-		return false, b.partial(2 * outHops)
+		return false, b.partial(2 * p.Hops)
 	}
 	return true, 0
 }
@@ -197,7 +239,7 @@ func (g *GilbertElliott) Advance(uint64) {}
 func (g *GilbertElliott) Alive(int32) bool { return true }
 
 // DeliverHop implements Channel.
-func (g *GilbertElliott) DeliverHop(src, dst int32) (bool, int) {
+func (g *GilbertElliott) DeliverHop(Packet) (bool, int) {
 	if g.step() {
 		return false, 1
 	}
@@ -205,20 +247,20 @@ func (g *GilbertElliott) DeliverHop(src, dst int32) (bool, int) {
 }
 
 // DeliverRoute implements Channel.
-func (g *GilbertElliott) DeliverRoute(src, dst int32, hops int) (bool, int) {
+func (g *GilbertElliott) DeliverRoute(p Packet) (bool, int) {
 	if g.step() {
-		return false, g.partial(hops)
+		return false, g.partial(p.Hops)
 	}
 	return true, 0
 }
 
 // DeliverRoundTrip implements Channel.
-func (g *GilbertElliott) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) {
+func (g *GilbertElliott) DeliverRoundTrip(p Packet) (bool, int) {
 	if g.step() { // outbound leg
-		return false, g.partial(outHops)
+		return false, g.partial(p.Hops)
 	}
 	if g.step() { // return leg
-		return false, g.partial(outHops) + outHops
+		return false, g.partial(p.Hops) + p.Hops
 	}
 	return true, 0
 }
@@ -251,12 +293,21 @@ type ChurnParams struct {
 // nodes. Each node follows its own alternating-renewal up/down schedule
 // drawn lazily from a per-node substream, so liveness at any time is a
 // pure function of (seed, node, time) — independent of query order.
+//
+// Churn is optionally adversarial: NewTargetedChurn restricts failures
+// to a chosen node set (hierarchy representatives, high-degree hubs),
+// the attack model that stresses exactly the nodes the paper's protocol
+// depends on. Untargeted nodes never fail. A targeted node's schedule
+// derivation is identical to the uniform case, so uniform churn
+// (nil target set) remains draw-compatible with every pre-existing run.
 type Churn struct {
 	inner  Channel
 	params ChurnParams
 	now    uint64
 	nodes  []churnNode
 	seed   uint64
+	// target marks churnable nodes; nil means every node (uniform churn).
+	target []bool
 }
 
 type churnNode struct {
@@ -266,12 +317,26 @@ type churnNode struct {
 	started  bool
 }
 
-// NewChurn wraps inner with churn over n nodes, drawing schedules from r.
+// NewChurn wraps inner with uniform churn over n nodes, drawing schedules
+// from r.
 func NewChurn(inner Channel, n int, p ChurnParams, r *rng.RNG) *Churn {
+	return NewTargetedChurn(inner, n, p, nil, r)
+}
+
+// NewTargetedChurn wraps inner with churn restricted to the listed nodes;
+// nodes outside targets never fail. nil targets means uniform churn over
+// all n nodes.
+func NewTargetedChurn(inner Channel, n int, p ChurnParams, targets []int32, r *rng.RNG) *Churn {
 	if inner == nil {
 		inner = Perfect{}
 	}
 	c := &Churn{inner: inner, params: p, nodes: make([]churnNode, n), seed: r.Seed()}
+	if targets != nil {
+		c.target = make([]bool, n)
+		for _, t := range targets {
+			c.target[t] = true
+		}
+	}
 	return c
 }
 
@@ -284,6 +349,9 @@ func (c *Churn) Advance(now uint64) {
 // Alive implements Channel. The node's schedule is evaluated lazily up
 // to the current time.
 func (c *Churn) Alive(i int32) bool {
+	if c.target != nil && !c.target[i] {
+		return c.inner.Alive(i)
+	}
 	n := &c.nodes[i]
 	if !n.started {
 		n.started = true
@@ -327,36 +395,36 @@ func (c *Churn) AliveCount() int {
 }
 
 // DeliverHop implements Channel.
-func (c *Churn) DeliverHop(src, dst int32) (bool, int) {
-	if !c.Alive(src) {
+func (c *Churn) DeliverHop(p Packet) (bool, int) {
+	if !c.Alive(p.Src) {
 		return false, 0
 	}
-	if !c.Alive(dst) {
+	if !c.Alive(p.Dst) {
 		return false, 1 // transmitted into the void
 	}
-	return c.inner.DeliverHop(src, dst)
+	return c.inner.DeliverHop(p)
 }
 
 // DeliverRoute implements Channel.
-func (c *Churn) DeliverRoute(src, dst int32, hops int) (bool, int) {
-	if !c.Alive(src) {
+func (c *Churn) DeliverRoute(p Packet) (bool, int) {
+	if !c.Alive(p.Src) {
 		return false, 0
 	}
-	if !c.Alive(dst) {
-		return false, hops // traveled the route, found the endpoint dead
+	if !c.Alive(p.Dst) {
+		return false, p.Hops // traveled the route, found the endpoint dead
 	}
-	return c.inner.DeliverRoute(src, dst, hops)
+	return c.inner.DeliverRoute(p)
 }
 
 // DeliverRoundTrip implements Channel.
-func (c *Churn) DeliverRoundTrip(src, dst int32, outHops int) (bool, int) {
-	if !c.Alive(src) {
+func (c *Churn) DeliverRoundTrip(p Packet) (bool, int) {
+	if !c.Alive(p.Src) {
 		return false, 0
 	}
-	if !c.Alive(dst) {
-		return false, outHops // out leg traveled, partner dead, no return
+	if !c.Alive(p.Dst) {
+		return false, p.Hops // out leg traveled, partner dead, no return
 	}
-	return c.inner.DeliverRoundTrip(src, dst, outHops)
+	return c.inner.DeliverRoundTrip(p)
 }
 
 // Name implements Channel.

@@ -2,10 +2,17 @@ package channel
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"geogossip/internal/rng"
 )
+
+// pkt builds a positionless delivery context — sufficient for the
+// non-spatial media these tests exercise.
+func pkt(src, dst int32, hops int) Packet {
+	return Packet{Src: src, Dst: dst, Hops: hops}
+}
 
 func TestPerfectDeliversEverything(t *testing.T) {
 	var ch Channel = Perfect{}
@@ -13,13 +20,13 @@ func TestPerfectDeliversEverything(t *testing.T) {
 	if !ch.Alive(0) || !ch.Alive(999) {
 		t.Fatal("perfect channel reported a dead node")
 	}
-	if ok, paid := ch.DeliverHop(1, 2); !ok || paid != 0 {
+	if ok, paid := ch.DeliverHop(pkt(1, 2, 1)); !ok || paid != 0 {
 		t.Fatalf("DeliverHop = %v, %d", ok, paid)
 	}
-	if ok, paid := ch.DeliverRoute(1, 2, 17); !ok || paid != 0 {
+	if ok, paid := ch.DeliverRoute(pkt(1, 2, 17)); !ok || paid != 0 {
 		t.Fatalf("DeliverRoute = %v, %d", ok, paid)
 	}
-	if ok, paid := ch.DeliverRoundTrip(1, 2, 17); !ok || paid != 0 {
+	if ok, paid := ch.DeliverRoundTrip(pkt(1, 2, 17)); !ok || paid != 0 {
 		t.Fatalf("DeliverRoundTrip = %v, %d", ok, paid)
 	}
 }
@@ -34,7 +41,7 @@ func TestBernoulliDrawCompatibility(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		switch i % 3 {
 		case 0: // single-hop: one Bernoulli, never a failure-point draw
-			ok, paid := ch.DeliverHop(0, 1)
+			ok, paid := ch.DeliverHop(pkt(0, 1, 1))
 			lost := ref.Bernoulli(p)
 			if ok != !lost {
 				t.Fatalf("step %d: hop verdict %v, reference lost=%v", i, ok, lost)
@@ -44,7 +51,7 @@ func TestBernoulliDrawCompatibility(t *testing.T) {
 			}
 		case 1: // route leg: one Bernoulli, then IntN(hops) only on loss
 			hops := 1 + i%7
-			ok, paid := ch.DeliverRoute(0, 1, hops)
+			ok, paid := ch.DeliverRoute(pkt(0, 1, hops))
 			lost := ref.Bernoulli(p)
 			if ok != !lost {
 				t.Fatalf("step %d: route verdict %v, reference lost=%v", i, ok, lost)
@@ -57,7 +64,7 @@ func TestBernoulliDrawCompatibility(t *testing.T) {
 			}
 		default: // round trip: one combined Bernoulli, IntN(2*hops) on loss
 			hops := 1 + i%5
-			ok, paid := ch.DeliverRoundTrip(0, 1, hops)
+			ok, paid := ch.DeliverRoundTrip(pkt(0, 1, hops))
 			lost := ref.Bernoulli(1 - (1-p)*(1-p))
 			if ok != !lost {
 				t.Fatalf("step %d: round-trip verdict %v, reference lost=%v", i, ok, lost)
@@ -76,7 +83,7 @@ func TestBernoulliZeroRateConsumesNoRandomness(t *testing.T) {
 	r := rng.New(5)
 	ch := &Bernoulli{P: 0, R: r}
 	for i := 0; i < 100; i++ {
-		if ok, _ := ch.DeliverRoute(0, 1, 9); !ok {
+		if ok, _ := ch.DeliverRoute(pkt(0, 1, 9)); !ok {
 			t.Fatal("zero-rate channel lost a packet")
 		}
 	}
@@ -91,7 +98,7 @@ func TestGilbertElliottStationaryLoss(t *testing.T) {
 	const trials = 200_000
 	lost := 0
 	for i := 0; i < trials; i++ {
-		if ok, _ := ch.DeliverHop(0, 1); !ok {
+		if ok, _ := ch.DeliverHop(pkt(0, 1, 1)); !ok {
 			lost++
 		}
 	}
@@ -111,7 +118,7 @@ func TestGilbertElliottLossesCluster(t *testing.T) {
 	var losses, pairs, lossAfterLoss int
 	prevLost := false
 	for i := 0; i < trials; i++ {
-		ok, _ := ch.DeliverHop(0, 1)
+		ok, _ := ch.DeliverHop(pkt(0, 1, 1))
 		lost := !ok
 		if lost {
 			losses++
@@ -196,12 +203,12 @@ func TestChurnBlocksDelivery(t *testing.T) {
 	const n = 50
 	ch := NewChurn(Perfect{}, n, ChurnParams{MeanUp: 100}, rng.New(14))
 	ch.Advance(100_000) // everyone dead
-	if ok, paid := ch.DeliverHop(1, 2); ok || paid != 0 {
+	if ok, paid := ch.DeliverHop(pkt(1, 2, 1)); ok || paid != 0 {
 		t.Fatalf("dead src delivered (ok=%v paid=%d)", ok, paid)
 	}
 	ch2 := NewChurn(Perfect{}, n, ChurnParams{MeanUp: 1e12}, rng.New(14))
 	ch2.Advance(10)
-	if ok, _ := ch2.DeliverHop(1, 2); !ok {
+	if ok, _ := ch2.DeliverHop(pkt(1, 2, 1)); !ok {
 		t.Fatal("live pair failed to deliver through perfect inner channel")
 	}
 	// Force one dead endpoint: find a dead node at an intermediate time.
@@ -218,10 +225,10 @@ func TestChurnBlocksDelivery(t *testing.T) {
 	if dead < 0 || live < 0 {
 		t.Skip("no mixed liveness at this seed/time")
 	}
-	if ok, paid := ch3.DeliverRoute(live, dead, 7); ok || paid != 7 {
+	if ok, paid := ch3.DeliverRoute(pkt(live, dead, 7)); ok || paid != 7 {
 		t.Fatalf("route to dead endpoint: ok=%v paid=%d, want false, 7", ok, paid)
 	}
-	if ok, paid := ch3.DeliverRoundTrip(live, dead, 7); ok || paid != 7 {
+	if ok, paid := ch3.DeliverRoundTrip(pkt(live, dead, 7)); ok || paid != 7 {
 		t.Fatalf("round trip to dead endpoint: ok=%v paid=%d, want false, 7", ok, paid)
 	}
 }
@@ -244,7 +251,7 @@ func TestSpecParseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Parse(String(%q)) = %q: %v", text, s.String(), err)
 		}
-		if back != s {
+		if !reflect.DeepEqual(back, s) {
 			t.Fatalf("round trip %q -> %v -> %v", text, s, back)
 		}
 	}
@@ -265,6 +272,15 @@ func TestSpecParseRejectsGarbage(t *testing.T) {
 		"churn:100",
 		"churn:-5/0",
 		"churn:100/0+churn:100/0",
+		"jam:0.5/0.5/0.2/0.9/0/0", // empty window would silently mean always-on
+		"jam:0.5/0.5/0.2/0.9/200/100",
+		"jampoly:0.5/0/1/7/2/7/0", // clockwise winding
+		"cut:0/0/0.5/0/100",       // degenerate line
+		"cut:0/0/0/0/0",           // all-zero would silently mean no cut
+		"jam:0.5/0.5/nan/0.9",     // NaN passes every range check
+		"cut:nan/0/0.5/0/400000",
+		"bernoulli:inf",
+		"hubchurn:100/0/0",
 	} {
 		if _, err := Parse(text); err == nil {
 			t.Fatalf("Parse(%q) accepted garbage", text)
@@ -293,16 +309,24 @@ func TestSpecValidate(t *testing.T) {
 
 func TestSpecBuildSelectsImplementation(t *testing.T) {
 	lr, cr := rng.New(1), rng.New(2)
-	if _, ok := (Spec{}).Build(10, lr, cr).(Perfect); !ok {
+	build := func(s Spec) Channel {
+		t.Helper()
+		ch, err := s.Build(10, Env{}, lr, cr)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", s, err)
+		}
+		return ch
+	}
+	if _, ok := build(Spec{}).(Perfect); !ok {
 		t.Fatal("zero spec did not build Perfect")
 	}
-	if _, ok := (Spec{Loss: LossBernoulli, LossRate: 0.1}).Build(10, lr, cr).(*Bernoulli); !ok {
+	if _, ok := build(Spec{Loss: LossBernoulli, LossRate: 0.1}).(*Bernoulli); !ok {
 		t.Fatal("bernoulli spec did not build Bernoulli")
 	}
-	if _, ok := (Spec{Loss: LossGilbertElliott, GE: GEParams{LossBad: 0.5}}).Build(10, lr, cr).(*GilbertElliott); !ok {
+	if _, ok := build(Spec{Loss: LossGilbertElliott, GE: GEParams{LossBad: 0.5}}).(*GilbertElliott); !ok {
 		t.Fatal("ge spec did not build GilbertElliott")
 	}
-	ch := (Spec{Loss: LossBernoulli, LossRate: 0.1, Churn: ChurnParams{MeanUp: 100}}).Build(10, lr, cr)
+	ch := build(Spec{Loss: LossBernoulli, LossRate: 0.1, Churn: ChurnParams{MeanUp: 100}})
 	cc, ok := ch.(*Churn)
 	if !ok {
 		t.Fatal("churn spec did not build Churn")

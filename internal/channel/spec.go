@@ -2,9 +2,11 @@ package channel
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
+	"geogossip/internal/geo"
 	"geogossip/internal/rng"
 )
 
@@ -34,11 +36,41 @@ func (m LossModel) String() string {
 	}
 }
 
+// Target selects which nodes a churn component may kill.
+type Target int
+
+const (
+	// TargetAll churns every node uniformly (the default).
+	TargetAll Target = iota
+	// TargetReps churns only hierarchy representatives — the adversarial
+	// model aimed at the nodes the paper's protocol routes everything
+	// through. Requires Env.Reps at Build time.
+	TargetReps
+	// TargetHubs churns only the Spec.HubCount highest-degree nodes.
+	// Requires Env.HubOrder at Build time.
+	TargetHubs
+)
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t {
+	case TargetAll:
+		return "all"
+	case TargetReps:
+		return "reps"
+	case TargetHubs:
+		return "hubs"
+	default:
+		return fmt.Sprintf("target(%d)", int(t))
+	}
+}
+
 // Spec is a declarative, serializable fault-model description: a loss
-// process optionally composed with node churn. The zero Spec is the
+// process, optional spatial jamming fields, an optional partition/heal
+// cut, and optional (possibly targeted) node churn. The zero Spec is the
 // perfect medium. Specs travel through facade options, sweep axes, and
 // CLI flags; Build turns one into a live Channel wired to an engine's
-// RNG streams.
+// RNG streams and network context.
 type Spec struct {
 	// Loss selects the packet-loss process.
 	Loss LossModel
@@ -46,21 +78,47 @@ type Spec struct {
 	LossRate float64
 	// GE parameterizes burst loss (LossGilbertElliott only).
 	GE GEParams
+	// Fields lists spatial jamming regions overlaid on the loss process.
+	Fields []FieldParams
+	// Cut severs delivery across a line for a time window, then heals.
+	Cut CutParams
 	// Churn overlays crash-stop node failure when Churn.MeanUp > 0.
 	Churn ChurnParams
+	// ChurnTarget restricts churn to a node class (TargetAll is uniform).
+	ChurnTarget Target
+	// HubCount is the number of highest-degree nodes TargetHubs churns.
+	HubCount int
 }
 
 // IsZero reports whether the spec is the perfect medium.
 func (s Spec) IsZero() bool {
-	return s.Loss == LossNone && !s.HasChurn()
+	return s.Loss == LossNone && !s.HasChurn() && !s.Spatial()
 }
 
 // HasChurn reports whether the spec overlays node churn.
 func (s Spec) HasChurn() bool { return s.Churn.MeanUp > 0 }
 
-// HasLoss reports whether the spec's loss process can drop packets
-// between live nodes.
+// HasCut reports whether the spec includes a partition/heal event.
+func (s Spec) HasCut() bool { return !s.Cut.IsZero() }
+
+// Spatial reports whether the spec has geometry-dependent components
+// (jamming fields or a cut), which require Env.Points at Build time.
+func (s Spec) Spatial() bool { return len(s.Fields) > 0 || s.HasCut() }
+
+// TargetsReps reports whether the spec churns hierarchy representatives.
+func (s Spec) TargetsReps() bool { return s.HasChurn() && s.ChurnTarget == TargetReps }
+
+// TargetsHubs reports whether the spec churns high-degree hubs.
+func (s Spec) TargetsHubs() bool { return s.HasChurn() && s.ChurnTarget == TargetHubs }
+
+// HasLoss reports whether the spec's loss processes (the id-blind model
+// or any jamming field) can drop packets between live nodes.
 func (s Spec) HasLoss() bool {
+	for _, f := range s.Fields {
+		if f.Loss > 0 {
+			return true
+		}
+	}
 	switch s.Loss {
 	case LossBernoulli:
 		return s.LossRate > 0
@@ -70,16 +128,27 @@ func (s Spec) HasLoss() bool {
 	return false
 }
 
-// ExpectedLossRate returns the long-run per-packet loss probability of
-// the loss process (churn excluded).
+// ExpectedLossRate returns an estimate of the long-run per-packet loss
+// probability for uniform traffic: the loss process's stationary rate
+// composed (as independent events) with each field's mean loss (loss ×
+// area fraction × duty cycle). Cut and churn components are excluded —
+// their impact is structural, not a rate.
 func (s Spec) ExpectedLossRate() float64 {
+	var base float64
 	switch s.Loss {
 	case LossBernoulli:
-		return s.LossRate
+		base = s.LossRate
 	case LossGilbertElliott:
-		return s.GE.StationaryLoss()
+		base = s.GE.StationaryLoss()
 	}
-	return 0
+	if len(s.Fields) == 0 {
+		return base // exact: no survive-product rounding residue
+	}
+	survive := 1 - base
+	for _, f := range s.Fields {
+		survive *= 1 - f.MeanLoss()
+	}
+	return 1 - survive
 }
 
 // Validate reports the first problem with the spec.
@@ -110,20 +179,75 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("channel: unknown loss model %d", int(s.Loss))
 	}
+	for _, f := range s.Fields {
+		if err := f.validate(); err != nil {
+			return err
+		}
+	}
+	if err := s.Cut.validate(); err != nil {
+		return err
+	}
 	if s.Churn.MeanUp < 0 || s.Churn.MeanDown < 0 {
 		return fmt.Errorf("channel: negative churn duration (up %v, down %v)", s.Churn.MeanUp, s.Churn.MeanDown)
 	}
 	if s.Churn.MeanUp == 0 && s.Churn.MeanDown != 0 {
 		return fmt.Errorf("channel: churn mean-down %v set without mean-up", s.Churn.MeanDown)
 	}
+	switch s.ChurnTarget {
+	case TargetAll, TargetReps:
+		if s.HubCount != 0 {
+			return fmt.Errorf("channel: hub count %d set without hub-targeted churn", s.HubCount)
+		}
+	case TargetHubs:
+		if !s.HasChurn() {
+			return fmt.Errorf("channel: hub-targeted churn without a churn component")
+		}
+		if s.HubCount <= 0 {
+			return fmt.Errorf("channel: hub-targeted churn needs a positive hub count, got %d", s.HubCount)
+		}
+	default:
+		return fmt.Errorf("channel: unknown churn target %d", int(s.ChurnTarget))
+	}
+	if s.ChurnTarget == TargetReps && !s.HasChurn() {
+		return fmt.Errorf("channel: rep-targeted churn without a churn component")
+	}
 	return nil
 }
 
-// Build turns the spec into a live Channel over n nodes. Loss draws come
-// from lossRNG and churn schedules from churnRNG, so an engine wires its
-// own deterministic streams in. Build with a zero spec returns Perfect
+// Env supplies the network context a spec binds to at Build time. The
+// zero Env suits every non-spatial, non-targeted spec; spatial and
+// targeted components fail Build with a descriptive error when their
+// context is missing, so an engine that cannot provide (say) hierarchy
+// representatives rejects rep-targeted specs instead of silently running
+// them as uniform churn.
+type Env struct {
+	// Points holds the node positions (required by jamming fields and
+	// cuts — every Packet the engine submits must carry positions from
+	// the same table).
+	Points []geo.Point
+	// Reps lists the hierarchy-representative node ids (required by
+	// rep-targeted churn). The set is frozen at Build time: the attack
+	// targets the nodes holding rep roles when the run starts, so a
+	// successor installed by re-election is outside it and will not
+	// crash — rep churn models a one-shot decapitation strike, not an
+	// adversary that perpetually chases the role.
+	Reps []int32
+	// HubOrder lists node ids in descending degree order, ties broken by
+	// id (required by hub-targeted churn, which kills the first HubCount
+	// entries).
+	HubOrder []int32
+}
+
+// Build turns the spec into a live Channel over n nodes. Loss draws
+// (Bernoulli, Gilbert–Elliott, and spatial fields) come from lossRNG and
+// churn schedules from churnRNG, so an engine wires its own
+// deterministic streams in; env supplies the geometry and roles spatial
+// and targeted components need. Build with a zero spec returns Perfect
 // and retains neither stream.
-func (s Spec) Build(n int, lossRNG, churnRNG *rng.RNG) Channel {
+func (s Spec) Build(n int, env Env, lossRNG, churnRNG *rng.RNG) (Channel, error) {
+	if s.Spatial() && len(env.Points) < n {
+		return nil, fmt.Errorf("channel: spec %q has spatial components but the engine supplied %d of %d node positions", s, len(env.Points), n)
+	}
 	var ch Channel
 	switch s.Loss {
 	case LossBernoulli:
@@ -133,16 +257,45 @@ func (s Spec) Build(n int, lossRNG, churnRNG *rng.RNG) Channel {
 	default:
 		ch = Perfect{}
 	}
-	if s.HasChurn() {
-		ch = NewChurn(ch, n, s.Churn, churnRNG)
+	if len(s.Fields) > 0 {
+		ch = NewSpatialLoss(ch, s.Fields, lossRNG)
 	}
-	return ch
+	if s.HasCut() {
+		ch = NewPartition(ch, s.Cut)
+	}
+	if s.HasChurn() {
+		var targets []int32
+		switch s.ChurnTarget {
+		case TargetReps:
+			if env.Reps == nil {
+				return nil, fmt.Errorf("channel: spec %q targets hierarchy representatives but the engine has no hierarchy", s)
+			}
+			targets = env.Reps
+		case TargetHubs:
+			if len(env.HubOrder) < s.HubCount {
+				return nil, fmt.Errorf("channel: spec %q targets %d hubs but the engine supplied a degree order of %d nodes", s, s.HubCount, len(env.HubOrder))
+			}
+			targets = env.HubOrder[:s.HubCount]
+		}
+		ch = NewTargetedChurn(ch, n, s.Churn, targets, churnRNG)
+	}
+	return ch, nil
 }
 
-// String renders the spec in the compact form Parse accepts:
-// "perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", "churn:UP/DOWN", or a
-// loss model composed with churn via "+", e.g.
-// "bernoulli:0.2+churn:50000/10000".
+// String renders the spec in the compact form Parse accepts. Components
+// print in canonical order — loss model, jamming fields (in declaration
+// order), cut, churn — joined by "+":
+//
+//	perfect
+//	bernoulli:P
+//	ge:PGB/PBG/EG/EB
+//	jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]]
+//	mjam:CX/CY/R/LOSS/VX/VY
+//	jampoly:LOSS/X1/Y1/X2/Y2/X3/Y3[/...]
+//	cut:A/B/C/FROM/UNTIL
+//	churn:UP/DOWN | repchurn:UP/DOWN | hubchurn:UP/DOWN/K
+//
+// e.g. "bernoulli:0.2+jam:0.5/0.5/0.2/0.9+churn:50000/10000".
 func (s Spec) String() string {
 	var parts []string
 	switch s.Loss {
@@ -153,9 +306,24 @@ func (s Spec) String() string {
 			formatFloat(s.GE.PGoodToBad), formatFloat(s.GE.PBadToGood),
 			formatFloat(s.GE.LossGood), formatFloat(s.GE.LossBad)))
 	}
+	for _, f := range s.Fields {
+		parts = append(parts, formatField(f))
+	}
+	if s.HasCut() {
+		parts = append(parts, fmt.Sprintf("cut:%s/%s/%s/%d/%d",
+			formatFloat(s.Cut.A), formatFloat(s.Cut.B), formatFloat(s.Cut.C),
+			s.Cut.From, s.Cut.Until))
+	}
 	if s.HasChurn() {
-		parts = append(parts, fmt.Sprintf("churn:%s/%s",
-			formatFloat(s.Churn.MeanUp), formatFloat(s.Churn.MeanDown)))
+		up, down := formatFloat(s.Churn.MeanUp), formatFloat(s.Churn.MeanDown)
+		switch s.ChurnTarget {
+		case TargetReps:
+			parts = append(parts, fmt.Sprintf("repchurn:%s/%s", up, down))
+		case TargetHubs:
+			parts = append(parts, fmt.Sprintf("hubchurn:%s/%s/%d", up, down, s.HubCount))
+		default:
+			parts = append(parts, fmt.Sprintf("churn:%s/%s", up, down))
+		}
 	}
 	if len(parts) == 0 {
 		return "perfect"
@@ -163,13 +331,46 @@ func (s Spec) String() string {
 	return strings.Join(parts, "+")
 }
 
+func formatField(f FieldParams) string {
+	switch {
+	case f.Kind == FieldPolygon:
+		var b strings.Builder
+		b.WriteString("jampoly:" + formatFloat(f.Loss))
+		for _, v := range f.Poly {
+			b.WriteString("/" + formatFloat(v.X) + "/" + formatFloat(v.Y))
+		}
+		return b.String()
+	case f.Moving():
+		return fmt.Sprintf("mjam:%s/%s/%s/%s/%s/%s",
+			formatFloat(f.Center.X), formatFloat(f.Center.Y),
+			formatFloat(f.Radius), formatFloat(f.Loss),
+			formatFloat(f.Vel.X), formatFloat(f.Vel.Y))
+	case f.Period > 0:
+		return fmt.Sprintf("jam:%s/%s/%s/%s/%d/%d/%d",
+			formatFloat(f.Center.X), formatFloat(f.Center.Y),
+			formatFloat(f.Radius), formatFloat(f.Loss), f.From, f.Until, f.Period)
+	case f.Scheduled():
+		return fmt.Sprintf("jam:%s/%s/%s/%s/%d/%d",
+			formatFloat(f.Center.X), formatFloat(f.Center.Y),
+			formatFloat(f.Radius), formatFloat(f.Loss), f.From, f.Until)
+	default:
+		return fmt.Sprintf("jam:%s/%s/%s/%s",
+			formatFloat(f.Center.X), formatFloat(f.Center.Y),
+			formatFloat(f.Radius), formatFloat(f.Loss))
+	}
+}
+
 func formatFloat(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// "+" separates components, so exponent forms like 1e+06 must drop
+	// the sign (ParseFloat accepts 1e06). Found by FuzzSpecRoundTrip.
+	return strings.ReplaceAll(s, "e+", "e")
 }
 
 // Parse reads the compact spec form produced by String. The empty string
 // and "perfect" both mean the perfect medium. Components separated by
-// "+" compose; parameters within a component separate with "/".
+// "+" compose; parameters within a component separate with "/". See
+// Spec.String for the grammar.
 func Parse(text string) (Spec, error) {
 	var s Spec
 	text = strings.TrimSpace(text)
@@ -202,11 +403,58 @@ func Parse(text string) (Spec, error) {
 				return s, err
 			}
 			s.GE = GEParams{PGoodToBad: vals[0], PBadToGood: vals[1], LossGood: vals[2], LossBad: vals[3]}
-		case "churn":
+		case "jam":
+			f, err := parseJam(part, args)
+			if err != nil {
+				return s, err
+			}
+			s.Fields = append(s.Fields, f)
+		case "mjam":
+			vals, err := parseFloatList(part, args, 6)
+			if err != nil {
+				return s, err
+			}
+			s.Fields = append(s.Fields, FieldParams{
+				Kind:   FieldDisk,
+				Center: geo.Pt(vals[0], vals[1]),
+				Radius: vals[2],
+				Loss:   vals[3],
+				Vel:    geo.Pt(vals[4], vals[5]),
+			})
+		case "jampoly":
+			f, err := parseJamPoly(part, args)
+			if err != nil {
+				return s, err
+			}
+			s.Fields = append(s.Fields, f)
+		case "cut":
+			if s.HasCut() {
+				return s, fmt.Errorf("channel: spec %q has two cut components", text)
+			}
+			vals, err := parseFloatList(part, args, 5)
+			if err != nil {
+				return s, err
+			}
+			from, until, err := parseWindow(part, vals[3], vals[4])
+			if err != nil {
+				return s, err
+			}
+			cut := CutParams{A: vals[0], B: vals[1], C: vals[2], From: from, Until: until}
+			if cut.IsZero() {
+				// The zero CutParams encodes "no cut", so an all-zero
+				// component would silently validate as a no-op.
+				return s, fmt.Errorf("channel: cut component %q is all zero (no line, no window)", part)
+			}
+			s.Cut = cut
+		case "churn", "repchurn", "hubchurn":
 			if s.HasChurn() {
 				return s, fmt.Errorf("channel: spec %q has two churn components", text)
 			}
-			vals, err := parseFloatList(part, args, 2)
+			want := 2
+			if kind == "hubchurn" {
+				want = 3
+			}
+			vals, err := parseFloatList(part, args, want)
 			if err != nil {
 				return s, err
 			}
@@ -214,14 +462,92 @@ func Parse(text string) (Spec, error) {
 				return s, fmt.Errorf("channel: churn component %q: mean up-time must be positive", part)
 			}
 			s.Churn = ChurnParams{MeanUp: vals[0], MeanDown: vals[1]}
+			switch kind {
+			case "repchurn":
+				s.ChurnTarget = TargetReps
+			case "hubchurn":
+				s.ChurnTarget = TargetHubs
+				k := int(vals[2])
+				if float64(k) != vals[2] || k <= 0 {
+					return s, fmt.Errorf("channel: hub churn component %q: hub count must be a positive integer", part)
+				}
+				s.HubCount = k
+			}
 		default:
-			return s, fmt.Errorf("channel: unknown fault component %q (want perfect, bernoulli:P, ge:PGB/PBG/EG/EB, or churn:UP/DOWN)", part)
+			return s, fmt.Errorf("channel: unknown fault component %q (want perfect, bernoulli:P, ge:PGB/PBG/EG/EB, jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]], mjam:CX/CY/R/LOSS/VX/VY, jampoly:LOSS/X1/Y1/..., cut:A/B/C/FROM/UNTIL, churn:UP/DOWN, repchurn:UP/DOWN, or hubchurn:UP/DOWN/K)", part)
 		}
 	}
 	if err := s.Validate(); err != nil {
 		return s, err
 	}
 	return s, nil
+}
+
+// parseJam reads the disk jammer forms: 4 parameters (static), 6
+// (one-shot window), or 7 (periodic on/off).
+func parseJam(part, args string) (FieldParams, error) {
+	fields := strings.Split(args, "/")
+	n := len(fields)
+	if args == "" || (n != 4 && n != 6 && n != 7) {
+		return FieldParams{}, fmt.Errorf("channel: component %q wants 4, 6 or 7 parameters", part)
+	}
+	vals, err := parseFloatList(part, args, n)
+	if err != nil {
+		return FieldParams{}, err
+	}
+	f := FieldParams{
+		Kind:   FieldDisk,
+		Center: geo.Pt(vals[0], vals[1]),
+		Radius: vals[2],
+		Loss:   vals[3],
+	}
+	if n >= 6 {
+		f.From, f.Until, err = parseWindow(part, vals[4], vals[5])
+		if err != nil {
+			return FieldParams{}, err
+		}
+		if f.From == 0 && f.Until == 0 {
+			// 0/0 would silently read as "always active" (the unscheduled
+			// encoding); make the caller say what they mean.
+			return FieldParams{}, fmt.Errorf("channel: component %q: window 0/0 is empty (omit the window for an always-on field)", part)
+		}
+	}
+	if n == 7 {
+		if vals[6] < 0 || vals[6] != float64(uint64(vals[6])) {
+			return FieldParams{}, fmt.Errorf("channel: component %q: period %v must be a non-negative integer", part, vals[6])
+		}
+		f.Period = uint64(vals[6])
+	}
+	return f, nil
+}
+
+// parseJamPoly reads "jampoly:LOSS/X1/Y1/.../Xk/Yk" (k >= 3 vertices).
+func parseJamPoly(part, args string) (FieldParams, error) {
+	fields := strings.Split(args, "/")
+	n := len(fields)
+	if args == "" || n < 7 || n%2 == 0 {
+		return FieldParams{}, fmt.Errorf("channel: component %q wants a loss followed by at least 3 x/y vertex pairs", part)
+	}
+	vals, err := parseFloatList(part, args, n)
+	if err != nil {
+		return FieldParams{}, err
+	}
+	f := FieldParams{Kind: FieldPolygon, Loss: vals[0]}
+	for i := 1; i < n; i += 2 {
+		f.Poly = append(f.Poly, geo.Pt(vals[i], vals[i+1]))
+	}
+	return f, nil
+}
+
+// parseWindow converts a FROM/UNTIL float pair to the uint64 time window
+// every scheduled component uses.
+func parseWindow(part string, from, until float64) (uint64, uint64, error) {
+	for _, v := range []float64{from, until} {
+		if v < 0 || v != float64(uint64(v)) {
+			return 0, 0, fmt.Errorf("channel: component %q: window bound %v must be a non-negative integer", part, v)
+		}
+	}
+	return uint64(from), uint64(until), nil
 }
 
 func parseFloatList(part, args string, want int) ([]float64, error) {
@@ -234,6 +560,11 @@ func parseFloatList(part, args string, want int) ([]float64, error) {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
 			return nil, fmt.Errorf("channel: component %q: bad parameter %q", part, f)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// NaN slips through every range check (all comparisons are
+			// false), turning the component into a silent no-op.
+			return nil, fmt.Errorf("channel: component %q: parameter %q is not finite", part, f)
 		}
 		out[i] = v
 	}

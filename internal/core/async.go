@@ -59,8 +59,19 @@ type AsyncOptions struct {
 	// in Faults is an error.
 	LossRate float64
 	// Faults selects the radio fault model for the data plane (loss
-	// process and/or node churn). The zero Spec is the perfect medium.
+	// process, spatial jamming, partition cuts and/or node churn —
+	// including churn targeted at representatives). The zero Spec is the
+	// perfect medium.
 	Faults channel.Spec
+	// Recover enables the recovery protocol: once per simulated time
+	// unit (n ticks) squares with dead representatives re-elect the
+	// nearest alive member (paying an election flood over the square's
+	// live members), and nodes that revived since the last sweep resync
+	// their control state from a live leaf neighbour (2 transmissions
+	// each). Off by default — enabling it clones the hierarchy and
+	// changes behaviour under churn, so historical churn runs stay
+	// bit-identical without it.
+	Recover bool
 	// Tracer, when non-nil, receives structured protocol events
 	// (activations, deactivations, far exchanges, losses).
 	Tracer trace.Tracer
@@ -115,6 +126,12 @@ type AsyncResult struct {
 	OverlapFars uint64
 	// RouteFailures counts undeliverable long-range round trips.
 	RouteFailures uint64
+	// Reelections counts representative takeovers performed by the
+	// recovery sweep (AsyncOptions.Recover).
+	Reelections uint64
+	// Resyncs counts revived-node control-state resyncs performed by the
+	// recovery sweep.
+	Resyncs uint64
 	// BudgetByDepth reports the per-depth round budgets used.
 	BudgetByDepth []uint64
 }
@@ -143,10 +160,20 @@ type asyncEngine struct {
 	leafAdj   [][]int32
 	// repairHops mirrors the recursive engine's leaf repair (see
 	// leafRepair): bridge nodes of rep-less in-leaf components exchange
-	// with their leaf representative over a routed path.
-	repairHops []int32
+	// with their leaf representative over a routed path. repairScratch is
+	// reusable labelling space for post-election repair rebuilds.
+	repairHops    []int32
+	repairScratch []int32
 	// siblingsWithRep[sq] caches exchange partners.
 	siblingsWithRep [][]int
+	// prevAlive tracks liveness between recovery sweeps so revivals can
+	// trigger a state resync (nil when Recover is off).
+	prevAlive []bool
+	// healEvery is the recovery-sweep period in ticks (n = once per
+	// simulated time unit; 0 when Recover is off).
+	healEvery uint64
+	// reelections and resyncs count recovery actions during the run.
+	reelections, resyncs uint64
 
 	protoRNG *rng.RNG
 	res      AsyncResult
@@ -170,6 +197,11 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	if err != nil {
 		return nil, err
 	}
+	if opt.Recover {
+		// Re-election mutates representative state; never touch the
+		// shared hierarchy build.
+		h = h.Clone()
+	}
 	e := &asyncEngine{
 		g:            g,
 		h:            h,
@@ -183,10 +215,20 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 		leafAdj:      buildLeafAdj(g, h),
 		protoRNG:     r.Stream("protocol"),
 	}
+	if opt.Recover {
+		e.healEvery = uint64(g.N())
+		e.prevAlive = make([]bool, g.N())
+		for i := range e.prevAlive {
+			e.prevAlive[i] = true
+		}
+	}
 	// The data-plane medium draws losses from the protocol stream (the
 	// same stream the inline checks used, keeping pre-channel runs
 	// bit-identical) and churn schedules from their own stream.
-	medium := spec.Build(g.N(), e.protoRNG, r.Stream("churn"))
+	medium, err := spec.Build(g.N(), faultEnv(g, h, spec), e.protoRNG, r.Stream("churn"))
+	if err != nil {
+		return nil, err
+	}
 	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
 	e.buildBudgets()
 	e.buildRoles()
@@ -202,10 +244,14 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 		Stop:        opt.Stop,
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
+		Points:      g.Points(),
 		Tracer:      opt.Tracer,
 	}, r.Stream("clock"))
 	for !e.run.Done() {
 		s := e.run.Tick()
+		if e.healEvery > 0 && e.run.Clock.Ticks()%e.healEvery == 0 {
+			e.heal()
+		}
 		if !e.run.Alive(s) {
 			e.run.Sample()
 			continue
@@ -220,7 +266,58 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	}
 	e.res.Result = e.run.Finish("affine-async")
 	e.res.BudgetByDepth = append([]uint64(nil), e.budget...)
+	e.res.Reelections = e.reelections
+	e.res.Resyncs = e.resyncs
+	e.res.Result.Reelections = e.reelections
+	e.res.Result.Resyncs = e.resyncs
 	return &e.res, nil
+}
+
+// heal runs the periodic recovery sweep: re-elect representatives of
+// squares whose rep died (nearest-alive-member takeover, paying an
+// election flood over the square's live members) and resync the control
+// state of nodes that revived since the last sweep from a live leaf
+// neighbour. Fired once per simulated time unit (n ticks).
+func (e *asyncEngine) heal() {
+	alive := e.run.Medium.Alive
+	changed := e.h.Reelect(alive)
+	for _, id := range changed {
+		sq := e.h.Squares[id]
+		e.reelections++
+		if e.repairScratch == nil {
+			e.repairScratch = make([]int32, e.g.N())
+		}
+		chargeReelection(e.g, sq, alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.run.Counter, e.opt.Tracer)
+		// The successor restarts the square's round from scratch.
+		e.count[id] = 0
+	}
+	if len(changed) > 0 {
+		e.buildRoles()
+	}
+	for i := range e.prevAlive {
+		up := alive(int32(i))
+		if up && !e.prevAlive[i] {
+			// Revived: pull current local.state from a live neighbour in
+			// the same leaf (restart-from-neighbor resync). With no live
+			// leaf neighbour nothing is pulled — the node conservatively
+			// stays off, pays nothing, and retries at the next sweep.
+			e.localOn[i] = false
+			resynced := false
+			for _, v := range e.leafAdj[i] {
+				if alive(v) {
+					e.localOn[i] = e.localOn[v]
+					resynced = true
+					break
+				}
+			}
+			if !resynced {
+				continue // prevAlive stays false: retry next sweep
+			}
+			e.run.Counter.Add(sim.CatControl, 2)
+			e.resyncs++
+		}
+		e.prevAlive[i] = up
+	}
 }
 
 // buildBudgets computes per-depth round budgets bottom-up and the derived
@@ -382,8 +479,11 @@ func (e *asyncEngine) far(sq *hier.Square) {
 		e.res.OverlapFars++
 	}
 	partner := e.h.Squares[sibs[e.protoRNG.IntN(len(sibs))]]
+	if partner.Rep < 0 || sq.Rep < 0 {
+		return // a recovery sweep retired the square entirely
+	}
 	out := routing.GreedyToNode(e.g, sq.Rep, partner.Rep, e.opt.Recovery)
-	if ok, paid := e.run.Medium.DeliverRoundTrip(sq.Rep, partner.Rep, out.Hops); !ok {
+	if ok, paid := e.run.Medium.DeliverRoundTrip(e.run.Packet(sq.Rep, partner.Rep, out.Hops)); !ok {
 		e.run.Counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
 		e.run.Trace(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: paid})
@@ -419,7 +519,7 @@ func (e *asyncEngine) near(s int32) {
 	var v int32
 	cost := 2
 	switch {
-	case e.repairHops[s] > 0:
+	case e.repairHops[s] > 0 && e.h.Squares[e.h.NodeLeaf[s]].Rep >= 0:
 		v = e.h.Squares[e.h.NodeLeaf[s]].Rep
 		cost = 2 * int(e.repairHops[s])
 	case len(cands) > 0:
@@ -427,7 +527,7 @@ func (e *asyncEngine) near(s int32) {
 	default:
 		return
 	}
-	if ok, paid := e.run.Medium.DeliverHop(s, v); !ok {
+	if ok, paid := e.run.Medium.DeliverHop(e.run.Packet(s, v, 1)); !ok {
 		e.run.Counter.Add(sim.CatNear, paid) // lost outbound value
 		return
 	}

@@ -111,10 +111,21 @@ type RecursiveOptions struct {
 	// disables loss. Setting both LossRate and a loss model in Faults is
 	// an error.
 	LossRate float64
-	// Faults selects the radio fault model (loss process and/or node
-	// churn). The zero Spec is the perfect medium. This engine has no
-	// global clock, so churn durations are measured in transmissions.
+	// Faults selects the radio fault model (loss process, spatial
+	// jamming, partition cuts and/or node churn — including churn
+	// targeted at hierarchy representatives). The zero Spec is the
+	// perfect medium. This engine has no global clock, so churn and
+	// field/cut schedules are measured in transmissions.
 	Faults channel.Spec
+	// Recover enables representative re-election: when a long-range
+	// exchange finds a square's representative dead, the member nearest
+	// the square's centre among the survivors takes over (paying an
+	// election flood over the square's live members) and the exchange
+	// proceeds with the new representative. Off by default — enabling it
+	// clones the hierarchy (the shared build is never mutated) and
+	// changes behaviour under churn, so historical churn runs stay
+	// bit-identical without it.
+	Recover bool
 	// Tracer, when non-nil, receives structured protocol events (far
 	// exchanges, leaf completions, losses).
 	Tracer trace.Tracer
@@ -165,6 +176,9 @@ type Result struct {
 	// LeafFastCalls counts leaf averagings served by the LeafFast model
 	// (zero in fully honest runs).
 	LeafFastCalls uint64
+	// Reelections counts representative takeovers performed under
+	// RecursiveOptions.Recover (also mirrored into the shared Result).
+	Reelections uint64
 }
 
 type engine struct {
@@ -187,8 +201,11 @@ type engine struct {
 	leafAdj [][]int32
 	// repairHops[i] is the greedy-route hop count from node i to its leaf
 	// representative for bridge/orphan nodes (0 otherwise, -1 if
-	// unreachable). See leafRepair.
-	repairHops []int32
+	// unreachable). See leafRepair. repairScratch is reusable
+	// component-labelling space for post-election repair rebuilds
+	// (allocated lazily on the first re-election).
+	repairHops    []int32
+	repairScratch []int32
 
 	res Result
 }
@@ -213,6 +230,16 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 	if err != nil {
 		return nil, err
 	}
+	if opt.Recover {
+		// Re-election mutates representative state; the hierarchy is
+		// shared across runs (facade networks, the sweep cache), so work
+		// on a private clone.
+		h = h.Clone()
+	}
+	ch, err := spec.Build(g.N(), faultEnv(g, h, spec), r.Stream("loss"), r.Stream("churn"))
+	if err != nil {
+		return nil, err
+	}
 	e := &engine{
 		g:       g,
 		h:       h,
@@ -221,7 +248,7 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		tracker: sim.NewErrTracker(x),
 		pick:    r.Stream("pick"),
 		leafRNG: r.Stream("leaf"),
-		ch:      spec.Build(g.N(), r.Stream("loss"), r.Stream("churn")),
+		ch:      ch,
 		leafAdj: buildLeafAdj(g, h),
 	}
 	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
@@ -246,8 +273,23 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		TransmissionsByCategory: e.counter.Breakdown(),
 		Curve:                   &e.curve,
 		Alive:                   sim.AliveMask(e.ch, g.N()),
+		Reelections:             e.res.Reelections,
 	}
 	return &e.res, nil
+}
+
+// faultEnv assembles the network context spatial and targeted fault
+// models bind to: positions always, hierarchy representatives and the
+// degree order only when the spec asks for them.
+func faultEnv(g *graph.Graph, h *hier.Hierarchy, spec channel.Spec) channel.Env {
+	env := channel.Env{Points: g.Points()}
+	if spec.TargetsReps() {
+		env.Reps = h.Reps()
+	}
+	if spec.TargetsHubs() {
+		env.HubOrder = g.ByDegreeDesc()
+	}
+	return env
 }
 
 // faultSpec folds a legacy LossRate shorthand into a fault spec and
@@ -320,53 +362,69 @@ func leafRepair(g *graph.Graph, h *hier.Hierarchy, leafAdj [][]int32, rec routin
 	hops := make([]int32, g.N())
 	comp := make([]int32, g.N())
 	for _, sq := range h.Leaves() {
-		if sq.Rep < 0 || len(sq.Members) <= 1 {
-			continue
-		}
-		// Label in-leaf components (BFS over leaf-restricted adjacency).
-		for _, m := range sq.Members {
-			comp[m] = -1
-		}
-		next := int32(0)
-		var queue []int32
-		for _, m := range sq.Members {
-			if comp[m] >= 0 {
-				continue
-			}
-			comp[m] = next
-			queue = append(queue[:0], m)
-			for len(queue) > 0 {
-				u := queue[0]
-				queue = queue[1:]
-				for _, v := range leafAdj[u] {
-					if comp[v] < 0 {
-						comp[v] = next
-						queue = append(queue, v)
-					}
-				}
-			}
-			next++
-		}
-		if next == 1 {
-			continue // leaf internally connected
-		}
-		repComp := comp[sq.Rep]
-		bridged := make(map[int32]bool, next)
-		for _, m := range sq.Members { // sorted: smallest index per component wins
-			c := comp[m]
-			if c == repComp || bridged[c] {
-				continue
-			}
-			bridged[c] = true
-			res := routing.GreedyToNode(g, m, sq.Rep, rec)
-			if !res.Delivered {
-				hops[m] = -1
-				continue
-			}
-			hops[m] = int32(res.Hops)
-		}
+		repairLeafSquare(g, leafAdj, hops, comp, sq, rec)
 	}
 	return hops
+}
+
+// repairLeafSquare (re)computes leaf sq's repair structure relative to
+// its *current* representative: members are re-labelled into in-leaf
+// components, prior bridge assignments are cleared, and every component
+// not containing the representative gets a fresh bridge. Called by
+// leafRepair at engine start and again after a representative
+// re-election — which component needs a bridge depends on where the
+// representative sits, so a takeover into a different component moves
+// the bridges, not just their route lengths. comp is caller-provided
+// scratch of length g.N().
+func repairLeafSquare(g *graph.Graph, leafAdj [][]int32, hops, comp []int32, sq *hier.Square, rec routing.Recovery) {
+	for _, m := range sq.Members {
+		hops[m] = 0
+	}
+	if sq.Rep < 0 || len(sq.Members) <= 1 {
+		return
+	}
+	// Label in-leaf components (BFS over leaf-restricted adjacency).
+	for _, m := range sq.Members {
+		comp[m] = -1
+	}
+	next := int32(0)
+	var queue []int32
+	for _, m := range sq.Members {
+		if comp[m] >= 0 {
+			continue
+		}
+		comp[m] = next
+		queue = append(queue[:0], m)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range leafAdj[u] {
+				if comp[v] < 0 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	if next == 1 {
+		return // leaf internally connected
+	}
+	repComp := comp[sq.Rep]
+	bridged := make(map[int32]bool, next)
+	for _, m := range sq.Members { // sorted: smallest index per component wins
+		c := comp[m]
+		if c == repComp || bridged[c] {
+			continue
+		}
+		bridged[c] = true
+		res := routing.GreedyToNode(g, m, sq.Rep, rec)
+		if !res.Delivered {
+			hops[m] = -1
+			continue
+		}
+		hops[m] = int32(res.Hops)
+	}
 }
 
 // avg drives square sq's member values to within eps·scale0 of their
@@ -440,10 +498,13 @@ func (e *engine) avg(sq *hier.Square, eps float64) {
 // (or, under the Convex ablation, convex) update on the two representative
 // values, using old values on both sides as in §3 steps 3–4.
 func (e *engine) farExchange(a, b *hier.Square) {
-	ra, rb := a.Rep, b.Rep
 	e.ch.Advance(e.counter.Total())
+	if e.opt.Recover && (!e.ensureRep(a) || !e.ensureRep(b)) {
+		return // a square lost all members; nothing to exchange with
+	}
+	ra, rb := a.Rep, b.Rep
 	out := routing.GreedyToNode(e.g, ra, rb, e.opt.Recovery)
-	if ok, paid := e.ch.DeliverRoundTrip(ra, rb, out.Hops); !ok {
+	if ok, paid := e.ch.DeliverRoundTrip(e.packet(ra, rb, out.Hops)); !ok {
 		// One of the two route legs was lost: charge the partial cost and
 		// apply no update (the oracle loop simply runs another round).
 		e.counter.Add(sim.CatFar, paid)
@@ -483,6 +544,60 @@ func (e *engine) farExchange(a, b *hier.Square) {
 	}
 	if e.res.FarExchanges%uint64(e.opt.RecordEvery) == 0 {
 		e.curve.Record(e.res.FarExchanges, e.counter.Total(), e.tracker.Err())
+	}
+}
+
+// packet assembles the delivery context for a transmission: endpoint
+// positions from the graph and the transmission counter as this engine's
+// clock.
+func (e *engine) packet(src, dst int32, hops int) channel.Packet {
+	return channel.Packet{
+		Src: src, Dst: dst,
+		SrcPos: e.g.Point(src), DstPos: e.g.Point(dst),
+		Hops: hops, Now: e.counter.Total(),
+	}
+}
+
+// ensureRep re-elects square sq's representative if it has died
+// (nearest-alive-member takeover), charging the election flood. It
+// reports whether the square has a representative afterwards.
+func (e *engine) ensureRep(sq *hier.Square) bool {
+	if sq.Rep >= 0 && e.ch.Alive(sq.Rep) {
+		return true
+	}
+	next, changed := e.h.ReelectSquare(sq.ID, e.ch.Alive)
+	if changed {
+		e.res.Reelections++
+		if e.repairScratch == nil {
+			e.repairScratch = make([]int32, e.g.N())
+		}
+		chargeReelection(e.g, sq, e.ch.Alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.counter, e.opt.Tracer)
+	}
+	return next >= 0
+}
+
+// chargeReelection pays the accounting for a representative takeover in
+// square sq, shared by the recursive and async engines: the election
+// flood over the square's live members — one broadcast each, the cost
+// of the square discovering the silence and agreeing on a successor —
+// the trace event, and a rebuild of the leaf's repair bridges relative
+// to the successor (a takeover into a different in-leaf component moves
+// the bridges, not just their route lengths). scratch is caller-provided
+// component-labelling space of length g.N(), reused across elections.
+func chargeReelection(g *graph.Graph, sq *hier.Square, alive func(int32) bool,
+	leafAdj [][]int32, repairHops, scratch []int32, rec routing.Recovery, counter *sim.Counter, tracer trace.Tracer) {
+	cost := 0
+	for _, m := range sq.Members {
+		if alive(m) {
+			cost++
+		}
+	}
+	counter.Add(sim.CatFlood, cost)
+	if sq.IsLeaf() {
+		repairLeafSquare(g, leafAdj, repairHops, scratch, sq, rec)
+	}
+	if tracer != nil {
+		tracer.Record(trace.Event{Kind: trace.KindReelect, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
 	}
 }
 
@@ -543,7 +658,7 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		var v int32
 		cost := 2
 		switch {
-		case e.repairHops[u] > 0:
+		case e.repairHops[u] > 0 && sq.Rep >= 0:
 			// Bridge/orphan: exchange with the representative over the
 			// precomputed route so in-leaf components equalize.
 			v = sq.Rep
@@ -553,7 +668,7 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		default:
 			continue
 		}
-		if ok, paid := e.ch.DeliverHop(u, v); !ok {
+		if ok, paid := e.ch.DeliverHop(e.packet(u, v, 1)); !ok {
 			e.counter.Add(sim.CatNear, paid) // lost outbound value
 			continue
 		}

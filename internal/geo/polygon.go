@@ -36,6 +36,48 @@ func (p Polygon) Area() float64 {
 	return s / 2
 }
 
+// IsConvexCCW reports whether the polygon is convex with vertices in
+// counter-clockwise order — the precondition of Contains. Collinear
+// vertex runs are allowed; degenerate (zero-area) polygons and clockwise
+// windings are rejected.
+func (pg Polygon) IsConvexCCW() bool {
+	if len(pg) < 3 {
+		return false
+	}
+	pos := false
+	for i := range pg {
+		a := pg[i]
+		b := pg[(i+1)%len(pg)]
+		c := pg[(i+2)%len(pg)]
+		cross := (b.X-a.X)*(c.Y-b.Y) - (b.Y-a.Y)*(c.X-b.X)
+		if cross < 0 {
+			return false
+		}
+		if cross > 0 {
+			pos = true
+		}
+	}
+	return pos
+}
+
+// Contains reports whether p lies inside the convex polygon (boundary
+// included). Vertices must be in counter-clockwise order, as everywhere
+// in this package.
+func (pg Polygon) Contains(p Point) bool {
+	if len(pg) < 3 {
+		return false
+	}
+	for i := range pg {
+		a := pg[i]
+		b := pg[(i+1)%len(pg)]
+		// p must lie on or to the left of every directed edge a→b.
+		if (b.X-a.X)*(p.Y-a.Y)-(b.Y-a.Y)*(p.X-a.X) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // ClipHalfPlane returns the part of the polygon satisfying
 // a·x + b·y <= c (Sutherland–Hodgman against a single edge). The result
 // may be empty.

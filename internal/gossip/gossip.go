@@ -44,9 +44,20 @@ type Options struct {
 	// behaviour. Setting both LossRate and a loss model in Faults is an
 	// error.
 	LossRate float64
-	// Faults selects the radio fault model (loss process and/or node
-	// churn). The zero Spec is the perfect medium.
+	// Faults selects the radio fault model (loss process, spatial
+	// jamming fields, partition cuts and/or node churn). The zero Spec is
+	// the perfect medium. Rep-targeted churn is rejected: these engines
+	// have no hierarchy.
 	Faults channel.Spec
+	// Resync enables restart-from-neighbor state recovery: a node whose
+	// clock fires after it revived from a crash first pulls the current
+	// estimate from a random live neighbour (2 transmissions) before
+	// resuming the protocol, so long-dead nodes rejoin near the working
+	// consensus instead of dragging their stale pre-crash value back in.
+	// Off by default — enabling it changes the draw sequence, and exact
+	// sum preservation is traded for convergence under churn (push-sum
+	// ignores it: mass-conservation bookkeeping already survives churn).
+	Resync bool
 	// Tracer, when non-nil, receives loss events.
 	Tracer trace.Tracer
 }
@@ -72,13 +83,19 @@ func (o Options) faultSpec() (channel.Spec, error) {
 }
 
 // medium builds the run's radio channel over the engine's deterministic
-// streams: losses draw from "loss", churn schedules from "churn".
-func (o Options) medium(n int, r *rng.RNG) (channel.Channel, error) {
+// streams: losses draw from "loss", churn schedules from "churn". The
+// graph supplies the spatial and degree context geometry-aware fault
+// models bind to; rep-targeted specs fail here (no hierarchy).
+func (o Options) medium(g *graph.Graph, r *rng.RNG) (channel.Channel, error) {
 	spec, err := o.faultSpec()
 	if err != nil {
 		return nil, err
 	}
-	return spec.Build(n, r.Stream("loss"), r.Stream("churn")), nil
+	env := channel.Env{Points: g.Points()}
+	if spec.TargetsHubs() {
+		env.HubOrder = g.ByDegreeDesc()
+	}
+	return spec.Build(g.N(), env, r.Stream("loss"), r.Stream("churn"))
 }
 
 // RunBoyd runs randomized nearest-neighbour gossip: on each clock tick
@@ -91,7 +108,7 @@ func RunBoyd(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Res
 	if g.N() == 0 {
 		return sim.EmptyResult("boyd"), nil
 	}
-	medium, err := opt.medium(g.N(), r)
+	medium, err := opt.medium(g, r)
 	if err != nil {
 		return nil, err
 	}
@@ -99,20 +116,24 @@ func RunBoyd(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Res
 		Stop:        opt.Stop,
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
+		Points:      g.Points(),
 		Tracer:      opt.Tracer,
 	}, r.Stream("clock"))
 	pick := r.Stream("pick")
+	resync := newResyncState(opt, g.N())
 
 	for !h.Done() {
 		s := h.Tick()
 		if !h.Alive(s) {
+			resync.markDead(s)
 			h.Sample()
 			continue
 		}
+		resync.onTick(s, g, h, x, pick)
 		deg := g.Degree(s)
 		if deg > 0 {
 			v := g.Neighbors(s)[pick.IntN(deg)]
-			if ok, paid := h.Medium.DeliverHop(s, v); !ok {
+			if ok, paid := h.Medium.DeliverHop(h.Packet(s, v, 1)); !ok {
 				// The outbound value was transmitted but lost; no update.
 				h.Counter.Add(sim.CatNear, paid)
 				h.TraceLoss(s, v, paid)
@@ -125,7 +146,55 @@ func RunBoyd(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Res
 		}
 		h.Sample()
 	}
-	return h.Finish("boyd"), nil
+	res := h.Finish("boyd")
+	res.Resyncs = resync.count
+	return res, nil
+}
+
+// resyncState implements restart-from-neighbor recovery for the
+// clock-driven baselines: it remembers which nodes were observed dead
+// and, on the first tick after a node revives, pulls the current
+// estimate from a random live neighbour.
+type resyncState struct {
+	wasDead []bool // nil when resync is disabled
+	count   uint64
+}
+
+func newResyncState(opt Options, n int) *resyncState {
+	rs := &resyncState{}
+	if opt.Resync && opt.Faults.HasChurn() && opt.Faults.Churn.MeanDown > 0 {
+		rs.wasDead = make([]bool, n)
+	}
+	return rs
+}
+
+func (rs *resyncState) markDead(s int32) {
+	if rs.wasDead != nil {
+		rs.wasDead[s] = true
+	}
+}
+
+// onTick performs the resync exchange for a freshly revived node: x[s]
+// adopts a random live neighbour's value at a cost of 2 transmissions
+// (request + response). A lost draw (dead neighbour) just skips — the
+// node retries on its next tick.
+func (rs *resyncState) onTick(s int32, g *graph.Graph, h *sim.Harness, x []float64, pick *rng.RNG) {
+	if rs.wasDead == nil || !rs.wasDead[s] {
+		return
+	}
+	deg := g.Degree(s)
+	if deg == 0 {
+		rs.wasDead[s] = false
+		return
+	}
+	v := g.Neighbors(s)[pick.IntN(deg)]
+	if !h.Alive(v) {
+		return // retry at the next tick
+	}
+	rs.wasDead[s] = false
+	h.Tracker.Set(s, x[v])
+	h.Counter.Add(sim.CatControl, 2)
+	rs.count++
 }
 
 // Sampling selects how geographic gossip chooses long-range partners.
@@ -277,7 +346,7 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 	}
 	opt = opt.withDefaults()
 	name = "geographic-" + opt.Sampling.String()
-	medium, err := opt.medium(g.N(), r)
+	medium, err := opt.medium(g, r)
 	if err != nil {
 		return nil, err
 	}
@@ -285,19 +354,23 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 		Stop:        opt.Stop,
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
+		Points:      g.Points(),
 		Tracer:      opt.Tracer,
 	}, r.Stream("clock"))
 	sampler := NewTargetSampler(g, opt.Sampling, opt.MaxAttempts)
 	sampleRNG := r.Stream("sample")
+	resync := newResyncState(opt.Options, g.N())
 
 	for !h.Done() {
 		s := h.Tick()
 		if !h.Alive(s) {
+			resync.markDead(s)
 			h.Sample()
 			continue
 		}
+		resync.onTick(s, g, h, x, sampleRNG)
 		target, hops, _ := sampler.SampleFrom(s, sampleRNG)
-		if ok, paid := h.Medium.DeliverRoute(s, target, hops); !ok {
+		if ok, paid := h.Medium.DeliverRoute(h.Packet(s, target, hops)); !ok {
 			// The outbound packet died partway along its route; charge the
 			// partial cost.
 			h.Counter.Add(sim.CatFar, paid)
@@ -306,7 +379,7 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 			h.Counter.Add(sim.CatFar, hops)
 			if target != s {
 				back := routing.GreedyToNode(g, target, s, opt.Recovery)
-				if ok, paid := h.Medium.DeliverRoute(target, s, back.Hops); !ok {
+				if ok, paid := h.Medium.DeliverRoute(h.Packet(target, s, back.Hops)); !ok {
 					// Return leg lost: partial cost, no commit.
 					h.Counter.Add(sim.CatFar, paid)
 					h.TraceLoss(target, s, paid)
@@ -326,5 +399,7 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 		}
 		h.Sample()
 	}
-	return h.Finish(name), nil
+	res := h.Finish(name)
+	res.Resyncs = resync.count
+	return res, nil
 }

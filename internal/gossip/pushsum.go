@@ -46,7 +46,9 @@ func RunPushSumState(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*met
 	if g.N() == 0 {
 		return sim.EmptyResult("push-sum"), nil, nil, nil
 	}
-	medium, err := opt.medium(g.N(), r)
+	// Push-sum needs no resync recovery: the mass-conservation invariants
+	// already survive churn, so Options.Resync is ignored here.
+	medium, err := opt.medium(g, r)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -63,6 +65,7 @@ func RunPushSumState(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*met
 		Stop:        opt.Stop,
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
+		Points:      g.Points(),
 		Tracer:      opt.Tracer,
 	}, r.Stream("clock"))
 	pick := r.Stream("pick")
@@ -76,7 +79,7 @@ func RunPushSumState(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*met
 		deg := g.Degree(i)
 		if deg > 0 {
 			j := g.Neighbors(i)[pick.IntN(deg)]
-			if ok, paid := h.Medium.DeliverHop(i, j); !ok {
+			if ok, paid := h.Medium.DeliverHop(h.Packet(i, j, 1)); !ok {
 				// Unacknowledged push: the sender rolls its halves back, so
 				// no mass moves — only the transmission is paid.
 				h.Counter.Add(sim.CatNear, paid)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"geogossip/internal/geo"
 	"geogossip/internal/rng"
@@ -130,6 +131,24 @@ func (g *Graph) Neighbors(i int32) []int32 {
 // Degree returns the number of neighbours of node i.
 func (g *Graph) Degree(i int32) int {
 	return int(g.offsets[i+1] - g.offsets[i])
+}
+
+// ByDegreeDesc returns all node ids ordered by descending degree, ties
+// broken by ascending id — the deterministic ordering hub-targeted fault
+// models (adversarial churn against the best-connected nodes) key on.
+func (g *Graph) ByDegreeDesc() []int32 {
+	out := make([]int32, g.N())
+	for i := range out {
+		out[i] = int32(i)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		da, db := g.Degree(out[a]), g.Degree(out[b])
+		if da != db {
+			return da > db
+		}
+		return out[a] < out[b]
+	})
+	return out
 }
 
 // HasEdge reports whether nodes i and j are adjacent.

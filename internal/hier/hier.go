@@ -21,6 +21,7 @@ package hier
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"geogossip/internal/geo"
 )
@@ -98,6 +99,12 @@ type Hierarchy struct {
 	RepRoles map[int32][]int
 
 	points []geo.Point
+	// succeeded marks squares whose representative was installed by
+	// re-election (indexed by square ID; nil until the first one).
+	// Validate relaxes its nearest-centre check for them: the successor
+	// was nearest among the members *alive at election time*, which a
+	// liveness-blind validator cannot re-derive.
+	succeeded []bool
 }
 
 // NearestEvenSquare returns the integer of the form (2k)², k ≥ 1, nearest
@@ -231,6 +238,138 @@ func nearestMember(points []geo.Point, members []int32, c geo.Point) int32 {
 
 // Root returns the root square.
 func (h *Hierarchy) Root() *Square { return h.Squares[0] }
+
+// Reps returns the distinct representative node ids across all squares,
+// sorted ascending — the node set adversarial rep-targeted churn aims
+// at.
+func (h *Hierarchy) Reps() []int32 {
+	out := make([]int32, 0, len(h.RepRoles))
+	for rep := range h.RepRoles {
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the hierarchy's mutable representative
+// state (squares, role maps, level and retirement tables); the immutable
+// point and member data is shared. Engines that re-elect representatives
+// under churn clone first, so hierarchies shared across runs — the sweep
+// engine caches one build per placement — are never mutated.
+func (h *Hierarchy) Clone() *Hierarchy {
+	out := &Hierarchy{
+		Squares:   make([]*Square, len(h.Squares)),
+		Ell:       h.Ell,
+		Branching: append([]int(nil), h.Branching...),
+		NodeLeaf:  h.NodeLeaf,
+		NodeLevel: append([]int32(nil), h.NodeLevel...),
+		RepRoles:  make(map[int32][]int, len(h.RepRoles)),
+		points:    h.points,
+	}
+	for i, sq := range h.Squares {
+		cp := *sq // Members and Children slices stay shared (read-only)
+		out.Squares[i] = &cp
+	}
+	for rep, roles := range h.RepRoles {
+		out.RepRoles[rep] = append([]int(nil), roles...)
+	}
+	if h.succeeded != nil {
+		out.succeeded = append([]bool(nil), h.succeeded...)
+	}
+	return out
+}
+
+// ReelectSquare replaces the representative of square id when the
+// current one is dead (or the square has none): the member nearest the
+// square's centre among those currently alive takes over — exactly
+// Build's representative rule restricted to survivors. A square whose
+// members are all dead goes rep-less (-1) but is not written off: a
+// later call re-elects as soon as any member revives, so flapping churn
+// can never permanently silence a populated square. It returns the
+// representative after the call and whether it changed. RepRoles and
+// NodeLevel are kept consistent, and the square is marked as succeeded
+// so Validate relaxes its liveness-blind nearest-centre check. Not safe
+// for hierarchies shared between runs — see Clone.
+func (h *Hierarchy) ReelectSquare(id int, alive func(int32) bool) (int32, bool) {
+	sq := h.Squares[id]
+	old := sq.Rep
+	if old >= 0 && alive(old) {
+		return old, false
+	}
+	var survivors []int32
+	for _, m := range sq.Members {
+		if alive(m) {
+			survivors = append(survivors, m)
+		}
+	}
+	next := nearestMember(h.points, survivors, sq.Rect.Center())
+	if next == old {
+		return old, false
+	}
+	if h.succeeded == nil {
+		h.succeeded = make([]bool, len(h.Squares))
+	}
+	h.succeeded[id] = true
+	sq.Rep = next
+	if old >= 0 {
+		h.dropRole(old, id)
+	}
+	if next >= 0 {
+		h.RepRoles[next] = append(h.RepRoles[next], id)
+		if int32(sq.Level) > h.NodeLevel[next] {
+			h.NodeLevel[next] = int32(sq.Level)
+		}
+	}
+	return next, true
+}
+
+// dropRole removes square id from rep's role list and recomputes the
+// node's protocol level from its remaining roles.
+func (h *Hierarchy) dropRole(rep int32, id int) {
+	roles := h.RepRoles[rep]
+	for i, r := range roles {
+		if r == id {
+			roles = append(roles[:i], roles[i+1:]...)
+			break
+		}
+	}
+	if len(roles) == 0 {
+		delete(h.RepRoles, rep)
+		h.NodeLevel[rep] = 0
+		return
+	}
+	h.RepRoles[rep] = roles
+	level := int32(0)
+	for _, r := range roles {
+		if l := int32(h.Squares[r].Level); l > level {
+			level = l
+		}
+	}
+	h.NodeLevel[rep] = level
+}
+
+// Reelect sweeps every populated square and replaces dead (or missing)
+// representatives via ReelectSquare, returning the ids of the squares
+// whose representative changed (in BFS order). Not safe for shared
+// hierarchies — see Clone.
+func (h *Hierarchy) Reelect(alive func(int32) bool) []int {
+	var changed []int
+	for _, sq := range h.Squares {
+		if len(sq.Members) == 0 {
+			continue
+		}
+		if _, ch := h.ReelectSquare(sq.ID, alive); ch {
+			changed = append(changed, sq.ID)
+		}
+	}
+	return changed
+}
+
+// Succeeded reports whether square id's representative was installed by
+// a re-election.
+func (h *Hierarchy) Succeeded(id int) bool {
+	return h.succeeded != nil && h.succeeded[id]
+}
 
 // Leaves returns the leaf squares in BFS order.
 func (h *Hierarchy) Leaves() []*Square {
@@ -373,6 +512,30 @@ func (h *Hierarchy) Validate() error {
 		if len(sq.Members) == 0 {
 			if sq.Rep != -1 {
 				return fmt.Errorf("hier: empty square %d has rep %d", sq.ID, sq.Rep)
+			}
+			continue
+		}
+		if sq.Rep < 0 {
+			// Only a re-election that found every member dead leaves a
+			// populated square without a rep.
+			if !h.Succeeded(sq.ID) {
+				return fmt.Errorf("hier: square %d has %d members but no rep", sq.ID, len(sq.Members))
+			}
+			continue
+		}
+		if h.Succeeded(sq.ID) {
+			// The successor was nearest among the members alive at
+			// election time; a liveness-blind check cannot re-derive that
+			// set, so only membership is asserted.
+			member := false
+			for _, m := range sq.Members {
+				if m == sq.Rep {
+					member = true
+					break
+				}
+			}
+			if !member {
+				return fmt.Errorf("hier: square %d rep %d is not a member", sq.ID, sq.Rep)
 			}
 			continue
 		}

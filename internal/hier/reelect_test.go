@@ -1,0 +1,235 @@
+package hier
+
+import (
+	"math"
+	"testing"
+)
+
+// aliveExcept returns a liveness oracle declaring exactly the listed
+// nodes dead.
+func aliveExcept(dead ...int32) func(int32) bool {
+	m := make(map[int32]bool, len(dead))
+	for _, d := range dead {
+		m[d] = true
+	}
+	return func(i int32) bool { return !m[i] }
+}
+
+func TestReelectSquareNearestAliveTakeover(t *testing.T) {
+	h := buildN(t, 600, 42, Config{})
+	// Kill the representative of every leaf square in turn and check the
+	// successor is the nearest alive member.
+	for _, sq := range h.Leaves() {
+		if sq.Rep < 0 || len(sq.Members) < 2 {
+			continue
+		}
+		hc := h.Clone()
+		csq := hc.Squares[sq.ID]
+		old := csq.Rep
+		next, changed := hc.ReelectSquare(sq.ID, aliveExcept(old))
+		if !changed {
+			t.Fatalf("square %d: dead rep %d not replaced", sq.ID, old)
+		}
+		if next == old || next < 0 {
+			t.Fatalf("square %d: successor %d invalid (old %d)", sq.ID, next, old)
+		}
+		// Successor is the member nearest the centre among survivors.
+		c := csq.Rect.Center()
+		best := math.Inf(1)
+		var want int32 = -1
+		for _, m := range csq.Members {
+			if m == old {
+				continue
+			}
+			if d2 := hc.points[m].Dist2(c); d2 < best {
+				best = d2
+				want = m
+			}
+		}
+		if next != want {
+			t.Fatalf("square %d: successor %d, want nearest alive %d", sq.ID, next, want)
+		}
+		if csq.Rep != next {
+			t.Fatalf("square %d: Rep field %d not updated to %d", sq.ID, csq.Rep, next)
+		}
+	}
+}
+
+func TestReelectKeepsRolesAndLevelsConsistent(t *testing.T) {
+	h := buildN(t, 800, 7, Config{}).Clone()
+	// Kill the root representative plus every depth-1 representative: the
+	// highest-level roles all change hands at once.
+	var dead []int32
+	root := h.Root()
+	dead = append(dead, root.Rep)
+	for _, cid := range root.Children {
+		if r := h.Squares[cid].Rep; r >= 0 {
+			dead = append(dead, r)
+		}
+	}
+	changed := h.Reelect(aliveExcept(dead...))
+	if len(changed) == 0 {
+		t.Fatal("no squares re-elected")
+	}
+	// RepRoles and Square.Rep agree in both directions.
+	for rep, roles := range h.RepRoles {
+		for _, id := range roles {
+			if h.Squares[id].Rep != rep {
+				t.Fatalf("RepRoles says %d represents square %d, square says %d", rep, id, h.Squares[id].Rep)
+			}
+		}
+	}
+	for _, sq := range h.Squares {
+		if sq.Rep < 0 {
+			continue
+		}
+		found := false
+		for _, id := range h.RepRoles[sq.Rep] {
+			if id == sq.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("square %d rep %d missing from RepRoles", sq.ID, sq.Rep)
+		}
+	}
+	// NodeLevel is the max level over each node's roles, 0 otherwise.
+	for i := range h.NodeLevel {
+		want := int32(0)
+		for _, id := range h.RepRoles[int32(i)] {
+			if l := int32(h.Squares[id].Level); l > want {
+				want = l
+			}
+		}
+		if h.NodeLevel[i] != want {
+			t.Fatalf("node %d level %d, want %d", i, h.NodeLevel[i], want)
+		}
+	}
+	// The structural invariants survive the churn.
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate after re-election: %v", err)
+	}
+	// Dead nodes hold no roles.
+	for _, d := range dead {
+		if len(h.RepRoles[d]) != 0 {
+			t.Fatalf("dead node %d still holds roles %v", d, h.RepRoles[d])
+		}
+	}
+}
+
+func TestReelectTotalSquareDeath(t *testing.T) {
+	h := buildN(t, 400, 3, Config{}).Clone()
+	// Kill every member of one leaf: the square ends up rep-less and
+	// Validate still passes.
+	var victim *Square
+	for _, sq := range h.Leaves() {
+		if len(sq.Members) > 0 {
+			victim = sq
+			break
+		}
+	}
+	if _, changed := h.ReelectSquare(victim.ID, aliveExcept(victim.Members...)); !changed {
+		t.Fatal("total death did not change the representative")
+	}
+	if victim.Rep != -1 {
+		t.Fatalf("fully dead square has rep %d", victim.Rep)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate after total square death: %v", err)
+	}
+}
+
+func TestReelectRevivedRepDoesNotReclaimSeat(t *testing.T) {
+	h := buildN(t, 400, 9, Config{}).Clone()
+	var sq *Square
+	for _, s := range h.Leaves() {
+		if s.Rep >= 0 && len(s.Members) >= 3 {
+			sq = s
+			break
+		}
+	}
+	old := sq.Rep
+	if _, changed := h.ReelectSquare(sq.ID, aliveExcept(old)); !changed {
+		t.Fatal("no takeover")
+	}
+	successor := sq.Rep
+	// The old rep revives; with a live successor in place a sweep must
+	// not churn the seat again.
+	if changed := h.Reelect(func(int32) bool { return true }); len(changed) != 0 {
+		t.Fatalf("sweep with everyone alive re-elected squares %v", changed)
+	}
+	if sq.Rep != successor {
+		t.Fatalf("square %d rep churned from %d to %d with everyone alive", sq.ID, successor, sq.Rep)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate after revival sweep: %v", err)
+	}
+}
+
+// TestReelectRecoversFromTotalDeath: flapping churn can empty a square
+// of live members; when they revive, the next sweep must re-seat a
+// representative rather than leaving the square silenced forever.
+func TestReelectRecoversFromTotalDeath(t *testing.T) {
+	h := buildN(t, 400, 13, Config{}).Clone()
+	var victim *Square
+	for _, s := range h.Leaves() {
+		if s.Rep >= 0 && len(s.Members) >= 2 {
+			victim = s
+			break
+		}
+	}
+	if _, changed := h.ReelectSquare(victim.ID, aliveExcept(victim.Members...)); !changed || victim.Rep != -1 {
+		t.Fatalf("total death not registered (rep %d)", victim.Rep)
+	}
+	// Everyone revives: the sweep re-seats the square, and the new rep
+	// is the nearest member again.
+	changed := h.Reelect(func(int32) bool { return true })
+	reseated := false
+	for _, id := range changed {
+		if id == victim.ID {
+			reseated = true
+		}
+	}
+	if !reseated || victim.Rep < 0 {
+		t.Fatalf("revived square not re-seated (rep %d, changed %v)", victim.Rep, changed)
+	}
+	want := nearestMember(h.points, victim.Members, victim.Rect.Center())
+	if victim.Rep != want {
+		t.Fatalf("re-seated rep %d, want nearest member %d", victim.Rep, want)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate after recovery from total death: %v", err)
+	}
+}
+
+func TestCloneIsolatesMutation(t *testing.T) {
+	h := buildN(t, 500, 11, Config{})
+	orig := make(map[int]int32, len(h.Squares))
+	for _, sq := range h.Squares {
+		orig[sq.ID] = sq.Rep
+	}
+	origLevels := append([]int32(nil), h.NodeLevel...)
+
+	c := h.Clone()
+	c.Reelect(func(i int32) bool { return i%2 == 0 }) // kill every odd node
+
+	for _, sq := range h.Squares {
+		if sq.Rep != orig[sq.ID] {
+			t.Fatalf("clone mutation leaked into square %d rep", sq.ID)
+		}
+	}
+	for i, l := range h.NodeLevel {
+		if l != origLevels[i] {
+			t.Fatalf("clone mutation leaked into NodeLevel[%d]", i)
+		}
+	}
+	if h.succeeded != nil {
+		t.Fatal("clone mutation leaked the succession table")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("original invalid after clone mutation: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid after mass churn: %v", err)
+	}
+}

@@ -116,6 +116,12 @@ type Result struct {
 	// model; nil when every node was up (any fault-free or loss-only
 	// run). Dead nodes hold their last pre-crash value.
 	Alive []bool
+	// Reelections counts representative re-elections performed by the
+	// recovery protocol (affine engines with recovery enabled).
+	Reelections uint64
+	// Resyncs counts restart-from-neighbor state resyncs after node
+	// revival (engines with recovery enabled).
+	Resyncs uint64
 }
 
 // String implements fmt.Stringer with a one-line summary.

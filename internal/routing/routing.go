@@ -4,7 +4,7 @@
 // and region-restricted flooding (used by Activate.square/Deactivate.square
 // at the lowest hierarchy level).
 //
-// Transmission accounting convention (see DESIGN.md §4): a route of h hops
+// Transmission accounting convention (see DESIGN.md §3): a route of h hops
 // costs h transmissions; flooding a region of m reachable nodes costs m
 // transmissions (every reached node rebroadcasts once).
 package routing

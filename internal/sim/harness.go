@@ -2,6 +2,7 @@ package sim
 
 import (
 	"geogossip/internal/channel"
+	"geogossip/internal/geo"
 	"geogossip/internal/metrics"
 	"geogossip/internal/rng"
 	"geogossip/internal/trace"
@@ -41,6 +42,7 @@ type Harness struct {
 
 	n     int
 	every uint64
+	pts   []geo.Point
 }
 
 // HarnessConfig configures NewHarness.
@@ -52,6 +54,10 @@ type HarnessConfig struct {
 	RecordEvery uint64
 	// Medium is the radio fault model; nil selects channel.Perfect.
 	Medium channel.Channel
+	// Points holds node positions so Packet can attach the spatial
+	// context spatial fault models read; nil leaves positions zero
+	// (sufficient for non-spatial media).
+	Points []geo.Point
 	// Tracer optionally receives protocol events.
 	Tracer trace.Tracer
 }
@@ -78,6 +84,7 @@ func NewHarness(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) *Harness {
 		Tracer:  cfg.Tracer,
 		n:       len(x),
 		every:   every,
+		pts:     cfg.Points,
 	}
 	h.Curve.Record(0, 0, h.Tracker.Err())
 	return h
@@ -98,6 +105,19 @@ func (h *Harness) Tick() int32 {
 
 // Alive reports whether node i is up on the medium.
 func (h *Harness) Alive(i int32) bool { return h.Medium.Alive(i) }
+
+// Packet assembles the delivery context for a src→dst transmission of
+// hops hops: endpoint positions from the configured point table (zero
+// when none was supplied) and the current tick count as the decision
+// time. Every engine delivery goes through it, so geometry-aware media
+// always see where and when a packet travels.
+func (h *Harness) Packet(src, dst int32, hops int) channel.Packet {
+	p := channel.Packet{Src: src, Dst: dst, Hops: hops, Now: h.Clock.Ticks()}
+	if h.pts != nil {
+		p.SrcPos, p.DstPos = h.pts[src], h.pts[dst]
+	}
+	return p
+}
 
 // Sample records a curve point when the tick count hits the sampling
 // period. Call it at the end of every loop iteration.

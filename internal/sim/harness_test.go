@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/rng"
+)
+
+func TestHarnessPacketCarriesContext(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0.1, 0.2), geo.Pt(0.3, 0.4), geo.Pt(0.9, 0.8)}
+	x := []float64{1, 2, 3}
+	h := NewHarness(x, HarnessConfig{Points: pts}, rng.New(1))
+	h.Tick()
+	h.Tick()
+	p := h.Packet(0, 2, 7)
+	if p.Src != 0 || p.Dst != 2 || p.Hops != 7 {
+		t.Fatalf("packet ids/hops wrong: %+v", p)
+	}
+	if p.SrcPos != pts[0] || p.DstPos != pts[2] {
+		t.Fatalf("packet positions wrong: %+v", p)
+	}
+	if p.Now != h.Clock.Ticks() || p.Now != 2 {
+		t.Fatalf("packet time %d, want current tick count %d", p.Now, h.Clock.Ticks())
+	}
+	if mid := p.Mid(); mid != geo.Pt(0.5, 0.5) {
+		t.Fatalf("midpoint %v, want (0.5, 0.5)", mid)
+	}
+}
+
+func TestHarnessPacketWithoutPoints(t *testing.T) {
+	x := []float64{1, 2}
+	h := NewHarness(x, HarnessConfig{}, rng.New(1))
+	p := h.Packet(0, 1, 1)
+	if p.SrcPos != (geo.Point{}) || p.DstPos != (geo.Point{}) {
+		t.Fatalf("positionless harness produced positions: %+v", p)
+	}
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"sort"
 
+	"geogossip/internal/channel"
 	"geogossip/internal/stats"
 )
 
@@ -87,11 +88,35 @@ type ScalingFit struct {
 	R2       float64 `json:"r2"`
 }
 
+// LossFit is a fitted power law transmissions ≈ C·x^q with
+// x = 1/(1 − p) the retransmission factor of the cell's effective loss
+// rate p — the cost-vs-loss scaling of one algorithm at one network
+// size, fitted across the grid's loss axis (plain LossRates and the
+// loss content of fault models alike: Bernoulli rate, Gilbert–Elliott
+// stationary loss, jamming-field mean loss). An exponent near 1 means
+// cost grows like the naive retransmission count; larger exponents
+// expose protocols whose structure amplifies loss.
+type LossFit struct {
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`
+	Beta      float64 `json:"beta"`
+	Sampling  string  `json:"sampling,omitempty"`
+	Hierarchy string  `json:"hierarchy,omitempty"`
+	// Points is the number of (retransmission factor, mean transmissions)
+	// cells fitted.
+	Points   int     `json:"points"`
+	Exponent float64 `json:"exponent"`
+	Constant float64 `json:"constant"`
+	R2       float64 `json:"r2"`
+}
+
 // Summary is the aggregation of one sweep: per-cell statistics plus
-// scaling-exponent fits across n.
+// scaling-exponent fits across n and cost-vs-loss fits across the fault
+// grid.
 type Summary struct {
-	Cells []CellStats  `json:"cells"`
-	Fits  []ScalingFit `json:"fits"`
+	Cells    []CellStats  `json:"cells"`
+	Fits     []ScalingFit `json:"fits"`
+	LossFits []LossFit    `json:"loss_fits,omitempty"`
 }
 
 // Aggregate groups per-task results into grid cells, summarizes each, and
@@ -173,7 +198,127 @@ func Aggregate(results []TaskResult) *Summary {
 		})
 	}
 	sort.Slice(sum.Fits, func(i, j int) bool { return fitLess(sum.Fits[i], sum.Fits[j]) })
+	sum.LossFits = lossFits(sum.Cells)
 	return sum
+}
+
+// lossLineKey groups cells for cost-vs-loss fits: the coordinates minus
+// the loss axes (LossRate and FaultModel become the fitted variable).
+type lossLineKey struct {
+	Algorithm string
+	N         int
+	Beta      float64
+	Sampling  string
+	Hierarchy string
+}
+
+// effectiveLoss resolves a cell's per-packet loss rate: the LossRate
+// axis folded into the fault model's expected loss (Bernoulli rate, GE
+// stationary loss, field mean loss composed as independent events).
+// Excluded from fitting: cells whose fault model fails to parse or
+// loses everything, and cells with structural faults (cuts, churn) —
+// their cost inflation is not a function of a loss rate and would only
+// pollute the fit.
+func effectiveLoss(k CellKey) (float64, bool) {
+	spec, err := channel.Parse(k.FaultModel)
+	if err != nil {
+		return 0, false
+	}
+	if spec.HasCut() || spec.HasChurn() {
+		return 0, false
+	}
+	for _, f := range spec.Fields {
+		if f.Scheduled() && f.Period == 0 {
+			// A one-shot window's active fraction depends on the run
+			// length, not on any rate the fit could use as a coordinate.
+			return 0, false
+		}
+		if f.Moving() {
+			// MeanLoss clips the disk at its *initial* centre; a moving
+			// jammer's long-run covered area differs, so the estimate is
+			// not a usable fit coordinate either.
+			return 0, false
+		}
+	}
+	if k.LossRate != 0 {
+		// The grid validator forbids crossing LossRates with fault models
+		// that carry their own loss process, so folding is unambiguous.
+		spec.Loss = channel.LossBernoulli
+		spec.LossRate = k.LossRate
+	}
+	p := spec.ExpectedLossRate()
+	if p < 0 || p >= 1 {
+		return 0, false
+	}
+	return p, true
+}
+
+// lossFits fits transmissions ≈ C·(1/(1−p))^q per algorithm/size line
+// across every cell whose effective loss differs — the cost-vs-loss
+// scaling exponents of the fault grid. Lines with fewer than two
+// distinct loss points produce no fit.
+func lossFits(cells []CellStats) []LossFit {
+	type pt struct{ x, tx float64 }
+	lines := make(map[lossLineKey][]pt)
+	for _, cs := range cells {
+		if cs.Count == 0 || cs.Transmissions.Mean <= 0 {
+			continue
+		}
+		p, ok := effectiveLoss(cs.CellKey)
+		if !ok {
+			continue
+		}
+		lk := lossLineKey{Algorithm: cs.Algorithm, N: cs.N, Beta: cs.Beta,
+			Sampling: cs.Sampling, Hierarchy: cs.Hierarchy}
+		lines[lk] = append(lines[lk], pt{x: 1 / (1 - p), tx: cs.Transmissions.Mean})
+	}
+	var out []LossFit
+	for lk, pts := range lines {
+		xs := make([]float64, 0, len(pts))
+		txs := make([]float64, 0, len(pts))
+		distinct := make(map[float64]bool)
+		for _, p := range pts {
+			xs = append(xs, p.x)
+			txs = append(txs, p.tx)
+			distinct[p.x] = true
+		}
+		if len(distinct) < 2 {
+			continue
+		}
+		q, c, r2, err := stats.PowerLawFit(xs, txs)
+		if err != nil {
+			continue
+		}
+		out = append(out, LossFit{
+			Algorithm: lk.Algorithm,
+			N:         lk.N,
+			Beta:      lk.Beta,
+			Sampling:  lk.Sampling,
+			Hierarchy: lk.Hierarchy,
+			Points:    len(xs),
+			Exponent:  q,
+			Constant:  c,
+			R2:        r2,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return lossFitLess(out[i], out[j]) })
+	return out
+}
+
+func lossFitLess(a, b LossFit) bool {
+	if a.Algorithm != b.Algorithm {
+		return a.Algorithm < b.Algorithm
+	}
+	if a.N != b.N {
+		return a.N < b.N
+	}
+	if a.Beta != b.Beta {
+		return a.Beta < b.Beta
+	}
+	if a.Sampling != b.Sampling {
+		return a.Sampling < b.Sampling
+	}
+	return a.Hierarchy < b.Hierarchy
 }
 
 func cellLess(a, b CellKey) bool {

@@ -70,10 +70,14 @@ type Spec struct {
 	// LossRates lists packet-loss probabilities. Empty selects {0}.
 	LossRates []float64
 	// FaultModels lists radio fault models in channel.Parse form
-	// ("perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", "churn:UP/DOWN",
+	// ("perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", the spatial forms
+	// "jam:...", "mjam:...", "jampoly:...", "cut:...", and the churn
+	// forms "churn:UP/DOWN", "repchurn:UP/DOWN", "hubchurn:UP/DOWN/K",
 	// composable via "+"). Empty selects {""} (the perfect medium, or
 	// the LossRates axis when that is swept). Entries carrying their own
-	// loss model cannot be crossed with non-zero LossRates.
+	// loss model cannot be crossed with non-zero LossRates. Rep-targeted
+	// entries only run on algorithms with a hierarchy; others record a
+	// per-task error.
 	FaultModels []string
 	// Betas lists affine multipliers (only the affine algorithms read
 	// them; 0 means the engine default 2/5). Empty selects {0}.

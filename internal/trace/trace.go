@@ -26,6 +26,9 @@ const (
 	KindLoss
 	// KindLeafDone marks a completed leaf averaging call.
 	KindLeafDone
+	// KindReelect marks a representative re-election after the previous
+	// representative died (NodeA is the successor, -1 for none).
+	KindReelect
 
 	numKinds
 )
@@ -45,6 +48,8 @@ func (k Kind) String() string {
 		return "loss"
 	case KindLeafDone:
 		return "leaf-done"
+	case KindReelect:
+		return "reelect"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -32,10 +32,15 @@ type SweepSpec struct {
 	// LossRates lists packet-loss probabilities (default {0}).
 	LossRates []float64
 	// FaultModels lists radio fault models in WithFaults spec form
-	// ("perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", "churn:UP/DOWN",
+	// ("perfect", "bernoulli:P", "ge:PGB/PBG/EG/EB", spatial forms
+	// "jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]]", "mjam:CX/CY/R/LOSS/VX/VY",
+	// "jampoly:LOSS/X1/Y1/...", "cut:A/B/C/FROM/UNTIL", and churn forms
+	// "churn:UP/DOWN", "repchurn:UP/DOWN", "hubchurn:UP/DOWN/K",
 	// composable via "+"; default {""}, the perfect medium). Entries
 	// carrying their own loss model cannot be crossed with non-zero
 	// LossRates; churn-only entries compose with the loss axis.
+	// Rep-targeted entries only run on the affine algorithms; other
+	// engines report a per-task error.
 	FaultModels []string
 	// Betas lists affine multipliers (default {0}, the engine's 2/5).
 	Betas []float64
@@ -156,12 +161,32 @@ type SweepFit struct {
 	R2       float64
 }
 
+// SweepLossFit is a fitted power law transmissions ≈ C·x^Exponent with
+// x = 1/(1−p) the retransmission factor of a cell's effective loss rate
+// p — the cost-vs-loss scaling of one algorithm at one network size
+// across the sweep's fault grid (LossRates and the loss content of
+// FaultModels alike).
+type SweepLossFit struct {
+	Algorithm string
+	N         int
+	Beta      float64
+	Sampling  string
+	Hierarchy string
+	Points    int
+	Exponent  float64
+	Constant  float64
+	R2        float64
+}
+
 // SweepReport is the output of one sweep: per-task results in canonical
 // (task ID) order plus the aggregation over grid cells.
 type SweepReport struct {
 	Results []SweepResult
 	Cells   []SweepCell
 	Fits    []SweepFit
+	// LossFits reports cost-vs-loss scaling exponents across the fault
+	// grid (empty without at least two distinct effective loss rates).
+	LossFits []SweepLossFit
 }
 
 // SweepOption configures Sweep.
@@ -264,6 +289,19 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 			Errors:         c.Errors,
 			Transmissions:  SweepDist(c.Transmissions),
 			FinalErr:       SweepDist(c.FinalErr),
+		})
+	}
+	for _, f := range agg.LossFits {
+		rep.LossFits = append(rep.LossFits, SweepLossFit{
+			Algorithm: f.Algorithm,
+			N:         f.N,
+			Beta:      f.Beta,
+			Sampling:  f.Sampling,
+			Hierarchy: f.Hierarchy,
+			Points:    f.Points,
+			Exponent:  f.Exponent,
+			Constant:  f.Constant,
+			R2:        f.R2,
 		})
 	}
 	for _, f := range agg.Fits {
