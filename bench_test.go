@@ -114,6 +114,36 @@ func BenchmarkSweepGrid1Worker(b *testing.B) { benchSweepGrid(b, 1) }
 
 func BenchmarkSweepGridNumCPU(b *testing.B) { benchSweepGrid(b, runtime.NumCPU()) }
 
+// BenchmarkSweepGrid is the end-to-end sweep benchmark of the bench
+// trajectory (BENCH_routing.json): all five algorithms × 2 sizes × 2
+// seeds at the default worker count, exercising the shared per-network
+// route caches. The reported route-hits/op metric tracks how much
+// routing work the grid pooled.
+func BenchmarkSweepGrid(b *testing.B) {
+	spec := SweepSpec{
+		Algorithms: []string{"boyd", "geographic", "push-sum", "affine-hierarchical", "affine-async"},
+		Ns:         []int{256, 512},
+		Seeds:      2,
+		TargetErr:  5e-2,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Sweep(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			if r.Err != "" {
+				b.Fatalf("task %d: %s", r.TaskID, r.Err)
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(100*rep.RouteCache.RouteHitRate(), "route-hit-%")
+		}
+	}
+}
+
 // --- substrate micro-benchmarks -------------------------------------------
 
 func benchGraph(b *testing.B, n int) *graph.Graph {
@@ -256,6 +286,70 @@ func BenchmarkAffineRecursive2048(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(res.Transmissions), "transmissions")
 			b.ReportMetric(float64(res.FarExchanges), "far-exchanges")
+		}
+	}
+}
+
+// BenchmarkAsyncLargeLeaf4096 is the routing-dominated engine run
+// BENCH_routing.json tracks: large leaves (the paper's polylog-occupancy
+// regime) and short rounds make the async engine spend its time flooding
+// leaf squares and routing rep↔child control packets, so wall-clock
+// follows the routing core directly. The route/flood caches took it from
+// 56.5ms to 18.8ms per run (3.0×) with bit-identical transmissions.
+func BenchmarkAsyncLargeLeaf4096(b *testing.B) {
+	g := benchGraph(b, 4096)
+	h, err := hier.Build(g.Points(), hier.Config{LeafTarget: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(8)
+	base := make([]float64, g.N())
+	for i := range base {
+		base[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := append([]float64(nil), base...)
+		res, err := core.RunAsync(g, h, x, core.AsyncOptions{
+			LeafTicks: 8,
+			Stop:      sim.StopRule{TargetErr: 1e-3, MaxTicks: 500_000},
+		}, rng.New(9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Transmissions), "transmissions")
+		}
+	}
+}
+
+// BenchmarkAsyncRun2048 measures the async engine at its default
+// parameters, where per-tick protocol work (near gossip, clock, error
+// tracking) shares the profile with routing.
+func BenchmarkAsyncRun2048(b *testing.B) {
+	g := benchGraph(b, 2048)
+	h, err := hier.Build(g.Points(), hier.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(8)
+	base := make([]float64, g.N())
+	for i := range base {
+		base[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := append([]float64(nil), base...)
+		res, err := core.RunAsync(g, h, x, core.AsyncOptions{
+			Stop: sim.StopRule{TargetErr: 1e-2, MaxTicks: 2_000_000},
+		}, rng.New(9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Transmissions), "transmissions")
 		}
 	}
 }

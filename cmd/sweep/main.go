@@ -30,6 +30,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -65,6 +67,8 @@ func run(args []string) error {
 		resume   = fs.Bool("resume", false, "skip tasks already present in -out and append")
 		quiet    = fs.Bool("quiet", false, "suppress progress reporting on stderr")
 		agg      = fs.Bool("agg", true, "print per-cell statistics and scaling fits")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to FILE (go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write a heap profile to FILE after the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,12 +166,32 @@ func run(args []string) error {
 		}))
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	// Ctrl-C stops scheduling and drains in-flight tasks; with -resume the
 	// next invocation picks up where this one stopped.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	rep, err := geogossip.Sweep(ctx, spec, opts...)
+	if rep != nil && !*quiet {
+		printCacheStats(os.Stderr, rep.RouteCache)
+	}
+	if *memProf != "" && rep != nil {
+		if err := writeHeapProfile(*memProf); err != nil {
+			return err
+		}
+	}
 	if err != nil {
 		if err == context.Canceled && rep != nil {
 			fmt.Fprintf(os.Stderr, "\ninterrupted after %d tasks; re-run with -resume to continue\n",
@@ -178,6 +202,33 @@ func run(args []string) error {
 	}
 	if *agg {
 		printAggregation(os.Stdout, rep)
+	}
+	return nil
+}
+
+// printCacheStats extends the progress summary with the shared route
+// cache's effectiveness: how much deterministic routing work the tasks
+// of each network build pooled instead of recomputing.
+func printCacheStats(w io.Writer, s geogossip.SweepRouteCacheStats) {
+	if s.RouteHits+s.RouteMisses+s.FloodHits+s.FloodMisses == 0 {
+		return
+	}
+	fmt.Fprintf(w, "route cache: %.1f%% route hits (%d/%d), %.1f%% flood hits (%d/%d)\n",
+		100*s.RouteHitRate(), s.RouteHits, s.RouteHits+s.RouteMisses,
+		100*s.FloodHitRate(), s.FloodHits, s.FloodHits+s.FloodMisses)
+}
+
+// writeHeapProfile forces a GC (so the profile reflects live data, not
+// garbage) and writes the heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
 	}
 	return nil
 }

@@ -101,7 +101,7 @@ func main() {
 	// Scenario 3: adversarial churn against the hierarchy's
 	// representatives, with and without re-election.
 	fmt.Println("\n3. repchurn (reps crash and revive) vs the async affine protocol")
-	for _, recover := range []bool{false, true} {
+	for _, withRecovery := range []bool{false, true} {
 		opts := []geogossip.RunOption{
 			geogossip.WithTargetError(target),
 			geogossip.WithMaxTicks(maxTicks),
@@ -109,7 +109,7 @@ func main() {
 			geogossip.WithRunSeed(3),
 		}
 		label := "no recovery         "
-		if recover {
+		if withRecovery {
 			opts = append(opts, geogossip.WithRecovery())
 			label = "re-election enabled "
 		}

@@ -208,10 +208,35 @@ func (f FieldParams) validate() error {
 // only when the combined probability is positive, plus one IntN draw for
 // the failure point of a lost multi-hop leg — so traffic outside every
 // field consumes no randomness.
+//
+// Hot-path structure: every delivery of a spatial-fault run evaluates
+// every field at three sample points, so each field is precompiled into
+// a fieldEval carrying the region's bounding box — points outside the
+// box are rejected with four comparisons before any disk or polygon
+// math — and a moving disk's reflected centre (the expensive part of
+// its evaluation) is computed once per decision time, not once per
+// sample point. Both are pure rearrangements: the loss probability per
+// packet is bit-identical to evaluating FieldParams.LossAt per point.
 type SpatialLoss struct {
-	inner  Channel
-	fields []FieldParams
-	r      *rng.RNG
+	inner Channel
+	evals []fieldEval
+	r     *rng.RNG
+}
+
+// fieldEval is one field plus its precompiled fast-rejection state.
+type fieldEval struct {
+	f FieldParams
+	// minX..maxY is the region's bounding box (inclusive): for disks the
+	// centre ± radius, for polygons the vertex hull box. Recomputed per
+	// decision time for moving disks, fixed otherwise.
+	minX, minY, maxX, maxY float64
+	// center is the disk centre the box was built around.
+	center geo.Point
+	// boxNow is the decision time the moving box corresponds to; primed
+	// marks it valid (time zero is a legitimate Now).
+	boxNow uint64
+	primed bool
+	moving bool
 }
 
 // NewSpatialLoss wraps inner (nil selects Perfect) with the given loss
@@ -220,7 +245,58 @@ func NewSpatialLoss(inner Channel, fields []FieldParams, r *rng.RNG) *SpatialLos
 	if inner == nil {
 		inner = Perfect{}
 	}
-	return &SpatialLoss{inner: inner, fields: fields, r: r}
+	s := &SpatialLoss{inner: inner, evals: make([]fieldEval, len(fields)), r: r}
+	for i, f := range fields {
+		ev := &s.evals[i]
+		ev.f = f
+		ev.moving = f.Moving()
+		switch {
+		case f.Kind == FieldDisk && !ev.moving:
+			ev.center = f.Center
+			ev.setDiskBox(f.Center, f.Radius)
+		case f.Kind == FieldPolygon:
+			ev.minX, ev.minY = math.Inf(1), math.Inf(1)
+			ev.maxX, ev.maxY = math.Inf(-1), math.Inf(-1)
+			for _, v := range f.Poly {
+				ev.minX = math.Min(ev.minX, v.X)
+				ev.minY = math.Min(ev.minY, v.Y)
+				ev.maxX = math.Max(ev.maxX, v.X)
+				ev.maxY = math.Max(ev.maxY, v.Y)
+			}
+		}
+	}
+	return s
+}
+
+func (ev *fieldEval) setDiskBox(c geo.Point, radius float64) {
+	ev.minX, ev.minY = c.X-radius, c.Y-radius
+	ev.maxX, ev.maxY = c.X+radius, c.Y+radius
+}
+
+// outside reports whether p provably lies outside the field region (the
+// bounding-box early-out). False only means "needs the exact test".
+func (ev *fieldEval) outside(p geo.Point) bool {
+	return p.X < ev.minX || p.X > ev.maxX || p.Y < ev.minY || p.Y > ev.maxY
+}
+
+// lossAtPoint is FieldParams.LossAt with the activity check hoisted and
+// the disk centre supplied by the caller.
+func (ev *fieldEval) lossAtPoint(p geo.Point) float64 {
+	if ev.outside(p) {
+		return 0
+	}
+	f := &ev.f
+	switch f.Kind {
+	case FieldDisk:
+		if ev.center.Dist2(p) <= f.Radius*f.Radius {
+			return f.Loss
+		}
+	case FieldPolygon:
+		if geo.Polygon(f.Poly).Contains(p) {
+			return f.Loss
+		}
+	}
+	return 0
 }
 
 // lossAt combines the fields' local probabilities for the packet: per
@@ -229,12 +305,25 @@ func NewSpatialLoss(inner Channel, fields []FieldParams, r *rng.RNG) *SpatialLos
 func (s *SpatialLoss) lossAt(p Packet) float64 {
 	survive := 1.0
 	mid := p.Mid()
-	for _, f := range s.fields {
-		q := f.LossAt(p.SrcPos, p.Now)
-		if v := f.LossAt(mid, p.Now); v > q {
+	for i := range s.evals {
+		ev := &s.evals[i]
+		f := &ev.f
+		if f.Loss <= 0 || !f.Active(p.Now) {
+			continue
+		}
+		if ev.moving && (!ev.primed || ev.boxNow != p.Now) {
+			// One reflected-centre computation per decision time covers
+			// all three sample points (and any further packet at the
+			// same time).
+			ev.center = f.CenterAt(p.Now)
+			ev.setDiskBox(ev.center, f.Radius)
+			ev.boxNow, ev.primed = p.Now, true
+		}
+		q := ev.lossAtPoint(p.SrcPos)
+		if v := ev.lossAtPoint(mid); v > q {
 			q = v
 		}
-		if v := f.LossAt(p.DstPos, p.Now); v > q {
+		if v := ev.lossAtPoint(p.DstPos); v > q {
 			q = v
 		}
 		survive *= 1 - q

@@ -51,6 +51,9 @@ type AsyncOptions struct {
 	RecordEvery uint64
 	// Recovery selects routing stall handling; zero selects RecoveryBFS.
 	Recovery routing.Recovery
+	// Routes optionally supplies a shared deterministic route/flood
+	// cache bound to the run's graph (see RecursiveOptions.Routes).
+	Routes *routing.Cache
 	// LossRate is the probability that a data packet (Near exchange or a
 	// leg of a Far route) is lost — shorthand for a Bernoulli fault model
 	// in Faults; the control plane (activation floods and routes) is
@@ -138,6 +141,7 @@ type AsyncResult struct {
 
 type asyncEngine struct {
 	g   *graph.Graph
+	rt  *routing.Router
 	h   *hier.Hierarchy
 	opt AsyncOptions
 	x   []float64
@@ -204,6 +208,7 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	}
 	e := &asyncEngine{
 		g:            g,
+		rt:           routing.NewRouter(g, opt.Routes),
 		h:            h,
 		opt:          opt,
 		x:            x,
@@ -229,7 +234,7 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	if err != nil {
 		return nil, err
 	}
-	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
+	e.repairHops = leafRepair(e.rt, h, e.leafAdj, opt.Recovery)
 	e.buildBudgets()
 	e.buildRoles()
 
@@ -245,6 +250,7 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
 		Points:      g.Points(),
+		Router:      e.rt,
 		Tracer:      opt.Tracer,
 	}, r.Stream("clock"))
 	for !e.run.Done() {
@@ -287,7 +293,7 @@ func (e *asyncEngine) heal() {
 		if e.repairScratch == nil {
 			e.repairScratch = make([]int32, e.g.N())
 		}
-		chargeReelection(e.g, sq, alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.run.Counter, e.opt.Tracer)
+		chargeReelection(e.rt, sq, alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.run.Counter, e.opt.Tracer)
 		// The successor restarts the square's round from scratch.
 		e.count[id] = 0
 	}
@@ -414,7 +420,7 @@ func (e *asyncEngine) activate(sq *hier.Square) {
 	e.res.Activations++
 	e.run.Trace(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
 	if sq.IsLeaf() {
-		fl := routing.Flood(e.g, sq.Rep, sq.Rect)
+		fl := e.rt.Flood(sq.Rep, sq.Rect)
 		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
 		for _, v := range fl.Reached {
 			e.localOn[v] = true
@@ -426,7 +432,7 @@ func (e *asyncEngine) activate(sq *hier.Square) {
 		if child.Rep < 0 {
 			continue
 		}
-		res := routing.GreedyToNode(e.g, sq.Rep, child.Rep, e.opt.Recovery)
+		res := e.rt.RouteToNode(sq.Rep, child.Rep, e.opt.Recovery)
 		e.run.Counter.Add(sim.CatControl, res.Hops)
 		if res.Delivered {
 			e.globalOn[child.ID] = true
@@ -444,7 +450,7 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 	e.res.Deactivations++
 	e.run.Trace(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
 	if sq.IsLeaf() {
-		fl := routing.Flood(e.g, sq.Rep, sq.Rect)
+		fl := e.rt.Flood(sq.Rep, sq.Rect)
 		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
 		for _, v := range fl.Reached {
 			e.localOn[v] = false
@@ -456,7 +462,7 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 		if child.Rep < 0 {
 			continue
 		}
-		res := routing.GreedyToNode(e.g, sq.Rep, child.Rep, e.opt.Recovery)
+		res := e.rt.RouteToNode(sq.Rep, child.Rep, e.opt.Recovery)
 		e.run.Counter.Add(sim.CatControl, res.Hops)
 		if res.Delivered {
 			e.globalOn[child.ID] = false
@@ -482,7 +488,7 @@ func (e *asyncEngine) far(sq *hier.Square) {
 	if partner.Rep < 0 || sq.Rep < 0 {
 		return // a recovery sweep retired the square entirely
 	}
-	out := routing.GreedyToNode(e.g, sq.Rep, partner.Rep, e.opt.Recovery)
+	out := e.rt.RouteToNode(sq.Rep, partner.Rep, e.opt.Recovery)
 	if ok, paid := e.run.Medium.DeliverRoundTrip(e.run.Packet(sq.Rep, partner.Rep, out.Hops)); !ok {
 		e.run.Counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
@@ -492,7 +498,7 @@ func (e *asyncEngine) far(sq *hier.Square) {
 	hops := out.Hops
 	delivered := out.Delivered
 	if delivered {
-		back := routing.GreedyToNode(e.g, partner.Rep, sq.Rep, e.opt.Recovery)
+		back := e.rt.RouteToNode(partner.Rep, sq.Rep, e.opt.Recovery)
 		hops += back.Hops
 		delivered = back.Delivered
 	}

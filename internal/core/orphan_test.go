@@ -5,6 +5,7 @@ import (
 
 	"geogossip/internal/hier"
 	"geogossip/internal/rng"
+	"geogossip/internal/routing"
 )
 
 // countOrphans returns how many nodes have no graph neighbour inside
@@ -26,7 +27,7 @@ func TestOrphanRoutesCoverIsolatedNodes(t *testing.T) {
 	// representative.
 	f := newFixture(t, 4096, 1.0, 460, hier.Config{LeafTarget: 16})
 	adj := buildLeafAdj(f.g, f.h)
-	hops := leafRepair(f.g, f.h, adj, 0)
+	hops := leafRepair(routing.NewRouter(f.g, nil), f.h, adj, 0)
 	orphans, covered := 0, 0
 	for i := range adj {
 		leaf := f.h.Leaf(int32(i))

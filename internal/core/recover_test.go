@@ -165,7 +165,7 @@ func TestRepTargetedSpecRejectedWithoutHierarchyContext(t *testing.T) {
 func TestRepairBridgesFollowCrossComponentTakeover(t *testing.T) {
 	f := newFixture(t, 4096, 1.0, 464, hier.Config{LeafTarget: 16})
 	adj := buildLeafAdj(f.g, f.h)
-	hops := leafRepair(f.g, f.h, adj, routing.RecoveryBFS)
+	hops := leafRepair(routing.NewRouter(f.g, nil), f.h, adj, routing.RecoveryBFS)
 
 	// Component labels within one leaf, via BFS over leaf-restricted
 	// adjacency.
@@ -235,7 +235,7 @@ func TestRepairBridgesFollowCrossComponentTakeover(t *testing.T) {
 	}
 
 	scratch := make([]int32, f.g.N())
-	repairLeafSquare(f.g, adj, hops, scratch, sq, routing.RecoveryBFS)
+	repairLeafSquare(routing.NewRouter(f.g, nil), adj, hops, scratch, sq, routing.RecoveryBFS)
 
 	// Every component except the successor's owns exactly one bridge —
 	// including the old representative's, which had none before.

@@ -97,6 +97,12 @@ type RecursiveOptions struct {
 	// Recovery selects greedy-routing stall handling. Zero selects
 	// routing.RecoveryBFS.
 	Recovery routing.Recovery
+	// Routes optionally supplies a shared deterministic route/flood
+	// cache bound to the run's graph (see routing.Cache). Nil gives the
+	// run a fresh private cache; the sweep engine shares one cache per
+	// network build. Routing is a pure function of the immutable graph,
+	// so cache sharing cannot change results.
+	Routes *routing.Cache
 	// RecordEvery samples the convergence curve every RecordEvery far
 	// exchanges. Zero selects 16.
 	RecordEvery int
@@ -183,6 +189,7 @@ type Result struct {
 
 type engine struct {
 	g       *graph.Graph
+	rt      *routing.Router
 	h       *hier.Hierarchy
 	opt     RecursiveOptions
 	x       []float64
@@ -242,6 +249,7 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 	}
 	e := &engine{
 		g:       g,
+		rt:      routing.NewRouter(g, opt.Routes),
 		h:       h,
 		opt:     opt,
 		x:       x,
@@ -251,7 +259,7 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		ch:      ch,
 		leafAdj: buildLeafAdj(g, h),
 	}
-	e.repairHops = leafRepair(g, h, e.leafAdj, opt.Recovery)
+	e.repairHops = leafRepair(e.rt, h, e.leafAdj, opt.Recovery)
 	e.scale0 = e.tracker.Norm0()
 	e.curve.Record(0, 0, e.tracker.Err())
 	// A start at (numerical) consensus needs no work; the threshold keeps
@@ -358,11 +366,12 @@ func buildLeafAdj(g *graph.Graph, h *hier.Hierarchy) [][]int32 {
 // a greedy-routed path, paying the hops. The returned slice holds the
 // per-node route hop count (0 = ordinary node, -1 = rep unreachable,
 // possible only on globally disconnected instances).
-func leafRepair(g *graph.Graph, h *hier.Hierarchy, leafAdj [][]int32, rec routing.Recovery) []int32 {
-	hops := make([]int32, g.N())
-	comp := make([]int32, g.N())
+func leafRepair(rt *routing.Router, h *hier.Hierarchy, leafAdj [][]int32, rec routing.Recovery) []int32 {
+	n := rt.Graph().N()
+	hops := make([]int32, n)
+	comp := make([]int32, n)
 	for _, sq := range h.Leaves() {
-		repairLeafSquare(g, leafAdj, hops, comp, sq, rec)
+		repairLeafSquare(rt, leafAdj, hops, comp, sq, rec)
 	}
 	return hops
 }
@@ -376,7 +385,7 @@ func leafRepair(g *graph.Graph, h *hier.Hierarchy, leafAdj [][]int32, rec routin
 // representative sits, so a takeover into a different component moves
 // the bridges, not just their route lengths. comp is caller-provided
 // scratch of length g.N().
-func repairLeafSquare(g *graph.Graph, leafAdj [][]int32, hops, comp []int32, sq *hier.Square, rec routing.Recovery) {
+func repairLeafSquare(rt *routing.Router, leafAdj [][]int32, hops, comp []int32, sq *hier.Square, rec routing.Recovery) {
 	for _, m := range sq.Members {
 		hops[m] = 0
 	}
@@ -418,7 +427,7 @@ func repairLeafSquare(g *graph.Graph, leafAdj [][]int32, hops, comp []int32, sq 
 			continue
 		}
 		bridged[c] = true
-		res := routing.GreedyToNode(g, m, sq.Rep, rec)
+		res := rt.RouteToNode(m, sq.Rep, rec)
 		if !res.Delivered {
 			hops[m] = -1
 			continue
@@ -503,7 +512,7 @@ func (e *engine) farExchange(a, b *hier.Square) {
 		return // a square lost all members; nothing to exchange with
 	}
 	ra, rb := a.Rep, b.Rep
-	out := routing.GreedyToNode(e.g, ra, rb, e.opt.Recovery)
+	out := e.rt.RouteToNode(ra, rb, e.opt.Recovery)
 	if ok, paid := e.ch.DeliverRoundTrip(e.packet(ra, rb, out.Hops)); !ok {
 		// One of the two route legs was lost: charge the partial cost and
 		// apply no update (the oracle loop simply runs another round).
@@ -517,7 +526,7 @@ func (e *engine) farExchange(a, b *hier.Square) {
 	hops := out.Hops
 	delivered := out.Delivered
 	if delivered {
-		back := routing.GreedyToNode(e.g, rb, ra, e.opt.Recovery)
+		back := e.rt.RouteToNode(rb, ra, e.opt.Recovery)
 		hops += back.Hops
 		delivered = back.Delivered
 	}
@@ -571,7 +580,7 @@ func (e *engine) ensureRep(sq *hier.Square) bool {
 		if e.repairScratch == nil {
 			e.repairScratch = make([]int32, e.g.N())
 		}
-		chargeReelection(e.g, sq, e.ch.Alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.counter, e.opt.Tracer)
+		chargeReelection(e.rt, sq, e.ch.Alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.counter, e.opt.Tracer)
 	}
 	return next >= 0
 }
@@ -584,7 +593,7 @@ func (e *engine) ensureRep(sq *hier.Square) bool {
 // to the successor (a takeover into a different in-leaf component moves
 // the bridges, not just their route lengths). scratch is caller-provided
 // component-labelling space of length g.N(), reused across elections.
-func chargeReelection(g *graph.Graph, sq *hier.Square, alive func(int32) bool,
+func chargeReelection(rt *routing.Router, sq *hier.Square, alive func(int32) bool,
 	leafAdj [][]int32, repairHops, scratch []int32, rec routing.Recovery, counter *sim.Counter, tracer trace.Tracer) {
 	cost := 0
 	for _, m := range sq.Members {
@@ -594,7 +603,7 @@ func chargeReelection(g *graph.Graph, sq *hier.Square, alive func(int32) bool,
 	}
 	counter.Add(sim.CatFlood, cost)
 	if sq.IsLeaf() {
-		repairLeafSquare(g, leafAdj, repairHops, scratch, sq, rec)
+		repairLeafSquare(rt, leafAdj, repairHops, scratch, sq, rec)
 	}
 	if tracer != nil {
 		tracer.Record(trace.Event{Kind: trace.KindReelect, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})

@@ -49,6 +49,16 @@ type Options struct {
 	// the perfect medium. Rep-targeted churn is rejected: these engines
 	// have no hierarchy.
 	Faults channel.Spec
+	// Routes optionally supplies a deterministic route/flood cache bound
+	// to the run's graph (see routing.Cache). Routing is a pure function
+	// of the immutable graph, so caching cannot change any result — but
+	// geographic gossip routes between uniformly random endpoints, whose
+	// (src, dst) pairs essentially never recur (the memoization
+	// pathology DESIGN.md §6 documents), so nil selects the uncached
+	// zero-alloc path rather than a private cache. Only geographic
+	// routes packets; the single-hop engines (boyd, push-sum) ignore
+	// this field.
+	Routes *routing.Cache
 	// Resync enables restart-from-neighbor state recovery: a node whose
 	// clock fires after it revived from a crash first pulls the current
 	// estimate from a random live neighbour (2 transmissions) before
@@ -255,6 +265,7 @@ func (o GeoOptions) withDefaults() GeoOptions {
 // routing cost the mechanism incurs.
 type TargetSampler struct {
 	g           *graph.Graph
+	rt          *routing.Router
 	mode        Sampling
 	maxAttempts int
 	// accept[i] is node i's rejection-sampling acceptance probability
@@ -271,13 +282,23 @@ type TargetSampler struct {
 // of attempts near 2 while removing most of the Voronoi-area spread.
 const rejectionKappa = 0.5
 
-// NewTargetSampler builds a sampler over g.
+// NewTargetSampler builds a sampler over g with a private uncached
+// routing core (sampled targets are random, so memoization cannot hit;
+// see Options.Routes).
 func NewTargetSampler(g *graph.Graph, mode Sampling, maxAttempts int) *TargetSampler {
+	return NewTargetSamplerRouter(routing.NewRouter(g, routing.NoCache()), mode, maxAttempts)
+}
+
+// NewTargetSamplerRouter builds a sampler that routes through rt, so a
+// run's sampler and return routes share one memoized routing core.
+func NewTargetSamplerRouter(rt *routing.Router, mode Sampling, maxAttempts int) *TargetSampler {
 	if maxAttempts <= 0 {
 		maxAttempts = 10
 	}
+	g := rt.Graph()
 	ts := &TargetSampler{
 		g:           g,
+		rt:          rt,
 		mode:        mode,
 		maxAttempts: maxAttempts,
 	}
@@ -308,19 +329,19 @@ func (ts *TargetSampler) SampleFrom(src int32, r *rng.RNG) (target int32, hops, 
 			return src, 0, 1
 		}
 		t := int32(r.IntNExcept(ts.g.N(), int(src)))
-		res := routing.GreedyToNode(ts.g, src, t, routing.RecoveryBFS)
+		res := ts.rt.RouteToNode(src, t, routing.RecoveryBFS)
 		if !res.Delivered {
 			// Disconnected target: stay at the stall node.
-			return res.Path[len(res.Path)-1], res.Hops, 1
+			return res.Last, res.Hops, 1
 		}
 		return t, res.Hops, 1
 	case SamplingRejection:
 		cur := src
 		for attempts = 1; ; attempts++ {
 			y := geo.Pt(r.Float64(), r.Float64())
-			res := routing.GreedyToPoint(ts.g, cur, y)
+			res := ts.rt.RouteToPoint(cur, y)
 			hops += res.Hops
-			cur = res.Path[len(res.Path)-1]
+			cur = res.Last
 			if attempts >= ts.maxAttempts {
 				return cur, hops, attempts
 			}
@@ -350,14 +371,22 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 	if err != nil {
 		return nil, err
 	}
+	routes := opt.Routes
+	if routes == nil {
+		// Geographic routes target uniformly random partners: memoizing
+		// them would grow toward n² entries with near-zero reuse, so the
+		// default is the uncached (still zero-alloc) fast path.
+		routes = routing.NoCache()
+	}
 	h := sim.NewHarness(x, sim.HarnessConfig{
 		Stop:        opt.Stop,
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
 		Points:      g.Points(),
+		Router:      routing.NewRouter(g, routes),
 		Tracer:      opt.Tracer,
 	}, r.Stream("clock"))
-	sampler := NewTargetSampler(g, opt.Sampling, opt.MaxAttempts)
+	sampler := NewTargetSamplerRouter(h.Router, opt.Sampling, opt.MaxAttempts)
 	sampleRNG := r.Stream("sample")
 	resync := newResyncState(opt.Options, g.N())
 
@@ -378,7 +407,7 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 		} else {
 			h.Counter.Add(sim.CatFar, hops)
 			if target != s {
-				back := routing.GreedyToNode(g, target, s, opt.Recovery)
+				back := h.Router.RouteToNode(target, s, opt.Recovery)
 				if ok, paid := h.Medium.DeliverRoute(h.Packet(target, s, back.Hops)); !ok {
 					// Return leg lost: partial cost, no commit.
 					h.Counter.Add(sim.CatFar, paid)

@@ -1,0 +1,386 @@
+package routing
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+)
+
+// Route is the compact, allocation-free outcome of a routing attempt —
+// everything the engines consume (hop count, terminal node, delivery
+// flags) without the materialized Path slice of Result. Use Router for
+// the hot paths; the package-level functions still return full Results
+// for callers that need the visited nodes (tracing, experiments).
+type Route struct {
+	// Hops is the number of transmissions used (identical to Result.Hops
+	// for the same route).
+	Hops int
+	// Last is the terminal node of the walk: the destination when
+	// Delivered, otherwise the stall node.
+	Last int32
+	// Delivered reports whether the packet reached the intended node.
+	Delivered bool
+	// Recovered reports whether BFS recovery was needed.
+	Recovered bool
+}
+
+// routeKey identifies one memoized node-to-node route. Recovery is part
+// of the key: RecoveryNone and RecoveryBFS differ on stalled routes.
+type routeKey struct {
+	src, dst int32
+	rec      Recovery
+}
+
+// floodKey identifies one memoized region flood.
+type floodKey struct {
+	src  int32
+	rect geo.Rect
+}
+
+// Cache memoizes routes and floods over one immutable graph. Both are
+// pure functions of the graph — greedy forwarding, BFS recovery and
+// region flooding consume no randomness and never consult liveness — so
+// a cached answer is bit-identical to a recomputed one by construction
+// (the determinism contract, DESIGN.md §6). Safe for concurrent use:
+// the sweep engine shares one Cache across every task that shares a
+// network build.
+type Cache struct {
+	disabled bool
+
+	mu sync.RWMutex
+	// g is the graph the cached answers were computed on, bound by the
+	// first Router attached: keys are (node, node) pairs, so a cache
+	// reused across graphs would silently return routes of the wrong
+	// instance. NewRouter panics on a mismatch instead.
+	g      *graph.Graph
+	routes map[routeKey]Route
+	floods map[floodKey]FloodResult
+
+	routeHits, routeMisses atomic.Uint64
+	floodHits, floodMisses atomic.Uint64
+}
+
+// NewCache returns an empty route/flood cache.
+func NewCache() *Cache {
+	return &Cache{
+		routes: make(map[routeKey]Route),
+		floods: make(map[floodKey]FloodResult),
+	}
+}
+
+// NoCache returns a cache that never stores anything: every lookup
+// misses and recomputes. It exists so draw-compat tests (and
+// memory-constrained callers) can verify cached and uncached execution
+// produce bit-identical results.
+func NoCache() *Cache { return &Cache{disabled: true} }
+
+// CacheStats reports cache effectiveness. Hit rates above ~90% are
+// typical for the hierarchy engines, which route the same rep↔child and
+// rep↔partner pairs thousands of times per run.
+type CacheStats struct {
+	RouteHits, RouteMisses uint64
+	FloodHits, FloodMisses uint64
+}
+
+// Add accumulates other into s (used to aggregate across the sweep's
+// per-network caches).
+func (s *CacheStats) Add(other CacheStats) {
+	s.RouteHits += other.RouteHits
+	s.RouteMisses += other.RouteMisses
+	s.FloodHits += other.FloodHits
+	s.FloodMisses += other.FloodMisses
+}
+
+// RouteHitRate returns the fraction of route lookups served from cache
+// (0 when no lookups happened).
+func (s CacheStats) RouteHitRate() float64 {
+	total := s.RouteHits + s.RouteMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RouteHits) / float64(total)
+}
+
+// FloodHitRate returns the fraction of flood lookups served from cache.
+func (s CacheStats) FloodHitRate() float64 {
+	total := s.FloodHits + s.FloodMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FloodHits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		RouteHits:   c.routeHits.Load(),
+		RouteMisses: c.routeMisses.Load(),
+		FloodHits:   c.floodHits.Load(),
+		FloodMisses: c.floodMisses.Load(),
+	}
+}
+
+func (c *Cache) lookupRoute(k routeKey) (Route, bool) {
+	if c.disabled {
+		c.routeMisses.Add(1)
+		return Route{}, false
+	}
+	c.mu.RLock()
+	r, ok := c.routes[k]
+	c.mu.RUnlock()
+	if ok {
+		c.routeHits.Add(1)
+	} else {
+		c.routeMisses.Add(1)
+	}
+	return r, ok
+}
+
+func (c *Cache) storeRoute(k routeKey, r Route) {
+	if c.disabled {
+		return
+	}
+	c.mu.Lock()
+	c.routes[k] = r
+	c.mu.Unlock()
+}
+
+func (c *Cache) lookupFlood(k floodKey) (FloodResult, bool) {
+	if c.disabled {
+		c.floodMisses.Add(1)
+		return FloodResult{}, false
+	}
+	c.mu.RLock()
+	f, ok := c.floods[k]
+	c.mu.RUnlock()
+	if ok {
+		c.floodHits.Add(1)
+	} else {
+		c.floodMisses.Add(1)
+	}
+	return f, ok
+}
+
+func (c *Cache) storeFlood(k floodKey, f FloodResult) {
+	if c.disabled {
+		return
+	}
+	c.mu.Lock()
+	c.floods[k] = f
+	c.mu.Unlock()
+}
+
+// Router is the per-run routing core every engine drives: hops-only
+// greedy/BFS routing and region flooding over one immutable graph, with
+// epoch-stamped scratch arrays so warm operation allocates nothing, and
+// deterministic memoization through a Cache. A Router is single-
+// goroutine (like the engines); Routers on different goroutines may
+// share one Cache.
+//
+// Determinism contract (DESIGN.md §6): every Router answer is a pure
+// function of (graph, arguments). No RNG stream is consulted, so routing
+// through a Router — cached or not — cannot change any engine's draw
+// sequence, and results are bit-identical to the package-level reference
+// functions.
+type Router struct {
+	g     *graph.Graph
+	cache *Cache
+
+	// Epoch-stamped BFS scratch: mark[v] == epoch means v was visited in
+	// the current traversal, so resetting costs one increment instead of
+	// an O(n) clear or a fresh map. Allocated lazily on the first BFS.
+	epoch uint32
+	mark  []uint32
+	dist  []int32
+	queue []int32
+}
+
+// NewRouter binds a router to g. A nil cache gets a fresh private one,
+// so memoization is always on; pass a shared Cache to pool routes across
+// runs on the same graph (the sweep engine does), or NoCache() to force
+// recomputation. Attaching one Cache to routers on different graphs is
+// a programming error and panics: cached answers are keyed by node ids
+// and would silently belong to the wrong instance.
+func NewRouter(g *graph.Graph, cache *Cache) *Router {
+	if cache == nil {
+		cache = NewCache()
+	}
+	cache.bind(g)
+	return &Router{g: g, cache: cache}
+}
+
+// bind pins the cache to its first graph and rejects any other.
+func (c *Cache) bind(g *graph.Graph) {
+	if c.disabled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.g {
+	case nil:
+		c.g = g
+	case g:
+	default:
+		panic("routing: Cache shared across different graphs")
+	}
+}
+
+// Graph returns the graph the router is bound to.
+func (rt *Router) Graph() *graph.Graph { return rt.g }
+
+// Stats returns the underlying cache's counters.
+func (rt *Router) Stats() CacheStats { return rt.cache.Stats() }
+
+// nextEpoch advances the scratch epoch, sizing the arrays on first use
+// and clearing them on the (practically unreachable) uint32 wraparound.
+func (rt *Router) nextEpoch() {
+	if rt.mark == nil {
+		n := rt.g.N()
+		rt.mark = make([]uint32, n)
+		rt.dist = make([]int32, n)
+		rt.queue = make([]int32, 0, n)
+	}
+	rt.epoch++
+	if rt.epoch == 0 {
+		clear(rt.mark)
+		rt.epoch = 1
+	}
+}
+
+// greedyWalk runs the greedy geographic walk from src toward target and
+// returns the terminal node and the hop count. Zero allocations: the
+// walk needs no visited state because every step strictly decreases the
+// distance to the target.
+func (rt *Router) greedyWalk(src int32, target geo.Point) (last int32, hops int) {
+	g := rt.g
+	cur := src
+	curD2 := g.Point(cur).Dist2(target)
+	for {
+		next := int32(-1)
+		nextD2 := curD2
+		for _, v := range g.Neighbors(cur) {
+			if d2 := g.Point(v).Dist2(target); d2 < nextD2 {
+				next = v
+				nextD2 = d2
+			}
+		}
+		if next < 0 {
+			return cur, hops
+		}
+		cur, curD2 = next, nextD2
+		hops++
+	}
+}
+
+// bfsHops returns the shortest hop distance from src to dst, or -1 when
+// unreachable. Zero steady-state allocations: epoch-stamped visited
+// marks and a head-indexed reusable queue.
+func (rt *Router) bfsHops(src, dst int32) int32 {
+	if src == dst {
+		return 0
+	}
+	rt.nextEpoch()
+	g, epoch := rt.g, rt.epoch
+	rt.mark[src] = epoch
+	rt.dist[src] = 0
+	queue := append(rt.queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := rt.dist[u]
+		for _, v := range g.Neighbors(u) {
+			if rt.mark[v] == epoch {
+				continue
+			}
+			rt.mark[v] = epoch
+			rt.dist[v] = du + 1
+			if v == dst {
+				rt.queue = queue
+				return du + 1
+			}
+			queue = append(queue, v)
+		}
+	}
+	rt.queue = queue
+	return -1
+}
+
+// RouteToPoint routes greedily from src toward the position target (the
+// geographic-gossip partner-sampling primitive). Like GreedyToPoint the
+// walk always "delivers": it ends at the greedy-reachable node nearest
+// the target. Never cached — targets are fresh random positions, so a
+// position-keyed cache would only grow — but allocation-free even cold.
+func (rt *Router) RouteToPoint(src int32, target geo.Point) Route {
+	last, hops := rt.greedyWalk(src, target)
+	return Route{Hops: hops, Last: last, Delivered: true}
+}
+
+// RouteToNode routes from src toward node dst with the given stall
+// recovery, memoized by (src, dst, rec). The answer is bit-identical to
+// GreedyToNode's Result (Hops/Delivered/Recovered and the terminal path
+// node) with zero steady-state allocations on both warm and cold paths.
+func (rt *Router) RouteToNode(src, dst int32, rec Recovery) Route {
+	if src == dst {
+		return Route{Hops: 0, Last: src, Delivered: true}
+	}
+	key := routeKey{src: src, dst: dst, rec: rec}
+	if r, ok := rt.cache.lookupRoute(key); ok {
+		return r
+	}
+	last, hops := rt.greedyWalk(src, rt.g.Point(dst))
+	r := Route{Hops: hops, Last: last, Delivered: last == dst}
+	if !r.Delivered && rec == RecoveryBFS {
+		if tail := rt.bfsHops(last, dst); tail >= 0 {
+			r.Hops += int(tail)
+			r.Last = dst
+			r.Delivered = true
+			r.Recovered = true
+		}
+	}
+	rt.cache.storeRoute(key, r)
+	return r
+}
+
+// Flood performs the region-restricted BFS broadcast from src within
+// rect, memoized by (src, rect) — the hierarchy floods the same fixed
+// squares from the same representatives on every round transition.
+// The returned Reached slice is shared cache state and MUST be treated
+// as read-only by callers.
+func (rt *Router) Flood(src int32, within geo.Rect) FloodResult {
+	key := floodKey{src: src, rect: within}
+	if f, ok := rt.cache.lookupFlood(key); ok {
+		return f
+	}
+	f := rt.floodSlow(src, within)
+	rt.cache.storeFlood(key, f)
+	return f
+}
+
+// floodSlow computes a flood with the epoch-stamped scratch. The Reached
+// slice is freshly allocated (it outlives the call inside the cache).
+func (rt *Router) floodSlow(src int32, within geo.Rect) FloodResult {
+	g := rt.g
+	if !within.Contains(g.Point(src)) {
+		return FloodResult{Reached: []int32{src}}
+	}
+	rt.nextEpoch()
+	epoch := rt.epoch
+	rt.mark[src] = epoch
+	// Freshly allocated: the result escapes into the cache and to
+	// callers, so scratch reuse would alias live data.
+	reached := make([]int32, 1, 16)
+	reached[0] = src
+	for head := 0; head < len(reached); head++ {
+		u := reached[head]
+		for _, v := range g.Neighbors(u) {
+			if rt.mark[v] == epoch || !within.Contains(g.Point(v)) {
+				continue
+			}
+			rt.mark[v] = epoch
+			reached = append(reached, v)
+		}
+	}
+	sortInt32(reached)
+	return FloodResult{Reached: reached, Transmissions: len(reached)}
+}

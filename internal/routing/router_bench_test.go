@@ -1,0 +1,157 @@
+package routing
+
+import (
+	"testing"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+	"geogossip/internal/rng"
+)
+
+// Benchmarks for BENCH_routing.json: the cold (reference, Path-
+// materializing), warm-uncached (hops-only, zero-alloc), and warm-cached
+// (memoized) costs of the two packet-movement primitives. Regenerate
+// with
+//
+//	go test -run '^$' -bench 'BenchmarkRoute|BenchmarkFlood' -benchtime 2s -benchmem ./internal/routing/
+//
+// and update BENCH_routing.json before landing routing hot-path changes.
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, err := graph.Generate(n, 1.5, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchPairs returns a fixed set of random route endpoints so the cold
+// and warm benchmarks walk identical work.
+func benchPairs(g *graph.Graph, k int) [][2]int32 {
+	r := rng.New(2)
+	pairs := make([][2]int32, k)
+	for i := range pairs {
+		pairs[i] = [2]int32{int32(r.IntN(g.N())), int32(r.IntN(g.N()))}
+	}
+	return pairs
+}
+
+// BenchmarkRouteReference is the pre-Router baseline: GreedyToNode
+// materializes a Path slice per call.
+func BenchmarkRouteReference(b *testing.B) {
+	g := benchGraph(b, 4096)
+	pairs := benchPairs(g, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		GreedyToNode(g, p[0], p[1], RecoveryBFS)
+	}
+}
+
+// BenchmarkRouteUncached is the hops-only fast path with memoization
+// off: the greedy/BFS work still runs every call, but with epoch
+// scratch and no Path it allocates nothing.
+func BenchmarkRouteUncached(b *testing.B) {
+	g := benchGraph(b, 4096)
+	pairs := benchPairs(g, 256)
+	rt := NewRouter(g, NoCache())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		rt.RouteToNode(p[0], p[1], RecoveryBFS)
+	}
+}
+
+// BenchmarkRouteCacheHit is the steady state of the hierarchy engines:
+// the same rep↔rep pairs routed over and over.
+func BenchmarkRouteCacheHit(b *testing.B) {
+	g := benchGraph(b, 4096)
+	pairs := benchPairs(g, 256)
+	rt := NewRouter(g, nil)
+	for _, p := range pairs {
+		rt.RouteToNode(p[0], p[1], RecoveryBFS)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		rt.RouteToNode(p[0], p[1], RecoveryBFS)
+	}
+}
+
+// BenchmarkRouteToPoint is the rejection-sampling primitive: never
+// cached, allocation-free even cold.
+func BenchmarkRouteToPoint(b *testing.B) {
+	g := benchGraph(b, 4096)
+	r := rng.New(3)
+	targets := make([]geo.Point, 256)
+	srcs := make([]int32, 256)
+	for i := range targets {
+		targets[i] = geo.Pt(r.Float64(), r.Float64())
+		srcs[i] = int32(r.IntN(g.N()))
+	}
+	rt := NewRouter(g, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.RouteToPoint(srcs[i%len(srcs)], targets[i%len(targets)])
+	}
+}
+
+func floodSource(b *testing.B, g *graph.Graph, region geo.Rect) int32 {
+	b.Helper()
+	for i := int32(0); int(i) < g.N(); i++ {
+		if region.Contains(g.Point(i)) {
+			return i
+		}
+	}
+	b.Fatal("no node in region")
+	return -1
+}
+
+// BenchmarkFloodReference is the pre-Router baseline: map-visited BFS
+// plus a fresh Reached slice per call.
+func BenchmarkFloodReference(b *testing.B) {
+	g := benchGraph(b, 4096)
+	region := geo.NewRect(0.25, 0.25, 0.5, 0.5)
+	src := floodSource(b, g, region)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Flood(g, src, region)
+	}
+}
+
+// BenchmarkFloodUncached measures the epoch-scratch flood with
+// memoization off (one Reached allocation per call — the result
+// escapes).
+func BenchmarkFloodUncached(b *testing.B) {
+	g := benchGraph(b, 4096)
+	region := geo.NewRect(0.25, 0.25, 0.5, 0.5)
+	src := floodSource(b, g, region)
+	rt := NewRouter(g, NoCache())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Flood(src, region)
+	}
+}
+
+// BenchmarkFloodCacheHit is the async engine's steady state: the same
+// leaf squares flooded from the same representatives on every round
+// transition.
+func BenchmarkFloodCacheHit(b *testing.B) {
+	g := benchGraph(b, 4096)
+	region := geo.NewRect(0.25, 0.25, 0.5, 0.5)
+	src := floodSource(b, g, region)
+	rt := NewRouter(g, nil)
+	rt.Flood(src, region)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Flood(src, region)
+	}
+}

@@ -10,7 +10,7 @@
 package routing
 
 import (
-	"sort"
+	"slices"
 
 	"geogossip/internal/geo"
 	"geogossip/internal/graph"
@@ -136,24 +136,22 @@ func Flood(g *graph.Graph, src int32, within geo.Rect) FloodResult {
 		return FloodResult{Reached: []int32{src}}
 	}
 	visited := map[int32]bool{src: true}
-	queue := []int32{src}
+	// The reached slice doubles as a head-indexed BFS queue: every
+	// reached node is scanned exactly once, and no `queue = queue[1:]`
+	// re-slicing pins the consumed head of the backing array alive.
 	reached := []int32{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(reached); head++ {
+		u := reached[head]
 		for _, v := range g.Neighbors(u) {
 			if visited[v] || !within.Contains(g.Point(v)) {
 				continue
 			}
 			visited[v] = true
 			reached = append(reached, v)
-			queue = append(queue, v)
 		}
 	}
 	sortInt32(reached)
 	return FloodResult{Reached: reached, Transmissions: len(reached)}
 }
 
-func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-}
+func sortInt32(s []int32) { slices.Sort(s) }

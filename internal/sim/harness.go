@@ -5,6 +5,7 @@ import (
 	"geogossip/internal/geo"
 	"geogossip/internal/metrics"
 	"geogossip/internal/rng"
+	"geogossip/internal/routing"
 	"geogossip/internal/trace"
 )
 
@@ -37,6 +38,11 @@ type Harness struct {
 	Curve metrics.Curve
 	// Medium is the radio fault model every data packet goes through.
 	Medium channel.Channel
+	// Router is the run's routing core: every greedy route and region
+	// flood goes through it, so packet movement is memoized and
+	// allocation-free on the warm path. Nil for engines that never route
+	// (single-hop exchanges only).
+	Router *routing.Router
 	// Tracer receives protocol events; nil costs nothing.
 	Tracer trace.Tracer
 
@@ -58,6 +64,8 @@ type HarnessConfig struct {
 	// context spatial fault models read; nil leaves positions zero
 	// (sufficient for non-spatial media).
 	Points []geo.Point
+	// Router supplies the run's routing core (see Harness.Router).
+	Router *routing.Router
 	// Tracer optionally receives protocol events.
 	Tracer trace.Tracer
 }
@@ -81,6 +89,7 @@ func NewHarness(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) *Harness {
 		Clock:   NewClock(len(x), clockRNG),
 		Tracker: NewErrTracker(x),
 		Medium:  medium,
+		Router:  cfg.Router,
 		Tracer:  cfg.Tracer,
 		n:       len(x),
 		every:   every,

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"geogossip/internal/routing"
 )
 
 // Options configures one engine run.
@@ -32,6 +34,10 @@ type Options struct {
 	// the number done and the total scheduled. Called from the same
 	// single goroutine as Sink.Write.
 	Progress func(done, total int)
+	// RouteStats, when non-nil, receives the aggregated route/flood
+	// cache counters of the run's shared per-network caches after every
+	// task has drained.
+	RouteStats *routing.CacheStats
 }
 
 func (o Options) workers() int {
@@ -159,6 +165,9 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 		if opt.Progress != nil {
 			opt.Progress(done, len(tasks))
 		}
+	}
+	if opt.RouteStats != nil {
+		*opt.RouteStats = cache.routeStats()
 	}
 	if sinkErr != nil {
 		return out, sinkErr

@@ -12,6 +12,7 @@ import (
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
 	"geogossip/internal/rng"
+	"geogossip/internal/routing"
 	"geogossip/internal/sim"
 )
 
@@ -33,7 +34,12 @@ type netEntry struct {
 	once sync.Once
 	g    *graph.Graph
 	h    *hier.Hierarchy
-	err  error
+	// routes is the entry's shared route/flood cache: every task running
+	// on this network build pools its deterministic routing work here
+	// (routing is a pure function of the immutable graph, so sharing is
+	// invisible to results — see routing.Cache).
+	routes *routing.Cache
+	err    error
 }
 
 // netCache deduplicates network construction across the tasks of a grid:
@@ -52,7 +58,7 @@ func newNetCache() *netCache {
 
 var errNotConnected = fmt.Errorf("sweep: generated network is not connected")
 
-func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, error) {
+func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, *routing.Cache, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -79,28 +85,29 @@ func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, error) {
 			e.err = err
 			return
 		}
-		e.g, e.h = g, h
+		e.g, e.h, e.routes = g, h, routing.NewCache()
 	})
-	return e.g, e.h, e.err
+	return e.g, e.h, e.routes, e.err
 }
 
 // network finds a connected instance for the task, retrying derived seeds
 // deterministically. Every task of a (n, seed index) cell walks the same
-// attempt sequence, so all of them land on the same instance.
-func (t Task) network(cache *netCache) (*graph.Graph, *hier.Hierarchy, uint64, error) {
+// attempt sequence, so all of them land on the same instance — and on the
+// same shared route cache.
+func (t Task) network(cache *netCache) (*graph.Graph, *hier.Hierarchy, *routing.Cache, uint64, error) {
 	var lastErr error
 	for attempt := 0; attempt < netAttempts; attempt++ {
 		seed := t.netSeed(attempt)
-		g, h, err := cache.get(netKey{n: t.N, seed: seed, radius: t.RadiusMultiplier, shape: t.Hierarchy})
+		g, h, routes, err := cache.get(netKey{n: t.N, seed: seed, radius: t.RadiusMultiplier, shape: t.Hierarchy})
 		if err == nil {
-			return g, h, seed, nil
+			return g, h, routes, seed, nil
 		}
 		lastErr = err
 		if err != errNotConnected {
 			break
 		}
 	}
-	return nil, nil, 0, fmt.Errorf("sweep: n=%d seed-index=%d: no usable instance in %d attempts: %w",
+	return nil, nil, nil, 0, fmt.Errorf("sweep: n=%d seed-index=%d: no usable instance in %d attempts: %w",
 		t.N, t.SeedIndex, netAttempts, lastErr)
 }
 
@@ -162,7 +169,7 @@ func Execute(t Task, cache *netCache) TaskResult {
 		Field:            t.Field,
 		RunSeed:          t.runSeed(),
 	}
-	g, h, netSeed, err := t.network(cache)
+	g, h, routes, netSeed, err := t.network(cache)
 	if err != nil {
 		out.Error = err.Error()
 		return out
@@ -191,6 +198,9 @@ func Execute(t Task, cache *netCache) TaskResult {
 		if t.Sampling == SamplingUniform {
 			mode = gossip.SamplingUniformNode
 		}
+		// Geographic routes between random endpoints: the shared cache
+		// would accumulate unreusable entries (see gossip.Options.Routes),
+		// so only the hierarchy engines pool their routing work.
 		res, err := gossip.RunGeographic(g, x, gossip.GeoOptions{
 			Options: gossip.Options{
 				Stop:   stop,
@@ -218,6 +228,7 @@ func Execute(t Task, cache *netCache) TaskResult {
 			Eps:    t.TargetErr,
 			Beta:   t.Beta,
 			Faults: faults,
+			Routes: routes,
 		}, rng.New(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
@@ -232,6 +243,7 @@ func Execute(t Task, cache *netCache) TaskResult {
 			Beta:         t.Beta,
 			RoundsFactor: 2,
 			Faults:       faults,
+			Routes:       routes,
 			Stop:         stop,
 		}, rng.New(out.RunSeed))
 		if err != nil {
@@ -252,4 +264,18 @@ func (r *TaskResult) fill(converged bool, finalErr float64, tx uint64, byCat map
 	r.FinalErr = finalErr
 	r.Transmissions = tx
 	r.Breakdown = maps.Clone(byCat)
+}
+
+// routeStats aggregates the cache counters across every network entry of
+// the run — the hit rates cmd/sweep reports in its summary.
+func (c *netCache) routeStats() routing.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total routing.CacheStats
+	for _, e := range c.entries {
+		if e.routes != nil {
+			total.Add(e.routes.Stats())
+		}
+	}
+	return total
 }

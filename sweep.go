@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"geogossip/internal/routing"
 	"geogossip/internal/sweep"
 )
 
@@ -178,6 +179,33 @@ type SweepLossFit struct {
 	R2        float64
 }
 
+// SweepRouteCacheStats reports the effectiveness of the sweep's shared
+// route/flood caches: tasks running on the same network build pool their
+// deterministic routing work (routes and floods are pure functions of
+// the immutable graph), so repeated rep↔rep routes and square floods are
+// computed once per network instead of once per task.
+type SweepRouteCacheStats struct {
+	RouteHits, RouteMisses uint64
+	FloodHits, FloodMisses uint64
+}
+
+// RouteHitRate returns the fraction of route lookups served from cache
+// (0 when no routing happened).
+func (s SweepRouteCacheStats) RouteHitRate() float64 {
+	if total := s.RouteHits + s.RouteMisses; total > 0 {
+		return float64(s.RouteHits) / float64(total)
+	}
+	return 0
+}
+
+// FloodHitRate returns the fraction of flood lookups served from cache.
+func (s SweepRouteCacheStats) FloodHitRate() float64 {
+	if total := s.FloodHits + s.FloodMisses; total > 0 {
+		return float64(s.FloodHits) / float64(total)
+	}
+	return 0
+}
+
 // SweepReport is the output of one sweep: per-task results in canonical
 // (task ID) order plus the aggregation over grid cells.
 type SweepReport struct {
@@ -187,6 +215,8 @@ type SweepReport struct {
 	// LossFits reports cost-vs-loss scaling exponents across the fault
 	// grid (empty without at least two distinct effective loss rates).
 	LossFits []SweepLossFit
+	// RouteCache summarizes the shared route/flood cache counters.
+	RouteCache SweepRouteCacheStats
 }
 
 // SweepOption configures Sweep.
@@ -257,9 +287,11 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 	for _, o := range opts {
 		o(&cfg)
 	}
+	var routeStats routing.CacheStats
 	iopt := sweep.Options{
-		Workers:  cfg.workers,
-		Progress: cfg.progress,
+		Workers:    cfg.workers,
+		Progress:   cfg.progress,
+		RouteStats: &routeStats,
 	}
 	for _, r := range cfg.resume {
 		iopt.Resume = append(iopt.Resume, toInternalResult(r))
@@ -268,7 +300,15 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 		iopt.Sink = sweep.NewJSONL(cfg.jsonl)
 	}
 	results, err := sweep.Run(ctx, spec.internal(), iopt)
-	rep := &SweepReport{Results: make([]SweepResult, 0, len(results))}
+	rep := &SweepReport{
+		Results: make([]SweepResult, 0, len(results)),
+		RouteCache: SweepRouteCacheStats{
+			RouteHits:   routeStats.RouteHits,
+			RouteMisses: routeStats.RouteMisses,
+			FloodHits:   routeStats.FloodHits,
+			FloodMisses: routeStats.FloodMisses,
+		},
+	}
 	for _, r := range results {
 		rep.Results = append(rep.Results, fromInternalResult(r))
 	}
