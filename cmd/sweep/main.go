@@ -54,6 +54,7 @@ func run(args []string) error {
 		baseSeed = fs.Uint64("base-seed", 1, "base seed all per-task seeds derive from")
 		loss     = fs.String("loss", "", "comma-separated packet-loss rates (default 0)")
 		faults   = fs.String("faults", "", "comma-separated fault models: perfect, bernoulli:P, ge:PGB/PBG/EG/EB, jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]], mjam:CX/CY/R/LOSS/VX/VY, jampoly:LOSS/X1/Y1/..., cut:A/B/C/FROM/UNTIL, churn:UP/DOWN, repchurn:UP/DOWN, hubchurn:UP/DOWN/K, composable with + (default perfect)")
+		recovery = fs.String("recovery", "", "comma-separated recovery settings to cross with the grid: off,on (default off; on = re-election for the affine algorithms, restart-from-neighbor resync for boyd/geographic)")
 		betas    = fs.String("betas", "", "comma-separated affine multipliers (default engine 2/5)")
 		sampling = fs.String("sampling", "", "comma-separated sampling modes: rejection,uniform")
 		hier     = fs.String("hier", "", "comma-separated hierarchy shapes: deep,flat")
@@ -107,6 +108,9 @@ func run(args []string) error {
 		}
 		if spec.Betas, err = parseFloats(*betas); err != nil {
 			return fmt.Errorf("-betas: %w", err)
+		}
+		if spec.Recovery, err = parseRecovery(*recovery); err != nil {
+			return fmt.Errorf("-recovery: %w", err)
 		}
 	}
 
@@ -183,9 +187,12 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	rep, err := geogossip.Sweep(ctx, spec, opts...)
 	if rep != nil && !*quiet {
 		printCacheStats(os.Stderr, rep.RouteCache)
+		printMemStats(os.Stderr, memBefore)
 	}
 	if *memProf != "" && rep != nil {
 		if err := writeHeapProfile(*memProf); err != nil {
@@ -234,27 +241,64 @@ func writeHeapProfile(path string) error {
 }
 
 func printAggregation(w io.Writer, rep *geogossip.SweepReport) {
-	fmt.Fprintf(w, "\n%-22s %6s %5s %-18s %5s %5s  %14s %12s %10s %6s\n",
-		"algorithm", "n", "loss", "faults", "beta", "conv", "tx mean", "tx std", "err p50", "fail")
+	fmt.Fprintf(w, "\n%-22s %6s %5s %-18s %3s %5s %5s  %14s %12s %10s %6s\n",
+		"algorithm", "n", "loss", "faults", "rec", "beta", "conv", "tx mean", "tx std", "err p50", "fail")
 	for _, c := range rep.Cells {
-		fmt.Fprintf(w, "%-22s %6d %5.2f %-18s %5.2f %2d/%2d  %14.0f %12.0f %10.2e %6d\n",
-			c.Algorithm, c.N, c.LossRate, faultLabel(c.FaultModel), c.Beta, c.ConvergedCount, c.Count,
+		fmt.Fprintf(w, "%-22s %6d %5.2f %-18s %3s %5.2f %2d/%2d  %14.0f %12.0f %10.2e %6d\n",
+			c.Algorithm, c.N, c.LossRate, faultLabel(c.FaultModel), recLabel(c.Recover), c.Beta,
+			c.ConvergedCount, c.Count,
 			c.Transmissions.Mean, c.Transmissions.Std, c.FinalErr.P50, c.Errors)
 	}
 	if len(rep.Fits) > 0 {
 		fmt.Fprintf(w, "\nscaling fits (transmissions ~ C·n^p):\n")
 		for _, f := range rep.Fits {
-			fmt.Fprintf(w, "  %-22s loss=%.2f faults=%s beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
-				f.Algorithm, f.LossRate, faultLabel(f.FaultModel), f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
+			fmt.Fprintf(w, "  %-22s loss=%.2f faults=%s rec=%s beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
+				f.Algorithm, f.LossRate, faultLabel(f.FaultModel), recLabel(f.Recover), f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
 		}
 	}
 	if len(rep.LossFits) > 0 {
 		fmt.Fprintf(w, "\ncost-vs-loss fits (transmissions ~ C·(1/(1-p))^q over the fault grid):\n")
 		for _, f := range rep.LossFits {
-			fmt.Fprintf(w, "  %-22s n=%-6d beta=%.2f  q=%.3f  C=%.3g  R2=%.3f  (%d cells)\n",
-				f.Algorithm, f.N, f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
+			fmt.Fprintf(w, "  %-22s n=%-6d rec=%s beta=%.2f  q=%.3f  C=%.3g  R2=%.3f  (%d cells)\n",
+				f.Algorithm, f.N, recLabel(f.Recover), f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
 		}
 	}
+}
+
+// recLabel renders the recovery column.
+func recLabel(on bool) string {
+	if on {
+		return "on"
+	}
+	return "-"
+}
+
+// parseRecovery reads the -recovery axis: on/off (also true/false, 1/0).
+func parseRecovery(s string) ([]bool, error) {
+	var out []bool
+	for _, part := range splitList(s) {
+		switch strings.ToLower(part) {
+		case "on", "true", "1":
+			out = append(out, true)
+		case "off", "false", "0":
+			out = append(out, false)
+		default:
+			return nil, fmt.Errorf("bad recovery setting %q (want on or off)", part)
+		}
+	}
+	return out, nil
+}
+
+// printMemStats surfaces the sweep's allocation and GC footprint — the
+// quantity the pooled run states exist to hold down at grid scale — as
+// deltas against the pre-sweep baseline, so setup work (flag parsing,
+// resume-file reading) is not attributed to the grid.
+func printMemStats(w io.Writer, before runtime.MemStats) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "mem: %.1f MB allocated by the sweep (%d objects), %.1f MB heap in use, %d GC cycles\n",
+		float64(ms.TotalAlloc-before.TotalAlloc)/(1<<20), ms.Mallocs-before.Mallocs,
+		float64(ms.HeapInuse)/(1<<20), ms.NumGC-before.NumGC)
 }
 
 // faultLabel renders the fault-model column, naming the default axis

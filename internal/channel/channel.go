@@ -308,6 +308,8 @@ type Churn struct {
 	seed   uint64
 	// target marks churnable nodes; nil means every node (uniform churn).
 	target []bool
+	// targetBuf is the reusable backing for target in pooled channels.
+	targetBuf []bool
 }
 
 type churnNode struct {
@@ -356,7 +358,13 @@ func (c *Churn) Alive(i int32) bool {
 	if !n.started {
 		n.started = true
 		n.alive = true
-		n.r = rng.New(rng.Derive(c.seed, uint64(i)))
+		// Pooled channels keep the per-node generator across runs and
+		// reseed it to the identical schedule seed a fresh one would get.
+		if n.r == nil {
+			n.r = rng.New(rng.Derive(c.seed, uint64(i)))
+		} else {
+			n.r.Reseed(rng.Derive(c.seed, uint64(i)))
+		}
 		n.nextFlip = c.duration(n.r, c.params.MeanUp)
 	}
 	for c.now >= n.nextFlip {

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"geogossip/internal/geo"
 	"geogossip/internal/rng"
 )
 
@@ -343,5 +344,75 @@ func TestExpectedLossRate(t *testing.T) {
 	ge := Spec{Loss: LossGilbertElliott, GE: GEParams{PGoodToBad: 0.1, PBadToGood: 0.1, LossGood: 0, LossBad: 0.5}}
 	if got := ge.ExpectedLossRate(); math.Abs(got-0.25) > 1e-12 {
 		t.Fatalf("ge expected loss %v, want 0.25", got)
+	}
+}
+
+// TestPoolBuildDrawCompatible proves a pooled channel replays a fresh
+// one bit for bit: same deliveries, same paid costs, same liveness —
+// across every loss/spatial/churn composition — and that reuse of the
+// same Pool across different specs stays clean.
+func TestPoolBuildDrawCompatible(t *testing.T) {
+	specs := []string{
+		"perfect",
+		"bernoulli:0.3",
+		"ge:0.05/0.2/0.01/0.6",
+		"churn:500/200",
+		"jam:0.5/0.5/0.3/0.8",
+		"jam:0.5/0.5/0.3/0.8+churn:500/200",
+		"cut:1/0/0.5/100/500+bernoulli:0.2",
+	}
+	const n = 64
+	pts := make([]geo.Point, n)
+	posRNG := rng.New(3)
+	for i := range pts {
+		pts[i] = geo.Pt(posRNG.Float64(), posRNG.Float64())
+	}
+	env := Env{Points: pts}
+	pool := &Pool{}
+	for _, text := range specs {
+		spec, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := spec.Build(n, env, rng.New(10), rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := spec.BuildWith(pool, n, env, rng.New(10), rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		driver := rng.New(12)
+		for step := 0; step < 4000; step++ {
+			now := uint64(step)
+			fresh.Advance(now)
+			pooled.Advance(now)
+			src := int32(driver.IntN(n))
+			dst := int32(driver.IntN(n))
+			p := Packet{Src: src, Dst: dst, SrcPos: pts[src], DstPos: pts[dst], Hops: 1 + driver.IntN(5), Now: now}
+			switch step % 3 {
+			case 0:
+				okF, paidF := fresh.DeliverHop(p)
+				okP, paidP := pooled.DeliverHop(p)
+				if okF != okP || paidF != paidP {
+					t.Fatalf("%s step %d: hop diverged (%v/%d vs %v/%d)", text, step, okF, paidF, okP, paidP)
+				}
+			case 1:
+				okF, paidF := fresh.DeliverRoute(p)
+				okP, paidP := pooled.DeliverRoute(p)
+				if okF != okP || paidF != paidP {
+					t.Fatalf("%s step %d: route diverged", text, step)
+				}
+			default:
+				okF, paidF := fresh.DeliverRoundTrip(p)
+				okP, paidP := pooled.DeliverRoundTrip(p)
+				if okF != okP || paidF != paidP {
+					t.Fatalf("%s step %d: round trip diverged", text, step)
+				}
+			}
+			if a, b := fresh.Alive(src), pooled.Alive(src); a != b {
+				t.Fatalf("%s step %d: liveness diverged for %d", text, step, src)
+			}
+		}
 	}
 }

@@ -247,25 +247,30 @@ func NewSpatialLoss(inner Channel, fields []FieldParams, r *rng.RNG) *SpatialLos
 	}
 	s := &SpatialLoss{inner: inner, evals: make([]fieldEval, len(fields)), r: r}
 	for i, f := range fields {
-		ev := &s.evals[i]
-		ev.f = f
-		ev.moving = f.Moving()
-		switch {
-		case f.Kind == FieldDisk && !ev.moving:
-			ev.center = f.Center
-			ev.setDiskBox(f.Center, f.Radius)
-		case f.Kind == FieldPolygon:
-			ev.minX, ev.minY = math.Inf(1), math.Inf(1)
-			ev.maxX, ev.maxY = math.Inf(-1), math.Inf(-1)
-			for _, v := range f.Poly {
-				ev.minX = math.Min(ev.minX, v.X)
-				ev.minY = math.Min(ev.minY, v.Y)
-				ev.maxX = math.Max(ev.maxX, v.X)
-				ev.maxY = math.Max(ev.maxY, v.Y)
-			}
-		}
+		s.initEval(&s.evals[i], f)
 	}
 	return s
+}
+
+// initEval fills one evaluator with its field and precompiled
+// fast-rejection state (shared by NewSpatialLoss and the pooled reset).
+func (s *SpatialLoss) initEval(ev *fieldEval, f FieldParams) {
+	ev.f = f
+	ev.moving = f.Moving()
+	switch {
+	case f.Kind == FieldDisk && !ev.moving:
+		ev.center = f.Center
+		ev.setDiskBox(f.Center, f.Radius)
+	case f.Kind == FieldPolygon:
+		ev.minX, ev.minY = math.Inf(1), math.Inf(1)
+		ev.maxX, ev.maxY = math.Inf(-1), math.Inf(-1)
+		for _, v := range f.Poly {
+			ev.minX = math.Min(ev.minX, v.X)
+			ev.minY = math.Min(ev.minY, v.Y)
+			ev.maxX = math.Max(ev.maxX, v.X)
+			ev.maxY = math.Max(ev.maxY, v.Y)
+		}
+	}
 }
 
 func (ev *fieldEval) setDiskBox(c geo.Point, radius float64) {

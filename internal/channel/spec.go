@@ -245,41 +245,7 @@ type Env struct {
 // and targeted components need. Build with a zero spec returns Perfect
 // and retains neither stream.
 func (s Spec) Build(n int, env Env, lossRNG, churnRNG *rng.RNG) (Channel, error) {
-	if s.Spatial() && len(env.Points) < n {
-		return nil, fmt.Errorf("channel: spec %q has spatial components but the engine supplied %d of %d node positions", s, len(env.Points), n)
-	}
-	var ch Channel
-	switch s.Loss {
-	case LossBernoulli:
-		ch = &Bernoulli{P: s.LossRate, R: lossRNG}
-	case LossGilbertElliott:
-		ch = NewGilbertElliott(s.GE, lossRNG)
-	default:
-		ch = Perfect{}
-	}
-	if len(s.Fields) > 0 {
-		ch = NewSpatialLoss(ch, s.Fields, lossRNG)
-	}
-	if s.HasCut() {
-		ch = NewPartition(ch, s.Cut)
-	}
-	if s.HasChurn() {
-		var targets []int32
-		switch s.ChurnTarget {
-		case TargetReps:
-			if env.Reps == nil {
-				return nil, fmt.Errorf("channel: spec %q targets hierarchy representatives but the engine has no hierarchy", s)
-			}
-			targets = env.Reps
-		case TargetHubs:
-			if len(env.HubOrder) < s.HubCount {
-				return nil, fmt.Errorf("channel: spec %q targets %d hubs but the engine supplied a degree order of %d nodes", s, s.HubCount, len(env.HubOrder))
-			}
-			targets = env.HubOrder[:s.HubCount]
-		}
-		ch = NewTargetedChurn(ch, n, s.Churn, targets, churnRNG)
-	}
-	return ch, nil
+	return s.BuildWith(nil, n, env, lossRNG, churnRNG)
 }
 
 // String renders the spec in the compact form Parse accepts. Components

@@ -17,7 +17,7 @@ import (
 // AsyncOptions configures RunAsync, the event-driven protocol of §4.
 //
 // Budget model: the paper gives each square a round length
-// time(n, r, ε_r, δ_r) — a worst-case 16th-power polylog — and throttles
+// time(n, r, ε, δ) — a worst-case 16th-power polylog — and throttles
 // long-range exchanges to rate n^{-a}/time so that, w.h.p., no exchange
 // fires while the subtree below it is still averaging. We keep the
 // structure and replace the constants: a leaf representative's round
@@ -71,10 +71,15 @@ type AsyncOptions struct {
 	// nearest alive member (paying an election flood over the square's
 	// live members), and nodes that revived since the last sweep resync
 	// their control state from a live leaf neighbour (2 transmissions
-	// each). Off by default — enabling it clones the hierarchy and
-	// changes behaviour under churn, so historical churn runs stay
-	// bit-identical without it.
+	// each). Off by default — enabling it changes behaviour under churn,
+	// so historical churn runs stay bit-identical without it. Takeovers
+	// happen on a copy-on-write representative view (hier.RepView); the
+	// shared hierarchy build is never mutated.
 	Recover bool
+	// State optionally supplies a reusable run state shared with the
+	// recursive engine (see RecursiveOptions.State). Nil gives the run a
+	// fresh private state.
+	State *RunState
 	// Tracer, when non-nil, receives structured protocol events
 	// (activations, deactivations, far exchanges, losses).
 	Tracer trace.Tracer
@@ -140,11 +145,15 @@ type AsyncResult struct {
 }
 
 type asyncEngine struct {
-	g   *graph.Graph
-	rt  *routing.Router
-	h   *hier.Hierarchy
-	opt AsyncOptions
-	x   []float64
+	st *RunState
+	g  *graph.Graph
+	rt *routing.Router
+	h  *hier.Hierarchy
+	// view is the copy-on-write representative overlay: every
+	// representative read, role lookup, and re-election goes through it.
+	view *hier.RepView
+	opt  AsyncOptions
+	x    []float64
 
 	// run bundles the clock, error tracker, transmission counter,
 	// convergence curve, and the radio medium.
@@ -153,23 +162,14 @@ type asyncEngine struct {
 	// to inflate round budgets.
 	expectedLoss float64
 
+	// Per-node / per-square protocol state, backed by the run state's
+	// reusable (memclr-reset) slices.
 	localOn  []bool // per node
 	globalOn []bool // per square
 	active   []bool // per square: Activate fired, Deactivate not yet
 	count    []uint64
 	budget   []uint64  // per depth
 	pFar     []float64 // per depth
-	// nodeRoles[i] lists the square IDs node i represents.
-	nodeRoles [][]int
-	leafAdj   [][]int32
-	// repairHops mirrors the recursive engine's leaf repair (see
-	// leafRepair): bridge nodes of rep-less in-leaf components exchange
-	// with their leaf representative over a routed path. repairScratch is
-	// reusable labelling space for post-election repair rebuilds.
-	repairHops    []int32
-	repairScratch []int32
-	// siblingsWithRep[sq] caches exchange partners.
-	siblingsWithRep [][]int
 	// prevAlive tracks liveness between recovery sweeps so revivals can
 	// trigger a state resync (nil when Recover is off).
 	prevAlive []bool
@@ -182,6 +182,9 @@ type asyncEngine struct {
 	protoRNG *rng.RNG
 	res      AsyncResult
 }
+
+// rep returns sq's current representative through the view.
+func (e *asyncEngine) rep(sq *hier.Square) int32 { return e.view.Rep(sq.ID) }
 
 // RunAsync runs the faithful asynchronous protocol of §4 over graph g and
 // hierarchy h, mutating x toward consensus. Termination is governed by
@@ -201,74 +204,66 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	if err != nil {
 		return nil, err
 	}
-	if opt.Recover {
-		// Re-election mutates representative state; never touch the
-		// shared hierarchy build.
-		h = h.Clone()
+	st := opt.State
+	if st == nil {
+		st = &RunState{}
 	}
-	e := &asyncEngine{
+	// Re-elections (under Recover) write to the state's representative
+	// view, never to the shared hierarchy build.
+	st.bind(g, h, opt.Recovery, opt.Routes)
+	e := &st.async
+	*e = asyncEngine{
+		st:           st,
 		g:            g,
-		rt:           routing.NewRouter(g, opt.Routes),
+		rt:           &st.router,
 		h:            h,
+		view:         &st.view,
 		opt:          opt,
 		x:            x,
 		expectedLoss: spec.ExpectedLossRate(),
-		localOn:      make([]bool, g.N()),
-		globalOn:     make([]bool, len(h.Squares)),
-		active:       make([]bool, len(h.Squares)),
-		count:        make([]uint64, len(h.Squares)),
-		leafAdj:      buildLeafAdj(g, h),
-		protoRNG:     r.Stream("protocol"),
+		protoRNG:     st.stream(&st.protoRNG, r, "protocol"),
 	}
+	st.localOn = sim.GrowBool(st.localOn, g.N())
+	st.globalOn = sim.GrowBool(st.globalOn, len(h.Squares))
+	st.active = sim.GrowBool(st.active, len(h.Squares))
+	st.count = sim.GrowUint64(st.count, len(h.Squares))
+	e.localOn, e.globalOn, e.active, e.count = st.localOn, st.globalOn, st.active, st.count
 	if opt.Recover {
 		e.healEvery = uint64(g.N())
-		e.prevAlive = make([]bool, g.N())
-		for i := range e.prevAlive {
-			e.prevAlive[i] = true
+		st.prevAlive = sim.GrowBool(st.prevAlive, g.N())
+		for i := range st.prevAlive {
+			st.prevAlive[i] = true
 		}
+		e.prevAlive = st.prevAlive
 	}
 	// The data-plane medium draws losses from the protocol stream (the
 	// same stream the inline checks used, keeping pre-channel runs
 	// bit-identical) and churn schedules from their own stream.
-	medium, err := spec.Build(g.N(), faultEnv(g, h, spec), e.protoRNG, r.Stream("churn"))
+	medium, err := spec.BuildWith(&st.ch, g.N(), faultEnv(g, h, spec), e.protoRNG, st.stream(&st.churnRNG, r, "churn"))
 	if err != nil {
 		return nil, err
 	}
-	e.repairHops = leafRepair(e.rt, h, e.leafAdj, opt.Recovery)
 	e.buildBudgets()
-	e.buildRoles()
+	e.buildSibs()
 
 	// Initialization (§4.2): the root representative's global.state is on;
 	// everything else off.
 	root := h.Root()
-	if root.Rep >= 0 {
+	if e.rep(root) >= 0 {
 		e.globalOn[root.ID] = true
 	}
 
-	e.run = sim.NewHarness(x, sim.HarnessConfig{
+	st.harness.Reset(x, sim.HarnessConfig{
 		Stop:        opt.Stop,
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
 		Points:      g.Points(),
 		Router:      e.rt,
 		Tracer:      opt.Tracer,
-	}, r.Stream("clock"))
+	}, st.stream(&st.clockRNG, r, "clock"))
+	e.run = &st.harness
 	for !e.run.Done() {
-		s := e.run.Tick()
-		if e.healEvery > 0 && e.run.Clock.Ticks()%e.healEvery == 0 {
-			e.heal()
-		}
-		if !e.run.Alive(s) {
-			e.run.Sample()
-			continue
-		}
-		for _, sqID := range e.nodeRoles[s] {
-			e.repStep(sqID)
-		}
-		if e.localOn[s] {
-			e.near(s)
-		}
-		e.run.Sample()
+		e.step()
 	}
 	e.res.Result = e.run.Finish("affine-async")
 	e.res.BudgetByDepth = append([]uint64(nil), e.budget...)
@@ -276,7 +271,33 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	e.res.Resyncs = e.resyncs
 	e.res.Result.Reelections = e.reelections
 	e.res.Result.Resyncs = e.resyncs
-	return &e.res, nil
+	// The engine lives inside a pooled state: hand out a copy so a later
+	// run's reset cannot touch the caller's counters.
+	res := e.res
+	return &res, nil
+}
+
+// step executes one clock tick of the §4.2 protocol: the owner's
+// representative roles run their square protocol, then the owner
+// performs a Near exchange when its local.state is on. Zero allocations
+// in steady state (warm routes and floods are served by the routing
+// core's cache and scratch).
+func (e *asyncEngine) step() {
+	s := e.run.Tick()
+	if e.healEvery > 0 && e.run.Clock.Ticks()%e.healEvery == 0 {
+		e.heal()
+	}
+	if !e.run.Alive(s) {
+		e.run.Sample()
+		return
+	}
+	for _, sqID := range e.view.Roles(s) {
+		e.repStep(int(sqID))
+	}
+	if e.localOn[s] {
+		e.near(s)
+	}
+	e.run.Sample()
 }
 
 // heal runs the periodic recovery sweep: re-elect representatives of
@@ -286,19 +307,19 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 // neighbour. Fired once per simulated time unit (n ticks).
 func (e *asyncEngine) heal() {
 	alive := e.run.Medium.Alive
-	changed := e.h.Reelect(alive)
+	changed := e.view.Reelect(alive, e.st.changedBuf[:0])
+	e.st.changedBuf = changed
 	for _, id := range changed {
 		sq := e.h.Squares[id]
 		e.reelections++
-		if e.repairScratch == nil {
-			e.repairScratch = make([]int32, e.g.N())
-		}
-		chargeReelection(e.rt, sq, alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.run.Counter, e.opt.Tracer)
+		e.st.chargeReelection(sq, alive, e.opt.Recovery, &e.run.Counter, e.opt.Tracer)
 		// The successor restarts the square's round from scratch.
 		e.count[id] = 0
 	}
 	if len(changed) > 0 {
-		e.buildRoles()
+		// Representative movement changes the exchange-partner lists; the
+		// view keeps node→roles current by itself.
+		e.buildSibs()
 	}
 	for i := range e.prevAlive {
 		up := alive(int32(i))
@@ -309,7 +330,7 @@ func (e *asyncEngine) heal() {
 			// stays off, pays nothing, and retries at the next sweep.
 			e.localOn[i] = false
 			resynced := false
-			for _, v := range e.leafAdj[i] {
+			for _, v := range e.st.leafNbrs(int32(i)) {
 				if alive(v) {
 					e.localOn[i] = e.localOn[v]
 					resynced = true
@@ -327,15 +348,17 @@ func (e *asyncEngine) heal() {
 }
 
 // buildBudgets computes per-depth round budgets bottom-up and the derived
-// Far rates.
+// Far rates into the state's reusable per-depth slices.
 func (e *asyncEngine) buildBudgets() {
 	depths := e.h.Ell // squares exist at depths 0..Ell-1
-	e.budget = make([]uint64, depths)
-	e.pFar = make([]float64, depths)
+	e.st.budget = sim.GrowUint64(e.st.budget, depths)
+	e.st.pFar = sim.GrowFloat(e.st.pFar, depths)
+	e.st.epsBuf = sim.GrowFloat(e.st.epsBuf, depths)
+	e.budget, e.pFar = e.st.budget, e.st.pFar
 	leafDepth := depths - 1
 	e.budget[leafDepth] = uint64(e.opt.LeafTicks)
 	// Per-depth accuracy targets follow the adaptive decay schedule.
-	eps := make([]float64, depths)
+	eps := e.st.epsBuf
 	eps[0] = e.opt.Eps
 	expected := float64(e.g.N())
 	for r := 1; r < depths; r++ {
@@ -367,24 +390,47 @@ func (e *asyncEngine) buildBudgets() {
 	e.pFar[0] = 0
 }
 
-func (e *asyncEngine) buildRoles() {
-	e.nodeRoles = make([][]int, e.g.N())
-	for rep, roles := range e.h.RepRoles {
-		e.nodeRoles[rep] = append([]int(nil), roles...)
-	}
-	e.siblingsWithRep = make([][]int, len(e.h.Squares))
-	for _, sq := range e.h.Squares {
-		if sq.Parent < 0 || sq.Rep < 0 {
-			continue
-		}
-		var sibs []int
-		for _, sid := range e.h.Siblings(sq) {
-			if e.h.Squares[sid].Rep >= 0 {
-				sibs = append(sibs, sid)
+// buildSibs flattens each square's exchange-partner list — its siblings
+// with a live representative assignment, in child-grid order — into the
+// state's offset-indexed pair. Rebuilt after recovery sweeps that move
+// representatives; allocation-free once the buffers have grown.
+func (e *asyncEngine) buildSibs() {
+	nsq := len(e.h.Squares)
+	e.st.sibsOff = sim.GrowInt32(e.st.sibsOff, nsq+1)
+	off := e.st.sibsOff
+	total := int32(0)
+	off[0] = 0
+	for id, sq := range e.h.Squares {
+		if sq.Parent >= 0 && e.view.Rep(id) >= 0 {
+			parent := e.h.Squares[sq.Parent]
+			for _, c := range parent.Children {
+				if c != sq.ID && e.view.Rep(c) >= 0 {
+					total++
+				}
 			}
 		}
-		e.siblingsWithRep[sq.ID] = sibs
+		off[id+1] = total
 	}
+	e.st.sibsIDs = sim.GrowInt32(e.st.sibsIDs, int(total))
+	ids := e.st.sibsIDs
+	fill := int32(0)
+	for id, sq := range e.h.Squares {
+		if sq.Parent >= 0 && e.view.Rep(id) >= 0 {
+			parent := e.h.Squares[sq.Parent]
+			for _, c := range parent.Children {
+				if c != sq.ID && e.view.Rep(c) >= 0 {
+					ids[fill] = int32(c)
+					fill++
+				}
+			}
+		}
+	}
+}
+
+// sibs returns square id's exchange partners (read-only, valid until the
+// next buildSibs).
+func (e *asyncEngine) sibs(id int) []int32 {
+	return e.st.sibsIDs[e.st.sibsOff[id]:e.st.sibsOff[id+1]]
 }
 
 // repStep executes the level > 0 protocol for the square sqID on a tick of
@@ -418,9 +464,9 @@ func (e *asyncEngine) activate(sq *hier.Square) {
 	}
 	e.active[sq.ID] = true
 	e.res.Activations++
-	e.run.Trace(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
+	e.run.Trace(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1})
 	if sq.IsLeaf() {
-		fl := e.rt.Flood(sq.Rep, sq.Rect)
+		fl := e.rt.Flood(e.rep(sq), sq.Rect)
 		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
 		for _, v := range fl.Reached {
 			e.localOn[v] = true
@@ -429,10 +475,11 @@ func (e *asyncEngine) activate(sq *hier.Square) {
 	}
 	for _, cid := range sq.Children {
 		child := e.h.Squares[cid]
-		if child.Rep < 0 {
+		childRep := e.rep(child)
+		if childRep < 0 {
 			continue
 		}
-		res := e.rt.RouteToNode(sq.Rep, child.Rep, e.opt.Recovery)
+		res := e.rt.RouteToNode(e.rep(sq), childRep, e.opt.Recovery)
 		e.run.Counter.Add(sim.CatControl, res.Hops)
 		if res.Delivered {
 			e.globalOn[child.ID] = true
@@ -448,9 +495,9 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 	}
 	e.active[sq.ID] = false
 	e.res.Deactivations++
-	e.run.Trace(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
+	e.run.Trace(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1})
 	if sq.IsLeaf() {
-		fl := e.rt.Flood(sq.Rep, sq.Rect)
+		fl := e.rt.Flood(e.rep(sq), sq.Rect)
 		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
 		for _, v := range fl.Reached {
 			e.localOn[v] = false
@@ -459,10 +506,11 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 	}
 	for _, cid := range sq.Children {
 		child := e.h.Squares[cid]
-		if child.Rep < 0 {
+		childRep := e.rep(child)
+		if childRep < 0 {
 			continue
 		}
-		res := e.rt.RouteToNode(sq.Rep, child.Rep, e.opt.Recovery)
+		res := e.rt.RouteToNode(e.rep(sq), childRep, e.opt.Recovery)
 		e.run.Counter.Add(sim.CatControl, res.Hops)
 		if res.Delivered {
 			e.globalOn[child.ID] = false
@@ -475,7 +523,7 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 // representative, both apply the affine update with coefficient
 // Beta·E#[□], and both counters reset so both subtrees re-average.
 func (e *asyncEngine) far(sq *hier.Square) {
-	sibs := e.siblingsWithRep[sq.ID]
+	sibs := e.sibs(sq.ID)
 	if len(sibs) == 0 {
 		return
 	}
@@ -485,20 +533,21 @@ func (e *asyncEngine) far(sq *hier.Square) {
 		e.res.OverlapFars++
 	}
 	partner := e.h.Squares[sibs[e.protoRNG.IntN(len(sibs))]]
-	if partner.Rep < 0 || sq.Rep < 0 {
+	myRep, partnerRep := e.rep(sq), e.rep(partner)
+	if partnerRep < 0 || myRep < 0 {
 		return // a recovery sweep retired the square entirely
 	}
-	out := e.rt.RouteToNode(sq.Rep, partner.Rep, e.opt.Recovery)
-	if ok, paid := e.run.Medium.DeliverRoundTrip(e.run.Packet(sq.Rep, partner.Rep, out.Hops)); !ok {
+	out := e.rt.RouteToNode(myRep, partnerRep, e.opt.Recovery)
+	if ok, paid := e.run.Medium.DeliverRoundTrip(e.run.Packet(myRep, partnerRep, out.Hops)); !ok {
 		e.run.Counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
-		e.run.Trace(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: paid})
+		e.run.Trace(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: myRep, NodeB: partnerRep, Hops: paid})
 		return
 	}
 	hops := out.Hops
 	delivered := out.Delivered
 	if delivered {
-		back := e.rt.RouteToNode(partner.Rep, sq.Rep, e.opt.Recovery)
+		back := e.rt.RouteToNode(partnerRep, myRep, e.opt.Recovery)
 		hops += back.Hops
 		delivered = back.Delivered
 	}
@@ -507,12 +556,12 @@ func (e *asyncEngine) far(sq *hier.Square) {
 		e.res.RouteFailures++
 		return
 	}
-	xi, xj := e.x[sq.Rep], e.x[partner.Rep]
+	xi, xj := e.x[myRep], e.x[partnerRep]
 	coeff := e.opt.Beta * sq.Expected
-	e.run.Tracker.Set(sq.Rep, xi+coeff*(xj-xi))
-	e.run.Tracker.Set(partner.Rep, xj+coeff*(xi-xj))
+	e.run.Tracker.Set(myRep, xi+coeff*(xj-xi))
+	e.run.Tracker.Set(partnerRep, xj+coeff*(xi-xj))
 	e.res.FarExchanges++
-	e.run.Trace(trace.Event{Kind: trace.KindFar, Square: sq.ID, NodeA: sq.Rep, NodeB: partner.Rep, Hops: hops})
+	e.run.Trace(trace.Event{Kind: trace.KindFar, Square: sq.ID, NodeA: myRep, NodeB: partnerRep, Hops: hops})
 	// §4.2 Far step 5: the partner's counter resets too, re-activating its
 	// subtree for re-averaging.
 	e.count[partner.ID] = 0
@@ -521,13 +570,15 @@ func (e *asyncEngine) far(sq *hier.Square) {
 // near performs one local exchange (procedure Near): average with a
 // uniformly random neighbour inside the same leaf square.
 func (e *asyncEngine) near(s int32) {
-	cands := e.leafAdj[s]
+	cands := e.st.leafNbrs(s)
 	var v int32
 	cost := 2
 	switch {
-	case e.repairHops[s] > 0 && e.h.Squares[e.h.NodeLeaf[s]].Rep >= 0:
-		v = e.h.Squares[e.h.NodeLeaf[s]].Rep
-		cost = 2 * int(e.repairHops[s])
+	// Short-circuit keeps the representative lookup off the common path:
+	// only bridge/orphan nodes (repair > 0, rare) consult it.
+	case e.st.repair[s] > 0 && e.view.Rep(int(e.h.NodeLeaf[s])) >= 0:
+		v = e.view.Rep(int(e.h.NodeLeaf[s]))
+		cost = 2 * int(e.st.repair[s])
 	case len(cands) > 0:
 		v = cands[e.protoRNG.IntN(len(cands))]
 	default:

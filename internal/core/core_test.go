@@ -7,6 +7,7 @@ import (
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
 	"geogossip/internal/rng"
+	"geogossip/internal/routing"
 	"geogossip/internal/sim"
 )
 
@@ -426,9 +427,10 @@ func TestAsyncSingleLeaf(t *testing.T) {
 
 func TestBuildLeafAdjRestrictsToLeaf(t *testing.T) {
 	f := newFixture(t, 512, 1.8, 181, hier.Config{})
-	adj := buildLeafAdj(f.g, f.h)
+	st := NewRunState()
+	st.bind(f.g, f.h, routing.RecoveryBFS, nil)
 	for i := int32(0); int(i) < f.g.N(); i++ {
-		for _, v := range adj[i] {
+		for _, v := range st.leafNbrs(i) {
 			if f.h.NodeLeaf[v] != f.h.NodeLeaf[i] {
 				t.Fatalf("leaf adjacency crosses leaves: %d-%d", i, v)
 			}

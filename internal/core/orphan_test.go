@@ -11,10 +11,11 @@ import (
 // countOrphans returns how many nodes have no graph neighbour inside
 // their own leaf square.
 func countOrphans(f fixture) int {
-	adj := buildLeafAdj(f.g, f.h)
+	st := NewRunState()
+	st.bind(f.g, f.h, routing.RecoveryBFS, nil)
 	orphans := 0
-	for i := range adj {
-		if len(adj[i]) == 0 && len(f.h.Leaf(int32(i)).Members) > 1 {
+	for i := 0; i < f.g.N(); i++ {
+		if len(st.leafNbrs(int32(i))) == 0 && len(f.h.Leaf(int32(i)).Members) > 1 {
 			orphans++
 		}
 	}
@@ -26,12 +27,13 @@ func TestOrphanRoutesCoverIsolatedNodes(t *testing.T) {
 	// possible; every orphan must get a usable route to its
 	// representative.
 	f := newFixture(t, 4096, 1.0, 460, hier.Config{LeafTarget: 16})
-	adj := buildLeafAdj(f.g, f.h)
-	hops := leafRepair(routing.NewRouter(f.g, nil), f.h, adj, 0)
+	st := NewRunState()
+	st.bind(f.g, f.h, 0, nil)
+	hops := st.repair
 	orphans, covered := 0, 0
-	for i := range adj {
+	for i := 0; i < f.g.N(); i++ {
 		leaf := f.h.Leaf(int32(i))
-		if len(adj[i]) > 0 || len(leaf.Members) <= 1 || leaf.Rep == int32(i) {
+		if len(st.leafNbrs(int32(i))) > 0 || len(leaf.Members) <= 1 || leaf.Rep == int32(i) {
 			continue
 		}
 		orphans++

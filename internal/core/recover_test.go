@@ -164,8 +164,10 @@ func TestRepTargetedSpecRejectedWithoutHierarchyContext(t *testing.T) {
 // component needs a bridge it never had, or it is stranded forever.
 func TestRepairBridgesFollowCrossComponentTakeover(t *testing.T) {
 	f := newFixture(t, 4096, 1.0, 464, hier.Config{LeafTarget: 16})
-	adj := buildLeafAdj(f.g, f.h)
-	hops := leafRepair(routing.NewRouter(f.g, nil), f.h, adj, routing.RecoveryBFS)
+	st := NewRunState()
+	st.bind(f.g, f.h, routing.RecoveryBFS, nil)
+	adj := st.leafNbrs
+	hops := st.repair
 
 	// Component labels within one leaf, via BFS over leaf-restricted
 	// adjacency.
@@ -181,7 +183,7 @@ func TestRepairBridgesFollowCrossComponentTakeover(t *testing.T) {
 			for len(queue) > 0 {
 				u := queue[0]
 				queue = queue[1:]
-				for _, v := range adj[u] {
+				for _, v := range adj(u) {
 					if _, seen := comp[v]; !seen {
 						comp[v] = next
 						queue = append(queue, v)
@@ -193,9 +195,8 @@ func TestRepairBridgesFollowCrossComponentTakeover(t *testing.T) {
 		return comp
 	}
 
-	h := f.h.Clone()
 	var sq *hier.Square
-	for _, s := range h.Leaves() {
+	for _, s := range f.h.Leaves() {
 		for _, m := range s.Members {
 			if hops[m] != 0 {
 				sq = s
@@ -226,7 +227,7 @@ func TestRepairBridgesFollowCrossComponentTakeover(t *testing.T) {
 		}
 		return true
 	}
-	next, changed := h.ReelectSquare(sq.ID, alive)
+	next, changed := st.view.ReelectSquare(sq.ID, alive)
 	if !changed || next < 0 {
 		t.Fatalf("takeover failed (next %d, changed %v)", next, changed)
 	}
@@ -234,8 +235,8 @@ func TestRepairBridgesFollowCrossComponentTakeover(t *testing.T) {
 		t.Fatal("successor landed in the dead component; scenario broken")
 	}
 
-	scratch := make([]int32, f.g.N())
-	repairLeafSquare(routing.NewRouter(f.g, nil), adj, hops, scratch, sq, routing.RecoveryBFS)
+	st.repairLeafSquareInto(st.mutableRepair(), sq, st.view.Rep(sq.ID), routing.RecoveryBFS)
+	hops = st.repair
 
 	// Every component except the successor's owns exactly one bridge —
 	// including the old representative's, which had none before.

@@ -128,10 +128,18 @@ type RecursiveOptions struct {
 	// the square's centre among the survivors takes over (paying an
 	// election flood over the square's live members) and the exchange
 	// proceeds with the new representative. Off by default — enabling it
-	// clones the hierarchy (the shared build is never mutated) and
 	// changes behaviour under churn, so historical churn runs stay
-	// bit-identical without it.
+	// bit-identical without it. Takeovers happen on a copy-on-write
+	// representative view (hier.RepView); the shared hierarchy build is
+	// never mutated.
 	Recover bool
+	// State optionally supplies a reusable run state (routing core,
+	// representative view, flattened adjacency/repair tables, channel
+	// pool, RNG streams, scratch), so repeat runs — the sweep engine
+	// pools one per worker — perform O(1) state allocations instead of
+	// re-allocating everything per run. Nil gives the run a fresh private
+	// state. Reuse cannot change results (see RunState).
+	State *RunState
 	// Tracer, when non-nil, receives structured protocol events (far
 	// exchanges, leaf completions, losses).
 	Tracer trace.Tracer
@@ -188,9 +196,14 @@ type Result struct {
 }
 
 type engine struct {
-	g       *graph.Graph
-	rt      *routing.Router
-	h       *hier.Hierarchy
+	st *RunState
+	g  *graph.Graph
+	rt *routing.Router
+	h  *hier.Hierarchy
+	// view is the copy-on-write representative overlay: every
+	// representative read and re-election goes through it, so the shared
+	// hierarchy build is never mutated and a pooled state resets in O(1).
+	view    *hier.RepView
 	opt     RecursiveOptions
 	x       []float64
 	tracker *sim.ErrTracker
@@ -203,19 +216,12 @@ type engine struct {
 	// is driven by the transmission counter (this engine has no tick
 	// clock).
 	ch channel.Channel
-	// leafAdj[i] lists node i's graph neighbours inside node i's own leaf
-	// square (the candidates for Near exchanges).
-	leafAdj [][]int32
-	// repairHops[i] is the greedy-route hop count from node i to its leaf
-	// representative for bridge/orphan nodes (0 otherwise, -1 if
-	// unreachable). See leafRepair. repairScratch is reusable
-	// component-labelling space for post-election repair rebuilds
-	// (allocated lazily on the first re-election).
-	repairHops    []int32
-	repairScratch []int32
 
 	res Result
 }
+
+// rep returns sq's current representative through the view.
+func (e *engine) rep(sq *hier.Square) int32 { return e.view.Rep(sq.ID) }
 
 // RunRecursive runs the hierarchical affine-gossip algorithm over graph g
 // with hierarchy h (built over the same points), mutating x in place
@@ -237,29 +243,36 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 	if err != nil {
 		return nil, err
 	}
-	if opt.Recover {
-		// Re-election mutates representative state; the hierarchy is
-		// shared across runs (facade networks, the sweep cache), so work
-		// on a private clone.
-		h = h.Clone()
+	st := opt.State
+	if st == nil {
+		st = &RunState{}
 	}
-	ch, err := spec.Build(g.N(), faultEnv(g, h, spec), r.Stream("loss"), r.Stream("churn"))
+	// Re-elections (under Recover) write to the state's representative
+	// view, never to the shared hierarchy build; bind also resets the
+	// view and the copy-on-write repair table for this run.
+	st.bind(g, h, opt.Recovery, opt.Routes)
+	ch, err := spec.BuildWith(&st.ch, g.N(), faultEnv(g, h, spec),
+		st.stream(&st.lossRNG, r, "loss"), st.stream(&st.churnRNG, r, "churn"))
 	if err != nil {
 		return nil, err
 	}
-	e := &engine{
+	e := &st.rec
+	samples := e.curve.Samples[:0] // keep the curve's storage across runs
+	*e = engine{
+		st:      st,
 		g:       g,
-		rt:      routing.NewRouter(g, opt.Routes),
+		rt:      &st.router,
 		h:       h,
+		view:    &st.view,
 		opt:     opt,
 		x:       x,
-		tracker: sim.NewErrTracker(x),
-		pick:    r.Stream("pick"),
-		leafRNG: r.Stream("leaf"),
+		tracker: &st.tracker,
+		pick:    st.stream(&st.pickRNG, r, "pick"),
+		leafRNG: st.stream(&st.leafRNG, r, "leaf"),
 		ch:      ch,
-		leafAdj: buildLeafAdj(g, h),
 	}
-	e.repairHops = leafRepair(e.rt, h, e.leafAdj, opt.Recovery)
+	e.curve.Samples = samples
+	st.tracker.Reset(x)
 	e.scale0 = e.tracker.Norm0()
 	e.curve.Record(0, 0, e.tracker.Err())
 	// A start at (numerical) consensus needs no work; the threshold keeps
@@ -279,11 +292,14 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		Ticks:                   e.res.FarExchanges,
 		Transmissions:           e.counter.Total(),
 		TransmissionsByCategory: e.counter.Breakdown(),
-		Curve:                   &e.curve,
+		Curve:                   e.curve.Snapshot(),
 		Alive:                   sim.AliveMask(e.ch, g.N()),
 		Reelections:             e.res.Reelections,
 	}
-	return &e.res, nil
+	// The engine lives inside a pooled state: hand out a copy so a later
+	// run's reset cannot touch the caller's counters.
+	res := e.res
+	return &res, nil
 }
 
 // faultEnv assembles the network context spatial and targeted fault
@@ -336,104 +352,53 @@ func algorithmName(opt RecursiveOptions, h *hier.Hierarchy) string {
 	return kind + "-" + shape
 }
 
-func buildLeafAdj(g *graph.Graph, h *hier.Hierarchy) [][]int32 {
-	adj := make([][]int32, g.N())
-	for i := int32(0); int(i) < g.N(); i++ {
-		leaf := h.NodeLeaf[i]
-		var in []int32
-		for _, v := range g.Neighbors(i) {
-			if h.NodeLeaf[v] == leaf {
-				in = append(in, v)
+// Leaf repair — handling leaves whose internal subgraph is not connected
+// — lives on RunState (repairLeafSquareInto): at the paper's (log n)^8
+// leaf sizes a leaf's side vastly exceeds the radio radius and splitting
+// cannot happen; at this repository's simulable Θ(log n) leaf sizes the
+// leaf side is comparable to r, so a leaf occasionally splits into
+// in-leaf components (in the extreme, isolated nodes whose neighbours all
+// lie across the leaf boundary). Without repair those components' values
+// could never equalize and every enclosing square's averaging would stall
+// at its round cap. For every in-leaf component not containing the
+// representative, the component's smallest-index member becomes a bridge:
+// whenever its clock picks it for a Near exchange it exchanges with the
+// representative over a greedy-routed path, paying the hops. The repair
+// table holds the per-node route hop count (0 = ordinary node, -1 = rep
+// unreachable, possible only on globally disconnected instances).
+
+// kidCount returns the number of sq's children with members, and the
+// first such child.
+func (e *engine) kidCount(sq *hier.Square) (int, *hier.Square) {
+	m := 0
+	var first *hier.Square
+	for _, cid := range sq.Children {
+		c := e.h.Squares[cid]
+		if len(c.Members) > 0 {
+			if m == 0 {
+				first = c
 			}
+			m++
 		}
-		adj[i] = in
 	}
-	return adj
+	return m, first
 }
 
-// leafRepair handles leaves whose internal subgraph is not connected. At
-// the paper's (log n)^8 leaf sizes a leaf's side vastly exceeds the radio
-// radius and this cannot happen; at this repository's simulable Θ(log n)
-// leaf sizes the leaf side is comparable to r, so a leaf occasionally
-// splits into in-leaf components (in the extreme, isolated nodes whose
-// neighbours all lie across the leaf boundary). Without repair those
-// components' values could never equalize and every enclosing square's
-// averaging would stall at its round cap.
-//
-// For every in-leaf component not containing the representative, the
-// component's smallest-index member becomes a bridge: whenever its clock
-// picks it for a Near exchange it exchanges with the representative over
-// a greedy-routed path, paying the hops. The returned slice holds the
-// per-node route hop count (0 = ordinary node, -1 = rep unreachable,
-// possible only on globally disconnected instances).
-func leafRepair(rt *routing.Router, h *hier.Hierarchy, leafAdj [][]int32, rec routing.Recovery) []int32 {
-	n := rt.Graph().N()
-	hops := make([]int32, n)
-	comp := make([]int32, n)
-	for _, sq := range h.Leaves() {
-		repairLeafSquare(rt, leafAdj, hops, comp, sq, rec)
-	}
-	return hops
-}
-
-// repairLeafSquare (re)computes leaf sq's repair structure relative to
-// its *current* representative: members are re-labelled into in-leaf
-// components, prior bridge assignments are cleared, and every component
-// not containing the representative gets a fresh bridge. Called by
-// leafRepair at engine start and again after a representative
-// re-election — which component needs a bridge depends on where the
-// representative sits, so a takeover into a different component moves
-// the bridges, not just their route lengths. comp is caller-provided
-// scratch of length g.N().
-func repairLeafSquare(rt *routing.Router, leafAdj [][]int32, hops, comp []int32, sq *hier.Square, rec routing.Recovery) {
-	for _, m := range sq.Members {
-		hops[m] = 0
-	}
-	if sq.Rep < 0 || len(sq.Members) <= 1 {
-		return
-	}
-	// Label in-leaf components (BFS over leaf-restricted adjacency).
-	for _, m := range sq.Members {
-		comp[m] = -1
-	}
-	next := int32(0)
-	var queue []int32
-	for _, m := range sq.Members {
-		if comp[m] >= 0 {
-			continue
-		}
-		comp[m] = next
-		queue = append(queue[:0], m)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, v := range leafAdj[u] {
-				if comp[v] < 0 {
-					comp[v] = next
-					queue = append(queue, v)
-				}
+// kid returns sq's k-th child with members (k < kidCount). The scan
+// replaces the per-call kids slice the round loop used to allocate;
+// children per square are bounded by the branching factor, so the scan is
+// negligible beside the exchange it selects for.
+func (e *engine) kid(sq *hier.Square, k int) *hier.Square {
+	for _, cid := range sq.Children {
+		c := e.h.Squares[cid]
+		if len(c.Members) > 0 {
+			if k == 0 {
+				return c
 			}
+			k--
 		}
-		next++
 	}
-	if next == 1 {
-		return // leaf internally connected
-	}
-	repComp := comp[sq.Rep]
-	bridged := make(map[int32]bool, next)
-	for _, m := range sq.Members { // sorted: smallest index per component wins
-		c := comp[m]
-		if c == repComp || bridged[c] {
-			continue
-		}
-		bridged[c] = true
-		res := rt.RouteToNode(m, sq.Rep, rec)
-		if !res.Delivered {
-			hops[m] = -1
-			continue
-		}
-		hops[m] = int32(res.Hops)
-	}
+	panic("core: kid index out of range")
 }
 
 // avg drives square sq's member values to within eps·scale0 of their
@@ -446,24 +411,19 @@ func (e *engine) avg(sq *hier.Square, eps float64) {
 		e.leafAverage(sq, eps)
 		return
 	}
-	kids := make([]*hier.Square, 0, len(sq.Children))
-	for _, cid := range sq.Children {
-		c := e.h.Squares[cid]
-		if len(c.Members) > 0 {
-			kids = append(kids, c)
-		}
-	}
+	m, first := e.kidCount(sq)
 	epsNext := eps / (e.opt.EpsDecayFactor * math.Sqrt(sq.Expected))
-	if len(kids) == 1 {
+	if m == 1 {
 		// All mass in one child: averaging the child is averaging sq.
-		e.avg(kids[0], eps)
+		e.avg(first, eps)
 		return
 	}
 	// Initial equalization: run A on every child independently.
-	for _, k := range kids {
-		e.avg(k, epsNext)
+	for _, cid := range sq.Children {
+		if c := e.h.Squares[cid]; len(c.Members) > 0 {
+			e.avg(c, epsNext)
+		}
 	}
-	m := len(kids)
 	budget := int(math.Ceil(e.opt.RoundsFactor * float64(m) * math.Log(float64(m)/eps)))
 	target2 := eps * e.scale0 * eps * e.scale0
 	// Divergence guard for the oracle loop. The affine coefficient
@@ -496,9 +456,10 @@ func (e *engine) avg(sq *hier.Square, eps float64) {
 		}
 		i := e.pick.IntN(m)
 		j := e.pick.IntNExcept(m, i)
-		e.farExchange(kids[i], kids[j])
-		e.avg(kids[i], epsNext)
-		e.avg(kids[j], epsNext)
+		ki, kj := e.kid(sq, i), e.kid(sq, j)
+		e.farExchange(ki, kj)
+		e.avg(ki, epsNext)
+		e.avg(kj, epsNext)
 	}
 }
 
@@ -511,7 +472,7 @@ func (e *engine) farExchange(a, b *hier.Square) {
 	if e.opt.Recover && (!e.ensureRep(a) || !e.ensureRep(b)) {
 		return // a square lost all members; nothing to exchange with
 	}
-	ra, rb := a.Rep, b.Rep
+	ra, rb := e.rep(a), e.rep(b)
 	out := e.rt.RouteToNode(ra, rb, e.opt.Recovery)
 	if ok, paid := e.ch.DeliverRoundTrip(e.packet(ra, rb, out.Hops)); !ok {
 		// One of the two route legs was lost: charge the partial cost and
@@ -568,19 +529,16 @@ func (e *engine) packet(src, dst int32, hops int) channel.Packet {
 }
 
 // ensureRep re-elects square sq's representative if it has died
-// (nearest-alive-member takeover), charging the election flood. It
-// reports whether the square has a representative afterwards.
+// (nearest-alive-member takeover on the view), charging the election
+// flood. It reports whether the square has a representative afterwards.
 func (e *engine) ensureRep(sq *hier.Square) bool {
-	if sq.Rep >= 0 && e.ch.Alive(sq.Rep) {
+	if rep := e.rep(sq); rep >= 0 && e.ch.Alive(rep) {
 		return true
 	}
-	next, changed := e.h.ReelectSquare(sq.ID, e.ch.Alive)
+	next, changed := e.view.ReelectSquare(sq.ID, e.ch.Alive)
 	if changed {
 		e.res.Reelections++
-		if e.repairScratch == nil {
-			e.repairScratch = make([]int32, e.g.N())
-		}
-		chargeReelection(e.rt, sq, e.ch.Alive, e.leafAdj, e.repairHops, e.repairScratch, e.opt.Recovery, &e.counter, e.opt.Tracer)
+		e.st.chargeReelection(sq, e.ch.Alive, e.opt.Recovery, &e.counter, e.opt.Tracer)
 	}
 	return next >= 0
 }
@@ -591,10 +549,10 @@ func (e *engine) ensureRep(sq *hier.Square) bool {
 // of the square discovering the silence and agreeing on a successor —
 // the trace event, and a rebuild of the leaf's repair bridges relative
 // to the successor (a takeover into a different in-leaf component moves
-// the bridges, not just their route lengths). scratch is caller-provided
-// component-labelling space of length g.N(), reused across elections.
-func chargeReelection(rt *routing.Router, sq *hier.Square, alive func(int32) bool,
-	leafAdj [][]int32, repairHops, scratch []int32, rec routing.Recovery, counter *sim.Counter, tracer trace.Tracer) {
+// the bridges, not just their route lengths). The view already holds the
+// successor; all scratch is state-owned and reused across elections.
+func (st *RunState) chargeReelection(sq *hier.Square, alive func(int32) bool,
+	rec routing.Recovery, counter *sim.Counter, tracer trace.Tracer) {
 	cost := 0
 	for _, m := range sq.Members {
 		if alive(m) {
@@ -603,10 +561,10 @@ func chargeReelection(rt *routing.Router, sq *hier.Square, alive func(int32) boo
 	}
 	counter.Add(sim.CatFlood, cost)
 	if sq.IsLeaf() {
-		repairLeafSquare(rt, leafAdj, repairHops, scratch, sq, rec)
+		st.repairLeafSquareInto(st.mutableRepair(), sq, st.view.Rep(sq.ID), rec)
 	}
 	if tracer != nil {
-		tracer.Record(trace.Event{Kind: trace.KindReelect, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
+		tracer.Record(trace.Event{Kind: trace.KindReelect, Square: sq.ID, NodeA: st.view.Rep(sq.ID), NodeB: -1})
 	}
 }
 
@@ -657,21 +615,22 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 	if maxEx <= 0 {
 		maxEx = 200*l*l + 1000
 	}
+	repair := e.st.repair
 	for k := 0; k < maxEx && dev2 > target2; k++ {
 		u := members[e.leafRNG.IntN(l)]
 		e.ch.Advance(e.counter.Total())
 		if !e.ch.Alive(u) {
 			continue // a dead node's clock never picks it
 		}
-		cands := e.leafAdj[u]
+		cands := e.st.leafNbrs(u)
 		var v int32
 		cost := 2
 		switch {
-		case e.repairHops[u] > 0 && sq.Rep >= 0:
+		case repair[u] > 0 && e.rep(sq) >= 0:
 			// Bridge/orphan: exchange with the representative over the
 			// precomputed route so in-leaf components equalize.
-			v = sq.Rep
-			cost = 2 * int(e.repairHops[u])
+			v = e.rep(sq)
+			cost = 2 * int(repair[u])
 		case len(cands) > 0:
 			v = cands[e.leafRNG.IntN(len(cands))]
 		default:
@@ -693,7 +652,7 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		e.res.LeafStalls++
 	}
 	if e.opt.Tracer != nil {
-		e.opt.Tracer.Record(trace.Event{Kind: trace.KindLeafDone, Square: sq.ID, NodeA: sq.Rep, NodeB: -1})
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindLeafDone, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1})
 	}
 }
 

@@ -82,6 +82,14 @@ func (pg Polygon) Contains(p Point) bool {
 // a·x + b·y <= c (Sutherland–Hodgman against a single edge). The result
 // may be empty.
 func (p Polygon) ClipHalfPlane(a, b, c float64) Polygon {
+	return p.ClipHalfPlaneInto(a, b, c, nil)
+}
+
+// ClipHalfPlaneInto is ClipHalfPlane appending into dst[:0] — callers
+// that clip in a loop (Voronoi cell construction) ping-pong two reusable
+// buffers instead of allocating one polygon per clip. dst must not alias
+// p; a nil dst allocates.
+func (p Polygon) ClipHalfPlaneInto(a, b, c float64, dst Polygon) Polygon {
 	if len(p) == 0 {
 		return nil
 	}
@@ -93,7 +101,7 @@ func (p Polygon) ClipHalfPlane(a, b, c float64) Polygon {
 		t := du / (du - dv)
 		return Pt(u.X+t*(v.X-u.X), u.Y+t*(v.Y-u.Y))
 	}
-	var out Polygon
+	out := dst[:0]
 	for i := range p {
 		cur := p[i]
 		next := p[(i+1)%len(p)]
@@ -107,6 +115,9 @@ func (p Polygon) ClipHalfPlane(a, b, c float64) Polygon {
 			out = append(out, intersect(cur, next), next)
 		}
 	}
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -114,11 +125,17 @@ func (p Polygon) ClipHalfPlane(a, b, c float64) Polygon {
 // to p1 (the Voronoi half-plane of p0 against p1). Identical points leave
 // the polygon unchanged.
 func (p Polygon) ClipBisector(p0, p1 Point) Polygon {
+	return p.ClipBisectorInto(p0, p1, nil)
+}
+
+// ClipBisectorInto is ClipBisector appending into dst[:0] (see
+// ClipHalfPlaneInto). Identical points return p itself, dst untouched.
+func (p Polygon) ClipBisectorInto(p0, p1 Point, dst Polygon) Polygon {
 	a := 2 * (p1.X - p0.X)
 	b := 2 * (p1.Y - p0.Y)
 	if a == 0 && b == 0 {
 		return p
 	}
 	c := p1.X*p1.X + p1.Y*p1.Y - p0.X*p0.X - p0.Y*p0.Y
-	return p.ClipHalfPlane(a, b, c)
+	return p.ClipHalfPlaneInto(a, b, c, dst)
 }

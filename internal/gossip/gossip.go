@@ -68,6 +68,13 @@ type Options struct {
 	// sum preservation is traded for convergence under churn (push-sum
 	// ignores it: mass-conservation bookkeeping already survives churn).
 	Resync bool
+	// State optionally supplies a reusable run state (harness, channel
+	// pool, RNG streams, scratch slices), so repeat runs — the sweep
+	// engine pools one per worker — perform O(1) state allocations
+	// instead of re-allocating everything per run. Nil gives the run a
+	// fresh private state. Reuse cannot change results: a pooled run is
+	// draw- and result-identical to a fresh one (see RunState).
+	State *RunState
 	// Tracer, when non-nil, receives loss events.
 	Tracer trace.Tracer
 }
@@ -92,20 +99,74 @@ func (o Options) faultSpec() (channel.Spec, error) {
 	return spec, nil
 }
 
-// medium builds the run's radio channel over the engine's deterministic
-// streams: losses draw from "loss", churn schedules from "churn". The
-// graph supplies the spatial and degree context geometry-aware fault
-// models bind to; rep-targeted specs fail here (no hierarchy).
-func (o Options) medium(g *graph.Graph, r *rng.RNG) (channel.Channel, error) {
-	spec, err := o.faultSpec()
+// The run's radio channel is built by RunState.medium over the engine's
+// deterministic streams: losses draw from "loss", churn schedules from
+// "churn". The graph supplies the spatial and degree context
+// geometry-aware fault models bind to; rep-targeted specs fail there (no
+// hierarchy).
+
+// boydRun is the per-run state of the boyd engine, factored out so the
+// loop body (step) can be driven and alloc-asserted in isolation and the
+// whole bundle can live inside a pooled RunState.
+type boydRun struct {
+	g      *graph.Graph
+	x      []float64
+	h      *sim.Harness
+	pick   *rng.RNG
+	resync resyncState
+}
+
+func newBoydRun(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*boydRun, error) {
+	st := stateOf(opt)
+	medium, err := st.medium(opt, g, r)
 	if err != nil {
 		return nil, err
 	}
-	env := channel.Env{Points: g.Points()}
-	if spec.TargetsHubs() {
-		env.HubOrder = g.ByDegreeDesc()
+	st.h.Reset(x, sim.HarnessConfig{
+		Stop:        opt.Stop,
+		RecordEvery: opt.RecordEvery,
+		Medium:      medium,
+		Points:      g.Points(),
+		Tracer:      opt.Tracer,
+	}, st.stream(&st.clockRNG, r, "clock"))
+	e := &st.boyd
+	*e = boydRun{
+		g:    g,
+		x:    x,
+		h:    &st.h,
+		pick: st.stream(&st.pickRNG, r, "pick"),
 	}
-	return spec.Build(g.N(), env, r.Stream("loss"), r.Stream("churn"))
+	e.resync.reset(opt, st, g.N())
+	return e, nil
+}
+
+// step executes one clock tick: the owner averages with a uniformly
+// random graph neighbour (2 transmissions). Zero allocations in steady
+// state.
+func (e *boydRun) step() {
+	h := e.h
+	s := h.Tick()
+	if !h.Alive(s) {
+		e.resync.markDead(s)
+		h.Sample()
+		return
+	}
+	e.resync.onTick(s, e.g, h, e.x, e.pick)
+	deg := e.g.Degree(s)
+	if deg > 0 {
+		v := e.g.Neighbors(s)[e.pick.IntN(deg)]
+		if ok, paid := h.Medium.DeliverHop(h.Packet(s, v, 1)); !ok {
+			// The outbound value was transmitted but lost; no update.
+			h.Counter.Add(sim.CatNear, paid)
+			h.TraceLoss(s, v, paid)
+		} else {
+			avg := (e.x[s] + e.x[v]) / 2
+			h.Tracker.Set(s, avg)
+			h.Tracker.Set(v, avg)
+			h.Counter.Add(sim.CatNear, 2)
+		}
+	}
+	h.Sample()
 }
 
 // RunBoyd runs randomized nearest-neighbour gossip: on each clock tick
@@ -118,46 +179,15 @@ func RunBoyd(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Res
 	if g.N() == 0 {
 		return sim.EmptyResult("boyd"), nil
 	}
-	medium, err := opt.medium(g, r)
+	e, err := newBoydRun(g, x, opt, r)
 	if err != nil {
 		return nil, err
 	}
-	h := sim.NewHarness(x, sim.HarnessConfig{
-		Stop:        opt.Stop,
-		RecordEvery: opt.RecordEvery,
-		Medium:      medium,
-		Points:      g.Points(),
-		Tracer:      opt.Tracer,
-	}, r.Stream("clock"))
-	pick := r.Stream("pick")
-	resync := newResyncState(opt, g.N())
-
-	for !h.Done() {
-		s := h.Tick()
-		if !h.Alive(s) {
-			resync.markDead(s)
-			h.Sample()
-			continue
-		}
-		resync.onTick(s, g, h, x, pick)
-		deg := g.Degree(s)
-		if deg > 0 {
-			v := g.Neighbors(s)[pick.IntN(deg)]
-			if ok, paid := h.Medium.DeliverHop(h.Packet(s, v, 1)); !ok {
-				// The outbound value was transmitted but lost; no update.
-				h.Counter.Add(sim.CatNear, paid)
-				h.TraceLoss(s, v, paid)
-			} else {
-				avg := (x[s] + x[v]) / 2
-				h.Tracker.Set(s, avg)
-				h.Tracker.Set(v, avg)
-				h.Counter.Add(sim.CatNear, 2)
-			}
-		}
-		h.Sample()
+	for !e.h.Done() {
+		e.step()
 	}
-	res := h.Finish("boyd")
-	res.Resyncs = resync.count
+	res := e.h.Finish("boyd")
+	res.Resyncs = e.resync.count
 	return res, nil
 }
 
@@ -170,12 +200,15 @@ type resyncState struct {
 	count   uint64
 }
 
-func newResyncState(opt Options, n int) *resyncState {
-	rs := &resyncState{}
+// reset re-initializes the tracker for a new run, reusing the state's
+// flag slice.
+func (rs *resyncState) reset(opt Options, st *RunState, n int) {
+	rs.count = 0
+	rs.wasDead = nil
 	if opt.Resync && opt.Faults.HasChurn() && opt.Faults.Churn.MeanDown > 0 {
-		rs.wasDead = make([]bool, n)
+		st.wasDead = sim.GrowBool(st.wasDead, n)
+		rs.wasDead = st.wasDead
 	}
-	return rs
 }
 
 func (rs *resyncState) markDead(s int32) {
@@ -292,29 +325,45 @@ func NewTargetSampler(g *graph.Graph, mode Sampling, maxAttempts int) *TargetSam
 // NewTargetSamplerRouter builds a sampler that routes through rt, so a
 // run's sampler and return routes share one memoized routing core.
 func NewTargetSamplerRouter(rt *routing.Router, mode Sampling, maxAttempts int) *TargetSampler {
+	ts := &TargetSampler{}
+	var accept []float64
+	g := rt.Graph()
+	if mode == SamplingRejection && g.N() > 0 {
+		accept = rejectionAccept(g, make([]float64, g.N()))
+	}
+	ts.reset(rt, mode, maxAttempts, accept)
+	return ts
+}
+
+// rejectionAccept fills buf (length g.N()) with the per-node acceptance
+// probabilities min(1, κ/(n·A_i)) over the graph's cached Voronoi areas
+// and returns it.
+func rejectionAccept(g *graph.Graph, buf []float64) []float64 {
+	targetArea := rejectionKappa / float64(g.N())
+	for i, a := range g.VoronoiAreas() {
+		if a <= targetArea {
+			buf[i] = 1
+		} else {
+			buf[i] = targetArea / a
+		}
+	}
+	return buf
+}
+
+// reset re-initializes a (possibly pooled) sampler in place. accept is
+// the rejection acceptance table (nil for uniform-node sampling),
+// computed by rejectionAccept and owned by the caller.
+func (ts *TargetSampler) reset(rt *routing.Router, mode Sampling, maxAttempts int, accept []float64) {
 	if maxAttempts <= 0 {
 		maxAttempts = 10
 	}
-	g := rt.Graph()
-	ts := &TargetSampler{
-		g:           g,
+	*ts = TargetSampler{
+		g:           rt.Graph(),
 		rt:          rt,
 		mode:        mode,
 		maxAttempts: maxAttempts,
+		accept:      accept,
 	}
-	if mode == SamplingRejection && g.N() > 0 {
-		areas := g.VoronoiAreas()
-		targetArea := rejectionKappa / float64(g.N())
-		ts.accept = make([]float64, g.N())
-		for i, a := range areas {
-			if a <= targetArea {
-				ts.accept[i] = 1
-			} else {
-				ts.accept[i] = targetArea / a
-			}
-		}
-	}
-	return ts
 }
 
 // SampleFrom routes a packet from src to a sampled partner and returns the
@@ -354,6 +403,104 @@ func (ts *TargetSampler) SampleFrom(src int32, r *rng.RNG) (target int32, hops, 
 	}
 }
 
+// geoRun is the per-run state of the geographic engine (see boydRun).
+type geoRun struct {
+	g       *graph.Graph
+	x       []float64
+	h       *sim.Harness
+	sampler *TargetSampler
+	sample  *rng.RNG
+	rec     routing.Recovery
+	resync  resyncState
+}
+
+func newGeoRun(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*geoRun, error) {
+	st := stateOf(opt.Options)
+	medium, err := st.medium(opt.Options, g, r)
+	if err != nil {
+		return nil, err
+	}
+	routes := opt.Routes
+	if routes == nil {
+		// Geographic routes target uniformly random partners: memoizing
+		// them would grow toward n² entries with near-zero reuse, so the
+		// default is the uncached (still zero-alloc) fast path — one
+		// state-owned disabled cache, reused across runs.
+		if st.noCache == nil {
+			st.noCache = routing.NoCache()
+		}
+		routes = st.noCache
+	}
+	st.router.Reset(g, routes)
+	st.h.Reset(x, sim.HarnessConfig{
+		Stop:        opt.Stop,
+		RecordEvery: opt.RecordEvery,
+		Medium:      medium,
+		Points:      g.Points(),
+		Router:      &st.router,
+		Tracer:      opt.Tracer,
+	}, st.stream(&st.clockRNG, r, "clock"))
+	var accept []float64
+	if opt.Sampling == SamplingRejection {
+		accept = st.accept(g)
+	}
+	st.sampler.reset(&st.router, opt.Sampling, opt.MaxAttempts, accept)
+	e := &st.geo
+	*e = geoRun{
+		g:       g,
+		x:       x,
+		h:       &st.h,
+		sampler: &st.sampler,
+		sample:  st.stream(&st.sampleRNG, r, "sample"),
+		rec:     opt.Recovery,
+	}
+	e.resync.reset(opt.Options, st, g.N())
+	return e, nil
+}
+
+// step executes one clock tick: the owner samples a long-range partner,
+// the pair averages, and the new value is routed back. Zero allocations
+// in steady state.
+func (e *geoRun) step() {
+	h := e.h
+	s := h.Tick()
+	if !h.Alive(s) {
+		e.resync.markDead(s)
+		h.Sample()
+		return
+	}
+	e.resync.onTick(s, e.g, h, e.x, e.sample)
+	target, hops, _ := e.sampler.SampleFrom(s, e.sample)
+	if ok, paid := h.Medium.DeliverRoute(h.Packet(s, target, hops)); !ok {
+		// The outbound packet died partway along its route; charge the
+		// partial cost.
+		h.Counter.Add(sim.CatFar, paid)
+		h.TraceLoss(s, target, paid)
+	} else {
+		h.Counter.Add(sim.CatFar, hops)
+		if target != s {
+			back := h.Router.RouteToNode(target, s, e.rec)
+			if ok, paid := h.Medium.DeliverRoute(h.Packet(target, s, back.Hops)); !ok {
+				// Return leg lost: partial cost, no commit.
+				h.Counter.Add(sim.CatFar, paid)
+				h.TraceLoss(target, s, paid)
+			} else {
+				h.Counter.Add(sim.CatFar, back.Hops)
+				// Commit the pair atomically only when the round trip
+				// completed, so a failed return route (possible only
+				// on a disconnected instance) cannot break sum
+				// preservation.
+				if back.Delivered {
+					avg := (e.x[s] + e.x[target]) / 2
+					h.Tracker.Set(target, avg)
+					h.Tracker.Set(s, avg)
+				}
+			}
+		}
+	}
+	h.Sample()
+}
+
 // RunGeographic runs Dimakis-style geographic gossip: on each tick the
 // owner samples a long-range partner, the pair averages, and the new
 // value is routed back. x is mutated in place.
@@ -367,68 +514,14 @@ func RunGeographic(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*me
 	}
 	opt = opt.withDefaults()
 	name = "geographic-" + opt.Sampling.String()
-	medium, err := opt.medium(g, r)
+	e, err := newGeoRun(g, x, opt, r)
 	if err != nil {
 		return nil, err
 	}
-	routes := opt.Routes
-	if routes == nil {
-		// Geographic routes target uniformly random partners: memoizing
-		// them would grow toward n² entries with near-zero reuse, so the
-		// default is the uncached (still zero-alloc) fast path.
-		routes = routing.NoCache()
+	for !e.h.Done() {
+		e.step()
 	}
-	h := sim.NewHarness(x, sim.HarnessConfig{
-		Stop:        opt.Stop,
-		RecordEvery: opt.RecordEvery,
-		Medium:      medium,
-		Points:      g.Points(),
-		Router:      routing.NewRouter(g, routes),
-		Tracer:      opt.Tracer,
-	}, r.Stream("clock"))
-	sampler := NewTargetSamplerRouter(h.Router, opt.Sampling, opt.MaxAttempts)
-	sampleRNG := r.Stream("sample")
-	resync := newResyncState(opt.Options, g.N())
-
-	for !h.Done() {
-		s := h.Tick()
-		if !h.Alive(s) {
-			resync.markDead(s)
-			h.Sample()
-			continue
-		}
-		resync.onTick(s, g, h, x, sampleRNG)
-		target, hops, _ := sampler.SampleFrom(s, sampleRNG)
-		if ok, paid := h.Medium.DeliverRoute(h.Packet(s, target, hops)); !ok {
-			// The outbound packet died partway along its route; charge the
-			// partial cost.
-			h.Counter.Add(sim.CatFar, paid)
-			h.TraceLoss(s, target, paid)
-		} else {
-			h.Counter.Add(sim.CatFar, hops)
-			if target != s {
-				back := h.Router.RouteToNode(target, s, opt.Recovery)
-				if ok, paid := h.Medium.DeliverRoute(h.Packet(target, s, back.Hops)); !ok {
-					// Return leg lost: partial cost, no commit.
-					h.Counter.Add(sim.CatFar, paid)
-					h.TraceLoss(target, s, paid)
-				} else {
-					h.Counter.Add(sim.CatFar, back.Hops)
-					// Commit the pair atomically only when the round trip
-					// completed, so a failed return route (possible only
-					// on a disconnected instance) cannot break sum
-					// preservation.
-					if back.Delivered {
-						avg := (x[s] + x[target]) / 2
-						h.Tracker.Set(target, avg)
-						h.Tracker.Set(s, avg)
-					}
-				}
-			}
-		}
-		h.Sample()
-	}
-	res := h.Finish(name)
-	res.Resyncs = resync.count
+	res := e.h.Finish(name)
+	res.Resyncs = e.resync.count
 	return res, nil
 }

@@ -32,75 +32,123 @@ import (
 // churn, which is precisely the property the churn scenarios measure.
 // Dead nodes freeze their pair and carry it back on revival.
 func RunPushSum(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Result, error) {
-	res, _, _, err := RunPushSumState(g, x, opt, r)
+	res, _, err := runPushSum(g, x, opt, r)
 	return res, err
 }
 
-// RunPushSumState is RunPushSum, additionally returning the final mass
-// vectors (s, w) so callers can check the conservation invariants
-// Σs = Σx(0) and Σw = n directly (see PushSumMass).
-func RunPushSumState(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Result, []float64, []float64, error) {
-	if g.N() != len(x) {
-		return nil, nil, nil, fmt.Errorf("gossip: %d nodes but %d values", g.N(), len(x))
-	}
-	if g.N() == 0 {
-		return sim.EmptyResult("push-sum"), nil, nil, nil
-	}
+// pushSumRun is the per-run state of the push-sum engine (see boydRun).
+type pushSumRun struct {
+	g    *graph.Graph
+	h    *sim.Harness
+	pick *rng.RNG
+	s, w []float64
+	est  []float64
+}
+
+func newPushSumRun(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*pushSumRun, error) {
+	st := stateOf(opt)
 	// Push-sum needs no resync recovery: the mass-conservation invariants
 	// already survive churn, so Options.Resync is ignored here.
-	medium, err := opt.medium(g, r)
+	medium, err := st.medium(opt, g, r)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	n := g.N()
-	s := append([]float64(nil), x...)
-	w := make([]float64, n)
-	for i := range w {
-		w[i] = 1
+	st.s = sim.GrowFloat(st.s, n)
+	copy(st.s, x)
+	st.w = sim.GrowFloat(st.w, n)
+	for i := range st.w {
+		st.w[i] = 1
 	}
 	// The error tracker runs on the estimates s/w, refreshed in place.
-	est := make([]float64, n)
-	copy(est, s)
-	h := sim.NewHarness(est, sim.HarnessConfig{
+	st.est = sim.GrowFloat(st.est, n)
+	copy(st.est, st.s)
+	st.h.Reset(st.est, sim.HarnessConfig{
 		Stop:        opt.Stop,
 		RecordEvery: opt.RecordEvery,
 		Medium:      medium,
 		Points:      g.Points(),
 		Tracer:      opt.Tracer,
-	}, r.Stream("clock"))
-	pick := r.Stream("pick")
-
-	for !h.Done() {
-		i := h.Tick()
-		if !h.Alive(i) {
-			h.Sample()
-			continue
-		}
-		deg := g.Degree(i)
-		if deg > 0 {
-			j := g.Neighbors(i)[pick.IntN(deg)]
-			if ok, paid := h.Medium.DeliverHop(h.Packet(i, j, 1)); !ok {
-				// Unacknowledged push: the sender rolls its halves back, so
-				// no mass moves — only the transmission is paid.
-				h.Counter.Add(sim.CatNear, paid)
-				h.TraceLoss(i, j, paid)
-			} else {
-				s[i] /= 2
-				w[i] /= 2
-				s[j] += s[i]
-				w[j] += w[i]
-				h.Counter.Add(sim.CatNear, 1)
-				h.Tracker.Set(i, s[i]/w[i])
-				h.Tracker.Set(j, s[j]/w[j])
-			}
-		}
-		h.Sample()
+	}, st.stream(&st.clockRNG, r, "clock"))
+	e := &st.push
+	*e = pushSumRun{
+		g:    g,
+		h:    &st.h,
+		pick: st.stream(&st.pickRNG, r, "pick"),
+		s:    st.s,
+		w:    st.w,
+		est:  st.est,
 	}
-	res := h.Finish("push-sum")
+	return e, nil
+}
+
+// step executes one clock tick: the owner halves its mass pair and pushes
+// one half to a uniformly random neighbour. Zero allocations in steady
+// state.
+func (e *pushSumRun) step() {
+	h := e.h
+	i := h.Tick()
+	if !h.Alive(i) {
+		h.Sample()
+		return
+	}
+	deg := e.g.Degree(i)
+	if deg > 0 {
+		j := e.g.Neighbors(i)[e.pick.IntN(deg)]
+		if ok, paid := h.Medium.DeliverHop(h.Packet(i, j, 1)); !ok {
+			// Unacknowledged push: the sender rolls its halves back, so
+			// no mass moves — only the transmission is paid.
+			h.Counter.Add(sim.CatNear, paid)
+			h.TraceLoss(i, j, paid)
+		} else {
+			e.s[i] /= 2
+			e.w[i] /= 2
+			e.s[j] += e.s[i]
+			e.w[j] += e.w[i]
+			h.Counter.Add(sim.CatNear, 1)
+			h.Tracker.Set(i, e.s[i]/e.w[i])
+			h.Tracker.Set(j, e.s[j]/e.w[j])
+		}
+	}
+	h.Sample()
+}
+
+// RunPushSumState is RunPushSum, additionally returning the final mass
+// vectors (s, w) so callers can check the conservation invariants
+// Σs = Σx(0) and Σw = n directly (see PushSumMass). The returned vectors
+// are snapshots: safe to retain across later runs on a pooled state.
+// RunPushSum skips the snapshots, so the sweep hot path pays nothing
+// for them.
+func RunPushSumState(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Result, []float64, []float64, error) {
+	res, e, err := runPushSum(g, x, opt, r)
+	if err != nil || e == nil {
+		return res, nil, nil, err
+	}
+	return res, append([]float64(nil), e.s...), append([]float64(nil), e.w...), nil
+}
+
+// runPushSum executes the protocol and returns the live engine state (nil
+// for the degenerate n = 0 run) alongside the result; callers that want
+// the mass vectors snapshot them before the pooled state is reused.
+func runPushSum(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*metrics.Result, *pushSumRun, error) {
+	if g.N() != len(x) {
+		return nil, nil, fmt.Errorf("gossip: %d nodes but %d values", g.N(), len(x))
+	}
+	if g.N() == 0 {
+		return sim.EmptyResult("push-sum"), nil, nil
+	}
+	e, err := newPushSumRun(g, x, opt, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	for !e.h.Done() {
+		e.step()
+	}
+	res := e.h.Finish("push-sum")
 	// Expose the final estimates through x, matching the other runners'
 	// contract that x converges toward the mean in place.
-	copy(x, est)
-	return res, s, w, nil
+	copy(x, e.est)
+	return res, e, nil
 }
 
 // PushSumMass returns the invariant totals Σs and Σw a push-sum run

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"geogossip/internal/geo"
 	"geogossip/internal/rng"
@@ -48,6 +49,12 @@ type Graph struct {
 	flat    []int32
 	offsets []int32
 	edges   int
+
+	// voronoi caches VoronoiAreas: the areas are a pure function of the
+	// immutable point set, and every geographic-gossip run on the graph
+	// needs them, so they are computed once and shared.
+	voronoiOnce sync.Once
+	voronoi     []float64
 }
 
 // UniformPoints draws n points independently and uniformly from the unit
@@ -311,20 +318,53 @@ func buildPath(prev []int32, dst int32) []int32 {
 // This is the quantity geographic gossip's rejection sampling needs: the
 // probability that a node is nearest to a uniformly random position is
 // exactly its Voronoi area.
+//
+// The areas are a pure function of the immutable point set, so they are
+// computed once (the polygon clipping dominated per-run setup cost before
+// caching) and the same slice is returned to every caller. Treat it as
+// read-only.
 func (g *Graph) VoronoiAreas() []float64 {
-	areas := make([]float64, g.N())
-	for i := int32(0); int(i) < g.N(); i++ {
-		cell := geo.UnitSquarePolygon()
-		pi := g.points[i]
-		for _, j := range g.Neighbors(i) {
-			cell = cell.ClipBisector(pi, g.points[j])
-			if len(cell) == 0 {
-				break
+	g.voronoiOnce.Do(func() {
+		areas := make([]float64, g.N())
+		// Two ping-pong clip buffers: each bisector clip writes into the
+		// buffer the previous one didn't, so the whole construction
+		// performs O(1) allocations instead of one polygon per clip.
+		unit := geo.UnitSquarePolygon()
+		bufA := make(geo.Polygon, 0, 16)
+		bufB := make(geo.Polygon, 0, 16)
+		for i := int32(0); int(i) < g.N(); i++ {
+			cell := unit
+			pi := g.points[i]
+			writeA := true // which buffer the next clip writes into
+			for _, j := range g.Neighbors(i) {
+				dst := bufB
+				if writeA {
+					dst = bufA
+				}
+				// dst never aliases cell: cell lives in the other buffer
+				// (or in unit before the first real clip).
+				next := cell.ClipBisectorInto(pi, g.points[j], dst[:0])
+				if len(next) == 0 {
+					cell = nil
+					break
+				}
+				if &next[0] == &cell[0] {
+					continue // identical-points passthrough: nothing written
+				}
+				// Keep the (possibly append-grown) buffer for reuse.
+				if writeA {
+					bufA = next
+				} else {
+					bufB = next
+				}
+				cell = next
+				writeA = !writeA
 			}
+			areas[i] = cell.Area()
 		}
-		areas[i] = cell.Area()
-	}
-	return areas
+		g.voronoi = areas
+	})
+	return g.voronoi
 }
 
 // DegreeStats summarizes the degree distribution.

@@ -28,6 +28,13 @@ func (c *Curve) Record(ticks, transmissions uint64, err float64) {
 // Len returns the number of samples.
 func (c *Curve) Len() int { return len(c.Samples) }
 
+// Snapshot returns an independent copy of the curve. Pooled run states
+// truncate and refill their curve storage across runs; results must hold
+// a snapshot, never the live curve.
+func (c *Curve) Snapshot() *Curve {
+	return &Curve{Samples: append([]Sample(nil), c.Samples...)}
+}
+
 // Last returns the final sample and true, or a zero sample and false when
 // empty.
 func (c *Curve) Last() (Sample, bool) {

@@ -16,14 +16,17 @@ import (
 // split into independent named substreams.
 type RNG struct {
 	rand *rand.Rand
+	src  *rand.PCG
 	seed uint64
 }
 
 // New returns a generator seeded with seed. Two generators built from the
 // same seed produce identical sequences.
 func New(seed uint64) *RNG {
+	src := rand.NewPCG(seed, mix(seed, 0x9e3779b97f4a7c15))
 	return &RNG{
-		rand: rand.New(rand.NewPCG(seed, mix(seed, 0x9e3779b97f4a7c15))),
+		rand: rand.New(src),
+		src:  src,
 		seed: seed,
 	}
 }
@@ -31,12 +34,33 @@ func New(seed uint64) *RNG {
 // Seed reports the seed this generator was created from.
 func (r *RNG) Seed() uint64 { return r.seed }
 
+// Reseed re-initializes the generator in place to the exact state New
+// would construct from seed, without allocating. Pooled run states reuse
+// their stream generators across runs through it: Reseed(s) followed by
+// any draw sequence is bit-identical to the same draws on New(s).
+func (r *RNG) Reseed(seed uint64) {
+	r.src.Seed(seed, mix(seed, 0x9e3779b97f4a7c15))
+	r.seed = seed
+}
+
 // Stream derives an independent substream identified by name. Streams with
 // distinct names are statistically independent; the same (seed, name)
 // always yields the same stream. Deriving a stream does not consume state
 // from the parent.
 func (r *RNG) Stream(name string) *RNG {
 	return New(DeriveString(r.seed, name))
+}
+
+// StreamInto is Stream without the allocation: it reseeds dst in place to
+// the substream Stream(name) would return, or returns a fresh generator
+// when dst is nil. Pooled run states hold their named streams and rebind
+// them per run through it.
+func (r *RNG) StreamInto(dst *RNG, name string) *RNG {
+	if dst == nil {
+		return r.Stream(name)
+	}
+	dst.Reseed(DeriveString(r.seed, name))
+	return dst
 }
 
 // Derive deterministically folds a sequence of words (task coordinates,
@@ -125,6 +149,20 @@ func (r *RNG) IntNExcept(n, skip int) int {
 
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int { return r.rand.Perm(n) }
+
+// PermInto writes a random permutation of [0, n) into dst (n = len(dst))
+// and returns it. It performs the identical swap sequence Perm performs —
+// a Fisher–Yates Shuffle over the identity — so the draws consumed and
+// the permutation produced are bit-identical to Perm(len(dst)), without
+// the allocation. Hot loops give the buffer to their run state and call
+// this instead of Perm.
+func (r *RNG) PermInto(dst []int) []int {
+	for i := range dst {
+		dst[i] = i
+	}
+	r.rand.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+	return dst
+}
 
 // Shuffle randomizes the order of n elements using swap.
 func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.rand.Shuffle(n, swap) }

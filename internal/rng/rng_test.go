@@ -370,3 +370,87 @@ func TestDeriveStringMatchesStreamDerivation(t *testing.T) {
 		}
 	}
 }
+
+// TestReseedMatchesNew proves the pooled-stream contract: Reseed(s)
+// followed by any draw sequence is bit-identical to the same draws on a
+// fresh New(s), for every draw kind the engines use.
+func TestReseedMatchesNew(t *testing.T) {
+	pooled := New(999)
+	// Consume arbitrary state so Reseed has something to overwrite.
+	for i := 0; i < 57; i++ {
+		pooled.Uint64()
+		pooled.NormFloat64()
+	}
+	for _, seed := range []uint64{0, 1, 42, 1 << 40} {
+		pooled.Reseed(seed)
+		fresh := New(seed)
+		if pooled.Seed() != fresh.Seed() {
+			t.Fatalf("seed %d: Seed() = %d after Reseed", seed, pooled.Seed())
+		}
+		for i := 0; i < 200; i++ {
+			if a, b := pooled.Uint64(), fresh.Uint64(); a != b {
+				t.Fatalf("seed %d: Uint64 draw %d: %d != %d", seed, i, a, b)
+			}
+			if a, b := pooled.Float64(), fresh.Float64(); a != b {
+				t.Fatalf("seed %d: Float64 draw %d: %v != %v", seed, i, a, b)
+			}
+			if a, b := pooled.IntN(97), fresh.IntN(97); a != b {
+				t.Fatalf("seed %d: IntN draw %d: %d != %d", seed, i, a, b)
+			}
+			if a, b := pooled.ExpFloat64(), fresh.ExpFloat64(); a != b {
+				t.Fatalf("seed %d: ExpFloat64 draw %d: %v != %v", seed, i, a, b)
+			}
+			if a, b := pooled.NormFloat64(), fresh.NormFloat64(); a != b {
+				t.Fatalf("seed %d: NormFloat64 draw %d: %v != %v", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// TestStreamIntoMatchesStream proves StreamInto reseeds to the exact
+// substream Stream derives.
+func TestStreamIntoMatchesStream(t *testing.T) {
+	parent := New(7)
+	pooled := New(123) // arbitrary prior state
+	for _, name := range []string{"clock", "pick", "loss", "churn", ""} {
+		got := parent.StreamInto(pooled, name)
+		if got != pooled {
+			t.Fatalf("stream %q: StreamInto did not reuse the supplied generator", name)
+		}
+		want := parent.Stream(name)
+		for i := 0; i < 100; i++ {
+			if a, b := got.Uint64(), want.Uint64(); a != b {
+				t.Fatalf("stream %q draw %d: %d != %d", name, i, a, b)
+			}
+		}
+	}
+	if got := parent.StreamInto(nil, "clock"); got == nil {
+		t.Fatal("StreamInto(nil) returned nil")
+	}
+}
+
+// TestPermIntoMatchesPerm proves PermInto consumes the identical draw
+// sequence and produces the identical permutation as Perm — the
+// hot-path substitution contract.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 256} {
+		a, b := New(11), New(11)
+		buf := make([]int, n)
+		for round := 0; round < 5; round++ {
+			want := a.Perm(n)
+			got := b.PermInto(buf)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d round %d: length %d != %d", n, round, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d round %d: perm[%d] = %d, want %d", n, round, i, got[i], want[i])
+				}
+			}
+			// The generators must remain in lockstep: identical swap draws.
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("n=%d round %d: generators diverged after perm: %d != %d", n, round, x, y)
+			}
+		}
+	}
+}

@@ -211,6 +211,24 @@ func NewRouter(g *graph.Graph, cache *Cache) *Router {
 	return &Router{g: g, cache: cache}
 }
 
+// Reset rebinds the router to (g, cache) for a new run, keeping its BFS
+// scratch when the graph is unchanged — the pooled-run-state path: one
+// Router per worker serves every run on a network build with zero
+// steady-state allocations. A nil cache gets a fresh private one, like
+// NewRouter. Changing graphs drops the scratch (it is sized to g.N()).
+func (rt *Router) Reset(g *graph.Graph, cache *Cache) {
+	if cache == nil {
+		cache = NewCache()
+	}
+	cache.bind(g)
+	if rt.g != g {
+		rt.mark, rt.dist, rt.queue = nil, nil, nil
+		rt.epoch = 0
+	}
+	rt.g = g
+	rt.cache = cache
+}
+
 // bind pins the cache to its first graph and rejects any other.
 func (c *Cache) bind(g *graph.Graph) {
 	if c.disabled {

@@ -73,6 +73,17 @@ type HarnessConfig struct {
 // NewHarness builds the run state over x (n = len(x) > 0) with the clock
 // drawing from clockRNG, and records the initial curve sample.
 func NewHarness(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) *Harness {
+	h := &Harness{}
+	h.Reset(x, cfg, clockRNG)
+	return h
+}
+
+// Reset re-initializes the harness in place for a new run — the pooled
+// path: a run state owns one Harness and Resets it per run, reusing the
+// clock, the error tracker, and the curve's sample storage, so repeat
+// runs on a network allocate no harness state. Behaviour (draws, samples,
+// results) is bit-identical to a NewHarness run by construction.
+func (h *Harness) Reset(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) {
 	medium := cfg.Medium
 	if medium == nil {
 		medium = channel.Perfect{}
@@ -84,19 +95,26 @@ func NewHarness(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) *Harness {
 			every = 1
 		}
 	}
-	h := &Harness{
-		Stop:    cfg.Stop.WithDefaults(),
-		Clock:   NewClock(len(x), clockRNG),
-		Tracker: NewErrTracker(x),
-		Medium:  medium,
-		Router:  cfg.Router,
-		Tracer:  cfg.Tracer,
-		n:       len(x),
-		every:   every,
-		pts:     cfg.Points,
+	h.Stop = cfg.Stop.WithDefaults()
+	if h.Clock == nil {
+		h.Clock = NewClock(len(x), clockRNG)
+	} else {
+		h.Clock.Reset(len(x), clockRNG)
 	}
+	if h.Tracker == nil {
+		h.Tracker = NewErrTracker(x)
+	} else {
+		h.Tracker.Reset(x)
+	}
+	h.Counter.Reset()
+	h.Curve.Samples = h.Curve.Samples[:0]
+	h.Medium = medium
+	h.Router = cfg.Router
+	h.Tracer = cfg.Tracer
+	h.n = len(x)
+	h.every = every
+	h.pts = cfg.Points
 	h.Curve.Record(0, 0, h.Tracker.Err())
-	return h
 }
 
 // Done reports whether the run should stop.
@@ -153,6 +171,8 @@ func (h *Harness) TraceLoss(a, b int32, paid int) {
 // Finish resyncs the tracker, appends the final curve sample, and
 // assembles the standard result (Converged = target error set and
 // reached). The liveness mask is included when the medium killed nodes.
+// The result's curve is a snapshot: a later Reset of a pooled harness
+// cannot corrupt a result already handed out.
 func (h *Harness) Finish(name string) *metrics.Result {
 	h.Tracker.Resync()
 	finalErr := h.Tracker.Err()
@@ -165,7 +185,7 @@ func (h *Harness) Finish(name string) *metrics.Result {
 		Ticks:                   h.Clock.Ticks(),
 		Transmissions:           h.Counter.Total(),
 		TransmissionsByCategory: h.Counter.Breakdown(),
-		Curve:                   &h.Curve,
+		Curve:                   h.Curve.Snapshot(),
 		Alive:                   AliveMask(h.Medium, h.n),
 	}
 }

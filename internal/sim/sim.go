@@ -29,10 +29,19 @@ type Clock struct {
 // NewClock builds a clock over n nodes drawing from r. It panics if
 // n <= 0.
 func NewClock(n int, r *rng.RNG) *Clock {
+	c := &Clock{}
+	c.Reset(n, r)
+	return c
+}
+
+// Reset re-initializes the clock in place for a new run over n nodes
+// drawing from r, so pooled run states reuse one Clock across runs. It
+// panics if n <= 0, like NewClock.
+func (c *Clock) Reset(n int, r *rng.RNG) {
 	if n <= 0 {
 		panic("sim: NewClock with n <= 0")
 	}
-	return &Clock{n: n, r: r}
+	c.n, c.r, c.ticks = n, r, 0
 }
 
 // Tick returns the node whose clock fires next and advances the global
@@ -103,6 +112,9 @@ func (c *Counter) Total() uint64 {
 	return t
 }
 
+// Reset zeroes every category for a new run.
+func (c *Counter) Reset() { c.counts = [numCategories]uint64{} }
+
 // Breakdown returns the per-category counts keyed by category name.
 func (c *Counter) Breakdown() map[string]uint64 {
 	out := make(map[string]uint64, 4)
@@ -132,10 +144,18 @@ type ErrTracker struct {
 // NewErrTracker wraps x (which the algorithm continues to mutate through
 // Update). The caller must report every value change through Update.
 func NewErrTracker(x []float64) *ErrTracker {
-	t := &ErrTracker{x: x, resyncEvery: 1 << 16}
+	t := &ErrTracker{}
+	t.Reset(x)
+	return t
+}
+
+// Reset re-initializes the tracker in place over a fresh x, so pooled run
+// states reuse one ErrTracker across runs.
+func (t *ErrTracker) Reset(x []float64) {
+	*t = ErrTracker{x: x, resyncEvery: 1 << 16}
 	n := float64(len(x))
 	if n == 0 {
-		return t
+		return
 	}
 	var sum float64
 	for _, v := range x {
@@ -144,7 +164,6 @@ func NewErrTracker(x []float64) *ErrTracker {
 	t.mean = sum / n
 	t.dev2 = t.exactDev2()
 	t.norm0 = math.Sqrt(t.dev2)
-	return t
 }
 
 func (t *ErrTracker) exactDev2() float64 {
@@ -232,4 +251,48 @@ func (s StopRule) Done(ticks uint64, err float64) bool {
 		return true
 	}
 	return ticks >= s.MaxTicks
+}
+
+// Grow helpers for pooled run states: engines reuse per-node and
+// per-square scratch slices across runs through them, so repeat runs
+// allocate only when a binding grows.
+
+// GrowBool returns a cleared bool slice of length n, reusing buf's
+// storage when large enough.
+func GrowBool(buf []bool, n int) []bool {
+	if cap(buf) >= n {
+		buf = buf[:n]
+		clear(buf)
+		return buf
+	}
+	return make([]bool, n)
+}
+
+// GrowInt32 returns an uninitialized int32 slice of length n, reusing
+// buf's storage when large enough.
+func GrowInt32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
+}
+
+// GrowUint64 returns a zeroed uint64 slice of length n, reusing buf's
+// storage when large enough.
+func GrowUint64(buf []uint64, n int) []uint64 {
+	if cap(buf) >= n {
+		buf = buf[:n]
+		clear(buf)
+		return buf
+	}
+	return make([]uint64, n)
+}
+
+// GrowFloat returns an uninitialized float64 slice of length n, reusing
+// buf's storage when large enough. Callers must overwrite every entry.
+func GrowFloat(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
 }

@@ -14,6 +14,7 @@ type CellKey struct {
 	N          int     `json:"n"`
 	LossRate   float64 `json:"loss_rate"`
 	FaultModel string  `json:"fault_model,omitempty"`
+	Recover    bool    `json:"recover,omitempty"`
 	Beta       float64 `json:"beta"`
 	Sampling   string  `json:"sampling,omitempty"`
 	Hierarchy  string  `json:"hierarchy,omitempty"`
@@ -24,6 +25,7 @@ type lineKey struct {
 	Algorithm  string
 	LossRate   float64
 	FaultModel string
+	Recover    bool
 	Beta       float64
 	Sampling   string
 	Hierarchy  string
@@ -31,7 +33,7 @@ type lineKey struct {
 
 func (k CellKey) line() lineKey {
 	return lineKey{Algorithm: k.Algorithm, LossRate: k.LossRate, FaultModel: k.FaultModel,
-		Beta: k.Beta, Sampling: k.Sampling, Hierarchy: k.Hierarchy}
+		Recover: k.Recover, Beta: k.Beta, Sampling: k.Sampling, Hierarchy: k.Hierarchy}
 }
 
 // Dist summarizes one metric across a cell's seeds.
@@ -78,6 +80,7 @@ type ScalingFit struct {
 	Algorithm  string  `json:"algorithm"`
 	LossRate   float64 `json:"loss_rate"`
 	FaultModel string  `json:"fault_model,omitempty"`
+	Recover    bool    `json:"recover,omitempty"`
 	Beta       float64 `json:"beta"`
 	Sampling   string  `json:"sampling,omitempty"`
 	Hierarchy  string  `json:"hierarchy,omitempty"`
@@ -99,6 +102,7 @@ type ScalingFit struct {
 type LossFit struct {
 	Algorithm string  `json:"algorithm"`
 	N         int     `json:"n"`
+	Recover   bool    `json:"recover,omitempty"`
 	Beta      float64 `json:"beta"`
 	Sampling  string  `json:"sampling,omitempty"`
 	Hierarchy string  `json:"hierarchy,omitempty"`
@@ -188,6 +192,7 @@ func Aggregate(results []TaskResult) *Summary {
 			Algorithm:  lk.Algorithm,
 			LossRate:   lk.LossRate,
 			FaultModel: lk.FaultModel,
+			Recover:    lk.Recover,
 			Beta:       lk.Beta,
 			Sampling:   lk.Sampling,
 			Hierarchy:  lk.Hierarchy,
@@ -207,6 +212,7 @@ func Aggregate(results []TaskResult) *Summary {
 type lossLineKey struct {
 	Algorithm string
 	N         int
+	Recover   bool
 	Beta      float64
 	Sampling  string
 	Hierarchy string
@@ -268,7 +274,7 @@ func lossFits(cells []CellStats) []LossFit {
 		if !ok {
 			continue
 		}
-		lk := lossLineKey{Algorithm: cs.Algorithm, N: cs.N, Beta: cs.Beta,
+		lk := lossLineKey{Algorithm: cs.Algorithm, N: cs.N, Recover: cs.Recover, Beta: cs.Beta,
 			Sampling: cs.Sampling, Hierarchy: cs.Hierarchy}
 		lines[lk] = append(lines[lk], pt{x: 1 / (1 - p), tx: cs.Transmissions.Mean})
 	}
@@ -292,6 +298,7 @@ func lossFits(cells []CellStats) []LossFit {
 		out = append(out, LossFit{
 			Algorithm: lk.Algorithm,
 			N:         lk.N,
+			Recover:   lk.Recover,
 			Beta:      lk.Beta,
 			Sampling:  lk.Sampling,
 			Hierarchy: lk.Hierarchy,
@@ -311,6 +318,9 @@ func lossFitLess(a, b LossFit) bool {
 	}
 	if a.N != b.N {
 		return a.N < b.N
+	}
+	if a.Recover != b.Recover {
+		return !a.Recover
 	}
 	if a.Beta != b.Beta {
 		return a.Beta < b.Beta
@@ -334,6 +344,9 @@ func cellLess(a, b CellKey) bool {
 	if a.FaultModel != b.FaultModel {
 		return a.FaultModel < b.FaultModel
 	}
+	if a.Recover != b.Recover {
+		return !a.Recover
+	}
 	if a.Beta != b.Beta {
 		return a.Beta < b.Beta
 	}
@@ -352,6 +365,9 @@ func fitLess(a, b ScalingFit) bool {
 	}
 	if a.FaultModel != b.FaultModel {
 		return a.FaultModel < b.FaultModel
+	}
+	if a.Recover != b.Recover {
+		return !a.Recover
 	}
 	if a.Beta != b.Beta {
 		return a.Beta < b.Beta

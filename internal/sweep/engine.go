@@ -94,8 +94,8 @@ func Run(ctx context.Context, spec Spec, opt Options) ([]TaskResult, error) {
 // even though it appears in no other field.
 func (r TaskResult) matches(t Task) bool {
 	return r.Algorithm == t.Algorithm && r.N == t.N && r.SeedIndex == t.SeedIndex &&
-		r.LossRate == t.LossRate && r.FaultModel == t.FaultModel && r.Beta == t.Beta &&
-		r.Sampling == t.Sampling && r.Hierarchy == t.Hierarchy &&
+		r.LossRate == t.LossRate && r.FaultModel == t.FaultModel && r.Recover == t.Recover &&
+		r.Beta == t.Beta && r.Sampling == t.Sampling && r.Hierarchy == t.Hierarchy &&
 		r.TargetErr == t.TargetErr && r.MaxTicks == t.MaxTicks &&
 		r.RadiusMultiplier == t.RadiusMultiplier && r.Field == t.Field &&
 		r.RunSeed == t.runSeed()
@@ -132,11 +132,16 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one set of reusable engine run states, so a
+			// grid of R runs performs O(workers) state allocations instead
+			// of O(R) — the same sharing discipline as the per-network
+			// route caches. Pooled execution is bit-identical to fresh.
+			states := &runStates{}
 			for t := range taskCh {
 				if ctx.Err() != nil {
 					return
 				}
-				r := Execute(t, cache)
+				r := executeWith(t, cache, states)
 				select {
 				case resCh <- r:
 				case <-ctx.Done():

@@ -111,11 +111,17 @@ func (t Task) network(cache *netCache) (*graph.Graph, *hier.Hierarchy, *routing.
 		t.N, t.SeedIndex, netAttempts, lastErr)
 }
 
-// values builds the initial measurement field. It depends only on the
-// cell's network and field seed, so every algorithm of a cell averages
-// the same measurements.
-func (t Task) values(g *graph.Graph) []float64 {
-	x := make([]float64, g.N())
+// values builds the initial measurement field into buf (reusing its
+// storage when large enough). It depends only on the cell's network and
+// field seed, so every algorithm of a cell averages the same
+// measurements.
+func (t Task) values(g *graph.Graph, buf []float64) []float64 {
+	x := buf
+	if cap(x) >= g.N() {
+		x = x[:g.N()]
+	} else {
+		x = make([]float64, g.N())
+	}
 	switch t.Field {
 	case FieldGaussian:
 		r := rng.New(t.fieldSeed())
@@ -149,10 +155,40 @@ func (t Task) faults() (channel.Spec, error) {
 	return spec, nil
 }
 
-// Execute runs one task to completion. It never panics on a bad grid
-// point: per-task failures are reported in TaskResult.Error so one
-// pathological cell cannot sink a thousand-task sweep.
+// runStates bundles the reusable engine run states one worker threads
+// through every task it executes (one per worker, mirroring the PR 4
+// route-cache sharing): a grid of R runs over one network performs O(1)
+// state allocations instead of O(R). Pooling is invisible to results —
+// pooled and fresh execution are bit-identical (asserted by the
+// pooled-vs-fresh suite).
+type runStates struct {
+	gossip gossip.RunState
+	core   core.RunState
+	x      []float64
+	runRNG *rng.RNG
+}
+
+// rng returns the task's protocol generator, reusing the worker's pooled
+// generator.
+func (st *runStates) rng(seed uint64) *rng.RNG {
+	if st.runRNG == nil {
+		st.runRNG = rng.New(seed)
+	} else {
+		st.runRNG.Reseed(seed)
+	}
+	return st.runRNG
+}
+
+// Execute runs one task to completion on fresh private state. It never
+// panics on a bad grid point: per-task failures are reported in
+// TaskResult.Error so one pathological cell cannot sink a thousand-task
+// sweep.
 func Execute(t Task, cache *netCache) TaskResult {
+	return executeWith(t, cache, &runStates{})
+}
+
+// executeWith is Execute running on a worker's pooled run states.
+func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 	out := TaskResult{
 		TaskID:           t.ID,
 		Algorithm:        t.Algorithm,
@@ -160,6 +196,7 @@ func Execute(t Task, cache *netCache) TaskResult {
 		SeedIndex:        t.SeedIndex,
 		LossRate:         t.LossRate,
 		FaultModel:       t.FaultModel,
+		Recover:          t.Recover,
 		Beta:             t.Beta,
 		Sampling:         t.Sampling,
 		Hierarchy:        t.Hierarchy,
@@ -180,14 +217,17 @@ func Execute(t Task, cache *netCache) TaskResult {
 		out.Error = err.Error()
 		return out
 	}
-	x := t.values(g)
+	st.x = t.values(g, st.x)
+	x := st.x
 	stop := sim.StopRule{TargetErr: t.TargetErr, MaxTicks: t.MaxTicks}
 	switch t.Algorithm {
 	case AlgoBoyd:
 		res, err := gossip.RunBoyd(g, x, gossip.Options{
 			Stop:   stop,
 			Faults: faults,
-		}, rng.New(out.RunSeed))
+			Resync: t.Recover,
+			State:  &st.gossip,
+		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
 			return out
@@ -205,19 +245,24 @@ func Execute(t Task, cache *netCache) TaskResult {
 			Options: gossip.Options{
 				Stop:   stop,
 				Faults: faults,
+				Resync: t.Recover,
+				State:  &st.gossip,
 			},
 			Sampling: mode,
-		}, rng.New(out.RunSeed))
+		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
 			return out
 		}
 		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
 	case AlgoPushSum:
+		// Push-sum ignores the recovery axis: its mass-conservation
+		// bookkeeping already survives churn.
 		res, err := gossip.RunPushSum(g, x, gossip.Options{
 			Stop:   stop,
 			Faults: faults,
-		}, rng.New(out.RunSeed))
+			State:  &st.gossip,
+		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
 			return out
@@ -225,11 +270,13 @@ func Execute(t Task, cache *netCache) TaskResult {
 		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
 	case AlgoAffine:
 		res, err := core.RunRecursive(g, h, x, core.RecursiveOptions{
-			Eps:    t.TargetErr,
-			Beta:   t.Beta,
-			Faults: faults,
-			Routes: routes,
-		}, rng.New(out.RunSeed))
+			Eps:     t.TargetErr,
+			Beta:    t.Beta,
+			Faults:  faults,
+			Recover: t.Recover,
+			Routes:  routes,
+			State:   &st.core,
+		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
 			return out
@@ -243,9 +290,11 @@ func Execute(t Task, cache *netCache) TaskResult {
 			Beta:         t.Beta,
 			RoundsFactor: 2,
 			Faults:       faults,
+			Recover:      t.Recover,
 			Routes:       routes,
 			Stop:         stop,
-		}, rng.New(out.RunSeed))
+			State:        &st.core,
+		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
 			return out

@@ -1,9 +1,9 @@
 // Package sweep is the concurrent multi-scenario experiment orchestrator:
 // it expands a declarative parameter grid (algorithm × n × seed × loss
-// rate × fault model × beta × sampling mode × hierarchy shape) into
-// independent tasks,
-// executes them on a worker pool, and streams per-task results to a
-// pluggable sink.
+// rate × fault model × recovery × beta × sampling mode × hierarchy
+// shape) into independent tasks, executes them on a worker pool — each
+// worker threading one set of reusable engine run states through its
+// tasks — and streams per-task results to a pluggable sink.
 //
 // Determinism is the design invariant. Every task derives its own seeds
 // from the spec's base seed and the task's semantic coordinates (never
@@ -79,6 +79,15 @@ type Spec struct {
 	// entries only run on algorithms with a hierarchy; others record a
 	// per-task error.
 	FaultModels []string
+	// Recovery lists the engine-recovery settings to cross with the rest
+	// of the grid (typically {false, true} against a churn fault axis):
+	// true switches on representative re-election for the affine
+	// algorithms and restart-from-neighbor resync for boyd/geographic
+	// (push-sum needs neither — its mass bookkeeping already survives
+	// churn). Empty selects {false}, and false tasks keep the exact run
+	// seeds of pre-axis grids, so prior sweep output stays bit-identical
+	// and resumable.
+	Recovery []bool
 	// Betas lists affine multipliers (only the affine algorithms read
 	// them; 0 means the engine default 2/5). Empty selects {0}.
 	Betas []float64
@@ -133,6 +142,9 @@ func (s Spec) Normalized() Spec {
 		}
 	}
 	s.FaultModels = models
+	if len(s.Recovery) == 0 {
+		s.Recovery = []bool{false}
+	}
 	if len(s.Betas) == 0 {
 		s.Betas = []float64{0}
 	}
@@ -223,7 +235,7 @@ func (s Spec) Validate() error {
 func (s Spec) TaskCount() int {
 	s = s.Normalized()
 	return len(s.Algorithms) * len(s.Ns) * s.Seeds * len(s.LossRates) *
-		len(s.FaultModels) * len(s.Betas) * len(s.Samplings) * len(s.Hierarchies)
+		len(s.FaultModels) * len(s.Recovery) * len(s.Betas) * len(s.Samplings) * len(s.Hierarchies)
 }
 
 // Task is one expanded grid point. IDs are assigned in expansion order
@@ -236,6 +248,7 @@ type Task struct {
 	SeedIndex  int
 	LossRate   float64
 	FaultModel string
+	Recover    bool
 	Beta       float64
 	Sampling   string
 	Hierarchy  string
@@ -258,26 +271,29 @@ func (s Spec) Expand() []Task {
 			for seed := 0; seed < s.Seeds; seed++ {
 				for _, loss := range s.LossRates {
 					for _, fm := range s.FaultModels {
-						for _, beta := range s.Betas {
-							for _, sampling := range s.Samplings {
-								for _, shape := range s.Hierarchies {
-									tasks = append(tasks, Task{
-										ID:               id,
-										Algorithm:        algo,
-										N:                n,
-										SeedIndex:        seed,
-										LossRate:         loss,
-										FaultModel:       fm,
-										Beta:             beta,
-										Sampling:         sampling,
-										Hierarchy:        shape,
-										TargetErr:        s.TargetErr,
-										MaxTicks:         s.MaxTicks,
-										RadiusMultiplier: s.RadiusMultiplier,
-										Field:            s.Field,
-										BaseSeed:         s.BaseSeed,
-									})
-									id++
+						for _, rec := range s.Recovery {
+							for _, beta := range s.Betas {
+								for _, sampling := range s.Samplings {
+									for _, shape := range s.Hierarchies {
+										tasks = append(tasks, Task{
+											ID:               id,
+											Algorithm:        algo,
+											N:                n,
+											SeedIndex:        seed,
+											LossRate:         loss,
+											FaultModel:       fm,
+											Recover:          rec,
+											Beta:             beta,
+											Sampling:         sampling,
+											Hierarchy:        shape,
+											TargetErr:        s.TargetErr,
+											MaxTicks:         s.MaxTicks,
+											RadiusMultiplier: s.RadiusMultiplier,
+											Field:            s.Field,
+											BaseSeed:         s.BaseSeed,
+										})
+										id++
+									}
 								}
 							}
 						}
@@ -316,6 +332,11 @@ func (t Task) runSeed() uint64 {
 	if t.FaultModel != "" {
 		seed = rng.DeriveString(rng.DeriveString(seed, "sweep/faults"), t.FaultModel)
 	}
+	if t.Recover {
+		// Folded in only when set, like the fault model: recovery-off
+		// tasks keep the exact seeds of pre-axis grids.
+		seed = rng.DeriveString(seed, "sweep/recover")
+	}
 	return seed
 }
 
@@ -337,10 +358,13 @@ type TaskResult struct {
 	LossRate  float64 `json:"loss_rate"`
 	// FaultModel is the channel.Parse spec the task ran under; empty for
 	// the perfect medium / plain LossRate axis.
-	FaultModel string  `json:"fault_model,omitempty"`
-	Beta       float64 `json:"beta"`
-	Sampling   string  `json:"sampling,omitempty"`
-	Hierarchy  string  `json:"hierarchy,omitempty"`
+	FaultModel string `json:"fault_model,omitempty"`
+	// Recover reports whether the engines ran their recovery protocols
+	// (re-election / restart-from-neighbor resync).
+	Recover   bool    `json:"recover,omitempty"`
+	Beta      float64 `json:"beta"`
+	Sampling  string  `json:"sampling,omitempty"`
+	Hierarchy string  `json:"hierarchy,omitempty"`
 
 	// The run-level parameters the task executed under, recorded so a
 	// result line is fully self-describing (replayable in isolation, and
@@ -373,6 +397,7 @@ func (r TaskResult) Cell() CellKey {
 		N:          r.N,
 		LossRate:   r.LossRate,
 		FaultModel: r.FaultModel,
+		Recover:    r.Recover,
 		Beta:       r.Beta,
 		Sampling:   r.Sampling,
 		Hierarchy:  r.Hierarchy,

@@ -43,6 +43,14 @@ type SweepSpec struct {
 	// Rep-targeted entries only run on the affine algorithms; other
 	// engines report a per-task error.
 	FaultModels []string
+	// Recovery lists engine-recovery settings to cross with the grid
+	// (typically {false, true} against a churn fault axis): true runs
+	// every task with WithRecovery semantics — representative
+	// re-election for the affine algorithms, restart-from-neighbor
+	// resync for boyd/geographic; push-sum ignores it. Empty selects
+	// {false}; recovery-off tasks keep the exact run seeds of pre-axis
+	// grids, so prior sweep output stays bit-identical and resumable.
+	Recovery []bool
 	// Betas lists affine multipliers (default {0}, the engine's 2/5).
 	Betas []float64
 	// Samplings lists geographic partner sampling modes: "rejection",
@@ -73,6 +81,7 @@ func (s SweepSpec) internal() sweep.Spec {
 		BaseSeed:         s.BaseSeed,
 		LossRates:        s.LossRates,
 		FaultModels:      s.FaultModels,
+		Recovery:         s.Recovery,
 		Betas:            s.Betas,
 		Samplings:        s.Samplings,
 		Hierarchies:      s.Hierarchies,
@@ -96,9 +105,12 @@ type SweepCoords struct {
 	// FaultModel is the WithFaults spec the cell ran under; empty for
 	// the perfect medium / plain LossRate axis.
 	FaultModel string
-	Beta       float64
-	Sampling   string
-	Hierarchy  string
+	// Recover reports whether the cell ran with the engines' recovery
+	// protocols on (the SweepSpec.Recovery axis).
+	Recover   bool
+	Beta      float64
+	Sampling  string
+	Hierarchy string
 }
 
 // SweepResult is the outcome of one grid task.
@@ -170,6 +182,7 @@ type SweepFit struct {
 type SweepLossFit struct {
 	Algorithm string
 	N         int
+	Recover   bool
 	Beta      float64
 	Sampling  string
 	Hierarchy string
@@ -320,6 +333,7 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 				N:          c.N,
 				LossRate:   c.LossRate,
 				FaultModel: c.FaultModel,
+				Recover:    c.Recover,
 				Beta:       c.Beta,
 				Sampling:   c.Sampling,
 				Hierarchy:  c.Hierarchy,
@@ -335,6 +349,7 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 		rep.LossFits = append(rep.LossFits, SweepLossFit{
 			Algorithm: f.Algorithm,
 			N:         f.N,
+			Recover:   f.Recover,
 			Beta:      f.Beta,
 			Sampling:  f.Sampling,
 			Hierarchy: f.Hierarchy,
@@ -350,6 +365,7 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 				Algorithm:  f.Algorithm,
 				LossRate:   f.LossRate,
 				FaultModel: f.FaultModel,
+				Recover:    f.Recover,
 				Beta:       f.Beta,
 				Sampling:   f.Sampling,
 				Hierarchy:  f.Hierarchy,
@@ -371,6 +387,7 @@ func fromInternalResult(r sweep.TaskResult) SweepResult {
 			N:          r.N,
 			LossRate:   r.LossRate,
 			FaultModel: r.FaultModel,
+			Recover:    r.Recover,
 			Beta:       r.Beta,
 			Sampling:   r.Sampling,
 			Hierarchy:  r.Hierarchy,
@@ -399,6 +416,7 @@ func toInternalResult(r SweepResult) sweep.TaskResult {
 		SeedIndex:        r.SeedIndex,
 		LossRate:         r.LossRate,
 		FaultModel:       r.FaultModel,
+		Recover:          r.Recover,
 		Beta:             r.Beta,
 		Sampling:         r.Sampling,
 		Hierarchy:        r.Hierarchy,
