@@ -70,6 +70,7 @@ func run(args []string) error {
 		agg      = fs.Bool("agg", true, "print per-cell statistics and scaling fits")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to FILE (go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to FILE after the sweep")
+		listen   = fs.String("listen", "", "serve live observability on ADDR while sweeping: /metrics (Prometheus), /progress (JSON), /debug/pprof/*")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,6 +120,22 @@ func run(args []string) error {
 	}
 
 	opts := []geogossip.SweepOption{geogossip.WithSweepWorkers(*workers)}
+
+	// -listen exposes the sweep live over HTTP; the registry it serves is
+	// the one the sweep reports into. Exposition is read-only and atomic,
+	// so results are byte-identical with or without it.
+	if *listen != "" {
+		m := geogossip.NewMetricsRegistry()
+		ln, err := serveObservability(*listen, m)
+		if err != nil {
+			return fmt.Errorf("-listen: %w", err)
+		}
+		defer ln.Close()
+		opts = append(opts, geogossip.WithSweepMetrics(m))
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "observability: http://%s/metrics /progress /debug/pprof/\n", ln.Addr())
+		}
+	}
 
 	// Resolve the output stream and, under -resume, the prior results.
 	var sink io.Writer = os.Stdout

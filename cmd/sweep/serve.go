@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"geogossip"
+	"geogossip/internal/obs"
+)
+
+// serveObservability binds addr and serves the sweep's live
+// introspection endpoints for the duration of the process:
+//
+//	/metrics        Prometheus text exposition of the sweep registry
+//	/progress       JSON progress snapshot (tasks, ETA, caches, allocs)
+//	/debug/pprof/*  standard pprof handlers
+//
+// The listener is returned so the caller can close it (and report the
+// bound address, which matters for ":0"). Serving is read-only and
+// cannot perturb results: every instrument it reads is atomic.
+func serveObservability(addr string, m *geogossip.MetricsRegistry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(progressSnapshot(m, start))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+// progressJSON is the /progress payload: scheduling state, wall-clock
+// estimates, cache effectiveness, and the process's allocation
+// footprint.
+type progressJSON struct {
+	TasksDone    int     `json:"tasks_done"`
+	TasksTotal   int     `json:"tasks_total"`
+	TasksPending int     `json:"tasks_pending"`
+	ElapsedSec   float64 `json:"elapsed_seconds"`
+	// EtaSec extrapolates the remaining wall-clock time from the mean
+	// task duration so far; -1 until the first task completes.
+	EtaSec float64 `json:"eta_seconds"`
+
+	RouteHitRate      float64 `json:"route_cache_hit_rate"`
+	FloodHitRate      float64 `json:"flood_cache_hit_rate"`
+	ChannelPoolBuilds uint64  `json:"channel_pool_builds"`
+
+	AllocMB    float64 `json:"alloc_mb"`
+	HeapMB     float64 `json:"heap_inuse_mb"`
+	GCCycles   uint32  `json:"gc_cycles"`
+	Goroutines int     `json:"goroutines"`
+}
+
+// gaugeKey renders the exposition key of a sweep gauge (labels sorted,
+// matching the registry's rendering).
+func gaugeKey(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	key := name + "{"
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			key += ","
+		}
+		key += fmt.Sprintf("%s=%q", labels[i], labels[i+1])
+	}
+	return key + "}"
+}
+
+func progressSnapshot(m *geogossip.MetricsRegistry, start time.Time) progressJSON {
+	vals := m.Values()
+	rate := func(hitKind, missKind string) float64 {
+		hits := vals[gaugeKey(obs.MetricRouteCacheLookups, "kind", hitKind, "result", "hit")]
+		misses := vals[gaugeKey(obs.MetricRouteCacheLookups, "kind", missKind, "result", "miss")]
+		if total := hits + misses; total > 0 {
+			return hits / total
+		}
+		return 0
+	}
+	p := progressJSON{
+		ElapsedSec:        time.Since(start).Seconds(),
+		EtaSec:            -1,
+		RouteHitRate:      rate("route", "route"),
+		FloodHitRate:      rate("flood", "flood"),
+		ChannelPoolBuilds: uint64(vals[obs.MetricChannelPoolBuilds]),
+		Goroutines:        runtime.NumGoroutine(),
+	}
+	p.TasksDone = int(vals[obs.MetricSweepTasksDone])
+	p.TasksTotal = int(vals[obs.MetricSweepTasksTotal])
+	p.TasksPending = p.TasksTotal - p.TasksDone
+	if p.TasksDone > 0 && p.TasksPending >= 0 {
+		p.EtaSec = p.ElapsedSec / float64(p.TasksDone) * float64(p.TasksPending)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.AllocMB = float64(ms.TotalAlloc) / (1 << 20)
+	p.HeapMB = float64(ms.HeapInuse) / (1 << 20)
+	p.GCCycles = ms.NumGC
+	return p
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"geogossip"
+)
+
+// TestServeObservability boots the live endpoint stack on an ephemeral
+// port and checks all three surfaces: Prometheus /metrics, the JSON
+// /progress snapshot, and pprof.
+func TestServeObservability(t *testing.T) {
+	m := geogossip.NewMetricsRegistry()
+	ln, err := serveObservability("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// A sweep populates the registry; here it is enough that scraping an
+	// empty one yields a well-formed (possibly headerless) exposition and
+	// that a populated one shows the series.
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Every sample line is "series value": the value after the last
+		// space must parse as a float.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("/metrics line not parseable: %q", line)
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			t.Errorf("/metrics value not parseable in %q: %v", line, err)
+		}
+	}
+
+	body, ct = get("/progress")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/progress content type %q", ct)
+	}
+	var p progressJSON
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress not valid JSON: %v\n%s", err, body)
+	}
+	if p.EtaSec != -1 {
+		t.Errorf("ETA before any task = %v, want -1", p.EtaSec)
+	}
+	if p.Goroutines <= 0 || p.AllocMB <= 0 {
+		t.Errorf("runtime stats missing: %+v", p)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,137 @@
+// Command traceview replays a JSONL protocol trace (as written by
+// geogossip.WithTraceJSONL or trace.JSONL) and prints a summary:
+// per-kind event counts and hop-cost totals, the busiest squares, and a
+// loss timeline over the run's sequence numbers.
+//
+//	traceview run.jsonl
+//	traceview -kinds loss,far -squares 5 -loss-buckets 20 run.jsonl
+//	some-producer | traceview
+//
+// Because every traced event carries its transmission charge in "hops",
+// the hop total over all kinds reproduces the run's transmission counter
+// exactly on a full (unfiltered, unsampled) trace — traceview is a
+// cross-check against Result as much as a viewer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"geogossip/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	var (
+		kinds       = fs.String("kinds", "", "comma-separated event kinds to keep (default all): near, far, loss, leaf-done, activate, deactivate, reelect, resync, churn")
+		squares     = fs.Int("squares", 10, "number of most-active squares to list (0 = none)")
+		lossBuckets = fs.Int("loss-buckets", 10, "loss-timeline resolution in sequence-number windows (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("want at most one trace file, got %d arguments", fs.NArg())
+	}
+
+	events, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	if *kinds != "" {
+		keep := map[trace.Kind]bool{}
+		for _, name := range strings.Split(*kinds, ",") {
+			k, err := trace.KindFromString(strings.TrimSpace(name))
+			if err != nil {
+				return fmt.Errorf("-kinds: %w", err)
+			}
+			keep[k] = true
+		}
+		filtered := events[:0]
+		for _, e := range events {
+			if keep[e.Kind] {
+				filtered = append(filtered, e)
+			}
+		}
+		events = filtered
+	}
+	printSummary(out, trace.Summarize(events, *lossBuckets), *squares)
+	return nil
+}
+
+func printSummary(w io.Writer, s trace.Summary, topSquares int) {
+	fmt.Fprintf(w, "events: %d (max seq %d)\n", s.Events, s.MaxSeq)
+	kinds := make([]trace.Kind, 0, len(s.Counts))
+	for k := range s.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-12s %10d events %12d hops\n", k, s.Counts[k], s.Hops[k])
+	}
+	fmt.Fprintf(w, "transmissions (hop total): %d\n", s.Transmissions)
+
+	if topSquares > 0 && len(s.SquareEvents) > 0 {
+		type sq struct {
+			id int
+			n  uint64
+		}
+		act := make([]sq, 0, len(s.SquareEvents))
+		for id, n := range s.SquareEvents {
+			act = append(act, sq{id, n})
+		}
+		// Most active first; ties by square id so output is deterministic.
+		sort.Slice(act, func(i, j int) bool {
+			if act[i].n != act[j].n {
+				return act[i].n > act[j].n
+			}
+			return act[i].id < act[j].id
+		})
+		if len(act) > topSquares {
+			act = act[:topSquares]
+		}
+		fmt.Fprintf(w, "most active squares (%d of %d):\n", len(act), len(s.SquareEvents))
+		for _, a := range act {
+			fmt.Fprintf(w, "  square %-6d %10d events\n", a.id, a.n)
+		}
+	}
+
+	if len(s.LossTimeline) > 0 {
+		var total uint64
+		for _, n := range s.LossTimeline {
+			total += n
+		}
+		fmt.Fprintf(w, "loss timeline (%d windows over seq 1..%d, %d losses):\n", len(s.LossTimeline), s.MaxSeq, total)
+		var peak uint64 = 1
+		for _, n := range s.LossTimeline {
+			if n > peak {
+				peak = n
+			}
+		}
+		for i, n := range s.LossTimeline {
+			bar := strings.Repeat("#", int(n*40/peak))
+			fmt.Fprintf(w, "  [%2d] %8d %s\n", i, n, bar)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geogossip"
+)
+
+// TestTraceviewCrossCheck is the end-to-end acceptance check: a seeded
+// run's JSONL trace, replayed by traceview, reports the same
+// transmission total as the run's own Result counter.
+func TestTraceviewCrossCheck(t *testing.T) {
+	nw, err := geogossip.NewNetwork(256, geogossip.WithSeed(80), geogossip.WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, nw.N())
+	for i, p := range nw.Positions() {
+		values[i] = p[0]
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := geogossip.AffineAsync(
+		geogossip.WithTargetError(1e-2),
+		geogossip.WithLossRate(0.1),
+		geogossip.WithTraceJSONL(f, 0),
+	).Run(nw, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("transmissions (hop total): %d\n", res.Transmissions)
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("summary does not reproduce the result's %d transmissions:\n%s",
+			res.Transmissions, out.String())
+	}
+	if !strings.Contains(out.String(), "most active squares") {
+		t.Errorf("summary missing square activity:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "loss timeline") {
+		t.Errorf("summary missing loss timeline:\n%s", out.String())
+	}
+
+	// Kind filtering drops everything else from the view.
+	out.Reset()
+	if err := run([]string{"-kinds", "loss", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "near") || strings.Contains(out.String(), "far ") {
+		t.Errorf("-kinds loss leaked other kinds:\n%s", out.String())
+	}
+
+	// Unknown kinds and extra args fail loudly.
+	if err := run([]string{"-kinds", "bogus", path}, &out); err == nil {
+		t.Error("unknown -kinds accepted")
+	}
+	if err := run([]string{path, path}, &out); err == nil {
+		t.Error("two file arguments accepted")
+	}
+}

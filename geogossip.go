@@ -59,6 +59,7 @@ import (
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
 	"geogossip/internal/metrics"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/sim"
 	"geogossip/internal/trace"
@@ -188,9 +189,15 @@ type Result struct {
 	// (both zero otherwise).
 	Reelections uint64
 	Resyncs     uint64
+	// Metrics is the run's observability snapshot: every counter and
+	// histogram bucket the engine reported, keyed by Prometheus
+	// exposition name (e.g. `geogossip_losses_total{engine="boyd"}`).
+	// Deterministic for a fixed seed — see README "Observability" for the
+	// metric catalogue.
+	Metrics map[string]float64
 }
 
-func fromMetrics(res *metrics.Result) *Result {
+func fromMetrics(res *metrics.Result, reg *obs.Registry) *Result {
 	out := &Result{
 		Algorithm:     res.Algorithm,
 		Converged:     res.Converged,
@@ -199,6 +206,7 @@ func fromMetrics(res *metrics.Result) *Result {
 		Alive:         append([]bool(nil), res.Alive...),
 		Reelections:   res.Reelections,
 		Resyncs:       res.Resyncs,
+		Metrics:       reg.Flatten(),
 	}
 	// Clone, not alias: callers own the returned Result and must not be
 	// able to mutate the engine's internal metrics state through it.
@@ -240,6 +248,9 @@ type runConfig struct {
 	churnSet    bool
 	recover     bool
 	tracer      trace.Tracer
+	// optErr carries the first invalid option input; surfaced by validate
+	// so constructors stay error-free.
+	optErr error
 }
 
 // WithTargetError sets the relative ℓ₂ accuracy at which the run stops
@@ -372,6 +383,33 @@ func WithTraceWriter(w io.Writer) RunOption {
 	return func(c *runConfig) { c.tracer = &trace.Writer{W: w} }
 }
 
+// WithTraceJSONL streams the run's protocol events to w as JSON Lines —
+// one object per event, e.g.
+//
+//	{"seq":17,"kind":"far","square":3,"a":12,"b":907,"hops":24}
+//
+// replayable by cmd/traceview and trace-analysis tooling. sampleEvery
+// selects deterministic per-kind 1-in-k sampling (0 or 1 keeps every
+// event; sequence numbers still count the full stream, so a reader can
+// tell sampling happened). kinds, when non-empty, restricts output to
+// the named event kinds ("near", "far", "loss", "leaf-done", "activate",
+// "deactivate", "reelect", "resync", "churn"); an unknown name fails the
+// run. Later trace options override earlier ones.
+func WithTraceJSONL(w io.Writer, sampleEvery int, kinds ...string) RunOption {
+	return func(c *runConfig) {
+		j := &trace.JSONL{W: w, SampleEvery: sampleEvery}
+		for _, name := range kinds {
+			k, err := trace.KindFromString(name)
+			if err != nil {
+				c.optErr = fmt.Errorf("geogossip: WithTraceJSONL: %w", err)
+				return
+			}
+			j.Filter = append(j.Filter, k)
+		}
+		c.tracer = j
+	}
+}
+
 func newRunConfig(opts []RunOption) runConfig {
 	cfg := runConfig{
 		targetErr: 1e-3,
@@ -389,6 +427,9 @@ func newRunConfig(opts []RunOption) runConfig {
 // descriptive error instead of silently accepting garbage — and yields
 // the assembled fault spec for the engine.
 func (c runConfig) validate() (channel.Spec, error) {
+	if c.optErr != nil {
+		return channel.Spec{}, c.optErr
+	}
 	if c.targetErr <= 0 {
 		return channel.Spec{}, fmt.Errorf("geogossip: target error %v must be positive", c.targetErr)
 	}
@@ -448,16 +489,18 @@ func (a boydAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	res, err := gossip.RunBoyd(nw.g, values, gossip.Options{
 		Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 		Faults: faults,
 		Resync: a.cfg.recover,
 		Tracer: a.cfg.tracer,
+		Obs:    reg.Scope(a.Name()),
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
 	}
-	return fromMetrics(res), nil
+	return fromMetrics(res, reg), nil
 }
 
 type geoAlgo struct{ cfg runConfig }
@@ -473,19 +516,21 @@ func (a geoAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	res, err := gossip.RunGeographic(nw.g, values, gossip.GeoOptions{
 		Options: gossip.Options{
 			Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 			Faults: faults,
 			Resync: a.cfg.recover,
 			Tracer: a.cfg.tracer,
+			Obs:    reg.Scope(a.Name()),
 		},
 		Sampling: a.cfg.sampling,
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
 	}
-	return fromMetrics(res), nil
+	return fromMetrics(res, reg), nil
 }
 
 type affineAlgo struct{ cfg runConfig }
@@ -502,17 +547,19 @@ func (a affineAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	res, err := core.RunRecursive(nw.g, nw.h, values, core.RecursiveOptions{
 		Eps:     a.cfg.targetErr,
 		Beta:    a.cfg.beta,
 		Faults:  faults,
 		Recover: a.cfg.recover,
 		Tracer:  a.cfg.tracer,
+		Obs:     reg.Scope(a.Name()),
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
 	}
-	return fromMetrics(res.Result), nil
+	return fromMetrics(res.Result, reg), nil
 }
 
 type asyncAlgo struct{ cfg runConfig }
@@ -528,6 +575,7 @@ func (a asyncAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	res, err := core.RunAsync(nw.g, nw.h, values, core.AsyncOptions{
 		Eps:          a.cfg.targetErr,
 		Beta:         a.cfg.beta,
@@ -536,12 +584,13 @@ func (a asyncAlgo) Run(nw *Network, values []float64) (*Result, error) {
 		Faults:       faults,
 		Recover:      a.cfg.recover,
 		Tracer:       a.cfg.tracer,
+		Obs:          reg.Scope(a.Name()),
 		Stop:         sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
 	}
-	return fromMetrics(res.Result), nil
+	return fromMetrics(res.Result, reg), nil
 }
 
 type pushSumAlgo struct{ cfg runConfig }
@@ -560,15 +609,17 @@ func (a pushSumAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	res, err := gossip.RunPushSum(nw.g, values, gossip.Options{
 		Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
 		Faults: faults,
 		Tracer: a.cfg.tracer,
+		Obs:    reg.Scope(a.Name()),
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
 	}
-	return fromMetrics(res), nil
+	return fromMetrics(res, reg), nil
 }
 
 // Compile-time interface checks.

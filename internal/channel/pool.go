@@ -2,6 +2,7 @@ package channel
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"geogossip/internal/rng"
 )
@@ -21,6 +22,20 @@ type Pool struct {
 	spatial SpatialLoss
 	part    Partition
 	churn   Churn
+	// builds counts the channels served from pooled storage; atomic only
+	// so a live metrics scrape can read it while a run builds (one add per
+	// run, nowhere near a hot path).
+	builds atomic.Uint64
+}
+
+// Builds counts how many channels this pool has served without fresh
+// allocation — the pool-reuse figure the sweep engine surfaces on the
+// metrics registry.
+func (p *Pool) Builds() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.builds.Load()
 }
 
 // BuildWith is Spec.Build backed by reusable state: a non-nil pool
@@ -29,6 +44,9 @@ type Pool struct {
 func (s Spec) BuildWith(p *Pool, n int, env Env, lossRNG, churnRNG *rng.RNG) (Channel, error) {
 	if s.Spatial() && len(env.Points) < n {
 		return nil, fmt.Errorf("channel: spec %q has spatial components but the engine supplied %d of %d node positions", s, len(env.Points), n)
+	}
+	if p != nil {
+		p.builds.Add(1)
 	}
 	var ch Channel
 	switch s.Loss {

@@ -8,6 +8,7 @@ import (
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
 	"geogossip/internal/metrics"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/routing"
 	"geogossip/internal/sim"
@@ -81,8 +82,12 @@ type AsyncOptions struct {
 	// fresh private state.
 	State *RunState
 	// Tracer, when non-nil, receives structured protocol events
-	// (activations, deactivations, far exchanges, losses).
+	// (activations, deactivations, far exchanges, losses, resyncs,
+	// churn transitions).
 	Tracer trace.Tracer
+	// Obs, when non-nil, receives metrics through the label-free fast
+	// path (see obs.Scope). Nil costs nothing.
+	Obs *obs.Scope
 }
 
 func (o AsyncOptions) withDefaults() AsyncOptions {
@@ -260,6 +265,7 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 		Points:      g.Points(),
 		Router:      e.rt,
 		Tracer:      opt.Tracer,
+		Obs:         opt.Obs,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	e.run = &st.harness
 	for !e.run.Done() {
@@ -312,7 +318,7 @@ func (e *asyncEngine) heal() {
 	for _, id := range changed {
 		sq := e.h.Squares[id]
 		e.reelections++
-		e.st.chargeReelection(sq, alive, e.opt.Recovery, &e.run.Counter, e.opt.Tracer)
+		e.st.chargeReelection(sq, alive, e.opt.Recovery, &e.run.Counter, e.opt.Tracer, e.run.Scope)
 		// The successor restarts the square's round from scratch.
 		e.count[id] = 0
 	}
@@ -330,10 +336,12 @@ func (e *asyncEngine) heal() {
 			// stays off, pays nothing, and retries at the next sweep.
 			e.localOn[i] = false
 			resynced := false
+			donor := int32(-1)
 			for _, v := range e.st.leafNbrs(int32(i)) {
 				if alive(v) {
 					e.localOn[i] = e.localOn[v]
 					resynced = true
+					donor = v
 					break
 				}
 			}
@@ -342,6 +350,14 @@ func (e *asyncEngine) heal() {
 			}
 			e.run.Counter.Add(sim.CatControl, 2)
 			e.resyncs++
+			leaf := int(e.h.NodeLeaf[i])
+			e.run.Scope.Churn(true)
+			e.run.Scope.Resync()
+			e.run.Trace(trace.Event{Kind: trace.KindChurn, Square: leaf, NodeA: int32(i), NodeB: 1})
+			e.run.Trace(trace.Event{Kind: trace.KindResync, Square: leaf, NodeA: int32(i), NodeB: donor, Hops: 2})
+		} else if !up && e.prevAlive[i] {
+			e.run.Scope.Churn(false)
+			e.run.Trace(trace.Event{Kind: trace.KindChurn, Square: int(e.h.NodeLeaf[i]), NodeA: int32(i), NodeB: 0})
 		}
 		e.prevAlive[i] = up
 	}
@@ -464,27 +480,32 @@ func (e *asyncEngine) activate(sq *hier.Square) {
 	}
 	e.active[sq.ID] = true
 	e.res.Activations++
-	e.run.Trace(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1})
+	// The event is emitted after the control traffic so it can carry the
+	// transition's total charged cost in Hops.
+	cost := 0
 	if sq.IsLeaf() {
 		fl := e.rt.Flood(e.rep(sq), sq.Rect)
 		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
+		cost = fl.Transmissions
 		for _, v := range fl.Reached {
 			e.localOn[v] = true
 		}
-		return
-	}
-	for _, cid := range sq.Children {
-		child := e.h.Squares[cid]
-		childRep := e.rep(child)
-		if childRep < 0 {
-			continue
+	} else {
+		for _, cid := range sq.Children {
+			child := e.h.Squares[cid]
+			childRep := e.rep(child)
+			if childRep < 0 {
+				continue
+			}
+			res := e.rt.RouteToNode(e.rep(sq), childRep, e.opt.Recovery)
+			e.run.Counter.Add(sim.CatControl, res.Hops)
+			cost += res.Hops
+			if res.Delivered {
+				e.globalOn[child.ID] = true
+			}
 		}
-		res := e.rt.RouteToNode(e.rep(sq), childRep, e.opt.Recovery)
-		e.run.Counter.Add(sim.CatControl, res.Hops)
-		if res.Delivered {
-			e.globalOn[child.ID] = true
-		}
 	}
+	e.run.Trace(trace.Event{Kind: trace.KindActivate, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1, Hops: cost})
 }
 
 // deactivate is activate's inverse (Deactivate.square). It only pays the
@@ -495,27 +516,30 @@ func (e *asyncEngine) deactivate(sq *hier.Square) {
 	}
 	e.active[sq.ID] = false
 	e.res.Deactivations++
-	e.run.Trace(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1})
+	cost := 0
 	if sq.IsLeaf() {
 		fl := e.rt.Flood(e.rep(sq), sq.Rect)
 		e.run.Counter.Add(sim.CatFlood, fl.Transmissions)
+		cost = fl.Transmissions
 		for _, v := range fl.Reached {
 			e.localOn[v] = false
 		}
-		return
-	}
-	for _, cid := range sq.Children {
-		child := e.h.Squares[cid]
-		childRep := e.rep(child)
-		if childRep < 0 {
-			continue
+	} else {
+		for _, cid := range sq.Children {
+			child := e.h.Squares[cid]
+			childRep := e.rep(child)
+			if childRep < 0 {
+				continue
+			}
+			res := e.rt.RouteToNode(e.rep(sq), childRep, e.opt.Recovery)
+			e.run.Counter.Add(sim.CatControl, res.Hops)
+			cost += res.Hops
+			if res.Delivered {
+				e.globalOn[child.ID] = false
+			}
 		}
-		res := e.rt.RouteToNode(e.rep(sq), childRep, e.opt.Recovery)
-		e.run.Counter.Add(sim.CatControl, res.Hops)
-		if res.Delivered {
-			e.globalOn[child.ID] = false
-		}
 	}
+	e.run.Trace(trace.Event{Kind: trace.KindDeactivate, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1, Hops: cost})
 }
 
 // far performs one long-range exchange (procedure Far of §4.2): the
@@ -541,6 +565,7 @@ func (e *asyncEngine) far(sq *hier.Square) {
 	if ok, paid := e.run.Medium.DeliverRoundTrip(e.run.Packet(myRep, partnerRep, out.Hops)); !ok {
 		e.run.Counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
+		e.run.Scope.Loss(paid)
 		e.run.Trace(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: myRep, NodeB: partnerRep, Hops: paid})
 		return
 	}
@@ -561,6 +586,7 @@ func (e *asyncEngine) far(sq *hier.Square) {
 	e.run.Tracker.Set(myRep, xi+coeff*(xj-xi))
 	e.run.Tracker.Set(partnerRep, xj+coeff*(xi-xj))
 	e.res.FarExchanges++
+	e.run.Scope.FarExchange(hops)
 	e.run.Trace(trace.Event{Kind: trace.KindFar, Square: sq.ID, NodeA: myRep, NodeB: partnerRep, Hops: hops})
 	// §4.2 Far step 5: the partner's counter resets too, re-activating its
 	// subtree for re-averaging.
@@ -586,6 +612,7 @@ func (e *asyncEngine) near(s int32) {
 	}
 	if ok, paid := e.run.Medium.DeliverHop(e.run.Packet(s, v, 1)); !ok {
 		e.run.Counter.Add(sim.CatNear, paid) // lost outbound value
+		e.run.TraceLoss(s, v, paid)
 		return
 	}
 	avg := (e.x[s] + e.x[v]) / 2
@@ -593,4 +620,5 @@ func (e *asyncEngine) near(s int32) {
 	e.run.Tracker.Set(v, avg)
 	e.run.Counter.Add(sim.CatNear, cost)
 	e.res.NearExchanges++
+	e.run.Trace(trace.Event{Kind: trace.KindNear, Square: int(e.h.NodeLeaf[s]), NodeA: s, NodeB: v, Hops: cost})
 }

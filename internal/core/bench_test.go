@@ -6,6 +6,7 @@ import (
 
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/sim"
 )
@@ -70,6 +71,61 @@ func BenchmarkRecursiveFarExchange(b *testing.B) {
 		Eps:         1e-2,
 		RecordEvery: 1 << 40,
 		State:       st,
+	}, rng.New(5)); err != nil {
+		b.Fatal(err)
+	}
+	e := &st.rec
+	root := h.Root()
+	m, _ := e.kidCount(root)
+	if m < 2 {
+		b.Fatal("root has fewer than two populated children")
+	}
+	ka, kb := e.kid(root, 0), e.kid(root, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.farExchange(ka, kb)
+	}
+}
+
+// Instrumented variants: the same steady-state work units with a live
+// metrics registry scope attached. BENCH_engines.json pairs these with
+// the bare rows to bound the observability overhead (DESIGN.md §8:
+// ≤5%, still 0 allocs/op).
+
+func BenchmarkAsyncSteadyTickInstrumented(b *testing.B) {
+	g, h := benchNetwork(b, 2048)
+	st := NewRunState()
+	x := benchValues(g.N(), 2)
+	if _, err := RunAsync(g, h, x, AsyncOptions{
+		Eps:         1e-2,
+		RecordEvery: math.MaxUint64 >> 1,
+		Stop:        sim.StopRule{MaxTicks: 200_000},
+		State:       st,
+		Obs:         obs.NewRegistry().Scope("affine-async"),
+	}, rng.New(3)); err != nil {
+		b.Fatal(err)
+	}
+	e := &st.async
+	for i := 0; i < 1000; i++ {
+		e.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+}
+
+func BenchmarkRecursiveFarExchangeInstrumented(b *testing.B) {
+	g, h := benchNetwork(b, 2048)
+	st := NewRunState()
+	x := benchValues(g.N(), 4)
+	if _, err := RunRecursive(g, h, x, RecursiveOptions{
+		Eps:         1e-2,
+		RecordEvery: 1 << 40,
+		State:       st,
+		Obs:         obs.NewRegistry().Scope("affine-hierarchical"),
 	}, rng.New(5)); err != nil {
 		b.Fatal(err)
 	}

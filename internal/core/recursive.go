@@ -29,6 +29,7 @@ import (
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
 	"geogossip/internal/metrics"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/routing"
 	"geogossip/internal/sim"
@@ -143,6 +144,11 @@ type RecursiveOptions struct {
 	// Tracer, when non-nil, receives structured protocol events (far
 	// exchanges, leaf completions, losses).
 	Tracer trace.Tracer
+	// Obs, when non-nil, receives metrics through the label-free fast
+	// path (see obs.Scope). Per-run totals flush at run end; only loss
+	// and recovery events report per event, so the ~100ns far-exchange
+	// hot path stays atomic-free.
+	Obs *obs.Scope
 }
 
 func (o RecursiveOptions) withDefaults() RecursiveOptions {
@@ -210,6 +216,7 @@ type engine struct {
 	counter sim.Counter
 	curve   metrics.Curve
 	scale0  float64
+	obs     *obs.Scope
 	pick    *rng.RNG
 	leafRNG *rng.RNG
 	// ch is the radio medium every data packet goes through; its clock
@@ -267,6 +274,7 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		opt:     opt,
 		x:       x,
 		tracker: &st.tracker,
+		obs:     opt.Obs,
 		pick:    st.stream(&st.pickRNG, r, "pick"),
 		leafRNG: st.stream(&st.leafRNG, r, "leaf"),
 		ch:      ch,
@@ -284,10 +292,19 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 	finalErr := e.tracker.Err()
 	atConsensus := e.scale0 <= 1e-12*(math.Abs(e.tracker.Mean())+1)
 	e.curve.Record(e.res.FarExchanges, e.counter.Total(), finalErr)
+	converged := finalErr <= opt.Eps || atConsensus
+	// This engine has no harness, so it flushes its run totals itself:
+	// category counts, the far-exchange count (bulk, keeping the exchange
+	// hot path atomic-free), and convergence. Ticks = far exchanges, the
+	// engine's clock.
+	e.obs.EndRun(e.counter.Get(sim.CatNear), e.counter.Get(sim.CatFar),
+		e.counter.Get(sim.CatControl), e.counter.Get(sim.CatFlood),
+		e.res.FarExchanges, converged, finalErr)
+	e.obs.AddFarExchanges(e.res.FarExchanges)
 	e.res.Result = &metrics.Result{
 		Algorithm:               name,
 		N:                       g.N(),
-		Converged:               finalErr <= opt.Eps || atConsensus,
+		Converged:               converged,
 		FinalErr:                finalErr,
 		Ticks:                   e.res.FarExchanges,
 		Transmissions:           e.counter.Total(),
@@ -479,6 +496,7 @@ func (e *engine) farExchange(a, b *hier.Square) {
 		// apply no update (the oracle loop simply runs another round).
 		e.counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
+		e.obs.Loss(paid)
 		if e.opt.Tracer != nil {
 			e.opt.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: a.ID, NodeA: ra, NodeB: rb, Hops: paid})
 		}
@@ -538,7 +556,7 @@ func (e *engine) ensureRep(sq *hier.Square) bool {
 	next, changed := e.view.ReelectSquare(sq.ID, e.ch.Alive)
 	if changed {
 		e.res.Reelections++
-		e.st.chargeReelection(sq, e.ch.Alive, e.opt.Recovery, &e.counter, e.opt.Tracer)
+		e.st.chargeReelection(sq, e.ch.Alive, e.opt.Recovery, &e.counter, e.opt.Tracer, e.obs)
 	}
 	return next >= 0
 }
@@ -552,7 +570,7 @@ func (e *engine) ensureRep(sq *hier.Square) bool {
 // the bridges, not just their route lengths). The view already holds the
 // successor; all scratch is state-owned and reused across elections.
 func (st *RunState) chargeReelection(sq *hier.Square, alive func(int32) bool,
-	rec routing.Recovery, counter *sim.Counter, tracer trace.Tracer) {
+	rec routing.Recovery, counter *sim.Counter, tracer trace.Tracer, scope *obs.Scope) {
 	cost := 0
 	for _, m := range sq.Members {
 		if alive(m) {
@@ -563,8 +581,9 @@ func (st *RunState) chargeReelection(sq *hier.Square, alive func(int32) bool,
 	if sq.IsLeaf() {
 		st.repairLeafSquareInto(st.mutableRepair(), sq, st.view.Rep(sq.ID), rec)
 	}
+	scope.Reelection()
 	if tracer != nil {
-		tracer.Record(trace.Event{Kind: trace.KindReelect, Square: sq.ID, NodeA: st.view.Rep(sq.ID), NodeB: -1})
+		tracer.Record(trace.Event{Kind: trace.KindReelect, Square: sq.ID, NodeA: st.view.Rep(sq.ID), NodeB: -1, Hops: cost})
 	}
 }
 
@@ -616,6 +635,12 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		maxEx = 200*l*l + 1000
 	}
 	repair := e.st.repair
+	// charged accumulates the call's total near-plane cost (successful
+	// exchanges plus partial loss charges); the leaf-done event carries it
+	// in Hops, so trace hop totals reproduce the transmission counter
+	// without per-packet leaf events (losses here are rolled into the
+	// leaf's summary event — KindLoss stays reserved for route failures).
+	charged := 0
 	for k := 0; k < maxEx && dev2 > target2; k++ {
 		u := members[e.leafRNG.IntN(l)]
 		e.ch.Advance(e.counter.Total())
@@ -638,6 +663,8 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		}
 		if ok, paid := e.ch.DeliverHop(e.packet(u, v, 1)); !ok {
 			e.counter.Add(sim.CatNear, paid) // lost outbound value
+			charged += paid
+			e.obs.Loss(paid)
 			continue
 		}
 		xu, xv := e.x[u], e.x[v]
@@ -647,12 +674,13 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		e.tracker.Set(u, avg)
 		e.tracker.Set(v, avg)
 		e.counter.Add(sim.CatNear, cost)
+		charged += cost
 	}
 	if dev2 > target2 {
 		e.res.LeafStalls++
 	}
 	if e.opt.Tracer != nil {
-		e.opt.Tracer.Record(trace.Event{Kind: trace.KindLeafDone, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1})
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindLeafDone, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1, Hops: charged})
 	}
 }
 
@@ -684,4 +712,7 @@ func (e *engine) fastLeaf(sq *hier.Square, mean, dev2 float64, target float64) {
 		e.tracker.Set(m, mean)
 	}
 	e.res.LeafFastCalls++
+	if e.opt.Tracer != nil {
+		e.opt.Tracer.Record(trace.Event{Kind: trace.KindLeafDone, Square: sq.ID, NodeA: e.rep(sq), NodeB: -1, Hops: 2 * exchanges})
+	}
 }

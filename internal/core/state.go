@@ -94,6 +94,15 @@ type RunState struct {
 // NewRunState returns an empty reusable run state.
 func NewRunState() *RunState { return &RunState{} }
 
+// ChannelBuilds reports how many radio channels this state's pool has
+// served in place of fresh allocations (see channel.Pool.Builds).
+func (st *RunState) ChannelBuilds() uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.ch.Builds()
+}
+
 // stream rebinds one named stream for a new run.
 func (st *RunState) stream(slot **rng.RNG, r *rng.RNG, name string) *rng.RNG {
 	*slot = r.StreamInto(*slot, name)

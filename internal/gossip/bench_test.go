@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"geogossip/internal/graph"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/sim"
 )
@@ -81,6 +82,66 @@ func BenchmarkGeographicSteadyTick(b *testing.B) {
 func BenchmarkPushSumSteadyTick(b *testing.B) {
 	g := benchGraph(b, 2048)
 	e, err := newPushSumRun(g, benchValues(g.N(), 6), steadyOptions(), rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		e.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+}
+
+// Instrumented variants: the same steady ticks with a live metrics
+// registry scope attached. BENCH_engines.json pairs these with the bare
+// rows to bound the observability overhead (DESIGN.md §8: ≤5%, still
+// 0 allocs/op — reporting is atomics on rare paths only).
+
+func instrumentedSteadyOptions(engine string) Options {
+	opt := steadyOptions()
+	opt.Obs = obs.NewRegistry().Scope(engine)
+	return opt
+}
+
+func BenchmarkBoydSteadyTickInstrumented(b *testing.B) {
+	g := benchGraph(b, 2048)
+	e, err := newBoydRun(g, benchValues(g.N(), 2), instrumentedSteadyOptions("boyd"), rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		e.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+}
+
+func BenchmarkGeographicSteadyTickInstrumented(b *testing.B) {
+	g := benchGraph(b, 2048)
+	opt := GeoOptions{Options: instrumentedSteadyOptions("geographic"), Sampling: SamplingRejection}
+	e, err := newGeoRun(g, benchValues(g.N(), 4), opt.withDefaults(), rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		e.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+}
+
+func BenchmarkPushSumSteadyTickInstrumented(b *testing.B) {
+	g := benchGraph(b, 2048)
+	e, err := newPushSumRun(g, benchValues(g.N(), 6), instrumentedSteadyOptions("push-sum"), rng.New(7))
 	if err != nil {
 		b.Fatal(err)
 	}

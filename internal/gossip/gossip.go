@@ -22,6 +22,7 @@ import (
 	"geogossip/internal/geo"
 	"geogossip/internal/graph"
 	"geogossip/internal/metrics"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/routing"
 	"geogossip/internal/sim"
@@ -75,8 +76,12 @@ type Options struct {
 	// fresh private state. Reuse cannot change results: a pooled run is
 	// draw- and result-identical to a fresh one (see RunState).
 	State *RunState
-	// Tracer, when non-nil, receives loss events.
+	// Tracer, when non-nil, receives structured protocol events (near
+	// and far exchanges, losses, resyncs, churn transitions).
 	Tracer trace.Tracer
+	// Obs, when non-nil, receives metrics through the label-free fast
+	// path (see obs.Scope). Nil costs nothing.
+	Obs *obs.Scope
 }
 
 // faultSpec folds the legacy LossRate shorthand into the fault spec and
@@ -128,6 +133,7 @@ func newBoydRun(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*boydRun,
 		Medium:      medium,
 		Points:      g.Points(),
 		Tracer:      opt.Tracer,
+		Obs:         opt.Obs,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	e := &st.boyd
 	*e = boydRun{
@@ -147,7 +153,7 @@ func (e *boydRun) step() {
 	h := e.h
 	s := h.Tick()
 	if !h.Alive(s) {
-		e.resync.markDead(s)
+		e.resync.markDead(s, h)
 		h.Sample()
 		return
 	}
@@ -164,6 +170,7 @@ func (e *boydRun) step() {
 			h.Tracker.Set(s, avg)
 			h.Tracker.Set(v, avg)
 			h.Counter.Add(sim.CatNear, 2)
+			h.Trace(trace.Event{Kind: trace.KindNear, Square: -1, NodeA: s, NodeB: v, Hops: 2})
 		}
 	}
 	h.Sample()
@@ -211,9 +218,11 @@ func (rs *resyncState) reset(opt Options, st *RunState, n int) {
 	}
 }
 
-func (rs *resyncState) markDead(s int32) {
-	if rs.wasDead != nil {
+func (rs *resyncState) markDead(s int32, h *sim.Harness) {
+	if rs.wasDead != nil && !rs.wasDead[s] {
 		rs.wasDead[s] = true
+		h.Scope.Churn(false)
+		h.Trace(trace.Event{Kind: trace.KindChurn, Square: -1, NodeA: s, NodeB: 0})
 	}
 }
 
@@ -228,6 +237,8 @@ func (rs *resyncState) onTick(s int32, g *graph.Graph, h *sim.Harness, x []float
 	deg := g.Degree(s)
 	if deg == 0 {
 		rs.wasDead[s] = false
+		h.Scope.Churn(true)
+		h.Trace(trace.Event{Kind: trace.KindChurn, Square: -1, NodeA: s, NodeB: 1})
 		return
 	}
 	v := g.Neighbors(s)[pick.IntN(deg)]
@@ -238,6 +249,10 @@ func (rs *resyncState) onTick(s int32, g *graph.Graph, h *sim.Harness, x []float
 	h.Tracker.Set(s, x[v])
 	h.Counter.Add(sim.CatControl, 2)
 	rs.count++
+	h.Scope.Churn(true)
+	h.Scope.Resync()
+	h.Trace(trace.Event{Kind: trace.KindChurn, Square: -1, NodeA: s, NodeB: 1})
+	h.Trace(trace.Event{Kind: trace.KindResync, Square: -1, NodeA: s, NodeB: v, Hops: 2})
 }
 
 // Sampling selects how geographic gossip chooses long-range partners.
@@ -439,6 +454,7 @@ func newGeoRun(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*geoRun
 		Points:      g.Points(),
 		Router:      &st.router,
 		Tracer:      opt.Tracer,
+		Obs:         opt.Obs,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	var accept []float64
 	if opt.Sampling == SamplingRejection {
@@ -465,7 +481,7 @@ func (e *geoRun) step() {
 	h := e.h
 	s := h.Tick()
 	if !h.Alive(s) {
-		e.resync.markDead(s)
+		e.resync.markDead(s, h)
 		h.Sample()
 		return
 	}
@@ -478,6 +494,9 @@ func (e *geoRun) step() {
 		h.TraceLoss(s, target, paid)
 	} else {
 		h.Counter.Add(sim.CatFar, hops)
+		// The exchange's one far event carries the total charge of its
+		// delivered legs; lost legs are accounted by their loss events.
+		total := hops
 		if target != s {
 			back := h.Router.RouteToNode(target, s, e.rec)
 			if ok, paid := h.Medium.DeliverRoute(h.Packet(target, s, back.Hops)); !ok {
@@ -486,6 +505,7 @@ func (e *geoRun) step() {
 				h.TraceLoss(target, s, paid)
 			} else {
 				h.Counter.Add(sim.CatFar, back.Hops)
+				total += back.Hops
 				// Commit the pair atomically only when the round trip
 				// completed, so a failed return route (possible only
 				// on a disconnected instance) cannot break sum
@@ -497,6 +517,8 @@ func (e *geoRun) step() {
 				}
 			}
 		}
+		h.Scope.FarExchange(total)
+		h.Trace(trace.Event{Kind: trace.KindFar, Square: -1, NodeA: s, NodeB: target, Hops: total})
 	}
 	h.Sample()
 }

@@ -7,6 +7,7 @@ import (
 	"geogossip/internal/metrics"
 	"geogossip/internal/rng"
 	"geogossip/internal/sim"
+	"geogossip/internal/trace"
 )
 
 // RunPushSum runs asynchronous push-sum averaging (Kempe–Dobra–Gehrke,
@@ -69,6 +70,7 @@ func newPushSumRun(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*pushS
 		Medium:      medium,
 		Points:      g.Points(),
 		Tracer:      opt.Tracer,
+		Obs:         opt.Obs,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	e := &st.push
 	*e = pushSumRun{
@@ -108,6 +110,7 @@ func (e *pushSumRun) step() {
 			h.Counter.Add(sim.CatNear, 1)
 			h.Tracker.Set(i, e.s[i]/e.w[i])
 			h.Tracker.Set(j, e.s[j]/e.w[j])
+			h.Trace(trace.Event{Kind: trace.KindNear, Square: -1, NodeA: i, NodeB: j, Hops: 1})
 		}
 	}
 	h.Sample()

@@ -52,6 +52,15 @@ type RunState struct {
 // NewRunState returns an empty reusable run state.
 func NewRunState() *RunState { return &RunState{} }
 
+// ChannelBuilds reports how many radio channels this state's pool has
+// served in place of fresh allocations (see channel.Pool.Builds).
+func (st *RunState) ChannelBuilds() uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.ch.Builds()
+}
+
 // stateOf returns the run state to use: the caller-supplied pooled one,
 // or a fresh private state.
 func stateOf(opt Options) *RunState {

@@ -1,0 +1,173 @@
+package obs
+
+// Metric name catalogue (see README "Observability"). Every engine
+// metric carries a single constant `engine` label, resolved once at
+// Scope construction so hot-loop reporting never touches label
+// rendering.
+const (
+	MetricTransmissions    = "geogossip_transmissions_total"
+	MetricRuns             = "geogossip_runs_total"
+	MetricRunsConverged    = "geogossip_runs_converged_total"
+	MetricTicks            = "geogossip_ticks_total"
+	MetricLosses           = "geogossip_losses_total"
+	MetricLossTransmission = "geogossip_loss_transmissions_total"
+	MetricReelections      = "geogossip_reelections_total"
+	MetricResyncs          = "geogossip_resyncs_total"
+	MetricChurnCrashes     = "geogossip_churn_crashes_total"
+	MetricChurnRevivals    = "geogossip_churn_revivals_total"
+	MetricFarExchanges     = "geogossip_far_exchanges_total"
+	MetricFarHops          = "geogossip_far_exchange_hops"
+	MetricFinalError       = "geogossip_run_final_error"
+
+	// Sweep-level gauges, maintained by the sweep engine when a registry
+	// is attached (scrape-time snapshots, not part of Flatten).
+	MetricSweepTasksTotal   = "geogossip_sweep_tasks_total"
+	MetricSweepTasksDone    = "geogossip_sweep_tasks_done"
+	MetricRouteCacheLookups = "geogossip_route_cache_lookups"
+	MetricChannelPoolBuilds = "geogossip_channel_pool_builds"
+)
+
+// HopBuckets are the far-exchange hop-count histogram bounds: greedy
+// routes on G(n, r) run a few to a few hundred hops at simulable sizes.
+var HopBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// ErrBuckets are the final relative-error histogram bounds, one decade
+// per bucket across the accuracy range experiments target.
+var ErrBuckets = []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// Scope is the label-free fast path one engine reports through: every
+// instrument is resolved (with its constant engine label) at
+// construction, so reporting is a nil check plus atomic adds. All
+// methods are safe on a nil receiver and cost exactly one branch there —
+// the zero-overhead contract engines rely on to keep nil-scope ticks
+// identical to un-instrumented ones.
+//
+// High-frequency run quantities (per-category transmissions, ticks,
+// convergence) are flushed once per run through EndRun; only rare events
+// have per-event methods.
+type Scope struct {
+	txNear, txFar, txControl, txFlood *Counter
+	runs, convergedRuns, ticks        *Counter
+	losses, lossCost                  *Counter
+	reelections, resyncs              *Counter
+	crashes, revivals                 *Counter
+	farExchanges                      *Counter
+	farHops                           *Histogram
+	finalErr                          *Histogram
+}
+
+// Scope returns the (memoized) reporting scope for one engine label.
+// Scopes are shared: concurrent runs of the same engine accumulate into
+// the same instruments, which is safe (atomics) and deterministic for
+// everything Flatten exposes (integer sums commute).
+func (r *Registry) Scope(engine string) *Scope {
+	r.mu.Lock()
+	s := r.scopes[engine]
+	r.mu.Unlock()
+	if s != nil {
+		return s
+	}
+	s = &Scope{
+		txNear:        r.Counter(MetricTransmissions, "Transmissions by engine and traffic category.", "engine", engine, "category", "near"),
+		txFar:         r.Counter(MetricTransmissions, "Transmissions by engine and traffic category.", "engine", engine, "category", "far"),
+		txControl:     r.Counter(MetricTransmissions, "Transmissions by engine and traffic category.", "engine", engine, "category", "control"),
+		txFlood:       r.Counter(MetricTransmissions, "Transmissions by engine and traffic category.", "engine", engine, "category", "flood"),
+		runs:          r.Counter(MetricRuns, "Completed runs by engine.", "engine", engine),
+		convergedRuns: r.Counter(MetricRunsConverged, "Completed runs that reached their error target.", "engine", engine),
+		ticks:         r.Counter(MetricTicks, "Clock ticks (far exchanges for the round-structured engine).", "engine", engine),
+		losses:        r.Counter(MetricLosses, "Lost data packets (channel fault decisions).", "engine", engine),
+		lossCost:      r.Counter(MetricLossTransmission, "Transmissions paid for packets that were then lost.", "engine", engine),
+		reelections:   r.Counter(MetricReelections, "Representative re-elections performed by recovery.", "engine", engine),
+		resyncs:       r.Counter(MetricResyncs, "Revived-node state resyncs performed by recovery.", "engine", engine),
+		crashes:       r.Counter(MetricChurnCrashes, "Observed churn crash transitions.", "engine", engine),
+		revivals:      r.Counter(MetricChurnRevivals, "Observed churn revival transitions.", "engine", engine),
+		farExchanges:  r.Counter(MetricFarExchanges, "Long-range exchanges.", "engine", engine),
+		farHops:       r.Histogram(MetricFarHops, "Hop cost of individual long-range exchanges.", HopBuckets, "engine", engine),
+		finalErr:      r.Histogram(MetricFinalError, "Final relative error of completed runs.", ErrBuckets, "engine", engine),
+	}
+	r.mu.Lock()
+	if prior := r.scopes[engine]; prior != nil {
+		s = prior // lost a registration race; instruments are shared anyway
+	} else {
+		r.scopes[engine] = s
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// Loss records one lost data packet that paid `paid` transmissions
+// before dying.
+func (s *Scope) Loss(paid int) {
+	if s == nil {
+		return
+	}
+	s.losses.Inc()
+	s.lossCost.Add(uint64(paid))
+}
+
+// Reelection records one representative takeover.
+func (s *Scope) Reelection() {
+	if s == nil {
+		return
+	}
+	s.reelections.Inc()
+}
+
+// Resync records one revived-node state resync.
+func (s *Scope) Resync() {
+	if s == nil {
+		return
+	}
+	s.resyncs.Inc()
+}
+
+// Churn records one observed liveness transition.
+func (s *Scope) Churn(revived bool) {
+	if s == nil {
+		return
+	}
+	if revived {
+		s.revivals.Inc()
+	} else {
+		s.crashes.Inc()
+	}
+}
+
+// FarExchange records one completed long-range exchange of the given
+// hop cost (count + hop histogram).
+func (s *Scope) FarExchange(hops int) {
+	if s == nil {
+		return
+	}
+	s.farExchanges.Inc()
+	s.farHops.Observe(float64(hops))
+}
+
+// AddFarExchanges bulk-adds completed long-range exchanges without hop
+// detail — the round-structured engine flushes its count at run end so
+// its ~100ns exchange hot path stays atomic-free.
+func (s *Scope) AddFarExchanges(n uint64) {
+	if s == nil {
+		return
+	}
+	s.farExchanges.Add(n)
+}
+
+// EndRun flushes one finished run: per-category transmissions, tick
+// count, run/convergence counters, and the final-error histogram.
+// Engines call it exactly once per run, from result assembly.
+func (s *Scope) EndRun(near, far, control, flood, ticks uint64, converged bool, finalErr float64) {
+	if s == nil {
+		return
+	}
+	s.txNear.Add(near)
+	s.txFar.Add(far)
+	s.txControl.Add(control)
+	s.txFlood.Add(flood)
+	s.ticks.Add(ticks)
+	s.runs.Inc()
+	if converged {
+		s.convergedRuns.Inc()
+	}
+	s.finalErr.Observe(finalErr)
+}

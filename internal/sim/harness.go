@@ -4,6 +4,7 @@ import (
 	"geogossip/internal/channel"
 	"geogossip/internal/geo"
 	"geogossip/internal/metrics"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/routing"
 	"geogossip/internal/trace"
@@ -45,6 +46,10 @@ type Harness struct {
 	Router *routing.Router
 	// Tracer receives protocol events; nil costs nothing.
 	Tracer trace.Tracer
+	// Scope receives metrics; nil costs nothing (scope methods are
+	// nil-receiver safe). Per-tick quantities flush once in Finish; only
+	// rare events (losses, recovery actions) report per event.
+	Scope *obs.Scope
 
 	n     int
 	every uint64
@@ -68,6 +73,8 @@ type HarnessConfig struct {
 	Router *routing.Router
 	// Tracer optionally receives protocol events.
 	Tracer trace.Tracer
+	// Obs optionally receives metrics (see Harness.Scope).
+	Obs *obs.Scope
 }
 
 // NewHarness builds the run state over x (n = len(x) > 0) with the clock
@@ -111,6 +118,7 @@ func (h *Harness) Reset(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) {
 	h.Medium = medium
 	h.Router = cfg.Router
 	h.Tracer = cfg.Tracer
+	h.Scope = cfg.Obs
 	h.n = len(x)
 	h.every = every
 	h.pts = cfg.Points
@@ -161,8 +169,10 @@ func (h *Harness) Trace(ev trace.Event) {
 	}
 }
 
-// TraceLoss records a lost data packet between a and b costing paid.
+// TraceLoss records a lost data packet between a and b costing paid,
+// through both the tracer and the metrics scope.
 func (h *Harness) TraceLoss(a, b int32, paid int) {
+	h.Scope.Loss(paid)
 	if h.Tracer != nil {
 		h.Tracer.Record(trace.Event{Kind: trace.KindLoss, Square: -1, NodeA: a, NodeB: b, Hops: paid})
 	}
@@ -177,10 +187,14 @@ func (h *Harness) Finish(name string) *metrics.Result {
 	h.Tracker.Resync()
 	finalErr := h.Tracker.Err()
 	h.Curve.Record(h.Clock.Ticks(), h.Counter.Total(), finalErr)
+	converged := h.Stop.TargetErr > 0 && finalErr <= h.Stop.TargetErr
+	h.Scope.EndRun(h.Counter.Get(CatNear), h.Counter.Get(CatFar),
+		h.Counter.Get(CatControl), h.Counter.Get(CatFlood),
+		h.Clock.Ticks(), converged, finalErr)
 	return &metrics.Result{
 		Algorithm:               name,
 		N:                       h.n,
-		Converged:               h.Stop.TargetErr > 0 && finalErr <= h.Stop.TargetErr,
+		Converged:               converged,
 		FinalErr:                finalErr,
 		Ticks:                   h.Clock.Ticks(),
 		Transmissions:           h.Counter.Total(),

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"geogossip/internal/obs"
 	"geogossip/internal/routing"
 )
 
@@ -38,6 +39,14 @@ type Options struct {
 	// cache counters of the run's shared per-network caches after every
 	// task has drained.
 	RouteStats *routing.CacheStats
+	// Obs, when non-nil, receives the sweep's metrics: every engine run
+	// reports into a per-algorithm scope on this registry, and the run
+	// registers scrape-time collectors for task progress, route-cache
+	// counters, and channel-pool reuse. All instruments are atomic, so
+	// the registry may be scraped (e.g. served over HTTP) while the sweep
+	// is running. Nil runs every engine with a nil scope — the
+	// zero-overhead default. Execution results are unaffected either way.
+	Obs *obs.Registry
 }
 
 func (o Options) workers() int {
@@ -116,6 +125,38 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 	taskCh := make(chan Task)
 	resCh := make(chan TaskResult)
 
+	// Each worker owns one set of reusable engine run states, so a grid of
+	// R runs performs O(workers) state allocations instead of O(R) — the
+	// same sharing discipline as the per-network route caches. Pooled
+	// execution is bit-identical to fresh. The states are built up front so
+	// the scrape collector below can read their channel-pool counters.
+	states := make([]*runStates, workers)
+	for w := range states {
+		states[w] = &runStates{reg: opt.Obs}
+	}
+	var doneGauge *obs.Gauge
+	if reg := opt.Obs; reg != nil {
+		reg.Gauge(obs.MetricSweepTasksTotal,
+			"Tasks scheduled in the current sweep run.").Set(float64(len(tasks)))
+		doneGauge = reg.Gauge(obs.MetricSweepTasksDone,
+			"Tasks completed in the current sweep run.")
+		doneGauge.Set(0)
+		reg.OnScrape(func() {
+			s := cache.routeStats()
+			help := "Route/flood cache lookups of the current sweep run, by kind and result (scrape-time snapshot)."
+			reg.Gauge(obs.MetricRouteCacheLookups, help, "kind", "route", "result", "hit").Set(float64(s.RouteHits))
+			reg.Gauge(obs.MetricRouteCacheLookups, help, "kind", "route", "result", "miss").Set(float64(s.RouteMisses))
+			reg.Gauge(obs.MetricRouteCacheLookups, help, "kind", "flood", "result", "hit").Set(float64(s.FloodHits))
+			reg.Gauge(obs.MetricRouteCacheLookups, help, "kind", "flood", "result", "miss").Set(float64(s.FloodMisses))
+			var builds uint64
+			for _, st := range states {
+				builds += st.channelBuilds()
+			}
+			reg.Gauge(obs.MetricChannelPoolBuilds,
+				"Radio channels served from pooled worker state instead of fresh allocations (scrape-time snapshot).").Set(float64(builds))
+		})
+	}
+
 	go func() {
 		defer close(taskCh)
 		for _, t := range tasks {
@@ -130,18 +171,14 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		mine := states[w]
 		go func() {
 			defer wg.Done()
-			// Each worker owns one set of reusable engine run states, so a
-			// grid of R runs performs O(workers) state allocations instead
-			// of O(R) — the same sharing discipline as the per-network
-			// route caches. Pooled execution is bit-identical to fresh.
-			states := &runStates{}
 			for t := range taskCh {
 				if ctx.Err() != nil {
 					return
 				}
-				r := executeWith(t, cache, states)
+				r := executeWith(t, cache, mine)
 				select {
 				case resCh <- r:
 				case <-ctx.Done():
@@ -167,6 +204,9 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 			}
 		}
 		done++
+		if doneGauge != nil {
+			doneGauge.Set(float64(done))
+		}
 		if opt.Progress != nil {
 			opt.Progress(done, len(tasks))
 		}

@@ -11,6 +11,7 @@ import (
 	"geogossip/internal/gossip"
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/routing"
 	"geogossip/internal/sim"
@@ -166,6 +167,25 @@ type runStates struct {
 	core   core.RunState
 	x      []float64
 	runRNG *rng.RNG
+	// reg is the sweep's shared metrics registry (nil when observability
+	// is off). Scopes are memoized per engine label inside the registry,
+	// and every instrument is atomic, so workers share them freely.
+	reg *obs.Registry
+}
+
+// scope resolves the per-engine metrics scope, nil when no registry is
+// attached (the zero-overhead default).
+func (st *runStates) scope(engine string) *obs.Scope {
+	if st.reg == nil {
+		return nil
+	}
+	return st.reg.Scope(engine)
+}
+
+// channelBuilds reports the pooled channel builds this worker's states
+// have served (see channel.Pool.Builds).
+func (st *runStates) channelBuilds() uint64 {
+	return st.gossip.ChannelBuilds() + st.core.ChannelBuilds()
 }
 
 // rng returns the task's protocol generator, reusing the worker's pooled
@@ -227,6 +247,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			Faults: faults,
 			Resync: t.Recover,
 			State:  &st.gossip,
+			Obs:    st.scope(t.Algorithm),
 		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
@@ -247,6 +268,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 				Faults: faults,
 				Resync: t.Recover,
 				State:  &st.gossip,
+				Obs:    st.scope(t.Algorithm),
 			},
 			Sampling: mode,
 		}, st.rng(out.RunSeed))
@@ -262,6 +284,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			Stop:   stop,
 			Faults: faults,
 			State:  &st.gossip,
+			Obs:    st.scope(t.Algorithm),
 		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
@@ -276,6 +299,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			Recover: t.Recover,
 			Routes:  routes,
 			State:   &st.core,
+			Obs:     st.scope(t.Algorithm),
 		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()
@@ -294,6 +318,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			Routes:       routes,
 			Stop:         stop,
 			State:        &st.core,
+			Obs:          st.scope(t.Algorithm),
 		}, st.rng(out.RunSeed))
 		if err != nil {
 			out.Error = err.Error()

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// JSONL streams events as JSON Lines — one compact object per event:
+//
+//	{"seq":12,"kind":"far","square":3,"a":140,"b":971,"hops":18}
+//
+// Sequence numbers are assigned to every event before filtering and
+// sampling, so a filtered or sampled export preserves the run's global
+// ordering (loss timelines bucket by seq). Encoding is hand-rolled into
+// a reused buffer: recording allocates nothing in steady state.
+type JSONL struct {
+	// W receives the lines.
+	W io.Writer
+	// Filter restricts output to these kinds (empty = all).
+	Filter []Kind
+	// SampleEvery keeps deterministically 1 in every SampleEvery events
+	// per kind (the 1st, the SampleEvery+1-th, ...); values <= 1 keep
+	// every event. Sampling is per kind so rare kinds survive alongside
+	// frequent ones.
+	SampleEvery int
+
+	seq  uint64
+	seen [numKinds]uint64
+	buf  []byte
+	err  error
+}
+
+// Record implements Tracer.
+func (t *JSONL) Record(e Event) {
+	t.seq++
+	e.Seq = t.seq
+	if len(t.Filter) > 0 {
+		keep := false
+		for _, k := range t.Filter {
+			if e.Kind == k {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			return
+		}
+	}
+	if t.SampleEvery > 1 && e.Kind > 0 && e.Kind < numKinds {
+		n := t.seen[e.Kind]
+		t.seen[e.Kind]++
+		if n%uint64(t.SampleEvery) != 0 {
+			return
+		}
+	}
+	if t.err != nil {
+		return
+	}
+	t.buf = AppendEvent(t.buf[:0], e)
+	_, t.err = t.W.Write(t.buf)
+}
+
+// Err returns the first write error encountered (recording is
+// fire-and-forget inside engine loops, so errors are reported here).
+func (t *JSONL) Err() error { return t.err }
+
+var _ Tracer = (*JSONL)(nil)
+
+// AppendEvent appends e's JSONL encoding (including the trailing
+// newline) to dst and returns the extended slice.
+func AppendEvent(dst []byte, e Event) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","square":`...)
+	dst = strconv.AppendInt(dst, int64(e.Square), 10)
+	dst = append(dst, `,"a":`...)
+	dst = strconv.AppendInt(dst, int64(e.NodeA), 10)
+	dst = append(dst, `,"b":`...)
+	dst = strconv.AppendInt(dst, int64(e.NodeB), 10)
+	dst = append(dst, `,"hops":`...)
+	dst = strconv.AppendInt(dst, int64(e.Hops), 10)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// KindFromString inverts Kind.String, including the "kind(N)" form for
+// out-of-range values, so encode/decode round-trips every event.
+func KindFromString(s string) (Kind, error) {
+	for k := Kind(1); k < numKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	if rest, ok := strings.CutPrefix(s, "kind("); ok {
+		if num, ok := strings.CutSuffix(rest, ")"); ok {
+			n, err := strconv.Atoi(num)
+			if err == nil {
+				return Kind(n), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// ParseEvent decodes one JSONL line produced by AppendEvent.
+func ParseEvent(line []byte) (Event, error) {
+	var e Event
+	s := strings.TrimSpace(string(line))
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return e, fmt.Errorf("trace: malformed event line %q", s)
+	}
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	for _, field := range splitTopLevel(s) {
+		key, val, ok := strings.Cut(field, ":")
+		if !ok {
+			return e, fmt.Errorf("trace: malformed field %q", field)
+		}
+		key = strings.Trim(strings.TrimSpace(key), `"`)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seq":
+			e.Seq, err = strconv.ParseUint(val, 10, 64)
+		case "kind":
+			e.Kind, err = KindFromString(strings.Trim(val, `"`))
+		case "square":
+			e.Square, err = strconv.Atoi(val)
+		case "a":
+			var n int64
+			n, err = strconv.ParseInt(val, 10, 32)
+			e.NodeA = int32(n)
+		case "b":
+			var n int64
+			n, err = strconv.ParseInt(val, 10, 32)
+			e.NodeB = int32(n)
+		case "hops":
+			e.Hops, err = strconv.Atoi(val)
+		default:
+			err = fmt.Errorf("trace: unknown field %q", key)
+		}
+		if err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+// splitTopLevel splits comma-separated fields, respecting quoted
+// strings (kind values may contain escaped characters in principle).
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := false // inside a quoted string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// ReadJSONL decodes a JSONL trace stream back into events, in stream
+// order. Blank lines are skipped; a truncated final line (the signature
+// of a killed run) is tolerated, malformed content anywhere else is an
+// error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			pendingErr = err
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary is the replayed view of a trace: per-kind counts and hop
+// totals, per-square activity, and a loss timeline. Because every
+// traced event carries its transmission charge in Hops, the hop total
+// over all kinds reproduces the run's transmission counter exactly (the
+// cross-check tests assert this engine by engine).
+type Summary struct {
+	// Events is the number of events summarized.
+	Events int
+	// Counts and Hops are per-kind event counts and hop-cost sums.
+	Counts map[Kind]uint64
+	Hops   map[Kind]uint64
+	// Transmissions is the hop-cost total over every kind.
+	Transmissions uint64
+	// SquareEvents counts events per acting square (squares >= 0 only).
+	SquareEvents map[int]uint64
+	// LossTimeline buckets loss events by sequence number into
+	// equal-width windows over [1, MaxSeq]; nil when no buckets were
+	// requested or the trace is empty.
+	LossTimeline []uint64
+	// MaxSeq is the highest sequence number seen.
+	MaxSeq uint64
+}
+
+// Summarize replays events into a Summary. lossBuckets selects the loss
+// timeline resolution (<= 0 disables it).
+func Summarize(events []Event, lossBuckets int) Summary {
+	s := Summary{
+		Counts:       make(map[Kind]uint64),
+		Hops:         make(map[Kind]uint64),
+		SquareEvents: make(map[int]uint64),
+		Events:       len(events),
+	}
+	for _, e := range events {
+		if e.Seq > s.MaxSeq {
+			s.MaxSeq = e.Seq
+		}
+	}
+	if lossBuckets > 0 && s.MaxSeq > 0 {
+		s.LossTimeline = make([]uint64, lossBuckets)
+	}
+	for _, e := range events {
+		s.Counts[e.Kind]++
+		if e.Hops > 0 {
+			s.Hops[e.Kind] += uint64(e.Hops)
+			s.Transmissions += uint64(e.Hops)
+		}
+		if e.Square >= 0 {
+			s.SquareEvents[e.Square]++
+		}
+		if e.Kind == KindLoss && s.LossTimeline != nil {
+			b := int((e.Seq - 1) * uint64(len(s.LossTimeline)) / s.MaxSeq)
+			if b >= len(s.LossTimeline) {
+				b = len(s.LossTimeline) - 1
+			}
+			s.LossTimeline[b]++
+		}
+	}
+	return s
+}

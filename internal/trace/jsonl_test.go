@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+var roundTripEvents = []Event{
+	{Seq: 1, Kind: KindNear, Square: -1, NodeA: 0, NodeB: 1, Hops: 2},
+	{Seq: 2, Kind: KindFar, Square: 3, NodeA: 140, NodeB: 971, Hops: 18},
+	{Seq: 3, Kind: KindLoss, Square: -1, NodeA: 7, NodeB: 9, Hops: 4},
+	{Seq: 4, Kind: KindLeafDone, Square: 12, NodeA: -1, NodeB: -1, Hops: 40},
+	{Seq: 5, Kind: KindActivate, Square: 2, NodeA: 5, NodeB: -1, Hops: 9},
+	{Seq: 6, Kind: KindDeactivate, Square: 2, NodeA: 5, NodeB: -1, Hops: 3},
+	{Seq: 7, Kind: KindReelect, Square: 4, NodeA: 11, NodeB: 13, Hops: 25},
+	{Seq: 8, Kind: KindResync, Square: 4, NodeA: 11, NodeB: 12, Hops: 2},
+	{Seq: 9, Kind: KindChurn, Square: -1, NodeA: 31, NodeB: 0, Hops: 0},
+	{Seq: 10, Kind: Kind(42), Square: 0, NodeA: 0, NodeB: 0, Hops: 0},
+}
+
+// TestEventRoundTrip: AppendEvent → ParseEvent is the identity on every
+// kind, including the out-of-range "kind(N)" form.
+func TestEventRoundTrip(t *testing.T) {
+	for _, e := range roundTripEvents {
+		line := AppendEvent(nil, e)
+		got, err := ParseEvent(line)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if got != e {
+			t.Errorf("round trip changed %+v into %+v", e, got)
+		}
+	}
+}
+
+// TestKindStringRoundTrip walks every named kind (and one beyond) through
+// String and KindFromString.
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(1); k <= numKinds; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil {
+			t.Fatalf("kind %d (%s): %v", k, k, err)
+		}
+		if got != k {
+			t.Errorf("kind %d round-tripped to %d", k, got)
+		}
+	}
+	names := map[Kind]string{KindResync: "resync", KindChurn: "churn"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("kind %d named %q, want %q", k, k.String(), want)
+		}
+	}
+	if _, err := KindFromString("nonsense"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestJSONLStream: the writer produces one parseable line per event and
+// ReadJSONL restores the stream, tolerating a truncated final line.
+func TestJSONLStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := &JSONL{W: &buf}
+	for _, e := range roundTripEvents {
+		ev := e
+		ev.Seq = 0 // writer assigns sequence numbers
+		w.Record(ev)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(roundTripEvents) {
+		t.Fatalf("%d events read, want %d", len(got), len(roundTripEvents))
+	}
+	for i, e := range got {
+		want := roundTripEvents[i]
+		want.Seq = uint64(i + 1)
+		if e != want {
+			t.Errorf("event %d: got %+v, want %+v", i, e, want)
+		}
+	}
+	// A killed run truncates the final line mid-object; the reader keeps
+	// everything before it.
+	cut := buf.Bytes()[:buf.Len()-5]
+	got, err = ReadJSONL(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("truncated final line not tolerated: %v", err)
+	}
+	if len(got) != len(roundTripEvents)-1 {
+		t.Fatalf("%d events from truncated stream, want %d", len(got), len(roundTripEvents)-1)
+	}
+	// Corruption anywhere else is an error.
+	bad := append([]byte("{garbage}\n"), buf.Bytes()...)
+	if _, err := ReadJSONL(bytes.NewReader(bad)); err == nil {
+		t.Error("mid-stream corruption accepted")
+	}
+}
+
+// TestJSONLFilterAndSampling: filtering keeps global sequence numbers,
+// and 1-in-k sampling is per kind and deterministic.
+func TestJSONLFilterAndSampling(t *testing.T) {
+	var buf bytes.Buffer
+	w := &JSONL{W: &buf, Filter: []Kind{KindLoss}, SampleEvery: 2}
+	for i := 0; i < 10; i++ {
+		w.Record(Event{Kind: KindNear, NodeA: int32(i)})
+		w.Record(Event{Kind: KindLoss, NodeA: int32(i)})
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 losses, every 2nd kept starting with the 1st: 5 events.
+	if len(got) != 5 {
+		t.Fatalf("%d events, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Kind != KindLoss {
+			t.Errorf("event %d: kind %v leaked through the filter", i, e.Kind)
+		}
+		// Sequence numbers come from the full stream (losses are the even
+		// positions: 2, 6, 10, ...), so sampling is visible to readers.
+		if want := uint64(4*i + 2); e.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, want)
+		}
+		if e.NodeA != int32(2*i) {
+			t.Errorf("event %d: node %d, want %d (1-in-2 per kind)", i, e.NodeA, 2*i)
+		}
+	}
+}
+
+// TestSummarize pins the replay invariants: per-kind counts and hop
+// sums, the hop-total-equals-transmissions identity, square activity,
+// and the loss timeline.
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindNear, Square: -1, Hops: 2},
+		{Seq: 2, Kind: KindFar, Square: 3, Hops: 10},
+		{Seq: 3, Kind: KindLoss, Square: -1, Hops: 4},
+		{Seq: 4, Kind: KindFar, Square: 3, Hops: 6},
+		{Seq: 40, Kind: KindLoss, Square: 5, Hops: 1},
+	}
+	s := Summarize(events, 4)
+	if s.Events != 5 || s.MaxSeq != 40 {
+		t.Fatalf("events %d max seq %d", s.Events, s.MaxSeq)
+	}
+	if s.Counts[KindFar] != 2 || s.Hops[KindFar] != 16 {
+		t.Errorf("far: %d events %d hops", s.Counts[KindFar], s.Hops[KindFar])
+	}
+	if s.Transmissions != 23 {
+		t.Errorf("transmissions %d, want 23", s.Transmissions)
+	}
+	if s.SquareEvents[3] != 2 || s.SquareEvents[5] != 1 || len(s.SquareEvents) != 2 {
+		t.Errorf("square activity %v", s.SquareEvents)
+	}
+	if !reflect.DeepEqual(s.LossTimeline, []uint64{1, 0, 0, 1}) {
+		t.Errorf("loss timeline %v", s.LossTimeline)
+	}
+}
+
+// TestJSONLRecordAllocFree: steady-state recording reuses its buffer.
+func TestJSONLRecordAllocFree(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Grow(1 << 20)
+	w := &JSONL{W: &buf}
+	w.Record(Event{Kind: KindFar, Square: 1, NodeA: 2, NodeB: 3, Hops: 4})
+	if avg := testing.AllocsPerRun(1000, func() {
+		w.Record(Event{Kind: KindFar, Square: 1, NodeA: 2, NodeB: 3, Hops: 4})
+	}); avg > 0 {
+		t.Errorf("steady-state Record allocated %v per event, want 0", avg)
+	}
+}
+
+// FuzzEventRoundTrip fuzzes the encode/decode pair: any event encodes to
+// one line that parses back to the identical event.
+func FuzzEventRoundTrip(f *testing.F) {
+	for _, e := range roundTripEvents {
+		f.Add(e.Seq, int(e.Kind), e.Square, e.NodeA, e.NodeB, e.Hops)
+	}
+	f.Fuzz(func(t *testing.T, seq uint64, kind, square int, a, b int32, hops int) {
+		e := Event{Seq: seq, Kind: Kind(kind), Square: square, NodeA: a, NodeB: b, Hops: hops}
+		line := AppendEvent(nil, e)
+		if n := bytes.Count(line, []byte("\n")); n != 1 || line[len(line)-1] != '\n' {
+			t.Fatalf("encoding of %+v is not one newline-terminated line: %q", e, line)
+		}
+		got, err := ParseEvent(line)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if got != e {
+			t.Fatalf("round trip changed %+v into %+v (line %q)", e, got, line)
+		}
+	})
+}
+
+// FuzzParseEvent fuzzes the decoder directly: arbitrary input must never
+// panic, and accepted lines must re-encode to a parseable form.
+func FuzzParseEvent(f *testing.F) {
+	for _, e := range roundTripEvents {
+		f.Add(string(AppendEvent(nil, e)))
+	}
+	f.Add(`{"seq":1}`)
+	f.Add(`{}`)
+	f.Add(``)
+	f.Add(`{"kind":"far"`)
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseEvent([]byte(line))
+		if err != nil {
+			return
+		}
+		again, err := ParseEvent(AppendEvent(nil, e))
+		if err != nil {
+			t.Fatalf("re-encoding of accepted line %q failed: %v", line, err)
+		}
+		if again != e {
+			t.Fatalf("re-encode changed %+v into %+v", e, again)
+		}
+	})
+}

@@ -29,6 +29,12 @@ const (
 	// KindReelect marks a representative re-election after the previous
 	// representative died (NodeA is the successor, -1 for none).
 	KindReelect
+	// KindResync marks a revived node pulling current state from a live
+	// neighbour (NodeA is the revived node, NodeB the donor).
+	KindResync
+	// KindChurn marks an observed liveness transition: NodeA is the node,
+	// NodeB is 1 for a revival and 0 for a crash.
+	KindChurn
 
 	numKinds
 )
@@ -50,6 +56,10 @@ func (k Kind) String() string {
 		return "leaf-done"
 	case KindReelect:
 		return "reelect"
+	case KindResync:
+		return "resync"
+	case KindChurn:
+		return "churn"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -1,0 +1,40 @@
+package geogossip
+
+import (
+	"io"
+	"net/http"
+
+	"geogossip/internal/obs"
+)
+
+// MetricsRegistry is a live view of the library's observability metrics:
+// counters, gauges and histograms accumulated by every run reporting
+// into it (currently the sweep engine via WithSweepMetrics). It renders
+// as Prometheus text exposition and is safe to scrape concurrently with
+// running sweeps — every instrument is atomic.
+type MetricsRegistry struct {
+	reg *obs.Registry
+}
+
+// NewMetricsRegistry returns an empty registry. Pass it to Sweep via
+// WithSweepMetrics and serve Handler while the sweep runs.
+func NewMetricsRegistry() *MetricsRegistry {
+	return &MetricsRegistry{reg: obs.NewRegistry()}
+}
+
+// Handler serves the registry as a Prometheus /metrics endpoint
+// (text exposition format 0.0.4).
+func (m *MetricsRegistry) Handler() http.Handler { return obs.Handler(m.reg) }
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format.
+func (m *MetricsRegistry) WritePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
+}
+
+// Values returns every scalar the registry currently holds — counters,
+// gauges, histogram buckets, counts and sums — keyed by exposition name.
+// Scrape-time state: gauges and float sums depend on when you ask.
+func (m *MetricsRegistry) Values() map[string]float64 {
+	return m.reg.Values()
+}

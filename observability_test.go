@@ -1,0 +1,262 @@
+package geogossip
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"geogossip/internal/trace"
+)
+
+// TestTraceTotalsMatchResult is the headline cross-check: every traced
+// event carries its transmission charge in hops, so replaying the full
+// (unfiltered, unsampled) JSONL stream with the trace summarizer —
+// exactly what cmd/traceview does — must reproduce the run's counters
+// for each of the five engines.
+func TestTraceTotalsMatchResult(t *testing.T) {
+	nw, err := NewNetwork(256, WithSeed(70), WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []struct {
+		name string
+		make func(opts ...RunOption) Algorithm
+		// harness engines trace every paid loss as a loss event; the
+		// round-structured recursive engine folds leaf-level loss charges
+		// into leaf-done events instead, so the loss-count identity only
+		// holds for the other four.
+		lossEvents bool
+	}{
+		{"boyd", Boyd, true},
+		{"geographic", Geographic, true},
+		{"push-sum", PushSum, true},
+		{"affine-hierarchical", AffineHierarchical, false},
+		{"affine-async", AffineAsync, true},
+	}
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			values := make([]float64, nw.N())
+			for i, p := range nw.Positions() {
+				values[i] = p[0] + 3*p[1]
+			}
+			var buf bytes.Buffer
+			res, err := a.make(
+				WithTargetError(1e-2),
+				WithLossRate(0.15),
+				WithTraceJSONL(&buf, 0),
+			).Run(nw, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events, err := trace.ReadJSONL(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := trace.Summarize(events, 0)
+			if s.Transmissions != res.Transmissions {
+				t.Errorf("trace hop total %d != result transmissions %d",
+					s.Transmissions, res.Transmissions)
+			}
+			if got := s.Counts[trace.KindReelect]; got != res.Reelections {
+				t.Errorf("trace reelections %d != result %d", got, res.Reelections)
+			}
+			if got := s.Counts[trace.KindResync]; got != res.Resyncs {
+				t.Errorf("trace resyncs %d != result %d", got, res.Resyncs)
+			}
+			if a.lossEvents {
+				wantLosses := res.Metrics[`geogossip_losses_total{engine="`+a.name+`"}`]
+				if got := float64(s.Counts[trace.KindLoss]); got != wantLosses {
+					t.Errorf("trace losses %v != metric %v", got, wantLosses)
+				}
+			}
+		})
+	}
+}
+
+// TestResultMetricsMatchCounters: the Metrics snapshot agrees with the
+// Result's own counters — the same numbers through two pipelines.
+func TestResultMetricsMatchCounters(t *testing.T) {
+	nw, err := NewNetwork(256, WithSeed(71), WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, nw.N())
+	for i, p := range nw.Positions() {
+		values[i] = p[1]
+	}
+	res, err := AffineAsync(WithTargetError(1e-2), WithChurn(40000, 10000), WithRecovery()).Run(nw, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m == nil {
+		t.Fatal("Result.Metrics is nil")
+	}
+	for cat, n := range res.Breakdown {
+		key := `geogossip_transmissions_total{category="` + cat + `",engine="affine-async"}`
+		if m[key] != float64(n) {
+			t.Errorf("%s = %v, want %d", key, m[key], n)
+		}
+	}
+	if got := m[`geogossip_runs_total{engine="affine-async"}`]; got != 1 {
+		t.Errorf("runs_total = %v, want 1", got)
+	}
+	if got := m[`geogossip_reelections_total{engine="affine-async"}`]; got != float64(res.Reelections) {
+		t.Errorf("reelections metric %v != result %d", got, res.Reelections)
+	}
+	if got := m[`geogossip_resyncs_total{engine="affine-async"}`]; got != float64(res.Resyncs) {
+		t.Errorf("resyncs metric %v != result %d", got, res.Resyncs)
+	}
+	if res.Converged {
+		if got := m[`geogossip_runs_converged_total{engine="affine-async"}`]; got != 1 {
+			t.Errorf("runs_converged_total = %v, want 1", got)
+		}
+	}
+}
+
+// TestResultMetricsDeterministic: same seed, same snapshot.
+func TestResultMetricsDeterministic(t *testing.T) {
+	nw, err := NewNetwork(200, WithSeed(72), WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() map[string]float64 {
+		values := make([]float64, nw.N())
+		for i, p := range nw.Positions() {
+			values[i] = p[0]
+		}
+		res, err := Boyd(WithTargetError(1e-2), WithLossRate(0.1)).Run(nw, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("metrics not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+// TestWithTraceJSONLFilterAndSampling: kind filtering and 1-in-k
+// sampling through the public option.
+func TestWithTraceJSONLFilterAndSampling(t *testing.T) {
+	nw, err := NewNetwork(200, WithSeed(73), WithRadiusMultiplier(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, nw.N())
+	for i, p := range nw.Positions() {
+		values[i] = p[0]
+	}
+	var buf bytes.Buffer
+	if _, err := Geographic(WithTargetError(1e-2), WithLossRate(0.2),
+		WithTraceJSONL(&buf, 2, "loss")).Run(nw, values); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no loss events sampled")
+	}
+	for _, e := range events {
+		if e.Kind != trace.KindLoss {
+			t.Fatalf("kind %v leaked through the loss filter", e.Kind)
+		}
+	}
+	// Unknown kinds fail loudly at Run, not silently.
+	if _, err := Boyd(WithTraceJSONL(&buf, 0, "bogus-kind")).Run(nw, values); err == nil {
+		t.Fatal("unknown trace kind accepted")
+	}
+}
+
+// TestSweepObservabilityPassive pins the acceptance criterion: a sweep
+// with live metric exposition produces byte-identical JSONL results to
+// one without, and the registry's exposition is parseable and carries
+// the sweep's progress state.
+func TestSweepObservabilityPassive(t *testing.T) {
+	spec := SweepSpec{
+		Algorithms: []string{"boyd", "affine-hierarchical"},
+		Ns:         []int{200, 300},
+		Seeds:      2,
+		TargetErr:  5e-2,
+	}
+	var plain bytes.Buffer
+	repPlain, err := Sweep(context.Background(), spec, WithSweepJSONL(&plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetricsRegistry()
+	var wired bytes.Buffer
+	repWired, err := Sweep(context.Background(), spec, WithSweepJSONL(&wired), WithSweepMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sortJSONLLines(plain.Bytes()), sortJSONLLines(wired.Bytes())) {
+		t.Fatal("JSONL results differ with metrics exposition enabled")
+	}
+	if !reflect.DeepEqual(repPlain, repWired) {
+		t.Fatal("sweep reports differ with metrics exposition enabled")
+	}
+
+	vals := m.Values()
+	if got := vals["geogossip_sweep_tasks_done"]; got != float64(spec.TaskCount()) {
+		t.Errorf("sweep_tasks_done = %v, want %d", got, spec.TaskCount())
+	}
+	if got := vals["geogossip_sweep_tasks_total"]; got != float64(spec.TaskCount()) {
+		t.Errorf("sweep_tasks_total = %v, want %d", got, spec.TaskCount())
+	}
+	var expo strings.Builder
+	if err := m.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	out := expo.String()
+	for _, want := range []string{
+		"# TYPE geogossip_transmissions_total counter",
+		`geogossip_runs_total{engine="boyd"} 4`,
+		`geogossip_runs_total{engine="affine-hierarchical"} 4`,
+		"geogossip_sweep_tasks_done 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepReportMetricsMatchResults: the aggregated registry agrees
+// with the per-task results it summarizes.
+func TestSweepReportMetricsMatchResults(t *testing.T) {
+	spec := SweepSpec{
+		Algorithms:  []string{"geographic", "push-sum"},
+		Ns:          []int{200},
+		Seeds:       2,
+		TargetErr:   5e-2,
+		FaultModels: []string{"", "bernoulli:0.2"},
+	}
+	rep, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTx := map[string]uint64{}
+	wantRuns := map[string]uint64{}
+	for _, r := range rep.Results {
+		wantTx[r.Algorithm] += r.Transmissions
+		wantRuns[r.Algorithm]++
+	}
+	for engine, want := range wantRuns {
+		if got := rep.Metrics[`geogossip_runs_total{engine="`+engine+`"}`]; got != float64(want) {
+			t.Errorf("runs_total{%s} = %v, want %d", engine, got, want)
+		}
+	}
+	for engine, want := range wantTx {
+		var got float64
+		for _, cat := range []string{"near", "far", "control", "flood"} {
+			got += rep.Metrics[`geogossip_transmissions_total{category="`+cat+`",engine="`+engine+`"}`]
+		}
+		if got != float64(want) {
+			t.Errorf("transmissions{%s} = %v, want %d", engine, got, want)
+		}
+	}
+}

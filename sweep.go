@@ -230,6 +230,14 @@ type SweepReport struct {
 	LossFits []SweepLossFit
 	// RouteCache summarizes the shared route/flood cache counters.
 	RouteCache SweepRouteCacheStats
+	// Metrics is the sweep's aggregated observability snapshot: every
+	// engine counter and histogram bucket accumulated across the tasks
+	// this call executed (resumed tasks did not run, so they contribute
+	// nothing), keyed by Prometheus exposition name — the same catalogue
+	// as Result.Metrics. Deterministic for a fixed spec at any worker
+	// count: integer event counts commute, and scrape-time gauges are
+	// excluded.
+	Metrics map[string]float64
 }
 
 // SweepOption configures Sweep.
@@ -240,6 +248,7 @@ type sweepConfig struct {
 	jsonl    io.Writer
 	progress func(done, total int)
 	resume   []SweepResult
+	metrics  *MetricsRegistry
 }
 
 // WithSweepWorkers sizes the worker pool (default GOMAXPROCS). Results
@@ -273,6 +282,17 @@ func WithSweepResume(prior []SweepResult) SweepOption {
 	return func(c *sweepConfig) { c.resume = prior }
 }
 
+// WithSweepMetrics makes the sweep report into m instead of a private
+// registry, so m can be scraped live (e.g. served over HTTP by
+// cmd/sweep -listen) while the sweep runs: per-engine event counters,
+// task progress, route-cache hit counters and channel-pool reuse.
+// SweepReport.Metrics is snapshotted from the same registry at the end.
+// Observability never changes execution: task results are byte-identical
+// with or without it.
+func WithSweepMetrics(m *MetricsRegistry) SweepOption {
+	return func(c *sweepConfig) { c.metrics = m }
+}
+
 // ReadSweepResults parses JSONL sweep output (as written by
 // WithSweepJSONL) back into results, tolerating a truncated final line
 // from a killed run. Feed them to WithSweepResume to continue an
@@ -300,11 +320,16 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 	for _, o := range opts {
 		o(&cfg)
 	}
+	reg := cfg.metrics
+	if reg == nil {
+		reg = NewMetricsRegistry()
+	}
 	var routeStats routing.CacheStats
 	iopt := sweep.Options{
 		Workers:    cfg.workers,
 		Progress:   cfg.progress,
 		RouteStats: &routeStats,
+		Obs:        reg.reg,
 	}
 	for _, r := range cfg.resume {
 		iopt.Resume = append(iopt.Resume, toInternalResult(r))
@@ -315,6 +340,7 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 	results, err := sweep.Run(ctx, spec.internal(), iopt)
 	rep := &SweepReport{
 		Results: make([]SweepResult, 0, len(results)),
+		Metrics: reg.reg.Flatten(),
 		RouteCache: SweepRouteCacheStats{
 			RouteHits:   routeStats.RouteHits,
 			RouteMisses: routeStats.RouteMisses,

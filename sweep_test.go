@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"geogossip/internal/metrics"
+	"geogossip/internal/obs"
 )
 
 // The acceptance grid: 3 algorithms × 3 sizes × 2 seeds through the
@@ -105,6 +106,13 @@ func TestSweepResumeMergesPriorResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Metrics counts events of the runs this Sweep call actually
+	// executed, so a resumed sweep reports fewer runs than the full one —
+	// compare it separately, then the rest of the report bit-for-bit.
+	if got := resumed.Metrics[`geogossip_runs_total{engine="boyd"}`]; got != float64(len(full.Results)-len(prior)) {
+		t.Fatalf("resumed sweep counted %v runs, want %d (executed tasks only)", got, len(full.Results)-len(prior))
+	}
+	resumed.Metrics, full.Metrics = nil, nil
 	if !reflect.DeepEqual(resumed, full) {
 		t.Fatal("resumed report differs from the uninterrupted run")
 	}
@@ -181,7 +189,7 @@ func TestResultBreakdownIsACopy(t *testing.T) {
 		Transmissions:           7,
 		TransmissionsByCategory: map[string]uint64{"near": 7},
 	}
-	res := fromMetrics(internal)
+	res := fromMetrics(internal, obs.NewRegistry())
 	if !reflect.DeepEqual(res.Breakdown, internal.TransmissionsByCategory) {
 		t.Fatalf("breakdown not copied: %v", res.Breakdown)
 	}
@@ -190,7 +198,7 @@ func TestResultBreakdownIsACopy(t *testing.T) {
 	if internal.TransmissionsByCategory["near"] != 7 || len(internal.TransmissionsByCategory) != 1 {
 		t.Fatalf("caller mutation reached internal metrics: %v", internal.TransmissionsByCategory)
 	}
-	if fromMetrics(&metrics.Result{Algorithm: "x"}).Breakdown != nil {
+	if fromMetrics(&metrics.Result{Algorithm: "x"}, obs.NewRegistry()).Breakdown != nil {
 		t.Fatal("nil category map produced a non-nil breakdown")
 	}
 }
