@@ -34,6 +34,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"geogossip"
 )
@@ -64,6 +65,9 @@ func run(args []string) error {
 		field    = fs.String("field", "", "initial field: smooth or gaussian (default smooth)")
 		config   = fs.String("config", "", "JSON file holding the full spec (overrides grid flags)")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		workersB = fs.Int("workers-build", 0, "construction parallelism per network build: graph scan and hierarchy tables shard across this many goroutines (0 = all cores, 1 = serial; networks are byte-identical at any value)")
+		asyncTh  = fs.Float64("async-throttle", 0, "override the async engine's round-serialization factor (0 = engine default; raise with -async-leaf-ticks for large-n async runs, see README Scale)")
+		asyncLT  = fs.Int("async-leaf-ticks", 0, "override the async engine's leaf round budget in leaf-rep clock ticks (0 = engine default)")
 		out      = fs.String("out", "-", "JSONL output path (- = stdout)")
 		resume   = fs.Bool("resume", false, "skip tasks already present in -out and append")
 		quiet    = fs.Bool("quiet", false, "suppress progress reporting on stderr")
@@ -96,6 +100,8 @@ func run(args []string) error {
 			MaxTicks:         *maxTicks,
 			RadiusMultiplier: *radius,
 			Field:            *field,
+			AsyncThrottle:    *asyncTh,
+			AsyncLeafTicks:   *asyncLT,
 			Algorithms:       splitList(*algos),
 			FaultModels:      splitList(*faults),
 			Samplings:        splitList(*sampling),
@@ -119,7 +125,10 @@ func run(args []string) error {
 		return fmt.Errorf("-resume needs -out FILE: stdout output cannot be re-read")
 	}
 
-	opts := []geogossip.SweepOption{geogossip.WithSweepWorkers(*workers)}
+	opts := []geogossip.SweepOption{
+		geogossip.WithSweepWorkers(*workers),
+		geogossip.WithSweepBuildWorkers(*workersB),
+	}
 
 	// -listen exposes the sweep live over HTTP; the registry it serves is
 	// the one the sweep reports into. Exposition is read-only and atomic,
@@ -206,8 +215,11 @@ func run(args []string) error {
 
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
+	runStart := time.Now()
 	rep, err := geogossip.Sweep(ctx, spec, opts...)
+	runWall := time.Since(runStart)
 	if rep != nil && !*quiet {
+		printPhaseStats(os.Stderr, rep.NetBuild, runWall)
 		printCacheStats(os.Stderr, rep.RouteCache)
 		printMemStats(os.Stderr, memBefore)
 	}
@@ -225,9 +237,61 @@ func run(args []string) error {
 		return err
 	}
 	if *agg {
+		aggStart := time.Now()
 		printAggregation(os.Stdout, rep)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "phase aggregate: %v wall, peak RSS %s\n",
+				time.Since(aggStart).Round(time.Millisecond), rssLabel())
+		}
 	}
 	return nil
+}
+
+// printPhaseStats reports the construct and run phases: distinct network
+// builds with their summed construction wall-clock and bytes-per-node
+// footprint, then the whole-sweep wall-clock, each with the process's
+// peak RSS so far (VmHWM; includes construction — the high-water figure
+// the n=10⁶ recipe budgets against).
+func printPhaseStats(w io.Writer, nb geogossip.SweepNetBuildStats, runWall time.Duration) {
+	if nb.Networks > 0 {
+		fmt.Fprintf(w, "phase construct: %d network(s), %d nodes, %.2fs build wall, %.1f MB resident (%.1f bytes/node)\n",
+			nb.Networks, nb.Nodes, nb.BuildSeconds,
+			float64(nb.GraphBytes+nb.HierarchyBytes)/(1<<20), nb.BytesPerNode())
+	}
+	fmt.Fprintf(w, "phase run: %v wall, peak RSS %s\n", runWall.Round(time.Millisecond), rssLabel())
+}
+
+// rssLabel renders the process peak RSS, or "n/a" where the kernel does
+// not expose it.
+func rssLabel() string {
+	if rss := peakRSSBytes(); rss > 0 {
+		return fmt.Sprintf("%.1f MB", float64(rss)/(1<<20))
+	}
+	return "n/a"
+}
+
+// peakRSSBytes reads the process's peak resident set size (VmHWM) from
+// /proc/self/status, returning 0 on platforms without procfs.
+func peakRSSBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
 }
 
 // printCacheStats extends the progress summary with the shared route

@@ -81,10 +81,11 @@ type Network struct {
 type NetworkOption func(*networkConfig)
 
 type networkConfig struct {
-	seed       uint64
-	radiusMult float64
-	leafTarget float64
-	maxDepth   int
+	seed         uint64
+	radiusMult   float64
+	leafTarget   float64
+	maxDepth     int
+	buildWorkers int
 }
 
 // WithSeed sets the placement seed (default 1). The same (n, seed,
@@ -112,6 +113,16 @@ func WithFlatHierarchy() NetworkOption {
 	return func(c *networkConfig) { c.maxDepth = 1 }
 }
 
+// WithBuildWorkers sizes the construction worker pool: the graph's
+// per-node radius scan and the hierarchy's leaf/role tables shard across
+// n goroutines (0 selects all cores, 1 builds serially). Every worker
+// count builds the byte-identical network — construction parallelism is
+// never part of the result — so the knob only trades wall-clock for
+// cores on large instances (see README "Scale" for the n=10⁶ recipe).
+func WithBuildWorkers(n int) NetworkOption {
+	return func(c *networkConfig) { c.buildWorkers = n }
+}
+
 // ErrNotConnected is returned by NewNetwork when the sampled instance is
 // disconnected (retry with another seed or a larger radius multiplier).
 var ErrNotConnected = errors.New("geogossip: generated network is not connected")
@@ -125,14 +136,14 @@ func NewNetwork(n int, opts ...NetworkOption) (*Network, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	g, err := graph.Generate(n, cfg.radiusMult, rng.New(cfg.seed))
+	g, err := graph.GenerateWorkers(n, cfg.radiusMult, rng.New(cfg.seed), cfg.buildWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("geogossip: generate graph: %w", err)
 	}
 	if n > 1 && !g.IsConnected() {
 		return nil, ErrNotConnected
 	}
-	h, err := hier.Build(g.Points(), hier.Config{LeafTarget: cfg.leafTarget, MaxDepth: cfg.maxDepth})
+	h, err := hier.Build(g.Points(), hier.Config{LeafTarget: cfg.leafTarget, MaxDepth: cfg.maxDepth, Workers: cfg.buildWorkers})
 	if err != nil {
 		return nil, fmt.Errorf("geogossip: build hierarchy: %w", err)
 	}
@@ -164,6 +175,37 @@ func (nw *Network) Positions() [][2]float64 {
 
 // MeanDegree returns the average number of neighbours per sensor.
 func (nw *Network) MeanDegree() float64 { return nw.g.Degrees().Mean }
+
+// NetworkFootprint breaks down a network's resident memory: the packed
+// point array, the CSR adjacency, the spatial cell index, the lazily
+// cached Voronoi areas (zero until a geographic run computes them), and
+// the square hierarchy's tables.
+type NetworkFootprint struct {
+	PointsBytes    int
+	AdjacencyBytes int
+	IndexBytes     int
+	VoronoiBytes   int
+	HierarchyBytes int
+}
+
+// Total sums the footprint components.
+func (f NetworkFootprint) Total() int {
+	return f.PointsBytes + f.AdjacencyBytes + f.IndexBytes + f.VoronoiBytes + f.HierarchyBytes
+}
+
+// Footprint reports the network's resident memory breakdown — the
+// bytes-per-node figure (Footprint().Total() / N()) the README "Scale"
+// section quotes for n = 10⁶.
+func (nw *Network) Footprint() NetworkFootprint {
+	gf := nw.g.Footprint()
+	return NetworkFootprint{
+		PointsBytes:    gf.PointsBytes,
+		AdjacencyBytes: gf.AdjBytes,
+		IndexBytes:     gf.IndexBytes,
+		VoronoiBytes:   gf.VoronoiBytes,
+		HierarchyBytes: nw.h.Footprint(),
+	}
+}
 
 // Result summarizes one averaging run.
 type Result struct {
@@ -247,6 +289,7 @@ type runConfig struct {
 	churnDown   float64
 	churnSet    bool
 	recover     bool
+	parallel    sim.Parallel
 	tracer      trace.Tracer
 	// optErr carries the first invalid option input; surfaced by validate
 	// so constructors stay error-free.
@@ -362,6 +405,33 @@ func WithFaults(spec string) RunOption {
 // fault runs without it reproduce historical results bit-for-bit.
 func WithRecovery() RunOption {
 	return func(c *runConfig) { c.recover = true }
+}
+
+// WithParallel enables deterministic intra-run parallelism (DESIGN.md
+// §9): the node set is split into shards contiguous deterministic shards
+// (0 selects the fixed default of 8) executed by workers goroutines
+// (0 selects all cores). The shard count is part of the schedule — two
+// runs agree bit-for-bit only when their shard counts agree — while the
+// worker count never changes any output, so a run is bit-identical to
+// itself at every worker count. The sharded schedule is a different,
+// equally valid interleaving of the protocol than the serial one, so its
+// results are not draw-compatible with non-parallel runs; the option is
+// off by default, which keeps every historical fingerprint byte-identical.
+//
+// Engine support: Boyd and PushSum shard their tick loops and require
+// the perfect medium (no loss, faults, recovery or tracing); AffineAsync
+// shards its recovery sweep and requires WithRecovery; Geographic and
+// AffineHierarchical reject the option (their exchanges are global).
+func WithParallel(shards, workers int) RunOption {
+	return func(c *runConfig) {
+		p := sim.Parallel{Shards: shards, Workers: workers}
+		if !p.Enabled() {
+			// Calling the option at all opts in; all-zero arguments mean
+			// "defaults for everything".
+			p.Shards = sim.DefaultShards
+		}
+		c.parallel = p
+	}
 }
 
 // WithChurn overlays crash-stop node failure on the run: each node
@@ -491,11 +561,12 @@ func (a boydAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	}
 	reg := obs.NewRegistry()
 	res, err := gossip.RunBoyd(nw.g, values, gossip.Options{
-		Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
-		Faults: faults,
-		Resync: a.cfg.recover,
-		Tracer: a.cfg.tracer,
-		Obs:    reg.Scope(a.Name()),
+		Stop:     sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+		Faults:   faults,
+		Resync:   a.cfg.recover,
+		Parallel: a.cfg.parallel,
+		Tracer:   a.cfg.tracer,
+		Obs:      reg.Scope(a.Name()),
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err
@@ -519,11 +590,12 @@ func (a geoAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	reg := obs.NewRegistry()
 	res, err := gossip.RunGeographic(nw.g, values, gossip.GeoOptions{
 		Options: gossip.Options{
-			Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
-			Faults: faults,
-			Resync: a.cfg.recover,
-			Tracer: a.cfg.tracer,
-			Obs:    reg.Scope(a.Name()),
+			Stop:     sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+			Faults:   faults,
+			Resync:   a.cfg.recover,
+			Parallel: a.cfg.parallel,
+			Tracer:   a.cfg.tracer,
+			Obs:      reg.Scope(a.Name()),
 		},
 		Sampling: a.cfg.sampling,
 	}, rng.New(a.cfg.seed))
@@ -546,6 +618,9 @@ func (a affineAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	faults, err := a.cfg.validate()
 	if err != nil {
 		return nil, err
+	}
+	if a.cfg.parallel.Enabled() {
+		return nil, fmt.Errorf("geogossip: WithParallel is not supported by %s (round-structured exchanges are global)", a.Name())
 	}
 	reg := obs.NewRegistry()
 	res, err := core.RunRecursive(nw.g, nw.h, values, core.RecursiveOptions{
@@ -583,6 +658,7 @@ func (a asyncAlgo) Run(nw *Network, values []float64) (*Result, error) {
 		RoundsFactor: 2,
 		Faults:       faults,
 		Recover:      a.cfg.recover,
+		Parallel:     a.cfg.parallel,
 		Tracer:       a.cfg.tracer,
 		Obs:          reg.Scope(a.Name()),
 		Stop:         sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
@@ -611,10 +687,11 @@ func (a pushSumAlgo) Run(nw *Network, values []float64) (*Result, error) {
 	}
 	reg := obs.NewRegistry()
 	res, err := gossip.RunPushSum(nw.g, values, gossip.Options{
-		Stop:   sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
-		Faults: faults,
-		Tracer: a.cfg.tracer,
-		Obs:    reg.Scope(a.Name()),
+		Stop:     sim.StopRule{TargetErr: a.cfg.targetErr, MaxTicks: a.cfg.maxTicks},
+		Faults:   faults,
+		Parallel: a.cfg.parallel,
+		Tracer:   a.cfg.tracer,
+		Obs:      reg.Scope(a.Name()),
 	}, rng.New(a.cfg.seed))
 	if err != nil {
 		return nil, err

@@ -3,13 +3,17 @@ package geo
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // CellIndex is a uniform-grid spatial index over a fixed set of points.
 // It supports radius-bounded neighbour queries (the geometric random graph
 // construction), nearest-point queries (greedy routing targets, square
 // representatives) and rectangle queries (square membership).
+//
+// Cell membership is stored in CSR form — one flat id array plus per-cell
+// offsets — rather than a slice-of-slices, so a million-point index costs
+// two arrays instead of one allocation per occupied cell.
 //
 // The index is immutable after construction and safe for concurrent reads.
 type CellIndex struct {
@@ -18,8 +22,10 @@ type CellIndex struct {
 	cols     int
 	rows     int
 	points   []Point
-	// cells[c] lists the indices of the points in cell c, sorted ascending.
-	cells [][]int32
+	// cellIDs[cellStart[c]:cellStart[c+1]] lists the indices of the points
+	// in cell c, sorted ascending.
+	cellStart []int32
+	cellIDs   []int32
 }
 
 // NewCellIndex builds an index over points within bounds using square
@@ -46,11 +52,25 @@ func NewCellIndex(points []Point, bounds Rect, cellSize float64) (*CellIndex, er
 		cols:     cols,
 		rows:     rows,
 		points:   points,
-		cells:    make([][]int32, cols*rows),
 	}
+	// Two passes: count occupancy, prefix-sum into offsets, then fill.
+	// Filling in ascending point order keeps every cell's id list sorted
+	// without a per-cell sort.
+	nc := cols * rows
+	idx.cellStart = make([]int32, nc+1)
+	for _, p := range points {
+		idx.cellStart[idx.cellOf(p)+1]++
+	}
+	for c := 0; c < nc; c++ {
+		idx.cellStart[c+1] += idx.cellStart[c]
+	}
+	idx.cellIDs = make([]int32, len(points))
+	fill := make([]int32, nc)
+	copy(fill, idx.cellStart[:nc])
 	for i, p := range points {
 		c := idx.cellOf(p)
-		idx.cells[c] = append(idx.cells[c], int32(i))
+		idx.cellIDs[fill[c]] = int32(i)
+		fill[c]++
 	}
 	return idx, nil
 }
@@ -58,12 +78,23 @@ func NewCellIndex(points []Point, bounds Rect, cellSize float64) (*CellIndex, er
 // NumPoints returns the number of indexed points.
 func (ci *CellIndex) NumPoints() int { return len(ci.points) }
 
+// FootprintBytes reports the heap bytes held by the index's own tables
+// (offsets + id array), excluding the caller-owned point slice.
+func (ci *CellIndex) FootprintBytes() int {
+	return 4*len(ci.cellStart) + 4*len(ci.cellIDs)
+}
+
 func (ci *CellIndex) cellOf(p Point) int {
 	col := int((p.X - ci.bounds.MinX) / ci.cellSize)
 	row := int((p.Y - ci.bounds.MinY) / ci.cellSize)
 	col = clamp(col, 0, ci.cols-1)
 	row = clamp(row, 0, ci.rows-1)
 	return row*ci.cols + col
+}
+
+// cell returns the sorted point ids in cell c.
+func (ci *CellIndex) cell(c int) []int32 {
+	return ci.cellIDs[ci.cellStart[c]:ci.cellStart[c+1]]
 }
 
 // WithinRadius appends to dst the indices of all points within distance
@@ -91,7 +122,7 @@ func (ci *CellIndex) WithinRadius(p Point, radius float64, exclude int32, dst []
 			if cc < 0 || cc >= ci.cols {
 				continue
 			}
-			for _, j := range ci.cells[rr*ci.cols+cc] {
+			for _, j := range ci.cell(rr*ci.cols + cc) {
 				if j == exclude {
 					continue
 				}
@@ -103,6 +134,41 @@ func (ci *CellIndex) WithinRadius(p Point, radius float64, exclude int32, dst []
 	}
 	sortInt32(dst[start:])
 	return dst
+}
+
+// CountWithinRadius returns the number of points WithinRadius would
+// append for the same query, without writing them anywhere. It exists so
+// graph construction can pre-size exact CSR segments in a counting pass.
+func (ci *CellIndex) CountWithinRadius(p Point, radius float64, exclude int32) int {
+	if radius < 0 {
+		return 0
+	}
+	r2 := radius * radius
+	reach := int(math.Ceil(radius / ci.cellSize))
+	col := clamp(int((p.X-ci.bounds.MinX)/ci.cellSize), 0, ci.cols-1)
+	row := clamp(int((p.Y-ci.bounds.MinY)/ci.cellSize), 0, ci.rows-1)
+	count := 0
+	for dr := -reach; dr <= reach; dr++ {
+		rr := row + dr
+		if rr < 0 || rr >= ci.rows {
+			continue
+		}
+		for dc := -reach; dc <= reach; dc++ {
+			cc := col + dc
+			if cc < 0 || cc >= ci.cols {
+				continue
+			}
+			for _, j := range ci.cell(rr*ci.cols + cc) {
+				if j == exclude {
+					continue
+				}
+				if ci.points[j].Dist2(p) <= r2 {
+					count++
+				}
+			}
+		}
+	}
+	return count
 }
 
 // Nearest returns the index of the point nearest to p, or -1 if the index
@@ -152,7 +218,7 @@ func (ci *CellIndex) scanRing(p Point, row, col, ring int, exclude int32, best *
 			return
 		}
 		any = true
-		for _, j := range ci.cells[rr*ci.cols+cc] {
+		for _, j := range ci.cell(rr*ci.cols + cc) {
 			if j == exclude {
 				continue
 			}
@@ -188,7 +254,7 @@ func (ci *CellIndex) InRect(rect Rect, dst []int32) []int32 {
 	hiRow, hiCol := hi/ci.cols, hi%ci.cols
 	for rr := loRow; rr <= hiRow; rr++ {
 		for cc := loCol; cc <= hiCol; cc++ {
-			for _, j := range ci.cells[rr*ci.cols+cc] {
+			for _, j := range ci.cell(rr*ci.cols + cc) {
 				if rect.Contains(ci.points[j]) {
 					dst = append(dst, j)
 				}
@@ -200,5 +266,5 @@ func (ci *CellIndex) InRect(rect Rect, dst []int32) []int32 {
 }
 
 func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/rng"
+)
+
+// Construction benchmarks: the two-pass (count, prefix-sum, fill) CSR
+// build, serial vs. sharded. Reference numbers live in
+// BENCH_engines.json. The million-node case is the headline scale
+// target and is skipped under -short so bench smoke stays bounded.
+func BenchmarkBuild(b *testing.B) {
+	cases := []struct {
+		n     int
+		large bool
+	}{
+		{4096, false},
+		{65536, false},
+		{1000000, true},
+	}
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	}
+	for _, c := range cases {
+		var pts []geo.Point
+		radius := ConnectivityRadius(c.n, 1.5)
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("n=%d/%s", c.n, m.name), func(b *testing.B) {
+				if c.large && testing.Short() {
+					b.Skip("million-node build skipped in -short mode")
+				}
+				if pts == nil {
+					pts = UniformPoints(c.n, rng.New(991).Stream("points"))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g, err := BuildWorkers(pts, radius, m.workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if g.N() != c.n {
+						b.Fatalf("built %d nodes, want %d", g.N(), c.n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// VoronoiAreas memoizes, so each timed iteration needs a fresh graph;
+// the rebuild runs with the timer stopped so only the (sharded) area
+// computation is measured.
+func BenchmarkVoronoiAreas(b *testing.B) {
+	const n = 4096
+	pts := UniformPoints(n, rng.New(993).Stream("points"))
+	radius := ConnectivityRadius(n, 1.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, err := BuildWorkers(pts, radius, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if areas := g.VoronoiAreas(); len(areas) != n {
+			b.Fatal("bad areas")
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"geogossip/internal/geo"
+	"geogossip/internal/par"
 	"geogossip/internal/rng"
 )
 
@@ -50,6 +51,10 @@ type Graph struct {
 	offsets []int32
 	edges   int
 
+	// workers is the construction worker count the graph was built with;
+	// derived computations (VoronoiAreas) reuse it.
+	workers int
+
 	// voronoi caches VoronoiAreas: the areas are a pure function of the
 	// immutable point set, and every geographic-gossip run on the graph
 	// needs them, so they are computed once and shared.
@@ -70,16 +75,36 @@ func UniformPoints(n int, r *rng.RNG) []geo.Point {
 // Generate builds G(n, r) with r = c·sqrt(log n / n) from fresh uniform
 // points drawn from r's "points" substream.
 func Generate(n int, c float64, r *rng.RNG) (*Graph, error) {
+	return GenerateWorkers(n, c, r, 1)
+}
+
+// GenerateWorkers is Generate with a construction worker-pool size. The
+// points are always drawn serially (the draw sequence is part of the seed
+// contract); only the adjacency construction is sharded. Output is
+// byte-identical at every worker count.
+func GenerateWorkers(n int, c float64, r *rng.RNG, workers int) (*Graph, error) {
 	pts := UniformPoints(n, r.Stream("points"))
-	return Build(pts, ConnectivityRadius(n, c))
+	return BuildWorkers(pts, ConnectivityRadius(n, c), workers)
 }
 
 // Build constructs the geometric graph over the given points with the
 // given connection radius. All points must lie in the unit square.
 func Build(points []geo.Point, radius float64) (*Graph, error) {
+	return BuildWorkers(points, radius, 1)
+}
+
+// BuildWorkers is Build with a construction worker-pool size (<= 0 selects
+// GOMAXPROCS). The per-node WithinRadius scan is sharded across workers in
+// two passes — count, prefix-sum, fill — so the packed flat/offsets arrays
+// are byte-identical to the serial build at every worker count: each
+// node's neighbour segment is a pure function of the immutable cell index,
+// written into its exact pre-sized CSR slot. The counting pass also means
+// the serial path never pays append grow-copies on flat.
+func BuildWorkers(points []geo.Point, radius float64, workers int) (*Graph, error) {
 	if radius <= 0 {
 		return nil, fmt.Errorf("graph: radius %v must be positive", radius)
 	}
+	workers = par.Resolve(workers)
 	bounds := geo.UnitSquare()
 	for i, p := range points {
 		if !bounds.Contains(p) {
@@ -101,14 +126,37 @@ func Build(points []geo.Point, radius float64) (*Graph, error) {
 		radius:  radius,
 		bounds:  bounds,
 		index:   idx,
+		workers: workers,
 		offsets: make([]int32, len(points)+1),
 	}
-	var scratch []int32
-	for i := range points {
-		scratch = g.index.WithinRadius(points[i], radius, int32(i), scratch[:0])
-		g.flat = append(g.flat, scratch...)
-		g.offsets[i+1] = int32(len(g.flat))
+	n := len(points)
+	// Pass 1 (parallel): exact neighbour count per node.
+	par.Blocks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.offsets[i+1] = int32(g.index.CountWithinRadius(points[i], radius, int32(i)))
+		}
+	})
+	// Prefix-sum stitch (serial): offsets[i+1] becomes the end of node i's
+	// segment, exactly as the serial append loop would have left it.
+	for i := 0; i < n; i++ {
+		g.offsets[i+1] += g.offsets[i]
 	}
+	// Pass 2 (parallel): fill each node's pre-sized segment in place. The
+	// three-index slice caps the append run at the counted length, so the
+	// appends land inside flat; if a count/fill mismatch ever made append
+	// grow past the cap (spilling into a fresh backing array) the length
+	// check below catches it instead of corrupting a neighbour segment.
+	g.flat = make([]int32, g.offsets[n])
+	par.Blocks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seg := g.flat[g.offsets[i]:g.offsets[i]:g.offsets[i+1]]
+			out := g.index.WithinRadius(points[i], radius, int32(i), seg)
+			if len(out) != cap(seg) {
+				panic(fmt.Sprintf("graph: node %d neighbour count changed between passes (%d != %d)",
+					i, len(out), cap(seg)))
+			}
+		}
+	})
 	g.edges = len(g.flat) / 2
 	return g, nil
 }
@@ -326,45 +374,76 @@ func buildPath(prev []int32, dst int32) []int32 {
 func (g *Graph) VoronoiAreas() []float64 {
 	g.voronoiOnce.Do(func() {
 		areas := make([]float64, g.N())
-		// Two ping-pong clip buffers: each bisector clip writes into the
-		// buffer the previous one didn't, so the whole construction
-		// performs O(1) allocations instead of one polygon per clip.
+		// Each node's area is a pure function of its own point and
+		// neighbour list, so the node range shards freely: every worker
+		// block owns a disjoint slice of areas and its own pair of
+		// ping-pong clip buffers (each bisector clip writes into the
+		// buffer the previous one didn't — O(1) allocations per block
+		// instead of one polygon per clip). Output is byte-identical at
+		// every worker count.
 		unit := geo.UnitSquarePolygon()
-		bufA := make(geo.Polygon, 0, 16)
-		bufB := make(geo.Polygon, 0, 16)
-		for i := int32(0); int(i) < g.N(); i++ {
-			cell := unit
-			pi := g.points[i]
-			writeA := true // which buffer the next clip writes into
-			for _, j := range g.Neighbors(i) {
-				dst := bufB
-				if writeA {
-					dst = bufA
+		par.Blocks(g.workers, g.N(), func(lo, hi int) {
+			bufA := make(geo.Polygon, 0, 16)
+			bufB := make(geo.Polygon, 0, 16)
+			for i := int32(lo); int(i) < hi; i++ {
+				cell := unit
+				pi := g.points[i]
+				writeA := true // which buffer the next clip writes into
+				for _, j := range g.Neighbors(i) {
+					dst := bufB
+					if writeA {
+						dst = bufA
+					}
+					// dst never aliases cell: cell lives in the other buffer
+					// (or in unit before the first real clip).
+					next := cell.ClipBisectorInto(pi, g.points[j], dst[:0])
+					if len(next) == 0 {
+						cell = nil
+						break
+					}
+					if &next[0] == &cell[0] {
+						continue // identical-points passthrough: nothing written
+					}
+					// Keep the (possibly append-grown) buffer for reuse.
+					if writeA {
+						bufA = next
+					} else {
+						bufB = next
+					}
+					cell = next
+					writeA = !writeA
 				}
-				// dst never aliases cell: cell lives in the other buffer
-				// (or in unit before the first real clip).
-				next := cell.ClipBisectorInto(pi, g.points[j], dst[:0])
-				if len(next) == 0 {
-					cell = nil
-					break
-				}
-				if &next[0] == &cell[0] {
-					continue // identical-points passthrough: nothing written
-				}
-				// Keep the (possibly append-grown) buffer for reuse.
-				if writeA {
-					bufA = next
-				} else {
-					bufB = next
-				}
-				cell = next
-				writeA = !writeA
+				areas[i] = cell.Area()
 			}
-			areas[i] = cell.Area()
-		}
+		})
 		g.voronoi = areas
 	})
 	return g.voronoi
+}
+
+// Footprint itemizes the heap bytes the graph holds per major table. The
+// voronoi entry is nonzero only once VoronoiAreas has been demanded.
+type Footprint struct {
+	PointsBytes  int
+	AdjBytes     int // flat + offsets CSR arrays
+	IndexBytes   int // cell-index CSR arrays
+	VoronoiBytes int
+}
+
+// Total returns the summed footprint in bytes.
+func (f Footprint) Total() int {
+	return f.PointsBytes + f.AdjBytes + f.IndexBytes + f.VoronoiBytes
+}
+
+// Footprint reports the graph's table sizes, the input to the
+// bytes-per-node scaling report in cmd/sweep.
+func (g *Graph) Footprint() Footprint {
+	return Footprint{
+		PointsBytes:  16 * len(g.points),
+		AdjBytes:     4*len(g.flat) + 4*len(g.offsets),
+		IndexBytes:   g.index.FootprintBytes(),
+		VoronoiBytes: 8 * len(g.voronoi),
+	}
 }
 
 // DegreeStats summarizes the degree distribution.

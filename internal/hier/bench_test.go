@@ -1,0 +1,42 @@
+package hier
+
+import (
+	"fmt"
+	"testing"
+
+	"geogossip/internal/graph"
+	"geogossip/internal/rng"
+)
+
+// Hierarchy construction, serial vs. sharded per-level assignment.
+// Reference numbers live in BENCH_engines.json.
+func BenchmarkHierBuild(b *testing.B) {
+	for _, n := range []int{4096, 65536} {
+		g, err := graph.Generate(n, 1.5, rng.New(992))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := g.Points()
+		for _, m := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", 0},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, m.name), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h, err := Build(pts, Config{Workers: m.workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(h.NodeLeaf) != n {
+						b.Fatal("bad hierarchy")
+					}
+				}
+			})
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"geogossip/internal/geo"
+	"geogossip/internal/par"
 )
 
 // Config controls hierarchy construction.
@@ -34,6 +35,12 @@ type Config struct {
 	LeafTarget float64
 	// MaxDepth caps the recursion depth as a safety net. Zero selects 12.
 	MaxDepth int
+	// Workers sizes the construction worker pool: zero selects GOMAXPROCS
+	// (par.Resolve), one builds serially inline. Any count produces a
+	// byte-identical hierarchy (square IDs, member order, representatives
+	// and role lists are all worker-count invariant), so the knob only
+	// trades wall-clock for cores.
+	Workers int
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -174,8 +181,14 @@ func Build(points []geo.Point, cfg Config) (*Hierarchy, error) {
 		}
 		h.Branching = append(h.Branching, branch)
 		k := int(math.Round(math.Sqrt(float64(branch))))
-		next := make([]*Square, 0, len(frontier)*branch)
-		for _, parent := range frontier {
+		// Phase A (parallel over parents): partition each parent's members
+		// into its child grid. Each parent's bucketing is a pure function
+		// of its own member list, so sharding the frontier across workers
+		// cannot change any bucket's content or order.
+		partCells := make([][]geo.Rect, len(frontier))
+		partKids := make([][][]int32, len(frontier))
+		par.Do(cfg.Workers, len(frontier), func(pi int) {
+			parent := frontier[pi]
 			cells := parent.Rect.SplitGrid(k)
 			kids := make([][]int32, len(cells))
 			for _, m := range parent.Members {
@@ -183,15 +196,22 @@ func Build(points []geo.Point, cfg Config) (*Hierarchy, error) {
 				ci := row*k + col
 				kids[ci] = append(kids[ci], m)
 			}
+			partCells[pi] = cells
+			partKids[pi] = kids
+		})
+		// Phase B (serial): stitch the squares in frontier order, so IDs,
+		// Children lists and BFS order match the serial build exactly.
+		next := make([]*Square, 0, len(frontier)*branch)
+		for pi, parent := range frontier {
 			parent.GridK = k
-			for ci, cell := range cells {
+			for ci, cell := range partCells[pi] {
 				child := &Square{
 					ID:       len(h.Squares),
 					Rect:     cell,
 					Depth:    parent.Depth + 1,
 					Parent:   parent.ID,
 					Expected: childExpected,
-					Members:  kids[ci],
+					Members:  partKids[pi][ci],
 				}
 				parent.Children = append(parent.Children, child.ID)
 				h.Squares = append(h.Squares, child)
@@ -206,22 +226,46 @@ func Build(points []geo.Point, cfg Config) (*Hierarchy, error) {
 	h.RepRoles = make(map[int32][]int)
 	h.NodeLeaf = make([]int32, n)
 	h.NodeLevel = make([]int32, n)
+	// Parallel pass: per-square level + representative (pure per square)
+	// and the leaf table (leaves own disjoint member sets, so the NodeLeaf
+	// writes never collide).
+	par.Blocks(cfg.Workers, len(h.Squares), func(lo, hi int) {
+		for _, sq := range h.Squares[lo:hi] {
+			sq.Level = h.Ell - sq.Depth
+			sq.Rep = nearestMember(points, sq.Members, sq.Rect.Center())
+			if sq.IsLeaf() {
+				for _, m := range sq.Members {
+					h.NodeLeaf[m] = int32(sq.ID)
+				}
+			}
+		}
+	})
+	// Serial pass in BFS order: role lists and node levels, so RepRoles
+	// slices keep the exact square order the serial build produced.
 	for _, sq := range h.Squares {
-		sq.Level = h.Ell - sq.Depth
-		sq.Rep = nearestMember(points, sq.Members, sq.Rect.Center())
 		if sq.Rep >= 0 {
 			h.RepRoles[sq.Rep] = append(h.RepRoles[sq.Rep], sq.ID)
 			if int32(sq.Level) > h.NodeLevel[sq.Rep] {
 				h.NodeLevel[sq.Rep] = int32(sq.Level)
 			}
 		}
-		if sq.IsLeaf() {
-			for _, m := range sq.Members {
-				h.NodeLeaf[m] = int32(sq.ID)
-			}
-		}
 	}
 	return h, nil
+}
+
+// Footprint reports the heap bytes held by the hierarchy's tables: the
+// square structs themselves, the per-square member lists (n ids per
+// populated depth), and the per-node leaf/level tables. RepRoles is small
+// (one entry per represented square) and counted with the squares.
+func (h *Hierarchy) Footprint() int {
+	const squareSize = 160 // unsafe.Sizeof(Square{}) rounded up, plus slot
+	bytes := squareSize * len(h.Squares)
+	for _, sq := range h.Squares {
+		bytes += 4*len(sq.Members) + 8*len(sq.Children)
+	}
+	bytes += 4*len(h.NodeLeaf) + 4*len(h.NodeLevel)
+	bytes += 16 * len(h.RepRoles)
+	return bytes
 }
 
 func nearestMember(points []geo.Point, members []int32, c geo.Point) int32 {

@@ -1,0 +1,55 @@
+package hier
+
+import (
+	"reflect"
+	"testing"
+
+	"geogossip/internal/graph"
+	"geogossip/internal/par"
+	"geogossip/internal/rng"
+)
+
+// TestBuildWorkersByteIdentity asserts that hierarchy construction is
+// worker-count invariant: square IDs, rects, member lists, reps, role
+// lists and node tables all match the serial build exactly at worker
+// counts {1, 2, NumCPU}.
+func TestBuildWorkersByteIdentity(t *testing.T) {
+	for _, n := range []int{50, 1024, 5000} {
+		pts := graph.UniformPoints(n, rng.New(21).Stream("points"))
+		serial, err := Build(pts, Config{})
+		if err != nil {
+			t.Fatalf("serial build n=%d: %v", n, err)
+		}
+		counts := []int{1, 2, par.NumCPU()}
+		for _, w := range counts {
+			parh, err := Build(pts, Config{Workers: w})
+			if err != nil {
+				t.Fatalf("parallel build n=%d workers=%d: %v", n, w, err)
+			}
+			if len(parh.Squares) != len(serial.Squares) {
+				t.Fatalf("n=%d workers=%d: %d squares, want %d", n, w, len(parh.Squares), len(serial.Squares))
+			}
+			for i, sq := range parh.Squares {
+				ref := serial.Squares[i]
+				if !reflect.DeepEqual(*sq, *ref) {
+					t.Fatalf("n=%d workers=%d: square %d differs:\n got %+v\nwant %+v", n, w, i, *sq, *ref)
+				}
+			}
+			if parh.Ell != serial.Ell || !reflect.DeepEqual(parh.Branching, serial.Branching) {
+				t.Fatalf("n=%d workers=%d: shape differs", n, w)
+			}
+			if !reflect.DeepEqual(parh.NodeLeaf, serial.NodeLeaf) {
+				t.Fatalf("n=%d workers=%d: NodeLeaf differs", n, w)
+			}
+			if !reflect.DeepEqual(parh.NodeLevel, serial.NodeLevel) {
+				t.Fatalf("n=%d workers=%d: NodeLevel differs", n, w)
+			}
+			if !reflect.DeepEqual(parh.RepRoles, serial.RepRoles) {
+				t.Fatalf("n=%d workers=%d: RepRoles differs", n, w)
+			}
+			if err := parh.Validate(); err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+		}
+	}
+}

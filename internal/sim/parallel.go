@@ -1,0 +1,39 @@
+package sim
+
+// DefaultShards is the shard count Parallel uses when only Workers is
+// set. It is a fixed constant — never derived from the machine — because
+// the shard count is part of the deterministic parallel schedule
+// (DESIGN.md §9): two runs agree bit-for-bit only when their shard
+// counts agree.
+const DefaultShards = 8
+
+// Parallel configures deterministic intra-run parallelism (DESIGN.md §9).
+// The zero value disables it, leaving engines on their serial
+// draw-compatible schedules — the default-off rule that keeps every
+// existing fingerprint byte-identical.
+//
+// Shards fixes the deterministic decomposition (it is part of the
+// schedule); Workers only decides which goroutine executes a shard, so a
+// run is bit-identical to itself at every worker count. Engines document
+// which structures they shard: gossip shards whole tick blocks, the
+// async engine shards its recovery sweep.
+type Parallel struct {
+	// Shards is the number of deterministic shards; <= 0 selects
+	// DefaultShards when Workers enables the mode. Engines cap the
+	// effective count at n so every shard owns at least one node.
+	Shards int
+	// Workers sizes the goroutine pool executing shards; <= 0 selects
+	// GOMAXPROCS. Result-invariant.
+	Workers int
+}
+
+// Enabled reports whether parallel execution was requested.
+func (p Parallel) Enabled() bool { return p.Shards > 0 || p.Workers > 0 }
+
+// WithDefaults fills the shard count for an enabled config.
+func (p Parallel) WithDefaults() Parallel {
+	if p.Shards <= 0 {
+		p.Shards = DefaultShards
+	}
+	return p
+}

@@ -54,6 +54,12 @@ func (c *Clock) Tick() int32 {
 // Ticks returns the number of ticks issued so far.
 func (c *Clock) Ticks() uint64 { return c.ticks }
 
+// Bump advances the tick counter by k without drawing. The parallel tick
+// scheduler (DESIGN.md §9) issues its draws from per-shard streams and
+// accounts a whole block of ticks here, so curve samples, stop checks and
+// results stay denominated in global ticks.
+func (c *Clock) Bump(k uint64) { c.ticks += k }
+
 // Category classifies transmissions for the cost breakdown of E13.
 type Category int
 
@@ -223,6 +229,21 @@ func (t *ErrTracker) Err() float64 {
 func (t *ErrTracker) Resync() {
 	t.dev2 = t.exactDev2()
 	t.updates = 0
+}
+
+// ApplyExternal folds in incremental updates that were accumulated
+// outside the tracker: a deviation-squared delta covering updates value
+// changes already written to x. The parallel tick scheduler's shards
+// accumulate their in-shard deltas locally and merge them here in fixed
+// shard order, keeping the periodic exact-recompute cadence (and so the
+// reported error) deterministic.
+func (t *ErrTracker) ApplyExternal(dev2Delta float64, updates int) {
+	t.dev2 += dev2Delta
+	t.updates += updates
+	if t.updates >= t.resyncEvery {
+		t.updates = 0
+		t.dev2 = t.exactDev2()
+	}
 }
 
 // StopRule bundles the termination conditions shared by the algorithm

@@ -15,6 +15,13 @@ import (
 type Options struct {
 	// Workers sizes the pool; zero selects GOMAXPROCS.
 	Workers int
+	// BuildWorkers sizes the intra-network construction parallelism: each
+	// cached network build (graph radius scan, hierarchy tables) shards
+	// across this many goroutines; zero selects GOMAXPROCS, one builds
+	// serially. Any value yields byte-identical networks (the construction
+	// suites assert it), so it is not part of the task identity. Useful
+	// when a grid has few distinct networks but each is large.
+	BuildWorkers int
 	// Sink receives each TaskResult as it completes (completion order).
 	// Nil discards streamed results; Run still returns the collected
 	// slice. Sink.Write is called from a single goroutine.
@@ -39,6 +46,10 @@ type Options struct {
 	// cache counters of the run's shared per-network caches after every
 	// task has drained.
 	RouteStats *routing.CacheStats
+	// NetStats, when non-nil, receives the run's network-construction
+	// summary (distinct builds, construction wall-clock, footprint) after
+	// every task has drained.
+	NetStats *NetBuildStats
 	// Obs, when non-nil, receives the sweep's metrics: every engine run
 	// reports into a per-algorithm scope on this registry, and the run
 	// registers scrape-time collectors for task progress, route-cache
@@ -107,6 +118,7 @@ func (r TaskResult) matches(t Task) bool {
 		r.Beta == t.Beta && r.Sampling == t.Sampling && r.Hierarchy == t.Hierarchy &&
 		r.TargetErr == t.TargetErr && r.MaxTicks == t.MaxTicks &&
 		r.RadiusMultiplier == t.RadiusMultiplier && r.Field == t.Field &&
+		r.AsyncThrottle == t.AsyncThrottle && r.AsyncLeafTicks == t.AsyncLeafTicks &&
 		r.RunSeed == t.runSeed()
 }
 
@@ -122,6 +134,7 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 	defer cancel()
 
 	cache := newNetCache()
+	cache.buildWorkers = opt.BuildWorkers
 	taskCh := make(chan Task)
 	resCh := make(chan TaskResult)
 
@@ -213,6 +226,9 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 	}
 	if opt.RouteStats != nil {
 		*opt.RouteStats = cache.routeStats()
+	}
+	if opt.NetStats != nil {
+		*opt.NetStats = cache.netStats()
 	}
 	if sinkErr != nil {
 		return out, sinkErr

@@ -5,6 +5,7 @@ import (
 	"maps"
 	"math"
 	"sync"
+	"time"
 
 	"geogossip/internal/channel"
 	"geogossip/internal/core"
@@ -41,6 +42,12 @@ type netEntry struct {
 	// invisible to results — see routing.Cache).
 	routes *routing.Cache
 	err    error
+	// buildTime is the wall-clock the entry's construction took;
+	// graphBytes/hierBytes its resident footprint at build time (Voronoi
+	// areas, computed lazily by geographic tasks, are not included).
+	buildTime  time.Duration
+	graphBytes int64
+	hierBytes  int64
 }
 
 // netCache deduplicates network construction across the tasks of a grid:
@@ -51,6 +58,10 @@ type netEntry struct {
 type netCache struct {
 	mu      sync.Mutex
 	entries map[netKey]*netEntry
+	// buildWorkers shards each entry's construction (graph scan and
+	// hierarchy build); <= 1 is serial. Byte-identical at any value, so
+	// it is deliberately not part of netKey.
+	buildWorkers int
 }
 
 func newNetCache() *netCache {
@@ -68,7 +79,8 @@ func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, *routing.Cach
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		g, err := graph.Generate(key.n, key.radius, rng.New(key.seed))
+		start := time.Now()
+		g, err := graph.GenerateWorkers(key.n, key.radius, rng.New(key.seed), c.buildWorkers)
 		if err != nil {
 			e.err = err
 			return
@@ -77,7 +89,7 @@ func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, *routing.Cach
 			e.err = errNotConnected
 			return
 		}
-		hcfg := hier.Config{}
+		hcfg := hier.Config{Workers: c.buildWorkers}
 		if key.shape == HierarchyFlat {
 			hcfg.MaxDepth = 1
 		}
@@ -87,6 +99,9 @@ func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, *routing.Cach
 			return
 		}
 		e.g, e.h, e.routes = g, h, routing.NewCache()
+		e.buildTime = time.Since(start)
+		e.graphBytes = int64(g.Footprint().Total())
+		e.hierBytes = int64(h.Footprint())
 	})
 	return e.g, e.h, e.routes, e.err
 }
@@ -224,6 +239,8 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 		MaxTicks:         t.MaxTicks,
 		RadiusMultiplier: t.RadiusMultiplier,
 		Field:            t.Field,
+		AsyncThrottle:    t.AsyncThrottle,
+		AsyncLeafTicks:   t.AsyncLeafTicks,
 		RunSeed:          t.runSeed(),
 	}
 	g, h, routes, netSeed, err := t.network(cache)
@@ -312,6 +329,8 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 		res, err := core.RunAsync(g, h, x, core.AsyncOptions{
 			Eps:          t.TargetErr,
 			Beta:         t.Beta,
+			Throttle:     t.AsyncThrottle,
+			LeafTicks:    t.AsyncLeafTicks,
 			RoundsFactor: 2,
 			Faults:       faults,
 			Recover:      t.Recover,
@@ -338,6 +357,53 @@ func (r *TaskResult) fill(converged bool, finalErr float64, tx uint64, byCat map
 	r.FinalErr = finalErr
 	r.Transmissions = tx
 	r.Breakdown = maps.Clone(byCat)
+}
+
+// NetBuildStats summarizes the network constructions one sweep performed:
+// how many distinct networks the grid deduplicated to, the wall-clock
+// their construction took (summed across entries; entries build
+// concurrently, so this can exceed the construct phase's elapsed time),
+// and their resident footprint.
+type NetBuildStats struct {
+	// Networks is the number of distinct (n, seed, radius, shape) builds.
+	Networks int
+	// Nodes sums the node counts of the built networks.
+	Nodes int64
+	// BuildTime is the summed construction wall-clock.
+	BuildTime time.Duration
+	// GraphBytes and HierBytes are the summed resident footprints of the
+	// graphs (points, CSR adjacency, cell index) and hierarchies.
+	GraphBytes int64
+	HierBytes  int64
+}
+
+// BytesPerNode is the summed footprint divided by the summed node count
+// (0 when nothing was built) — the scale figure the README's n=1M recipe
+// quotes.
+func (s NetBuildStats) BytesPerNode() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.GraphBytes+s.HierBytes) / float64(s.Nodes)
+}
+
+// netStats aggregates construction cost and footprint across the built
+// entries.
+func (c *netCache) netStats() NetBuildStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out NetBuildStats
+	for _, e := range c.entries {
+		if e.g == nil {
+			continue
+		}
+		out.Networks++
+		out.Nodes += int64(e.g.N())
+		out.BuildTime += e.buildTime
+		out.GraphBytes += e.graphBytes
+		out.HierBytes += e.hierBytes
+	}
+	return out
 }
 
 // routeStats aggregates the cache counters across every network entry of

@@ -110,6 +110,19 @@ type Spec struct {
 	// Field selects the initial measurement field (FieldSmooth or
 	// FieldGaussian). Empty selects FieldSmooth.
 	Field string
+	// AsyncThrottle overrides the async engine's round-serialization
+	// factor (AsyncOptions.Throttle) for affine-async tasks; zero keeps
+	// the engine default. The paper scales the analogous factor as n^a:
+	// large-n async sweeps must raise it (together with AsyncLeafTicks)
+	// so the protocol's high-coefficient exchanges do not fire over
+	// still-averaging subtrees.
+	AsyncThrottle float64
+	// AsyncLeafTicks overrides a leaf representative's round budget in
+	// its own clock ticks (AsyncOptions.LeafTicks); zero keeps the
+	// engine default. The default assumes Θ(log n)-occupancy leaves;
+	// the large leaves of flat hierarchies at big n need budgets sized
+	// to the leaf's actual mixing time.
+	AsyncLeafTicks int
 }
 
 // Normalized returns a copy with every defaulted field filled in.
@@ -228,6 +241,12 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("sweep: unknown field %q", s.Field)
 	}
+	if s.AsyncThrottle < 0 {
+		return fmt.Errorf("sweep: negative async throttle %v", s.AsyncThrottle)
+	}
+	if s.AsyncLeafTicks < 0 {
+		return fmt.Errorf("sweep: negative async leaf ticks %d", s.AsyncLeafTicks)
+	}
 	return nil
 }
 
@@ -259,6 +278,8 @@ type Task struct {
 	RadiusMultiplier float64
 	Field            string
 	BaseSeed         uint64
+	AsyncThrottle    float64
+	AsyncLeafTicks   int
 }
 
 // Expand lists every task of the grid in deterministic ID order.
@@ -291,6 +312,8 @@ func (s Spec) Expand() []Task {
 											RadiusMultiplier: s.RadiusMultiplier,
 											Field:            s.Field,
 											BaseSeed:         s.BaseSeed,
+											AsyncThrottle:    s.AsyncThrottle,
+											AsyncLeafTicks:   s.AsyncLeafTicks,
 										})
 										id++
 									}
@@ -373,6 +396,11 @@ type TaskResult struct {
 	MaxTicks         uint64  `json:"max_ticks"`
 	RadiusMultiplier float64 `json:"radius"`
 	Field            string  `json:"field"`
+	// AsyncThrottle and AsyncLeafTicks are recorded only when the spec
+	// overrode the async engine's round-budget model (omitted as zero
+	// otherwise, so pre-existing output stays byte-identical).
+	AsyncThrottle  float64 `json:"async_throttle,omitempty"`
+	AsyncLeafTicks int     `json:"async_leaf_ticks,omitempty"`
 
 	NetSeed uint64 `json:"net_seed"`
 	RunSeed uint64 `json:"run_seed"`

@@ -396,3 +396,84 @@ func TestExecuteReportsUnusableCell(t *testing.T) {
 		t.Fatalf("errored task carries results: %+v", res)
 	}
 }
+
+// Sharded network construction is invisible to results: the same grid
+// run with any BuildWorkers value yields a bit-identical result set and
+// identical network footprints (only construction wall-clock may vary).
+func TestRunBuildWorkersInvariance(t *testing.T) {
+	spec := smallSpec()
+	run := func(buildWorkers int) ([]TaskResult, NetBuildStats) {
+		var stats NetBuildStats
+		results, err := Run(context.Background(), spec, Options{
+			Workers:      1,
+			BuildWorkers: buildWorkers,
+			NetStats:     &stats,
+		})
+		if err != nil {
+			t.Fatalf("build-workers=%d: %v", buildWorkers, err)
+		}
+		return results, stats
+	}
+	refResults, refStats := run(1)
+	if refStats.Networks == 0 || refStats.Nodes == 0 || refStats.GraphBytes == 0 || refStats.HierBytes == 0 {
+		t.Fatalf("empty network build stats: %+v", refStats)
+	}
+	for _, bw := range []int{2, 0} {
+		results, stats := run(bw)
+		if !reflect.DeepEqual(refResults, results) {
+			t.Fatalf("build-workers=%d: results differ from serial construction", bw)
+		}
+		if stats.Networks != refStats.Networks || stats.Nodes != refStats.Nodes ||
+			stats.GraphBytes != refStats.GraphBytes || stats.HierBytes != refStats.HierBytes {
+			t.Fatalf("build-workers=%d: network stats differ: %+v vs %+v", bw, stats, refStats)
+		}
+	}
+}
+
+// The async budget overrides must reach the engine (changing the run),
+// be recorded in the self-describing result line, and participate in
+// the resume "different spec" check like every other run-level knob.
+func TestAsyncBudgetOverrides(t *testing.T) {
+	base := Spec{
+		Algorithms:       []string{AlgoAsync},
+		Ns:               []int{128},
+		TargetErr:        5e-2,
+		RadiusMultiplier: 2.2,
+	}
+	run := func(spec Spec) []TaskResult {
+		results, err := Run(context.Background(), spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	ref := run(base)
+	tuned := base
+	tuned.AsyncThrottle = 16
+	tuned.AsyncLeafTicks = 128
+	got := run(tuned)
+	if len(ref) != 1 || len(got) != 1 {
+		t.Fatalf("got %d/%d results", len(ref), len(got))
+	}
+	if got[0].AsyncThrottle != 16 || got[0].AsyncLeafTicks != 128 {
+		t.Fatalf("overrides not recorded: %+v", got[0])
+	}
+	if ref[0].AsyncThrottle != 0 || ref[0].AsyncLeafTicks != 0 {
+		t.Fatalf("default run recorded overrides: %+v", ref[0])
+	}
+	if ref[0].Transmissions == got[0].Transmissions {
+		t.Fatal("budget overrides did not change the async run")
+	}
+	if ref[0].RunSeed != got[0].RunSeed {
+		t.Fatal("budget overrides changed the derived run seed")
+	}
+	// Resuming a default-budget result under overridden budgets is a
+	// different spec, not a silent mix.
+	if _, err := Run(context.Background(), tuned, Options{Resume: ref}); err == nil ||
+		!strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("override mismatch accepted on resume (err=%v)", err)
+	}
+	if _, err := Run(context.Background(), tuned, Options{Resume: got}); err != nil {
+		t.Fatalf("matching override rejected on resume: %v", err)
+	}
+}

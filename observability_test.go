@@ -197,6 +197,8 @@ func TestSweepObservabilityPassive(t *testing.T) {
 	if !bytes.Equal(sortJSONLLines(plain.Bytes()), sortJSONLLines(wired.Bytes())) {
 		t.Fatal("JSONL results differ with metrics exposition enabled")
 	}
+	// Construction wall-clock is the one non-deterministic report field.
+	repPlain.NetBuild.BuildSeconds, repWired.NetBuild.BuildSeconds = 0, 0
 	if !reflect.DeepEqual(repPlain, repWired) {
 		t.Fatal("sweep reports differ with metrics exposition enabled")
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package geogossip
+
+// See race_on_test.go.
+const raceDetectorEnabled = false

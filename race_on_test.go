@@ -1,0 +1,8 @@
+//go:build race
+
+package geogossip
+
+// raceDetectorEnabled gates the large-n scale smoke: under -race the
+// 10^5-node run takes ~10x longer, so CI runs it in a dedicated
+// non-race step instead (see .github/workflows/ci.yml).
+const raceDetectorEnabled = true

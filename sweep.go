@@ -71,6 +71,17 @@ type SweepSpec struct {
 	// Field selects initial measurements: "smooth" (worst-case
 	// low-frequency field, default) or "gaussian" (iid normals).
 	Field string
+	// AsyncThrottle overrides the async engine's round-serialization
+	// factor for affine-async tasks (default 0 = keep the engine's
+	// built-in throttle). The paper scales this factor as n^a; large-n
+	// async runs raise it together with AsyncLeafTicks — see the README
+	// "Scale" section for a worked n=10^5 configuration.
+	AsyncThrottle float64
+	// AsyncLeafTicks overrides a leaf representative's round budget for
+	// affine-async tasks (default 0 = engine default). Size it to the
+	// leaf's actual mixing time when leaves are large (flat hierarchies
+	// at big n).
+	AsyncLeafTicks int
 }
 
 func (s SweepSpec) internal() sweep.Spec {
@@ -89,6 +100,8 @@ func (s SweepSpec) internal() sweep.Spec {
 		MaxTicks:         s.MaxTicks,
 		RadiusMultiplier: s.RadiusMultiplier,
 		Field:            s.Field,
+		AsyncThrottle:    s.AsyncThrottle,
+		AsyncLeafTicks:   s.AsyncLeafTicks,
 	}
 }
 
@@ -122,13 +135,16 @@ type SweepResult struct {
 	// selects the placement within the cell.
 	SweepCoords
 	SeedIndex int
-	// TargetErr, MaxTicks, RadiusMultiplier and Field record the
-	// run-level parameters the task executed under, making each result
-	// self-describing and checkable on resume.
+	// TargetErr, MaxTicks, RadiusMultiplier, Field and the async budget
+	// overrides record the run-level parameters the task executed
+	// under, making each result self-describing and checkable on
+	// resume.
 	TargetErr        float64
 	MaxTicks         uint64
 	RadiusMultiplier float64
 	Field            string
+	AsyncThrottle    float64
+	AsyncLeafTicks   int
 	// NetSeed and RunSeed are the derived seeds the task ran with
 	// (recorded so any single task can be replayed in isolation).
 	NetSeed uint64
@@ -219,6 +235,31 @@ func (s SweepRouteCacheStats) FloodHitRate() float64 {
 	return 0
 }
 
+// SweepNetBuildStats summarizes the sweep's network constructions: how
+// many distinct networks the grid deduplicated to, the wall-clock their
+// construction took (summed across builds, which may overlap in time),
+// and their resident footprint.
+type SweepNetBuildStats struct {
+	// Networks is the number of distinct network builds; Nodes sums their
+	// node counts.
+	Networks int
+	Nodes    int64
+	// BuildSeconds is the summed construction wall-clock.
+	BuildSeconds float64
+	// GraphBytes and HierarchyBytes are the summed resident footprints.
+	GraphBytes     int64
+	HierarchyBytes int64
+}
+
+// BytesPerNode is the summed network footprint divided by the summed
+// node count (0 when nothing was built).
+func (s SweepNetBuildStats) BytesPerNode() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.GraphBytes+s.HierarchyBytes) / float64(s.Nodes)
+}
+
 // SweepReport is the output of one sweep: per-task results in canonical
 // (task ID) order plus the aggregation over grid cells.
 type SweepReport struct {
@@ -230,6 +271,9 @@ type SweepReport struct {
 	LossFits []SweepLossFit
 	// RouteCache summarizes the shared route/flood cache counters.
 	RouteCache SweepRouteCacheStats
+	// NetBuild summarizes the construct phase: distinct network builds,
+	// their wall-clock, and the bytes-per-node footprint.
+	NetBuild SweepNetBuildStats
 	// Metrics is the sweep's aggregated observability snapshot: every
 	// engine counter and histogram bucket accumulated across the tasks
 	// this call executed (resumed tasks did not run, so they contribute
@@ -244,17 +288,28 @@ type SweepReport struct {
 type SweepOption func(*sweepConfig)
 
 type sweepConfig struct {
-	workers  int
-	jsonl    io.Writer
-	progress func(done, total int)
-	resume   []SweepResult
-	metrics  *MetricsRegistry
+	workers      int
+	buildWorkers int
+	jsonl        io.Writer
+	progress     func(done, total int)
+	resume       []SweepResult
+	metrics      *MetricsRegistry
 }
 
 // WithSweepWorkers sizes the worker pool (default GOMAXPROCS). Results
 // are bit-identical for every worker count.
 func WithSweepWorkers(n int) SweepOption {
 	return func(c *sweepConfig) { c.workers = n }
+}
+
+// WithSweepBuildWorkers sizes the intra-network construction parallelism:
+// each distinct network build (graph radius scan, hierarchy tables)
+// shards across n goroutines (0 selects all cores, 1 builds serially).
+// Every value builds byte-identical networks, so — like the task worker
+// pool — it never changes results. Useful when a grid has few distinct
+// networks but each is large (e.g. a single n = 10⁶ cell).
+func WithSweepBuildWorkers(n int) SweepOption {
+	return func(c *sweepConfig) { c.buildWorkers = n }
 }
 
 // WithSweepJSONL streams every task result to w as one JSON object per
@@ -325,11 +380,14 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 		reg = NewMetricsRegistry()
 	}
 	var routeStats routing.CacheStats
+	var netStats sweep.NetBuildStats
 	iopt := sweep.Options{
-		Workers:    cfg.workers,
-		Progress:   cfg.progress,
-		RouteStats: &routeStats,
-		Obs:        reg.reg,
+		Workers:      cfg.workers,
+		BuildWorkers: cfg.buildWorkers,
+		Progress:     cfg.progress,
+		RouteStats:   &routeStats,
+		NetStats:     &netStats,
+		Obs:          reg.reg,
 	}
 	for _, r := range cfg.resume {
 		iopt.Resume = append(iopt.Resume, toInternalResult(r))
@@ -346,6 +404,13 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 			RouteMisses: routeStats.RouteMisses,
 			FloodHits:   routeStats.FloodHits,
 			FloodMisses: routeStats.FloodMisses,
+		},
+		NetBuild: SweepNetBuildStats{
+			Networks:       netStats.Networks,
+			Nodes:          netStats.Nodes,
+			BuildSeconds:   netStats.BuildTime.Seconds(),
+			GraphBytes:     netStats.GraphBytes,
+			HierarchyBytes: netStats.HierBytes,
 		},
 	}
 	for _, r := range results {
@@ -423,6 +488,8 @@ func fromInternalResult(r sweep.TaskResult) SweepResult {
 		MaxTicks:         r.MaxTicks,
 		RadiusMultiplier: r.RadiusMultiplier,
 		Field:            r.Field,
+		AsyncThrottle:    r.AsyncThrottle,
+		AsyncLeafTicks:   r.AsyncLeafTicks,
 		NetSeed:          r.NetSeed,
 		RunSeed:          r.RunSeed,
 		Converged:        r.Converged,
@@ -450,6 +517,8 @@ func toInternalResult(r SweepResult) sweep.TaskResult {
 		MaxTicks:         r.MaxTicks,
 		RadiusMultiplier: r.RadiusMultiplier,
 		Field:            r.Field,
+		AsyncThrottle:    r.AsyncThrottle,
+		AsyncLeafTicks:   r.AsyncLeafTicks,
 		NetSeed:          r.NetSeed,
 		RunSeed:          r.RunSeed,
 		Converged:        r.Converged,

@@ -40,6 +40,13 @@ func TestSweepAcceptanceGridDeterministic(t *testing.T) {
 	if len(rep1.Results) != spec.TaskCount() || spec.TaskCount() != 18 {
 		t.Fatalf("got %d results, want 18", len(rep1.Results))
 	}
+	// Construction wall-clock is the one non-deterministic report field;
+	// the structural build stats must still agree exactly.
+	if rep1.NetBuild.Networks != repN.NetBuild.Networks || rep1.NetBuild.Nodes != repN.NetBuild.Nodes ||
+		rep1.NetBuild.GraphBytes != repN.NetBuild.GraphBytes || rep1.NetBuild.HierarchyBytes != repN.NetBuild.HierarchyBytes {
+		t.Fatalf("network build stats differ between worker counts:\n%+v\nvs\n%+v", rep1.NetBuild, repN.NetBuild)
+	}
+	rep1.NetBuild.BuildSeconds, repN.NetBuild.BuildSeconds = 0, 0
 	if !reflect.DeepEqual(rep1, repN) {
 		t.Fatal("reports differ between 1 worker and NumCPU workers")
 	}
@@ -112,7 +119,10 @@ func TestSweepResumeMergesPriorResults(t *testing.T) {
 	if got := resumed.Metrics[`geogossip_runs_total{engine="boyd"}`]; got != float64(len(full.Results)-len(prior)) {
 		t.Fatalf("resumed sweep counted %v runs, want %d (executed tasks only)", got, len(full.Results)-len(prior))
 	}
+	// NetBuild, like Metrics, covers only the work this call performed: a
+	// resumed sweep skips networks whose tasks all completed earlier.
 	resumed.Metrics, full.Metrics = nil, nil
+	resumed.NetBuild, full.NetBuild = SweepNetBuildStats{}, SweepNetBuildStats{}
 	if !reflect.DeepEqual(resumed, full) {
 		t.Fatal("resumed report differs from the uninterrupted run")
 	}
