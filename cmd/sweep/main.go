@@ -23,11 +23,13 @@
 package main
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -75,9 +77,29 @@ func run(args []string) error {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to FILE (go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to FILE after the sweep")
 		listen   = fs.String("listen", "", "serve live observability on ADDR while sweeping: /metrics (Prometheus), /progress (JSON), /debug/pprof/*")
+		gz       = fs.Bool("gzip", false, "gzip-compress the -out stream (implied by a .gz suffix; -resume reads both forms transparently)")
+		serve    = fs.String("serve", "", "run as distributed-sweep coordinator on ADDR (host:port): lease the grid to -join workers and write -out in canonical task order, byte-identical to a single-process -workers 1 run")
+		join     = fs.String("join", "", "run as distributed-sweep worker for the coordinator at ADDR; grid and output flags are ignored (the spec comes from the coordinator)")
+		leaseN   = fs.Int("lease", 0, "with -serve: tasks per lease (0 = twice the worker's slot count)")
+		leaseTO  = fs.Duration("lease-timeout", 0, "with -serve: silence after which a worker's leases are re-issued (0 = 30s)")
+		name     = fs.String("name", "", "with -join: worker display name in coordinator gauges (default host/pid)")
+		rejoin   = fs.Int("rejoin", 0, "with -join: redial attempts after a failed or lost coordinator connection, 1s apart (lets workers start before the coordinator and outlive its restarts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serve != "" && *join != "" {
+		return fmt.Errorf("-serve and -join are mutually exclusive")
+	}
+
+	// Ctrl-C stops scheduling and drains in-flight tasks; with -resume the
+	// next invocation picks up where this one stopped (a restarted -serve
+	// coordinator re-validates -out and re-leases only incomplete tasks).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *join != "" {
+		return runJoin(ctx, *join, *rejoin, *workers, *workersB, *name, *quiet)
 	}
 
 	var spec geogossip.SweepSpec
@@ -147,6 +169,7 @@ func run(args []string) error {
 	}
 
 	// Resolve the output stream and, under -resume, the prior results.
+	gzOut := *gz || strings.HasSuffix(*out, ".gz")
 	var sink io.Writer = os.Stdout
 	if *out != "-" {
 		var prior []geogossip.SweepResult
@@ -157,9 +180,17 @@ func run(args []string) error {
 				if err != nil {
 					return fmt.Errorf("resume from %s: %w", *out, err)
 				}
-				// A killed run can leave a truncated final line; drop it so
-				// the appended results start on a clean line boundary.
-				if err := truncateToLastLine(*out); err != nil {
+				if gzOut {
+					// A gzip stream cannot be truncated back to a line
+					// boundary in place; rewrite the file as one fresh member
+					// holding exactly the recovered results (re-encoding is
+					// byte-identical), then append new ones as a second member.
+					if err := rewriteGzip(*out, prior); err != nil {
+						return err
+					}
+				} else if err := truncateToLastLine(*out); err != nil {
+					// A killed run can leave a truncated final line; drop it so
+					// the appended results start on a clean line boundary.
 					return err
 				}
 			} else if !os.IsNotExist(err) {
@@ -185,6 +216,11 @@ func run(args []string) error {
 			opts = append(opts, geogossip.WithSweepResume(prior))
 		}
 	}
+	if gzOut {
+		zw := gzip.NewWriter(sink)
+		defer zw.Close()
+		sink = zw
+	}
 	opts = append(opts, geogossip.WithSweepJSONL(sink))
 	if !*quiet {
 		opts = append(opts, geogossip.WithSweepProgress(func(done, total int) {
@@ -208,15 +244,26 @@ func run(args []string) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	// Ctrl-C stops scheduling and drains in-flight tasks; with -resume the
-	// next invocation picks up where this one stopped.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	runStart := time.Now()
-	rep, err := geogossip.Sweep(ctx, spec, opts...)
+	var rep *geogossip.SweepReport
+	var err error
+	if *serve != "" {
+		ln, lerr := net.Listen("tcp", *serve)
+		if lerr != nil {
+			return fmt.Errorf("-serve: %w", lerr)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "coordinator: leasing %d tasks on %s\n", spec.TaskCount(), ln.Addr())
+		}
+		opts = append(opts,
+			geogossip.WithSweepLeaseSize(*leaseN),
+			geogossip.WithSweepLeaseTimeout(*leaseTO))
+		rep, err = geogossip.SweepServe(ctx, ln, spec, opts...)
+	} else {
+		rep, err = geogossip.Sweep(ctx, spec, opts...)
+	}
 	runWall := time.Since(runStart)
 	if rep != nil && !*quiet {
 		printPhaseStats(os.Stderr, rep.NetBuild, runWall)
@@ -245,6 +292,74 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runJoin runs the worker side of a distributed sweep: execute leases
+// from the coordinator at addr until its grid completes, redialing up to
+// rejoin times on a failed or lost connection (so workers may start
+// before the coordinator and outlive its restarts — the coordinator's
+// lease re-issue and resume logic replays whatever was lost).
+func runJoin(ctx context.Context, addr string, rejoin, workers, buildWorkers int, name string, quiet bool) error {
+	opts := []geogossip.SweepOption{
+		geogossip.WithSweepWorkers(workers),
+		geogossip.WithSweepBuildWorkers(buildWorkers),
+		geogossip.WithSweepWorkerName(name),
+	}
+	if !quiet {
+		opts = append(opts, geogossip.WithSweepProgress(func(done, _ int) {
+			fmt.Fprintf(os.Stderr, "\rworker: %d task(s) done", done)
+		}))
+	}
+	for attempt := 0; ; attempt++ {
+		err := geogossip.SweepJoin(ctx, addr, opts...)
+		if !quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || attempt >= rejoin {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "worker: %v; rejoining %s (attempt %d/%d)\n",
+				err, addr, attempt+1, rejoin)
+		}
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// rewriteGzip rewrites path as a single fresh gzip stream holding
+// exactly the given results — the gzip analogue of truncateToLastLine:
+// a killed -gzip run leaves a stream cut mid-block, which cannot be
+// trimmed in place, so the recovered lines are re-encoded (the encoding
+// is canonical, hence byte-identical) behind a temp-file rename.
+func rewriteGzip(path string, results []geogossip.SweepResult) error {
+	tmp := path + ".resume-tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	if err := geogossip.WriteSweepResults(zw, results); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // printPhaseStats reports the construct and run phases: distinct network

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 
 	"geogossip"
@@ -61,6 +62,14 @@ type progressJSON struct {
 	FloodHitRate      float64 `json:"flood_cache_hit_rate"`
 	ChannelPoolBuilds uint64  `json:"channel_pool_builds"`
 
+	// Distributed-coordinator fields (present only under -serve): worker
+	// membership, lease churn, and per-worker completed-task counts.
+	DistWorkers         int            `json:"dist_workers,omitempty"`
+	DistLeasesActive    int            `json:"dist_leases_active,omitempty"`
+	DistLeasesReissued  int            `json:"dist_leases_reissued,omitempty"`
+	DistBufferedResults int            `json:"dist_buffered_results,omitempty"`
+	DistWorkerTasks     map[string]int `json:"dist_worker_tasks,omitempty"`
+
 	AllocMB    float64 `json:"alloc_mb"`
 	HeapMB     float64 `json:"heap_inuse_mb"`
 	GCCycles   uint32  `json:"gc_cycles"`
@@ -104,6 +113,25 @@ func progressSnapshot(m *geogossip.MetricsRegistry, start time.Time) progressJSO
 	p.TasksDone = int(vals[obs.MetricSweepTasksDone])
 	p.TasksTotal = int(vals[obs.MetricSweepTasksTotal])
 	p.TasksPending = p.TasksTotal - p.TasksDone
+	if _, dist := vals[obs.MetricDistWorkers]; dist {
+		p.DistWorkers = int(vals[obs.MetricDistWorkers])
+		p.DistLeasesActive = int(vals[obs.MetricDistLeasesActive])
+		p.DistLeasesReissued = int(vals[obs.MetricDistLeasesReissued])
+		p.DistBufferedResults = int(vals[obs.MetricDistBufferedResults])
+		prefix := obs.MetricDistWorkerTasksDone + `{worker="`
+		for key, v := range vals {
+			rest, ok := strings.CutPrefix(key, prefix)
+			if !ok {
+				continue
+			}
+			if worker, ok := strings.CutSuffix(rest, `"}`); ok {
+				if p.DistWorkerTasks == nil {
+					p.DistWorkerTasks = make(map[string]int)
+				}
+				p.DistWorkerTasks[worker] = int(v)
+			}
+		}
+	}
 	if p.TasksDone > 0 && p.TasksPending >= 0 {
 		p.EtaSec = p.ElapsedSec / float64(p.TasksDone) * float64(p.TasksPending)
 	}

@@ -1,0 +1,107 @@
+package geogossip
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// SweepServe with in-process SweepJoin workers must reproduce the
+// single-process report and sink byte-for-byte: Results, Cells, Fits,
+// LossFits and Metrics (RouteCache and NetBuild are per-worker state
+// and legitimately differ with the sharding).
+func TestSweepServeMatchesSweep(t *testing.T) {
+	spec := SweepSpec{
+		Algorithms: []string{"boyd", "affine-hierarchical"},
+		Ns:         []int{96, 128},
+		Seeds:      2,
+		LossRates:  []float64{0, 0.1},
+		TargetErr:  5e-2,
+	}
+	var wantJSONL bytes.Buffer
+	want, err := Sweep(context.Background(), spec,
+		WithSweepWorkers(1), WithSweepJSONL(&wantJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var gotJSONL bytes.Buffer
+	const workers = 2
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := SweepJoin(context.Background(), addr,
+				WithSweepWorkers(2),
+				WithSweepWorkerName(fmt.Sprintf("w%d", i)))
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	got, err := SweepServe(context.Background(), ln, spec, WithSweepJSONL(&gotJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if !bytes.Equal(gotJSONL.Bytes(), wantJSONL.Bytes()) {
+		t.Errorf("distributed sink differs from single-process sink (%d vs %d bytes)",
+			gotJSONL.Len(), wantJSONL.Len())
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Error("distributed Results differ")
+	}
+	if !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Error("distributed Cells differ")
+	}
+	if !reflect.DeepEqual(got.Fits, want.Fits) {
+		t.Error("distributed Fits differ")
+	}
+	if !reflect.DeepEqual(got.LossFits, want.LossFits) {
+		t.Error("distributed LossFits differ")
+	}
+	if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+		t.Error("distributed Metrics differ")
+	}
+}
+
+// WriteSweepResults must emit the exact bytes the JSONL sink streams, so
+// rewritten (gzip-resumed) and merged files stay byte-compatible.
+func TestWriteSweepResultsMatchesSink(t *testing.T) {
+	spec := SweepSpec{
+		Algorithms: []string{"boyd"},
+		Ns:         []int{96},
+		Seeds:      2,
+		TargetErr:  5e-2,
+	}
+	var sink bytes.Buffer
+	rep, err := Sweep(context.Background(), spec, WithSweepWorkers(1), WithSweepJSONL(&sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rewritten bytes.Buffer
+	if err := WriteSweepResults(&rewritten, rep.Results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rewritten.Bytes(), sink.Bytes()) {
+		t.Error("WriteSweepResults bytes differ from the live sink's")
+	}
+	parsed, err := ReadSweepResults(bytes.NewReader(rewritten.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, rep.Results) {
+		t.Error("rewritten results do not parse back identically")
+	}
+}

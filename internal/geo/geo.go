@@ -101,7 +101,16 @@ func (r Rect) SplitGrid(k int) []Rect {
 	if k <= 0 {
 		panic("geo: SplitGrid with k <= 0")
 	}
-	cells := make([]Rect, 0, k*k)
+	return r.AppendSplitGrid(make([]Rect, 0, k*k), k)
+}
+
+// AppendSplitGrid appends the k×k grid cells of r to cells (the
+// allocation-free face of SplitGrid: callers with a reusable buffer pass
+// cells[:0]). Cell geometry is identical to SplitGrid's.
+func (r Rect) AppendSplitGrid(cells []Rect, k int) []Rect {
+	if k <= 0 {
+		panic("geo: AppendSplitGrid with k <= 0")
+	}
 	w := r.Width() / float64(k)
 	h := r.Height() / float64(k)
 	for row := 0; row < k; row++ {

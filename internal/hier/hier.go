@@ -167,7 +167,11 @@ func Build(points []geo.Point, cfg Config) (*Hierarchy, error) {
 
 	// Breadth-first expansion; all squares at the same depth share the
 	// same Expected, so the stopping rule is depth-uniform and the tree
-	// has all leaves at the same depth.
+	// has all leaves at the same depth. Each level is built into three
+	// flat pre-sized blocks — squares, child-ID lists, and member lists —
+	// with the same counting-pass idiom graph.Build uses for its CSR
+	// adjacency, so construction performs O(levels) allocations instead
+	// of O(squares) append growth.
 	frontier := []*Square{root}
 	for len(frontier) > 0 {
 		sq := frontier[0]
@@ -181,49 +185,92 @@ func Build(points []geo.Point, cfg Config) (*Hierarchy, error) {
 		}
 		h.Branching = append(h.Branching, branch)
 		k := int(math.Round(math.Sqrt(float64(branch))))
-		// Phase A (parallel over parents): partition each parent's members
-		// into its child grid. Each parent's bucketing is a pure function
-		// of its own member list, so sharding the frontier across workers
-		// cannot change any bucket's content or order.
-		partCells := make([][]geo.Rect, len(frontier))
-		partKids := make([][][]int32, len(frontier))
-		par.Do(cfg.Workers, len(frontier), func(pi int) {
-			parent := frontier[pi]
-			cells := parent.Rect.SplitGrid(k)
-			kids := make([][]int32, len(cells))
-			for _, m := range parent.Members {
-				row, col := parent.Rect.GridCellOf(points[m], k)
-				ci := row*k + col
-				kids[ci] = append(kids[ci], m)
-			}
-			partCells[pi] = cells
-			partKids[pi] = kids
-		})
-		// Phase B (serial): stitch the squares in frontier order, so IDs,
-		// Children lists and BFS order match the serial build exactly.
-		next := make([]*Square, 0, len(frontier)*branch)
+
+		// Per-parent offsets into the level's flat member block: children
+		// partition their parent's members, so the level's lists pack into
+		// one block of exactly the frontier's total member count.
+		nf := len(frontier)
+		memberOff := make([]int, nf+1)
 		for pi, parent := range frontier {
-			parent.GridK = k
-			for ci, cell := range partCells[pi] {
-				child := &Square{
-					ID:       len(h.Squares),
-					Rect:     cell,
-					Depth:    parent.Depth + 1,
-					Parent:   parent.ID,
-					Expected: childExpected,
-					Members:  partKids[pi][ci],
+			memberOff[pi+1] = memberOff[pi] + len(parent.Members)
+		}
+		squares := make([]Square, nf*branch)
+		childIDs := make([]int, nf*branch)
+		memberBlock := make([]int32, memberOff[nf])
+		baseID := len(h.Squares)
+
+		// Phase A (parallel over parents): partition each parent's members
+		// into its child grid. Each parent writes a disjoint region of the
+		// flat blocks, and its bucketing is a pure function of its own
+		// member list, so sharding the frontier across workers cannot
+		// change any bucket's content or order. Counting pass first, then
+		// placement into exact pre-sized slots — no per-child append
+		// growth.
+		par.Blocks(cfg.Workers, nf, func(lo, hi int) {
+			cells := make([]geo.Rect, 0, branch)
+			counts := make([]int, branch)
+			starts := make([]int, branch)
+			cursor := make([]int, branch)
+			for pi := lo; pi < hi; pi++ {
+				parent := frontier[pi]
+				cells = parent.Rect.AppendSplitGrid(cells[:0], k)
+				for ci := range counts {
+					counts[ci] = 0
 				}
-				parent.Children = append(parent.Children, child.ID)
-				h.Squares = append(h.Squares, child)
-				next = append(next, child)
+				for _, m := range parent.Members {
+					row, col := parent.Rect.GridCellOf(points[m], k)
+					counts[row*k+col]++
+				}
+				off := memberOff[pi]
+				for ci, c := range counts {
+					starts[ci], cursor[ci] = off, off
+					off += c
+				}
+				for _, m := range parent.Members {
+					row, col := parent.Rect.GridCellOf(points[m], k)
+					ci := row*k + col
+					memberBlock[cursor[ci]] = m
+					cursor[ci]++
+				}
+				parent.GridK = k
+				cbase := pi * branch
+				for ci := 0; ci < branch; ci++ {
+					id := baseID + cbase + ci
+					childIDs[cbase+ci] = id
+					var members []int32
+					if counts[ci] > 0 {
+						members = memberBlock[starts[ci] : starts[ci]+counts[ci] : starts[ci]+counts[ci]]
+					}
+					squares[cbase+ci] = Square{
+						ID:       id,
+						Rect:     cells[ci],
+						Depth:    parent.Depth + 1,
+						Parent:   parent.ID,
+						Expected: childExpected,
+						Members:  members,
+					}
+				}
+				parent.Children = childIDs[cbase : cbase+branch : cbase+branch]
 			}
+		})
+		// Phase B (serial): stitch the level into the BFS square list. IDs
+		// were assigned from the frontier order, so the list matches the
+		// serial build exactly.
+		if need := len(h.Squares) + len(squares); cap(h.Squares) < need {
+			grown := make([]*Square, len(h.Squares), need)
+			copy(grown, h.Squares)
+			h.Squares = grown
+		}
+		next := make([]*Square, len(squares))
+		for i := range squares {
+			next[i] = &squares[i]
+			h.Squares = append(h.Squares, &squares[i])
 		}
 		frontier = next
 	}
 
 	maxDepth := h.Squares[len(h.Squares)-1].Depth
 	h.Ell = maxDepth + 1
-	h.RepRoles = make(map[int32][]int)
 	h.NodeLeaf = make([]int32, n)
 	h.NodeLevel = make([]int32, n)
 	// Parallel pass: per-square level + representative (pure per square)
@@ -240,14 +287,43 @@ func Build(points []geo.Point, cfg Config) (*Hierarchy, error) {
 			}
 		}
 	})
-	// Serial pass in BFS order: role lists and node levels, so RepRoles
-	// slices keep the exact square order the serial build produced.
+	// Serial passes in BFS order: role lists and node levels. Role lists
+	// are counted first and packed into one flat block (each rep's slice
+	// carries exact capacity, so a later re-election append copies out
+	// instead of clobbering a neighbour); per-rep square order is the BFS
+	// order the append-based build produced.
+	roleCount := make([]int32, n)
+	reps, totalRoles := 0, 0
 	for _, sq := range h.Squares {
 		if sq.Rep >= 0 {
-			h.RepRoles[sq.Rep] = append(h.RepRoles[sq.Rep], sq.ID)
+			if roleCount[sq.Rep] == 0 {
+				reps++
+			}
+			roleCount[sq.Rep]++
+			totalRoles++
+		}
+	}
+	cursor := make([]int32, n)
+	off := int32(0)
+	for i, c := range roleCount {
+		cursor[i] = off
+		off += c
+	}
+	roleBlock := make([]int, totalRoles)
+	h.RepRoles = make(map[int32][]int, reps)
+	for _, sq := range h.Squares {
+		if sq.Rep >= 0 {
+			roleBlock[cursor[sq.Rep]] = sq.ID
+			cursor[sq.Rep]++
 			if int32(sq.Level) > h.NodeLevel[sq.Rep] {
 				h.NodeLevel[sq.Rep] = int32(sq.Level)
 			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c := roleCount[i]; c > 0 {
+			end := cursor[i]
+			h.RepRoles[int32(i)] = roleBlock[end-c : end : end]
 		}
 	}
 	return h, nil

@@ -25,6 +25,19 @@ const (
 	MetricSweepTasksDone    = "geogossip_sweep_tasks_done"
 	MetricRouteCacheLookups = "geogossip_route_cache_lookups"
 	MetricChannelPoolBuilds = "geogossip_channel_pool_builds"
+
+	// Distributed-sweep gauges, maintained by the coordinator
+	// (internal/sweep/dist) when a registry is attached. All scrape-time
+	// state: worker membership, lease churn and heartbeat liveness are
+	// scheduling facts, so none of them are part of Flatten — the
+	// deterministic engine counters arrive separately as per-task deltas
+	// summed into SweepReport.Metrics.
+	MetricDistWorkers         = "geogossip_dist_workers"
+	MetricDistLeasesActive    = "geogossip_dist_leases_active"
+	MetricDistLeasesReissued  = "geogossip_dist_leases_reissued"
+	MetricDistWorkerTasksDone = "geogossip_dist_worker_tasks_done"
+	MetricDistHeartbeatAge    = "geogossip_dist_worker_heartbeat_age_seconds"
+	MetricDistBufferedResults = "geogossip_dist_buffered_results"
 )
 
 // HopBuckets are the far-exchange hop-count histogram bounds: greedy

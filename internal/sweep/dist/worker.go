@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"geogossip/internal/sweep"
+)
+
+// WorkerOptions configures Join.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator gauges and /progress.
+	// Empty derives "host/pid".
+	Name string
+	// Slots is the worker's in-process parallelism (see sweep.Options
+	// .Workers); zero selects GOMAXPROCS. Also advertised in hello so the
+	// coordinator can size leases.
+	Slots int
+	// BuildWorkers is the per-network construction parallelism (see
+	// sweep.Options.BuildWorkers).
+	BuildWorkers int
+	// Heartbeat is the keep-alive interval; it must stay well under the
+	// coordinator's lease timeout. Zero selects 2s.
+	Heartbeat time.Duration
+	// Progress, when non-nil, is called after every completed task with
+	// this worker's running total.
+	Progress func(done int)
+}
+
+// Join connects to a coordinator at addr and executes leases until the
+// coordinator says bye (grid complete — returns nil), the connection
+// drops (returns the transport error), or ctx is cancelled (returns
+// ctx.Err()). The worker keeps one pooled executor for the whole
+// session, so consecutive leases over the same grid cells reuse built
+// networks and warmed route caches.
+func Join(ctx context.Context, addr string, opt WorkerOptions) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	name := opt.Name
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s/%d", host, os.Getpid())
+	}
+	exec := sweep.NewExecutor(opt.Slots, opt.BuildWorkers)
+	br := bufio.NewReaderSize(conn, 1<<16)
+	fw := &frameWriter{w: conn}
+	if err := fw.send(&Msg{Type: MsgHello, Proto: ProtocolVersion, Name: name, Slots: exec.Slots()}); err != nil {
+		return ctxErr(ctx, err)
+	}
+	m, err := readMsg(br)
+	if err != nil {
+		return ctxErr(ctx, err)
+	}
+	if m.Type == MsgBye {
+		return fmt.Errorf("dist: coordinator rejected worker: %s", m.Err)
+	}
+	if m.Type != MsgSpec || m.Spec == nil {
+		return fmt.Errorf("dist: expected spec after hello, got %q", m.Type)
+	}
+	spec := m.Spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("dist: coordinator sent invalid spec: %w", err)
+	}
+	tasks := spec.Expand()
+
+	heartbeat := opt.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 2 * time.Second
+	}
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				s := workerStats(exec)
+				if fw.send(&Msg{Type: MsgHeartbeat, Stats: &s}) != nil {
+					return // main loop will observe the broken connection
+				}
+			}
+		}
+	}()
+
+	done := 0
+	for {
+		if err := fw.send(&Msg{Type: MsgWant}); err != nil {
+			return ctxErr(ctx, err)
+		}
+		m, err := readMsg(br)
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("dist: coordinator closed the connection mid-session")
+			}
+			return ctxErr(ctx, err)
+		}
+		switch m.Type {
+		case MsgLease:
+			n, err := runLease(ctx, exec, fw, tasks, m, done, opt.Progress)
+			done += n
+			if err != nil {
+				return ctxErr(ctx, err)
+			}
+		case MsgWait:
+			retry := time.Duration(m.RetryMillis) * time.Millisecond
+			if retry <= 0 {
+				retry = 250 * time.Millisecond
+			}
+			select {
+			case <-time.After(retry):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		case MsgBye:
+			if m.Err != "" {
+				return fmt.Errorf("dist: coordinator aborted: %s", m.Err)
+			}
+			return nil
+		default:
+			return fmt.Errorf("dist: unexpected %q in reply to want", m.Type)
+		}
+	}
+}
+
+// runLease executes one lease across the executor's slots, streaming
+// each result as it completes, and closes with the done report. Returns
+// the number of tasks executed.
+func runLease(ctx context.Context, exec *sweep.Executor, fw *frameWriter, tasks []sweep.Task, lease *Msg, doneBase int, progress func(int)) (int, error) {
+	for _, id := range lease.Tasks {
+		if id < 0 || id >= len(tasks) {
+			return 0, fmt.Errorf("dist: lease %d references task %d outside the %d-task grid", lease.Lease, id, len(tasks))
+		}
+	}
+	slots := exec.Slots()
+	if slots > len(lease.Tasks) {
+		slots = len(lease.Tasks)
+	}
+	idCh := make(chan int)
+	go func() {
+		defer close(idCh)
+		for _, id := range lease.Tasks {
+			select {
+			case idCh <- id:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		executed int
+	)
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for id := range idCh {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop || ctx.Err() != nil {
+					return
+				}
+				r, delta := exec.Execute(slot, tasks[id])
+				err := fw.send(&Msg{Type: MsgResult, Result: &r, Metrics: delta})
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					executed++
+					if progress != nil {
+						progress(doneBase + executed)
+					}
+				}
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return executed, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return executed, err
+	}
+	s := workerStats(exec)
+	return executed, fw.send(&Msg{Type: MsgDone, Lease: lease.Lease, Stats: &s})
+}
+
+func workerStats(exec *sweep.Executor) WorkerStats {
+	route := exec.RouteStats()
+	net := exec.NetStats()
+	return WorkerStats{
+		RouteHits:     route.RouteHits,
+		RouteMisses:   route.RouteMisses,
+		FloodHits:     route.FloodHits,
+		FloodMisses:   route.FloodMisses,
+		Networks:      net.Networks,
+		Nodes:         net.Nodes,
+		BuildSeconds:  net.BuildTime.Seconds(),
+		GraphBytes:    net.GraphBytes,
+		HierBytes:     net.HierBytes,
+		ChannelBuilds: exec.ChannelBuilds(),
+	}
+}
+
+// ctxErr prefers the context's cancellation cause over the transport
+// error it provoked (cancelling Join closes the connection, so the read
+// or write error is a symptom, not the story).
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}

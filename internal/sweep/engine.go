@@ -78,8 +78,32 @@ func Run(ctx context.Context, spec Spec, opt Options) ([]TaskResult, error) {
 		return nil, err
 	}
 	all := spec.Expand()
-	resumed := make(map[int]bool, len(opt.Resume))
-	for _, r := range opt.Resume {
+	resumed, err := ValidateResume(all, opt.Resume)
+	if err != nil {
+		return nil, err
+	}
+	tasks := all[:0:0]
+	for _, t := range all {
+		if !opt.Skip[t.ID] && !resumed[t.ID] {
+			tasks = append(tasks, t)
+		}
+	}
+	results, err := runPool(ctx, tasks, opt)
+	results = append(results, opt.Resume...)
+	sort.Slice(results, func(i, j int) bool { return results[i].TaskID < results[j].TaskID })
+	return results, err
+}
+
+// ValidateResume checks previously completed results against the
+// current grid expansion and returns the set of task IDs they cover. An
+// ID outside the grid, coordinates that disagree with the expansion, or
+// a duplicated ID mean the results came from a different spec, and the
+// caller must fail rather than silently mix two grids. Both the local
+// engine (Run) and the distributed coordinator re-validate resumed
+// sinks through this.
+func ValidateResume(all []Task, resume []TaskResult) (map[int]bool, error) {
+	resumed := make(map[int]bool, len(resume))
+	for _, r := range resume {
 		if r.TaskID < 0 || r.TaskID >= len(all) {
 			return nil, fmt.Errorf("sweep: resumed task %d outside the current grid (%d tasks) — output from a different spec?", r.TaskID, len(all))
 		}
@@ -95,16 +119,7 @@ func Run(ctx context.Context, spec Spec, opt Options) ([]TaskResult, error) {
 		}
 		resumed[r.TaskID] = true
 	}
-	tasks := all[:0:0]
-	for _, t := range all {
-		if !opt.Skip[t.ID] && !resumed[t.ID] {
-			tasks = append(tasks, t)
-		}
-	}
-	results, err := runPool(ctx, tasks, opt)
-	results = append(results, opt.Resume...)
-	sort.Slice(results, func(i, j int) bool { return results[i].TaskID < results[j].TaskID })
-	return results, err
+	return resumed, nil
 }
 
 // matches reports whether a resumed result agrees with the task the

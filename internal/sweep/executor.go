@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"runtime"
+
+	"geogossip/internal/obs"
+	"geogossip/internal/routing"
+)
+
+// Executor runs individual tasks of an expanded grid with the same
+// pooled-state discipline as Run's worker pool: one shared network/route
+// cache across all slots, one reusable engine run state per slot. It is
+// the execution face the distributed worker (internal/sweep/dist)
+// threads its leases through — a worker process keeps one Executor for
+// its whole session, so consecutive leases over the same (n, seed)
+// cells reuse the already-built networks and warmed route caches.
+//
+// Each slot carries a private metrics registry, so Execute can report
+// the exact per-task delta of every Flatten counter: the distributed
+// coordinator sums accepted deltas and reproduces the single-process
+// SweepReport.Metrics bit-identically, even when a task ran twice after
+// a lease re-issue (duplicates are discarded with their deltas).
+type Executor struct {
+	cache *netCache
+	slots []*execSlot
+}
+
+type execSlot struct {
+	states *runStates
+	reg    *obs.Registry
+	prev   map[string]float64
+}
+
+// NewExecutor returns an executor with the given number of slots
+// (zero selects GOMAXPROCS) and per-network construction parallelism
+// (see Options.BuildWorkers).
+func NewExecutor(slots, buildWorkers int) *Executor {
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{cache: newNetCache()}
+	e.cache.buildWorkers = buildWorkers
+	for i := 0; i < slots; i++ {
+		reg := obs.NewRegistry()
+		e.slots = append(e.slots, &execSlot{states: &runStates{reg: reg}, reg: reg})
+	}
+	return e
+}
+
+// Slots returns the executor's slot count — the number of tasks it can
+// run concurrently.
+func (e *Executor) Slots() int { return len(e.slots) }
+
+// Execute runs one task on the given slot's pooled state and returns
+// its result together with the task's metrics delta: every Flatten key
+// the slot's registry carries, valued by how much this task moved it
+// (zero-valued keys are included, so summed deltas reproduce a
+// registry's full key set). Distinct slots may execute concurrently; a
+// single slot must not.
+func (e *Executor) Execute(slot int, t Task) (TaskResult, map[string]float64) {
+	s := e.slots[slot]
+	if s.prev == nil {
+		s.prev = s.reg.Flatten()
+	}
+	r := executeWith(t, e.cache, s.states)
+	cur := s.reg.Flatten()
+	delta := make(map[string]float64, len(cur))
+	for k, v := range cur {
+		delta[k] = v - s.prev[k]
+	}
+	s.prev = cur
+	return r, delta
+}
+
+// RouteStats reports the executor's accumulated route/flood cache
+// counters across every network it has built.
+func (e *Executor) RouteStats() routing.CacheStats { return e.cache.routeStats() }
+
+// NetStats reports the executor's network-construction summary.
+func (e *Executor) NetStats() NetBuildStats { return e.cache.netStats() }
+
+// ChannelBuilds reports the pooled channel builds served across the
+// executor's slots.
+func (e *Executor) ChannelBuilds() uint64 {
+	var total uint64
+	for _, s := range e.slots {
+		total += s.states.channelBuilds()
+	}
+	return total
+}

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"reflect"
+	"testing"
+)
+
+// gzip sinks must round-trip through the transparent ReadResults
+// detection, including the multi-member form a resumed -gzip run
+// appends.
+func TestGzipSinkRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	var plain bytes.Buffer
+	results, err := Run(context.Background(), spec, Options{Workers: 1, Sink: NewJSONL(&plain)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResults(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatalf("reading gzip sink: %v", err)
+	}
+	if !reflect.DeepEqual(got, results) {
+		t.Error("gzip round trip changed the results")
+	}
+
+	// Multi-member: a resumed run rewrites the recovered prefix as one
+	// member and appends new results as another.
+	var multi bytes.Buffer
+	half := len(results) / 2
+	for _, part := range [][]TaskResult{results[:half], results[half:]} {
+		zw := gzip.NewWriter(&multi)
+		enc := NewJSONL(zw)
+		for _, r := range part {
+			if err := enc.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = ReadResults(bytes.NewReader(multi.Bytes()))
+	if err != nil {
+		t.Fatalf("reading multi-member gzip sink: %v", err)
+	}
+	if !reflect.DeepEqual(got, results) {
+		t.Error("multi-member gzip read changed the results")
+	}
+}
+
+// A -gzip run killed mid-write leaves a stream cut inside a deflate
+// block; ReadResults must yield every complete line before the cut,
+// like the plain-JSONL truncated-final-line tolerance.
+func TestGzipTruncatedStreamTolerated(t *testing.T) {
+	spec := smallSpec()
+	var plain bytes.Buffer
+	results, err := Run(context.Background(), spec, Options{Workers: 1, Sink: NewJSONL(&plain)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// Flush (not Close) then cut: the tail of the stream — and with it
+	// the final lines — is unrecoverable, mimicking a killed process.
+	if err := zw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := gz.Bytes()[:gz.Len()*2/3]
+	got, err := ReadResults(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("reading truncated gzip sink: %v", err)
+	}
+	if len(got) == 0 || len(got) >= len(results) {
+		t.Fatalf("truncated stream yielded %d of %d results; want a non-empty strict prefix", len(got), len(results))
+	}
+	if !reflect.DeepEqual(got, results[:len(got)]) {
+		t.Error("recovered prefix differs from the original results")
+	}
+}
+
+// An undecodable tail after a complete member — a partial second-member
+// header from a killed resumed run, or zero padding — must read like a
+// clean end of stream, not a hard error.
+func TestGzipGarbageTailTolerated(t *testing.T) {
+	spec := smallSpec()
+	var plain bytes.Buffer
+	results, err := Run(context.Background(), spec, Options{Workers: 1, Sink: NewJSONL(&plain)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, tail := range map[string][]byte{
+		"zero padding":   make([]byte, 300),
+		"partial header": {0x1f, 0x8b, 8},
+	} {
+		withTail := append(append([]byte(nil), gz.Bytes()...), tail...)
+		got, err := ReadResults(bytes.NewReader(withTail))
+		if err != nil {
+			t.Fatalf("%s after a complete member: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, results) {
+			t.Errorf("%s: recovered results differ from the original", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -75,9 +76,23 @@ func ReadCompleted(r io.Reader) (map[int]bool, error) {
 }
 
 // ReadResults parses JSONL sweep output back into task results, in file
-// order. Like ReadCompleted it tolerates a truncated final line from a
-// killed run; malformed content anywhere else is an error.
+// order. Gzip-compressed streams (the -gzip / .jsonl.gz sink form) are
+// detected by their magic bytes and decompressed transparently. Like
+// ReadCompleted it tolerates a truncated final line from a killed run —
+// including a gzip stream cut mid-block, whose undecodable tail maps to
+// the same forgivable final partial line; malformed content anywhere
+// else is an error.
 func ReadResults(r io.Reader) ([]TaskResult, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := newGzipMembers(br)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: gzip sink: %w", err)
+		}
+		r = zr
+	} else {
+		r = br
+	}
 	var out []TaskResult
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -105,4 +120,56 @@ func ReadResults(r io.Reader) ([]TaskResult, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// gzipMembers reads a sequence of gzip members — the multi-member form
+// a resumed -gzip run appends — and treats any undecodable tail as
+// end-of-input: a member cut mid-block (ErrUnexpectedEOF) or a partial
+// next-member header left by a killed run both map to the same
+// forgivable truncation as a plain-JSONL partial final line. The first
+// member's header must be valid (that is how the caller detected gzip at
+// all); only what follows completed data is forgiven.
+type gzipMembers struct {
+	br   *bufio.Reader
+	zr   *gzip.Reader
+	done bool
+}
+
+func newGzipMembers(br *bufio.Reader) (*gzipMembers, error) {
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, err
+	}
+	zr.Multistream(false)
+	return &gzipMembers{br: br, zr: zr}, nil
+}
+
+func (g *gzipMembers) Read(p []byte) (int, error) {
+	for {
+		if g.done {
+			return 0, io.EOF
+		}
+		n, err := g.zr.Read(p)
+		switch err {
+		case nil:
+			return n, nil
+		case io.EOF:
+			// Member finished cleanly; step to the next one. A Reset error
+			// is either the true end of the file or an undecodable tail —
+			// both end the stream.
+			if g.zr.Reset(g.br) != nil {
+				g.done = true
+			} else {
+				g.zr.Multistream(false)
+			}
+			if n > 0 {
+				return n, nil
+			}
+		case io.ErrUnexpectedEOF:
+			g.done = true
+			return n, io.EOF
+		default:
+			return n, err
+		}
+	}
 }

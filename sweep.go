@@ -3,6 +3,7 @@ package geogossip
 import (
 	"context"
 	"io"
+	"time"
 
 	"geogossip/internal/routing"
 	"geogossip/internal/sweep"
@@ -294,6 +295,9 @@ type sweepConfig struct {
 	progress     func(done, total int)
 	resume       []SweepResult
 	metrics      *MetricsRegistry
+	leaseSize    int
+	leaseTimeout time.Duration
+	workerName   string
 }
 
 // WithSweepWorkers sizes the worker pool (default GOMAXPROCS). Results
@@ -365,6 +369,20 @@ func ReadSweepResults(r io.Reader) ([]SweepResult, error) {
 	return out, nil
 }
 
+// WriteSweepResults writes results to w in the exact JSONL form
+// WithSweepJSONL streams — one canonical JSON object per line — so
+// files rewritten or merged through it stay byte-compatible with sink
+// output and with ReadSweepResults.
+func WriteSweepResults(w io.Writer, results []SweepResult) error {
+	sink := sweep.NewJSONL(w)
+	for _, r := range results {
+		if err := sink.Write(toInternalResult(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Sweep expands the grid and runs every task on a worker pool.
 // Per-task seeds derive from BaseSeed and the task's coordinates — never
 // from scheduling — so the same spec produces bit-identical results
@@ -396,9 +414,16 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 		iopt.Sink = sweep.NewJSONL(cfg.jsonl)
 	}
 	results, err := sweep.Run(ctx, spec.internal(), iopt)
+	return buildReport(results, reg.reg.Flatten(), routeStats, netStats), err
+}
+
+// buildReport assembles the public report from internal results plus the
+// run's metrics and cache/construction summaries — shared by the local
+// Sweep and the distributed SweepServe, so both report identically.
+func buildReport(results []sweep.TaskResult, metrics map[string]float64, routeStats routing.CacheStats, netStats sweep.NetBuildStats) *SweepReport {
 	rep := &SweepReport{
 		Results: make([]SweepResult, 0, len(results)),
-		Metrics: reg.reg.Flatten(),
+		Metrics: metrics,
 		RouteCache: SweepRouteCacheStats{
 			RouteHits:   routeStats.RouteHits,
 			RouteMisses: routeStats.RouteMisses,
@@ -467,7 +492,7 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 			R2:       f.R2,
 		})
 	}
-	return rep, err
+	return rep
 }
 
 func fromInternalResult(r sweep.TaskResult) SweepResult {
