@@ -37,8 +37,8 @@ func run(args []string) error {
 		curve   = fs.Bool("curve", false, "print the sampled (transmissions, error) trajectory")
 		flat    = fs.Bool("flat", false, "use a flat single-level hierarchy (ablation)")
 		loss    = fs.Float64("loss", 0, "data-packet loss probability")
-		save    = fs.String("save", "", "write the generated network to this JSON file and exit")
-		load    = fs.String("load", "", "load the network from this JSON file instead of generating")
+		save    = fs.String("save", "", "write the generated network to this file as a binary snapshot and exit")
+		load    = fs.String("load", "", "load the network from this file instead of generating (binary snapshot, legacy JSON, or either gzipped — sniffed automatically)")
 		doTrace = fs.Bool("trace", false, "stream protocol events to stderr (affine algorithms)")
 	)
 	if err := fs.Parse(args); err != nil {

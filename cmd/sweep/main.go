@@ -82,6 +82,7 @@ func run(args []string) error {
 		join     = fs.String("join", "", "run as distributed-sweep worker for the coordinator at ADDR; grid and output flags are ignored (the spec comes from the coordinator)")
 		leaseN   = fs.Int("lease", 0, "with -serve: tasks per lease (0 = twice the worker's slot count)")
 		leaseTO  = fs.Duration("lease-timeout", 0, "with -serve: silence after which a worker's leases are re-issued (0 = 30s)")
+		netDir   = fs.String("netdir", "", "network snapshot store directory: load already-persisted networks instead of rebuilding them and persist fresh builds (created if absent; results are bit-identical either way; shareable between runs and between -join workers on one machine)")
 		name     = fs.String("name", "", "with -join: worker display name in coordinator gauges (default host/pid)")
 		rejoin   = fs.Int("rejoin", 0, "with -join: redial attempts after a failed or lost coordinator connection, 1s apart (lets workers start before the coordinator and outlive its restarts)")
 	)
@@ -99,7 +100,7 @@ func run(args []string) error {
 	defer stop()
 
 	if *join != "" {
-		return runJoin(ctx, *join, *rejoin, *workers, *workersB, *name, *quiet)
+		return runJoin(ctx, *join, *rejoin, *workers, *workersB, *name, *netDir, *quiet)
 	}
 
 	var spec geogossip.SweepSpec
@@ -150,6 +151,9 @@ func run(args []string) error {
 	opts := []geogossip.SweepOption{
 		geogossip.WithSweepWorkers(*workers),
 		geogossip.WithSweepBuildWorkers(*workersB),
+	}
+	if *netDir != "" {
+		opts = append(opts, geogossip.WithSweepNetworkDir(*netDir))
 	}
 
 	// -listen exposes the sweep live over HTTP; the registry it serves is
@@ -299,11 +303,14 @@ func run(args []string) error {
 // rejoin times on a failed or lost connection (so workers may start
 // before the coordinator and outlive its restarts — the coordinator's
 // lease re-issue and resume logic replays whatever was lost).
-func runJoin(ctx context.Context, addr string, rejoin, workers, buildWorkers int, name string, quiet bool) error {
+func runJoin(ctx context.Context, addr string, rejoin, workers, buildWorkers int, name, netDir string, quiet bool) error {
 	opts := []geogossip.SweepOption{
 		geogossip.WithSweepWorkers(workers),
 		geogossip.WithSweepBuildWorkers(buildWorkers),
 		geogossip.WithSweepWorkerName(name),
+	}
+	if netDir != "" {
+		opts = append(opts, geogossip.WithSweepNetworkDir(netDir))
 	}
 	if !quiet {
 		opts = append(opts, geogossip.WithSweepProgress(func(done, _ int) {
@@ -372,6 +379,10 @@ func printPhaseStats(w io.Writer, nb geogossip.SweepNetBuildStats, runWall time.
 		fmt.Fprintf(w, "phase construct: %d network(s), %d nodes, %.2fs build wall, %.1f MB resident (%.1f bytes/node)\n",
 			nb.Networks, nb.Nodes, nb.BuildSeconds,
 			float64(nb.GraphBytes+nb.HierarchyBytes)/(1<<20), nb.BytesPerNode())
+	}
+	if nb.Loads > 0 || nb.StoreMisses > 0 || nb.StoreBytes > 0 {
+		fmt.Fprintf(w, "netstore: %d loaded, %d built, %.2fs load wall, %.1f MB written\n",
+			nb.Loads, nb.StoreMisses, nb.LoadSeconds, float64(nb.StoreBytes)/(1<<20))
 	}
 	fmt.Fprintf(w, "phase run: %v wall, peak RSS %s\n", runWall.Round(time.Millisecond), rssLabel())
 }

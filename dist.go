@@ -87,10 +87,12 @@ func SweepServe(ctx context.Context, ln net.Listener, spec SweepSpec, opts ...Sw
 // warmed route caches across its leases.
 //
 // Recognized options: WithSweepWorkers (the worker's slot count),
-// WithSweepBuildWorkers, WithSweepWorkerName, and WithSweepProgress —
-// called with this worker's running task count and total 0 (a worker
-// cannot see grid-wide progress; watch the coordinator's /progress for
-// that). Coordinator-side options are ignored.
+// WithSweepBuildWorkers, WithSweepWorkerName, WithSweepNetworkDir (the
+// worker consults the snapshot store before building and reports builds
+// avoided in its heartbeats), and WithSweepProgress — called with this
+// worker's running task count and total 0 (a worker cannot see
+// grid-wide progress; watch the coordinator's /progress for that).
+// Coordinator-side options are ignored.
 func SweepJoin(ctx context.Context, addr string, opts ...SweepOption) error {
 	var cfg sweepConfig
 	for _, o := range opts {
@@ -104,6 +106,7 @@ func SweepJoin(ctx context.Context, addr string, opts ...SweepOption) error {
 		Name:         cfg.workerName,
 		Slots:        cfg.workers,
 		BuildWorkers: cfg.buildWorkers,
+		NetDir:       cfg.netDir,
 		Progress:     progress,
 	})
 }

@@ -1,0 +1,98 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// CellIndexSnapshot exposes a CellIndex's derived tables for binary
+// serialization (DESIGN.md §11). The indexed point slice is not part of
+// the snapshot — the caller serializes points once and passes them back
+// to CellIndexFromSnapshot.
+type CellIndexSnapshot struct {
+	CellSize  float64
+	Cols      int
+	Rows      int
+	CellStart []int32
+	CellIDs   []int32
+}
+
+// Snapshot returns the index's serializable view. The slices alias the
+// index's storage and must be treated as read-only.
+func (ci *CellIndex) Snapshot() CellIndexSnapshot {
+	return CellIndexSnapshot{
+		CellSize:  ci.cellSize,
+		Cols:      ci.cols,
+		Rows:      ci.rows,
+		CellStart: ci.cellStart,
+		CellIDs:   ci.cellIDs,
+	}
+}
+
+// CellIndexFromSnapshot reconstructs a CellIndex over points from a
+// snapshot, validating every table against what NewCellIndex would have
+// produced: grid dimensions must match the cell size, the CSR offsets
+// must be monotonic and exhaustive, and every id must sit in the cell
+// its point maps to, in ascending order. A snapshot that passes is
+// bit-identical to a fresh NewCellIndex build, so all queries (radius,
+// nearest, rect) behave identically.
+func CellIndexFromSnapshot(points []Point, bounds Rect, s CellIndexSnapshot) (*CellIndex, error) {
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("geo: cell index bounds %v are empty", bounds)
+	}
+	if s.CellSize <= 0 || math.IsInf(s.CellSize, 0) || math.IsNaN(s.CellSize) {
+		return nil, fmt.Errorf("geo: snapshot cell size %v must be positive and finite", s.CellSize)
+	}
+	wantCols := int(math.Ceil(bounds.Width() / s.CellSize))
+	wantRows := int(math.Ceil(bounds.Height() / s.CellSize))
+	if wantCols < 1 {
+		wantCols = 1
+	}
+	if wantRows < 1 {
+		wantRows = 1
+	}
+	if s.Cols != wantCols || s.Rows != wantRows {
+		return nil, fmt.Errorf("geo: snapshot grid %dx%d does not match cell size %v over %v (want %dx%d)",
+			s.Cols, s.Rows, s.CellSize, bounds, wantCols, wantRows)
+	}
+	nc := int64(s.Cols) * int64(s.Rows)
+	if int64(len(s.CellStart)) != nc+1 {
+		return nil, fmt.Errorf("geo: snapshot has %d cell offsets for %d cells", len(s.CellStart), nc)
+	}
+	if len(s.CellIDs) != len(points) {
+		return nil, fmt.Errorf("geo: snapshot indexes %d ids over %d points", len(s.CellIDs), len(points))
+	}
+	if s.CellStart[0] != 0 || int(s.CellStart[nc]) != len(s.CellIDs) {
+		return nil, fmt.Errorf("geo: snapshot cell offsets span [%d, %d], want [0, %d]",
+			s.CellStart[0], s.CellStart[nc], len(s.CellIDs))
+	}
+	ci := &CellIndex{
+		bounds:    bounds,
+		cellSize:  s.CellSize,
+		cols:      s.Cols,
+		rows:      s.Rows,
+		points:    points,
+		cellStart: s.CellStart,
+		cellIDs:   s.CellIDs,
+	}
+	for c := int64(0); c < nc; c++ {
+		lo, hi := s.CellStart[c], s.CellStart[c+1]
+		if lo > hi {
+			return nil, fmt.Errorf("geo: snapshot cell %d offsets decrease (%d > %d)", c, lo, hi)
+		}
+		prev := int32(-1)
+		for _, id := range s.CellIDs[lo:hi] {
+			if id < 0 || int(id) >= len(points) {
+				return nil, fmt.Errorf("geo: snapshot cell %d holds id %d outside [0, %d)", c, id, len(points))
+			}
+			if id <= prev {
+				return nil, fmt.Errorf("geo: snapshot cell %d ids not strictly ascending (%d after %d)", c, id, prev)
+			}
+			if got := ci.cellOf(points[id]); int64(got) != c {
+				return nil, fmt.Errorf("geo: snapshot places point %d in cell %d, but it maps to cell %d", id, c, got)
+			}
+			prev = id
+		}
+	}
+	return ci, nil
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"geogossip/internal/geo"
 	"geogossip/internal/par"
@@ -57,9 +58,12 @@ type Graph struct {
 
 	// voronoi caches VoronoiAreas: the areas are a pure function of the
 	// immutable point set, and every geographic-gossip run on the graph
-	// needs them, so they are computed once and shared.
-	voronoiOnce sync.Once
-	voronoi     []float64
+	// needs them, so they are computed once and shared. voronoiReady
+	// publishes the cache to Snapshot, which must not block on (or
+	// trigger) the computation.
+	voronoiOnce  sync.Once
+	voronoi      []float64
+	voronoiReady atomic.Bool
 }
 
 // UniformPoints draws n points independently and uniformly from the unit
@@ -417,6 +421,7 @@ func (g *Graph) VoronoiAreas() []float64 {
 			}
 		})
 		g.voronoi = areas
+		g.voronoiReady.Store(true)
 	})
 	return g.voronoi
 }

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/par"
+)
+
+// Snapshot exposes the graph's derived tables for binary serialization
+// (DESIGN.md §11): the connection radius, the packed CSR adjacency, the
+// cell index, and — when already computed — the cached Voronoi areas.
+// The point slice is not part of the snapshot; callers serialize points
+// once and pass them back to FromSnapshot. All slices alias the graph's
+// storage and must be treated as read-only.
+type Snapshot struct {
+	Radius  float64
+	Offsets []int32
+	Flat    []int32
+	Index   geo.CellIndexSnapshot
+	// Voronoi is nil unless VoronoiAreas had been demanded by the time
+	// Snapshot was taken (the areas are expensive and only geographic
+	// runs need them, so they are persisted opportunistically).
+	Voronoi []float64
+}
+
+// Snapshot returns the graph's serializable view.
+func (g *Graph) Snapshot() Snapshot {
+	s := Snapshot{
+		Radius:  g.radius,
+		Offsets: g.offsets,
+		Flat:    g.flat,
+		Index:   g.index.Snapshot(),
+	}
+	if g.voronoiReady.Load() {
+		s.Voronoi = g.voronoi
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a graph over points from a snapshot,
+// validating the CSR adjacency (offsets monotonic and exhaustive,
+// neighbour ids in range, strictly ascending, never self-loops) and the
+// cell index against the exact parameters BuildWorkers derives. A
+// snapshot that passes reproduces a fresh build bit-for-bit: same
+// adjacency arrays, same index, same query results — only the O(n·deg)
+// radius scan is skipped. workers seeds derived computations
+// (VoronoiAreas) exactly like BuildWorkers' parameter does; it never
+// affects the loaded tables.
+func FromSnapshot(points []geo.Point, s Snapshot, workers int) (*Graph, error) {
+	if s.Radius <= 0 || math.IsInf(s.Radius, 0) || math.IsNaN(s.Radius) {
+		return nil, fmt.Errorf("graph: snapshot radius %v must be positive and finite", s.Radius)
+	}
+	bounds := geo.UnitSquare()
+	for i, p := range points {
+		if !bounds.Contains(p) {
+			return nil, fmt.Errorf("graph: snapshot point %d = %v outside the unit square", i, p)
+		}
+	}
+	n := len(points)
+	if len(s.Offsets) != n+1 {
+		return nil, fmt.Errorf("graph: snapshot has %d offsets for %d points", len(s.Offsets), n)
+	}
+	if s.Offsets[0] != 0 || int(s.Offsets[n]) != len(s.Flat) {
+		return nil, fmt.Errorf("graph: snapshot offsets span [%d, %d], want [0, %d]",
+			s.Offsets[0], s.Offsets[n], len(s.Flat))
+	}
+	if len(s.Flat)%2 != 0 {
+		return nil, fmt.Errorf("graph: snapshot adjacency holds %d directed edges (odd — not a symmetric graph)", len(s.Flat))
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := s.Offsets[i], s.Offsets[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: snapshot offsets decrease at node %d (%d > %d)", i, lo, hi)
+		}
+		prev := int32(-1)
+		for _, j := range s.Flat[lo:hi] {
+			if j < 0 || int(j) >= n {
+				return nil, fmt.Errorf("graph: snapshot node %d has neighbour %d outside [0, %d)", i, j, n)
+			}
+			if int(j) == i {
+				return nil, fmt.Errorf("graph: snapshot node %d lists itself as a neighbour", i)
+			}
+			if j <= prev {
+				return nil, fmt.Errorf("graph: snapshot node %d neighbours not strictly ascending (%d after %d)", i, j, prev)
+			}
+			prev = j
+		}
+	}
+	// BuildWorkers derives the cell size from the radius; the stored index
+	// must match, or loaded query behaviour could drift from a fresh build.
+	cell := s.Radius
+	if cell > 0.5 {
+		cell = 0.5
+	}
+	if s.Index.CellSize != cell {
+		return nil, fmt.Errorf("graph: snapshot cell size %v does not match radius %v (want %v)",
+			s.Index.CellSize, s.Radius, cell)
+	}
+	idx, err := geo.CellIndexFromSnapshot(points, bounds, s.Index)
+	if err != nil {
+		return nil, fmt.Errorf("graph: snapshot index: %w", err)
+	}
+	if s.Voronoi != nil && len(s.Voronoi) != n {
+		return nil, fmt.Errorf("graph: snapshot has %d voronoi areas for %d points", len(s.Voronoi), n)
+	}
+	g := &Graph{
+		points:  points,
+		radius:  s.Radius,
+		bounds:  bounds,
+		index:   idx,
+		flat:    s.Flat,
+		offsets: s.Offsets,
+		edges:   len(s.Flat) / 2,
+		workers: par.Resolve(workers),
+	}
+	if s.Voronoi != nil {
+		areas := s.Voronoi
+		g.voronoiOnce.Do(func() { g.voronoi = areas })
+		g.voronoiReady.Store(true)
+	}
+	return g, nil
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/rng"
+)
+
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	g, err := Generate(4096, 1.2, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromSnapshot(g.Points(), g.Snapshot(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.radius != g.radius || got.edges != g.edges {
+		t.Fatalf("radius/edges = %v/%d, want %v/%d", got.radius, got.edges, g.radius, g.edges)
+	}
+	if !reflect.DeepEqual(got.offsets, g.offsets) || !reflect.DeepEqual(got.flat, g.flat) {
+		t.Fatal("adjacency tables differ after round trip")
+	}
+	if !reflect.DeepEqual(got.index, g.index) {
+		t.Fatal("cell index differs after round trip")
+	}
+	// Query behaviour: spot-check against the original.
+	for _, i := range []int32{0, 1, 2047, 4095} {
+		if !reflect.DeepEqual(got.Neighbors(i), g.Neighbors(i)) {
+			t.Fatalf("Neighbors(%d) differ", i)
+		}
+	}
+	p := geo.Point{X: 0.31, Y: 0.64}
+	if got.NearestTo(p) != g.NearestTo(p) {
+		t.Fatal("NearestTo differs")
+	}
+	if got.IsConnected() != g.IsConnected() {
+		t.Fatal("IsConnected differs")
+	}
+}
+
+func TestSnapshotVoronoiCache(t *testing.T) {
+	g, err := Generate(512, 1.4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the areas are demanded the snapshot must not include (or
+	// trigger) them.
+	if s := g.Snapshot(); s.Voronoi != nil {
+		t.Fatal("snapshot exposes voronoi areas before they were computed")
+	}
+	want := g.VoronoiAreas()
+	s := g.Snapshot()
+	if s.Voronoi == nil {
+		t.Fatal("snapshot missing computed voronoi areas")
+	}
+	got, err := FromSnapshot(g.Points(), s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas := got.VoronoiAreas() // must hit the pre-seeded cache, not recompute
+	for i := range want {
+		if math.Float64bits(areas[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("voronoi[%d] = %v, want %v", i, areas[i], want[i])
+		}
+	}
+}
+
+func TestFromSnapshotRejectsCorruption(t *testing.T) {
+	g, err := Generate(256, 1.5, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Points()
+	base := g.Snapshot()
+	clone := func() Snapshot {
+		s := base
+		s.Offsets = append([]int32(nil), base.Offsets...)
+		s.Flat = append([]int32(nil), base.Flat...)
+		s.Index.CellStart = append([]int32(nil), base.Index.CellStart...)
+		s.Index.CellIDs = append([]int32(nil), base.Index.CellIDs...)
+		return s
+	}
+	cases := map[string]func(*Snapshot){
+		"negative radius":    func(s *Snapshot) { s.Radius = -1 },
+		"nan radius":         func(s *Snapshot) { s.Radius = math.NaN() },
+		"wrong cell size":    func(s *Snapshot) { s.Index.CellSize *= 2 },
+		"missing offset":     func(s *Snapshot) { s.Offsets = s.Offsets[:len(s.Offsets)-1] },
+		"offset overrun":     func(s *Snapshot) { s.Offsets[len(s.Offsets)-1]++ },
+		"offset decrease":    func(s *Snapshot) { s.Offsets[1] = s.Offsets[2] + 1; s.Offsets[2] = 0 },
+		"self loop":          func(s *Snapshot) { s.Flat[0] = 0 },
+		"neighbour range":    func(s *Snapshot) { s.Flat[0] = int32(len(pts)) },
+		"unsorted adjacency": func(s *Snapshot) { s.Flat[0], s.Flat[1] = s.Flat[1], s.Flat[0] },
+		"index id range":     func(s *Snapshot) { s.Index.CellIDs[0] = -3 },
+		"index wrong cell": func(s *Snapshot) {
+			s.Index.CellIDs[0], s.Index.CellIDs[len(s.Index.CellIDs)-1] =
+				s.Index.CellIDs[len(s.Index.CellIDs)-1], s.Index.CellIDs[0]
+		},
+		"voronoi length": func(s *Snapshot) { s.Voronoi = []float64{1} },
+	}
+	for name, corrupt := range cases {
+		s := clone()
+		corrupt(&s)
+		if _, err := FromSnapshot(pts, s, 1); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	// The pristine clone must still load (guards the cases above are real).
+	if _, err := FromSnapshot(pts, clone(), 1); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}

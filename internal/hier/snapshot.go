@@ -1,0 +1,326 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"geogossip/internal/geo"
+)
+
+// Snapshot exposes the hierarchy's derived tables for binary
+// serialization (DESIGN.md §11) as flat int32 arrays. Structure (square
+// rects, depths, parent/child links, expected occupancies, levels) is
+// NOT stored: it is a pure function of (n, Branching) and FromSnapshot
+// re-derives it with the exact arithmetic Build uses, so the
+// reconstruction is bit-identical by construction. What is stored is
+// everything derived from the point data: member lists, representatives,
+// the per-node leaf/level tables and the role lists.
+//
+// Snapshots capture the as-built state only: a hierarchy mutated by
+// re-election (ReelectSquare) does not round-trip, because the
+// elect-time liveness sets are not representable. Every producer in this
+// repository snapshots freshly built hierarchies (engines mutate
+// clones), so the restriction is structural, not practical.
+type Snapshot struct {
+	// Branching mirrors Hierarchy.Branching.
+	Branching []int32
+	// Reps[id] is square id's representative (-1 when empty), BFS order.
+	Reps []int32
+	// MemberCounts[id] sizes square id's member list; MemberBlock packs
+	// the lists in BFS square order.
+	MemberCounts []int32
+	MemberBlock  []int32
+	// NodeLeaf and NodeLevel mirror the per-node tables.
+	NodeLeaf  []int32
+	NodeLevel []int32
+	// RoleCounts[node] sizes the node's role list; RoleBlock packs the
+	// lists grouped by node id, each list in BFS square order — exactly
+	// the layout Build's packing pass produces.
+	RoleCounts []int32
+	RoleBlock  []int32
+}
+
+// Snapshot returns the hierarchy's serializable view. The flat arrays
+// are built fresh (the hierarchy keeps them as per-square slices), but
+// the per-node tables alias live storage — treat everything as
+// read-only.
+func (h *Hierarchy) Snapshot() Snapshot {
+	nsq := len(h.Squares)
+	s := Snapshot{
+		Branching:    make([]int32, len(h.Branching)),
+		Reps:         make([]int32, nsq),
+		MemberCounts: make([]int32, nsq),
+		NodeLeaf:     h.NodeLeaf,
+		NodeLevel:    h.NodeLevel,
+	}
+	for i, b := range h.Branching {
+		s.Branching[i] = int32(b)
+	}
+	total := 0
+	for i, sq := range h.Squares {
+		s.Reps[i] = sq.Rep
+		s.MemberCounts[i] = int32(len(sq.Members))
+		total += len(sq.Members)
+	}
+	s.MemberBlock = make([]int32, 0, total)
+	for _, sq := range h.Squares {
+		s.MemberBlock = append(s.MemberBlock, sq.Members...)
+	}
+	n := len(h.NodeLeaf)
+	s.RoleCounts = make([]int32, n)
+	totalRoles := 0
+	for rep, roles := range h.RepRoles {
+		s.RoleCounts[rep] = int32(len(roles))
+		totalRoles += len(roles)
+	}
+	s.RoleBlock = make([]int32, 0, totalRoles)
+	for rep := 0; rep < n; rep++ {
+		for _, id := range h.RepRoles[int32(rep)] {
+			s.RoleBlock = append(s.RoleBlock, int32(id))
+		}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a hierarchy over points. The square skeleton
+// (rects, depths, parents, children, grid sides, expected occupancies,
+// levels) is re-derived from Branching with Build's exact arithmetic;
+// the stored tables are then installed and cross-validated against that
+// skeleton: per-level member partitions summing to n in ascending order,
+// representatives that are members, role lists consistent with the rep
+// table, and leaf/level tables consistent with both. A snapshot that
+// passes is bit-identical to the Build output it was taken from.
+func FromSnapshot(points []geo.Point, s Snapshot) (*Hierarchy, error) {
+	n := len(points)
+	unit := geo.UnitSquare()
+	for i, p := range points {
+		if !unit.Contains(p) {
+			return nil, fmt.Errorf("hier: snapshot point %d = %v outside the unit square", i, p)
+		}
+	}
+
+	// Level sizes from the branching chain, bounded before any allocation:
+	// Build never splits a square below expected occupancy 2, so a level
+	// can never hold more than max(n, 4) squares (hostile chains fail here,
+	// not in make).
+	if len(s.Branching) > 64 {
+		return nil, fmt.Errorf("hier: snapshot branching chain of %d levels is implausible", len(s.Branching))
+	}
+	maxLevel := n
+	if maxLevel < 4 {
+		maxLevel = 4
+	}
+	levelSize := []int{1}
+	total := 1
+	for r, b32 := range s.Branching {
+		b := int(b32)
+		k := int(math.Round(math.Sqrt(float64(b))))
+		if b < 4 || k*k != b || k%2 != 0 {
+			return nil, fmt.Errorf("hier: snapshot branching[%d] = %d is not an even square ≥ 4", r, b)
+		}
+		next := levelSize[len(levelSize)-1] * b
+		if next > maxLevel {
+			return nil, fmt.Errorf("hier: snapshot level %d would hold %d squares over %d points", r+1, next, n)
+		}
+		levelSize = append(levelSize, next)
+		total += next
+	}
+	if len(s.Reps) != total || len(s.MemberCounts) != total {
+		return nil, fmt.Errorf("hier: snapshot tables size %d/%d squares, branching expands to %d",
+			len(s.Reps), len(s.MemberCounts), total)
+	}
+	if len(s.NodeLeaf) != n || len(s.NodeLevel) != n || len(s.RoleCounts) != n {
+		return nil, fmt.Errorf("hier: snapshot node tables size %d/%d/%d over %d points",
+			len(s.NodeLeaf), len(s.NodeLevel), len(s.RoleCounts), n)
+	}
+
+	h := &Hierarchy{
+		Squares:   make([]*Square, 0, total),
+		Ell:       len(s.Branching) + 1,
+		Branching: make([]int, len(s.Branching)),
+		NodeLeaf:  s.NodeLeaf,
+		NodeLevel: s.NodeLevel,
+		points:    points,
+	}
+	for i, b := range s.Branching {
+		h.Branching[i] = int(b)
+	}
+
+	// Skeleton: split level by level with the same AppendSplitGrid /
+	// Expected-division chain Build walks, so every float in every Rect
+	// and Expected lands on identical bits.
+	squares := make([]Square, total)
+	squares[0] = Square{ID: 0, Rect: unit, Depth: 0, Parent: -1, Expected: float64(n), Level: h.Ell}
+	levelStart := 0
+	var cells []geo.Rect
+	for r, size := range levelSize[:len(levelSize)-1] {
+		branch := int(s.Branching[r])
+		k := int(math.Round(math.Sqrt(float64(branch))))
+		childStart := levelStart + size
+		childIDs := make([]int, size*branch)
+		for pi := 0; pi < size; pi++ {
+			parent := &squares[levelStart+pi]
+			parent.GridK = k
+			childExpected := parent.Expected / float64(branch)
+			cells = parent.Rect.AppendSplitGrid(cells[:0], k)
+			cbase := pi * branch
+			for ci := 0; ci < branch; ci++ {
+				id := childStart + cbase + ci
+				childIDs[cbase+ci] = id
+				squares[id] = Square{
+					ID:       id,
+					Rect:     cells[ci],
+					Depth:    r + 1,
+					Parent:   parent.ID,
+					Expected: childExpected,
+					Level:    h.Ell - (r + 1),
+				}
+			}
+			parent.Children = childIDs[cbase : cbase+branch : cbase+branch]
+		}
+		levelStart = childStart
+	}
+	for i := range squares {
+		h.Squares = append(h.Squares, &squares[i])
+	}
+
+	// Members: cursor the flat block through the squares, checking order,
+	// range and containment; each level must partition [0, n) exactly.
+	off := 0
+	levelStart = 0
+	for _, size := range levelSize {
+		levelTotal := 0
+		for id := levelStart; id < levelStart+size; id++ {
+			c := int(s.MemberCounts[id])
+			if c < 0 || off+c > len(s.MemberBlock) {
+				return nil, fmt.Errorf("hier: snapshot member block underruns at square %d", id)
+			}
+			sq := &squares[id]
+			if c > 0 {
+				sq.Members = s.MemberBlock[off : off+c : off+c]
+			}
+			off += c
+			levelTotal += c
+			prev := int32(-1)
+			for _, m := range sq.Members {
+				if m < 0 || int(m) >= n {
+					return nil, fmt.Errorf("hier: snapshot square %d member %d outside [0, %d)", id, m, n)
+				}
+				if m <= prev {
+					return nil, fmt.Errorf("hier: snapshot square %d members not strictly ascending (%d after %d)", id, m, prev)
+				}
+				if !sq.Rect.Contains(points[m]) {
+					return nil, fmt.Errorf("hier: snapshot node %d outside its square %d", m, id)
+				}
+				prev = m
+			}
+		}
+		if levelTotal != n {
+			return nil, fmt.Errorf("hier: snapshot depth-%d squares hold %d members, want %d",
+				squares[levelStart].Depth, levelTotal, n)
+		}
+		levelStart += size
+	}
+	if off != len(s.MemberBlock) {
+		return nil, fmt.Errorf("hier: snapshot member block has %d trailing entries", len(s.MemberBlock)-off)
+	}
+
+	// Representatives: empty squares have none; populated squares' reps
+	// must be members. (Nearest-centre optimality is not re-derived here —
+	// it is what the bit-identity suites assert against fresh builds.)
+	for id := range squares {
+		sq := &squares[id]
+		rep := s.Reps[id]
+		if len(sq.Members) == 0 {
+			if rep != -1 {
+				return nil, fmt.Errorf("hier: snapshot empty square %d has rep %d", id, rep)
+			}
+			sq.Rep = -1
+			continue
+		}
+		pos := sort.Search(len(sq.Members), func(i int) bool { return sq.Members[i] >= rep })
+		if rep < 0 || pos >= len(sq.Members) || sq.Members[pos] != rep {
+			return nil, fmt.Errorf("hier: snapshot square %d rep %d is not a member", id, rep)
+		}
+		sq.Rep = rep
+	}
+
+	// Leaf table: the last level's squares are the leaves; every member's
+	// NodeLeaf entry must name its leaf. The per-level partition check
+	// above guarantees coverage of all n nodes.
+	leafStart := total - levelSize[len(levelSize)-1]
+	for id := leafStart; id < total; id++ {
+		for _, m := range squares[id].Members {
+			if int(s.NodeLeaf[m]) != id {
+				return nil, fmt.Errorf("hier: snapshot NodeLeaf[%d] = %d, but node sits in leaf %d", m, s.NodeLeaf[m], id)
+			}
+		}
+	}
+
+	// Role lists: prefix-sum RoleCounts into per-node slices of RoleBlock,
+	// then replay Build's packing pass (BFS square order, one cursor per
+	// node) to verify the block is exactly what Build would have written.
+	totalRoles := 0
+	for node, c := range s.RoleCounts {
+		if c < 0 {
+			return nil, fmt.Errorf("hier: snapshot node %d has role count %d", node, c)
+		}
+		totalRoles += int(c)
+	}
+	if totalRoles != len(s.RoleBlock) {
+		return nil, fmt.Errorf("hier: snapshot role block holds %d entries, counts sum to %d", len(s.RoleBlock), totalRoles)
+	}
+	roleStart := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		roleStart[i+1] = roleStart[i] + int(s.RoleCounts[i])
+	}
+	cursor := make([]int, n)
+	copy(cursor, roleStart[:n])
+	reps := 0
+	for _, c := range s.RoleCounts {
+		if c > 0 {
+			reps++
+		}
+	}
+	roleInts := make([]int, len(s.RoleBlock))
+	for id := range squares {
+		rep := squares[id].Rep
+		if rep < 0 {
+			continue
+		}
+		at := cursor[rep]
+		if at >= roleStart[rep+1] || int(s.RoleBlock[at]) != id {
+			return nil, fmt.Errorf("hier: snapshot role block disagrees with rep table at square %d (rep %d)", id, rep)
+		}
+		roleInts[at] = id
+		cursor[rep]++
+	}
+	for node := 0; node < n; node++ {
+		if cursor[node] != roleStart[node+1] {
+			return nil, fmt.Errorf("hier: snapshot node %d has %d role entries beyond its rep squares",
+				node, roleStart[node+1]-cursor[node])
+		}
+	}
+	h.RepRoles = make(map[int32][]int, reps)
+	for node := 0; node < n; node++ {
+		if lo, hi := roleStart[node], roleStart[node+1]; hi > lo {
+			h.RepRoles[int32(node)] = roleInts[lo:hi:hi]
+		}
+	}
+
+	// Node levels: each node's level is the max square level across its
+	// roles, zero without roles.
+	for node := 0; node < n; node++ {
+		want := int32(0)
+		for _, id := range h.RepRoles[int32(node)] {
+			if l := int32(squares[id].Level); l > want {
+				want = l
+			}
+		}
+		if s.NodeLevel[node] != want {
+			return nil, fmt.Errorf("hier: snapshot NodeLevel[%d] = %d, roles imply %d", node, s.NodeLevel[node], want)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,122 @@
+package hier
+
+import (
+	"reflect"
+	"testing"
+
+	"geogossip/internal/geo"
+	"geogossip/internal/graph"
+	"geogossip/internal/rng"
+)
+
+func snapshotPoints(t *testing.T, n int, seed uint64) []geo.Point {
+	t.Helper()
+	g, err := graph.Generate(n, 1.3, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Points()
+}
+
+func TestHierSnapshotRoundTripBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		cfg  Config
+	}{
+		{"defaults", 5000, Config{}},
+		{"deep", 20000, Config{LeafTarget: 4}},
+		{"flat", 3000, Config{MaxDepth: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := snapshotPoints(t, tc.n, uint64(tc.n))
+			h, err := Build(pts, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := FromSnapshot(pts, h.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Whole-structure bit identity: every square (rects, expected
+			// occupancies, members, reps, children), every table, every map.
+			if !reflect.DeepEqual(got, h) {
+				if !reflect.DeepEqual(got.Branching, h.Branching) || got.Ell != h.Ell {
+					t.Fatalf("skeleton differs: Branching %v/%v Ell %d/%d", got.Branching, h.Branching, got.Ell, h.Ell)
+				}
+				for i := range h.Squares {
+					if !reflect.DeepEqual(got.Squares[i], h.Squares[i]) {
+						t.Fatalf("square %d differs:\n got %+v\nwant %+v", i, got.Squares[i], h.Squares[i])
+					}
+				}
+				if !reflect.DeepEqual(got.RepRoles, h.RepRoles) {
+					t.Fatal("RepRoles differ")
+				}
+				t.Fatal("hierarchies differ")
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("reloaded hierarchy invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestHierFromSnapshotRejectsCorruption(t *testing.T) {
+	pts := snapshotPoints(t, 2000, 5)
+	h, err := Build(pts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := h.Snapshot()
+	clone := func() Snapshot {
+		return Snapshot{
+			Branching:    append([]int32(nil), base.Branching...),
+			Reps:         append([]int32(nil), base.Reps...),
+			MemberCounts: append([]int32(nil), base.MemberCounts...),
+			MemberBlock:  append([]int32(nil), base.MemberBlock...),
+			NodeLeaf:     append([]int32(nil), base.NodeLeaf...),
+			NodeLevel:    append([]int32(nil), base.NodeLevel...),
+			RoleCounts:   append([]int32(nil), base.RoleCounts...),
+			RoleBlock:    append([]int32(nil), base.RoleBlock...),
+		}
+	}
+	cases := map[string]func(*Snapshot){
+		"odd branching":       func(s *Snapshot) { s.Branching[0] = 9 },
+		"huge branching":      func(s *Snapshot) { s.Branching = []int32{64, 64, 64, 64, 64, 64, 64} },
+		"long chain":          func(s *Snapshot) { s.Branching = make([]int32, 100) },
+		"short rep table":     func(s *Snapshot) { s.Reps = s.Reps[:len(s.Reps)-1] },
+		"member out of range": func(s *Snapshot) { s.MemberBlock[0] = int32(len(pts)) },
+		"member unsorted": func(s *Snapshot) {
+			s.MemberBlock[0], s.MemberBlock[1] = s.MemberBlock[1], s.MemberBlock[0]
+		},
+		"member count drift": func(s *Snapshot) { s.MemberCounts[1]++; s.MemberCounts[2]-- },
+		"rep not a member":   func(s *Snapshot) { s.Reps[0] = -2 },
+		"rep in empty":       func(s *Snapshot) { fakeEmptyRep(s) },
+		"leaf table":         func(s *Snapshot) { s.NodeLeaf[0] = 0 },
+		"role block drift":   func(s *Snapshot) { s.RoleBlock[0]++ },
+		"role count drift":   func(s *Snapshot) { s.RoleCounts[0]++; s.RoleBlock = append(s.RoleBlock, 0) },
+		"node level drift":   func(s *Snapshot) { s.NodeLevel[0]++ },
+	}
+	for name, corrupt := range cases {
+		s := clone()
+		corrupt(&s)
+		if _, err := FromSnapshot(pts, s); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	if _, err := FromSnapshot(pts, clone()); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}
+
+// fakeEmptyRep plants a representative in the first empty square, or
+// forces a rep-table inconsistency if the hierarchy has no empty square.
+func fakeEmptyRep(s *Snapshot) {
+	for i, c := range s.MemberCounts {
+		if c == 0 {
+			s.Reps[i] = 0
+			return
+		}
+	}
+	s.Reps[len(s.Reps)-1] = -1 // populated square without a rep
+}

@@ -1,0 +1,59 @@
+package netstore
+
+import (
+	"bytes"
+	"testing"
+
+	"geogossip/internal/graph"
+	"geogossip/internal/hier"
+	"geogossip/internal/rng"
+)
+
+// fuzzSeed encodes a tiny but fully populated snapshot (adjacency,
+// index, voronoi, multi-level hierarchy) for the fuzzer to mutate.
+func fuzzSeed(f *testing.F, n int, seed uint64, c float64, leafTarget float64) []byte {
+	f.Helper()
+	g, err := graph.Generate(n, c, rng.New(seed))
+	if err != nil {
+		f.Fatal(err)
+	}
+	h, err := hier.Build(g.Points(), hier.Config{LeafTarget: leafTarget})
+	if err != nil {
+		f.Fatal(err)
+	}
+	g.VoronoiAreas()
+	var buf bytes.Buffer
+	if err := Encode(&buf, Meta{N: n, Radius: g.Radius(), LeafTarget: leafTarget}, g, h); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode asserts the decoder never panics and never lets a hostile
+// length prefix drive allocations: allocation is bounded by bytes
+// actually delivered (snap.Reader grows payloads in 1MB chunks against
+// the real stream), and every count is validated against its section's
+// remaining payload before use. Inputs either decode to a fully
+// validated network or fail with an error.
+func FuzzDecode(f *testing.F) {
+	valid := fuzzSeed(f, 40, 1, 2.0, 8)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:13])
+	f.Add([]byte("{\"version\":1,\"radius\":0.1}"))
+	f.Add([]byte("\x89GGS\r\n\x1a\n"))
+	hostile := append([]byte(nil), valid[:12]...)
+	hostile = append(hostile, []byte("META\xff\xff\xff\xff\xff\xff\xff\x7f")...)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, h, meta, err := Decode(bytes.NewReader(data), 1)
+		if err != nil {
+			return
+		}
+		// Rare survivors must be coherent networks, not partially
+		// validated wreckage.
+		if g.N() != meta.N || len(h.NodeLeaf) != meta.N {
+			t.Fatalf("decoded network inconsistent with meta %+v", meta)
+		}
+	})
+}

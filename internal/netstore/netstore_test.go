@@ -1,0 +1,225 @@
+package netstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"geogossip/internal/graph"
+	"geogossip/internal/hier"
+	"geogossip/internal/rng"
+)
+
+func buildNet(t *testing.T, n int, seed uint64, c float64) (*graph.Graph, *hier.Hierarchy) {
+	t.Helper()
+	g, err := graph.Generate(n, c, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hier.Build(g.Points(), hier.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, h
+}
+
+func TestEncodeDecodeBitIdentical(t *testing.T) {
+	g, h := buildNet(t, 3000, 9, 1.3)
+	g.VoronoiAreas() // exercise the optional VORO section
+	meta := Meta{N: g.N(), Radius: g.Radius(), LeafTarget: 0, MaxDepth: 0}
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, meta, g, h); err != nil {
+		t.Fatal(err)
+	}
+	g2, h2, meta2, err := Decode(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != meta {
+		t.Fatalf("meta = %+v, want %+v", meta2, meta)
+	}
+	if !reflect.DeepEqual(g2.Snapshot(), g.Snapshot()) {
+		t.Fatal("graph snapshots differ after round trip")
+	}
+	if !reflect.DeepEqual(h2.Snapshot(), h.Snapshot()) {
+		t.Fatal("hierarchy snapshots differ after round trip")
+	}
+	if !reflect.DeepEqual(g2.Points(), g.Points()) {
+		t.Fatal("points differ after round trip")
+	}
+}
+
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	g, h := buildNet(t, 64, 3, 2.0)
+	var buf bytes.Buffer
+	if err := Encode(&buf, Meta{N: g.N(), Radius: g.Radius()}, g, h); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit at a spread of offsets; every corruption must surface
+	// as an error (almost always a checksum mismatch), never a panic and
+	// never a silently different network.
+	for off := 0; off < len(raw); off += 13 {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x10
+		if _, _, _, err := Decode(bytes.NewReader(mut), 1); err == nil {
+			g2, _, _, _ := Decode(bytes.NewReader(mut), 1)
+			if !reflect.DeepEqual(g2.Snapshot(), g.Snapshot()) {
+				t.Fatalf("bit flip at %d produced a different network without error", off)
+			}
+		}
+	}
+}
+
+func TestStoreColdWarmCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{N: 2000, Seed: 17, RadiusMult: 1.3}
+	builds := 0
+	build := func() (*graph.Graph, *hier.Hierarchy, error) {
+		builds++
+		g, err := graph.Generate(key.N, key.RadiusMult, rng.New(key.Seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := hier.Build(g.Points(), hier.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, h, nil
+	}
+
+	// Cold: miss, build, persist.
+	g1, h1, loaded, err := st.GetOrBuild(key, 1, build)
+	if err != nil || loaded || builds != 1 {
+		t.Fatalf("cold: loaded=%v builds=%d err=%v", loaded, builds, err)
+	}
+	if s := st.Stats(); s.Misses != 1 || s.Hits != 0 || s.StoredBytes <= 0 {
+		t.Fatalf("cold stats: %+v", s)
+	}
+
+	// Warm: a fresh store over the same dir loads without building.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, h2, loaded, err := st2.GetOrBuild(key, 1, build)
+	if err != nil || !loaded || builds != 1 {
+		t.Fatalf("warm: loaded=%v builds=%d err=%v", loaded, builds, err)
+	}
+	if s := st2.Stats(); s.Hits != 1 || s.LoadTime <= 0 {
+		t.Fatalf("warm stats: %+v", s)
+	}
+	if !reflect.DeepEqual(g2.Snapshot(), g1.Snapshot()) || !reflect.DeepEqual(h2.Snapshot(), h1.Snapshot()) {
+		t.Fatal("loaded network differs from built network")
+	}
+
+	// Corrupt the entry in place: next get detects it, removes it,
+	// rebuilds, re-persists.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.ggsnap"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, %v", entries, err)
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(entries[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, _, loaded, err := st3.GetOrBuild(key, 1, build)
+	if err != nil || loaded || builds != 2 {
+		t.Fatalf("corrupt: loaded=%v builds=%d err=%v", loaded, builds, err)
+	}
+	if s := st3.Stats(); s.Corrupt != 1 || s.Misses != 1 {
+		t.Fatalf("corrupt stats: %+v", s)
+	}
+	if !reflect.DeepEqual(g3.Snapshot(), g1.Snapshot()) {
+		t.Fatal("rebuilt network differs")
+	}
+	// And the re-persisted entry loads clean again.
+	st4, _ := Open(dir)
+	if _, _, loaded, err := st4.GetOrBuild(key, 1, build); err != nil || !loaded {
+		t.Fatalf("re-persisted entry: loaded=%v err=%v", loaded, err)
+	}
+
+	// A different key misses and never collides with the first entry.
+	other := Key{N: 2000, Seed: 18, RadiusMult: 1.3}
+	if other.Fingerprint() == key.Fingerprint() {
+		t.Fatal("distinct keys share a fingerprint")
+	}
+}
+
+func TestStoreRejectsWrongKeyEntry(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{N: 500, Seed: 1, RadiusMult: 1.6}
+	build := func() (*graph.Graph, *hier.Hierarchy, error) {
+		g, err := graph.Generate(key.N, key.RadiusMult, rng.New(key.Seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := hier.Build(g.Points(), hier.Config{})
+		return g, h, err
+	}
+	if _, _, _, err := st.GetOrBuild(key, 1, build); err != nil {
+		t.Fatal(err)
+	}
+	// Smuggle the entry under a different key's address: the meta check
+	// must reject it, and the bad entry must be removed and rebuilt.
+	wrong := Key{N: 500, Seed: 2, RadiusMult: 1.6}
+	if err := os.Rename(st.path(key), st.path(wrong)); err != nil {
+		t.Fatal(err)
+	}
+	rebuilds := 0
+	g, _, loaded, err := st.GetOrBuild(wrong, 1, func() (*graph.Graph, *hier.Hierarchy, error) {
+		rebuilds++
+		g, err := graph.Generate(wrong.N, wrong.RadiusMult, rng.New(wrong.Seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := hier.Build(g.Points(), hier.Config{})
+		return g, h, err
+	})
+	if err != nil || loaded || rebuilds != 1 {
+		t.Fatalf("wrong-key entry: loaded=%v rebuilds=%d err=%v", loaded, rebuilds, err)
+	}
+	if g.N() != wrong.N {
+		t.Fatalf("n = %d", g.N())
+	}
+	if s := st.Stats(); s.Corrupt != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestBuildErrorNotStored(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{N: 100, Seed: 3, RadiusMult: 0.4}
+	wantErr := os.ErrDeadlineExceeded // arbitrary sentinel
+	if _, _, _, err := st.GetOrBuild(key, 1, func() (*graph.Graph, *hier.Hierarchy, error) {
+		return nil, nil, wantErr
+	}); err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+	if entries, _ := filepath.Glob(filepath.Join(dir, "*")); len(entries) != 0 {
+		t.Fatalf("failed build left %v in the store", entries)
+	}
+}

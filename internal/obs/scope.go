@@ -26,6 +26,13 @@ const (
 	MetricRouteCacheLookups = "geogossip_route_cache_lookups"
 	MetricChannelPoolBuilds = "geogossip_channel_pool_builds"
 
+	// Network snapshot store gauges (internal/netstore), maintained by
+	// the sweep engine when both a registry and a store are attached.
+	MetricNetstoreHits        = "geogossip_netstore_hits"
+	MetricNetstoreMisses      = "geogossip_netstore_misses"
+	MetricNetstoreStoredBytes = "geogossip_netstore_stored_bytes"
+	MetricNetstoreLoadSeconds = "geogossip_netstore_load_seconds"
+
 	// Distributed-sweep gauges, maintained by the coordinator
 	// (internal/sweep/dist) when a registry is attached. All scrape-time
 	// state: worker membership, lease churn and heartbeat liveness are

@@ -1,0 +1,212 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"geogossip/internal/geo"
+)
+
+func TestRoundTrip(t *testing.T) {
+	pts := []geo.Point{{X: 0.25, Y: 0.75}, {X: math.Nextafter(1, 0), Y: 0}}
+	i32 := []int32{0, -1, 7, math.MaxInt32, math.MinInt32}
+	f64 := []float64{0, math.Copysign(0, -1), 1e-300, math.Inf(1)}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 42)
+	w.Section("ABCD", func(e *Enc) {
+		e.U64(123)
+		e.I64(-5)
+		e.F64(math.Pi)
+		e.I32s(i32)
+		e.F64s(f64)
+		e.Points(pts)
+	})
+	w.Section("EMTY", nil)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.Version() != 42 {
+		t.Fatalf("version = %d, want 42", r.Version())
+	}
+	tag, d, err := r.Next()
+	if err != nil || tag != "ABCD" {
+		t.Fatalf("Next = %q, %v", tag, err)
+	}
+	if v, _ := d.U64(); v != 123 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v, _ := d.I64(); v != -5 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v, _ := d.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	gi, _ := d.I32s()
+	if len(gi) != len(i32) {
+		t.Fatalf("I32s len = %d", len(gi))
+	}
+	for i := range gi {
+		if gi[i] != i32[i] {
+			t.Fatalf("I32s[%d] = %d, want %d", i, gi[i], i32[i])
+		}
+	}
+	gf, _ := d.F64s()
+	for i := range gf {
+		if math.Float64bits(gf[i]) != math.Float64bits(f64[i]) {
+			t.Fatalf("F64s[%d] = %v, want %v", i, gf[i], f64[i])
+		}
+	}
+	gp, _ := d.Points()
+	for i := range gp {
+		if gp[i] != pts[i] {
+			t.Fatalf("Points[%d] = %v, want %v", i, gp[i], pts[i])
+		}
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	if tag, d, err = r.Next(); err != nil || tag != "EMTY" || d.remaining() != 0 {
+		t.Fatalf("empty section: %q %d %v", tag, d.remaining(), err)
+	}
+	if tag, _, err = r.Next(); err != nil || tag != EndTag {
+		t.Fatalf("end section: %q %v", tag, err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("{\"version\":1}")); err == nil {
+		t.Fatal("JSON accepted as snapshot")
+	}
+	if _, err := NewReader(strings.NewReader("\x89GGS")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+// A hostile length prefix must fail with a truncation error without the
+// reader allocating anything near the declared size.
+func TestHostileLengthPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	if err := w.err; err != nil {
+		t.Fatal(err)
+	}
+	var hdr [12]byte
+	copy(hdr[:4], "HUGE")
+	binary.LittleEndian.PutUint64(hdr[4:], 4<<30) // 4 GiB declared
+	buf.Write(hdr[:])
+	buf.WriteString("only a few real bytes")
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, _, err = r.Next()
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("hostile length accepted")
+	}
+	if !strings.Contains(err.Error(), "truncated payload") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// TotalAlloc is monotonic: the failed read may allocate a ~1MB growth
+	// chunk (plus error machinery), never anything near the declared 4 GiB.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("hostile length allocated %d bytes (want ≤ one ~1MB chunk + slack)", grew)
+	}
+
+	// A length over MaxSection is rejected before any read at all.
+	buf.Reset()
+	NewWriter(&buf, 1)
+	binary.LittleEndian.PutUint64(hdr[4:], MaxSection+1)
+	buf.Write(hdr[:])
+	r, err = NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = r.Next(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized length: %v", err)
+	}
+}
+
+func TestChecksumCatchesBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.Section("DATA", func(e *Enc) { e.I32s([]int32{1, 2, 3, 4}) })
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-20] ^= 0x40 // inside DATA's payload or checksum
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, err := r.Next()
+		if err != nil {
+			return // corruption surfaced as a clean error
+		}
+	}
+}
+
+func TestHostileArrayCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.Section("DATA", func(e *Enc) { e.U64(1 << 60) }) // count with no elements
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.I32s(); err == nil {
+		t.Fatal("absurd array count accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.Section("DATA", func(e *Enc) { e.F64s(make([]float64, 100)) })
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 37 {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // header itself truncated: fine
+		}
+		sawErr := false
+		for i := 0; i < 10; i++ {
+			tag, _, err := r.Next()
+			if err != nil {
+				sawErr = true
+				break
+			}
+			if tag == EndTag {
+				break
+			}
+		}
+		if cut < len(full) && !sawErr {
+			t.Fatalf("cut at %d of %d read to END without error", cut, len(full))
+		}
+	}
+}

@@ -290,6 +290,14 @@ func (c *coordinator) registerObs() {
 		reg.Gauge(obs.MetricRouteCacheLookups, help, "kind", "flood", "result", "miss").Set(float64(s.FloodMisses))
 		reg.Gauge(obs.MetricChannelPoolBuilds,
 			"Radio channels served from pooled worker state instead of fresh allocations (scrape-time snapshot).").Set(float64(s.ChannelBuilds))
+		reg.Gauge(obs.MetricNetstoreHits,
+			"Networks loaded from snapshot stores across the fleet instead of being rebuilt (scrape-time snapshot).").Set(float64(s.NetLoads))
+		reg.Gauge(obs.MetricNetstoreMisses,
+			"Network store misses across the fleet that fell back to a fresh build (scrape-time snapshot).").Set(float64(s.NetStoreMisses))
+		reg.Gauge(obs.MetricNetstoreStoredBytes,
+			"Snapshot bytes persisted to network stores across the fleet (scrape-time snapshot).").Set(float64(s.NetStoreBytes))
+		reg.Gauge(obs.MetricNetstoreLoadSeconds,
+			"Cumulative wall-clock spent loading network snapshots across the fleet (scrape-time snapshot).").Set(s.NetLoadSeconds)
 	})
 }
 
@@ -304,6 +312,10 @@ func (s *WorkerStats) add(o WorkerStats) {
 	s.GraphBytes += o.GraphBytes
 	s.HierBytes += o.HierBytes
 	s.ChannelBuilds += o.ChannelBuilds
+	s.NetLoads += o.NetLoads
+	s.NetLoadSeconds += o.NetLoadSeconds
+	s.NetStoreMisses += o.NetStoreMisses
+	s.NetStoreBytes += o.NetStoreBytes
 }
 
 func (c *coordinator) handleConn(conn net.Conn) {
@@ -611,11 +623,15 @@ func (c *coordinator) summary() *Summary {
 		FloodHits: s.FloodHits, FloodMisses: s.FloodMisses,
 	}
 	sum.Net = sweep.NetBuildStats{
-		Networks:   s.Networks,
-		Nodes:      s.Nodes,
-		BuildTime:  time.Duration(s.BuildSeconds * float64(time.Second)),
-		GraphBytes: s.GraphBytes,
-		HierBytes:  s.HierBytes,
+		Networks:    s.Networks,
+		Loads:       s.NetLoads,
+		Nodes:       s.Nodes,
+		BuildTime:   time.Duration(s.BuildSeconds * float64(time.Second)),
+		LoadTime:    time.Duration(s.NetLoadSeconds * float64(time.Second)),
+		GraphBytes:  s.GraphBytes,
+		HierBytes:   s.HierBytes,
+		StoreMisses: s.NetStoreMisses,
+		StoreBytes:  s.NetStoreBytes,
 	}
 	sum.ChannelBuilds = s.ChannelBuilds
 	ids := make([]int, 0, len(c.results))

@@ -82,6 +82,13 @@ type WorkerStats struct {
 	GraphBytes    int64   `json:"graph_bytes,omitempty"`
 	HierBytes     int64   `json:"hier_bytes,omitempty"`
 	ChannelBuilds uint64  `json:"channel_builds,omitempty"`
+	// Network snapshot store counters (JSON-additive in protocol 1:
+	// absent from workers running without a store — or without the
+	// fields — and zero-valued either way).
+	NetLoads       int     `json:"net_loads,omitempty"`
+	NetLoadSeconds float64 `json:"net_load_seconds,omitempty"`
+	NetStoreMisses uint64  `json:"net_store_misses,omitempty"`
+	NetStoreBytes  int64   `json:"net_store_bytes,omitempty"`
 }
 
 // Msg is one protocol frame. Fields beyond Type are populated per the

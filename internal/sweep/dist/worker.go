@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"geogossip/internal/netstore"
 	"geogossip/internal/sweep"
 )
 
@@ -25,6 +26,11 @@ type WorkerOptions struct {
 	// BuildWorkers is the per-network construction parallelism (see
 	// sweep.Options.BuildWorkers).
 	BuildWorkers int
+	// NetDir, when non-empty, roots a network snapshot store (see
+	// sweep.Options.NetStore): leases over already-persisted cells load
+	// their networks instead of rebuilding them, and heartbeats report
+	// the builds avoided. Workers on one machine may share the directory.
+	NetDir string
 	// Heartbeat is the keep-alive interval; it must stay well under the
 	// coordinator's lease timeout. Zero selects 2s.
 	Heartbeat time.Duration
@@ -54,7 +60,13 @@ func Join(ctx context.Context, addr string, opt WorkerOptions) error {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s/%d", host, os.Getpid())
 	}
-	exec := sweep.NewExecutor(opt.Slots, opt.BuildWorkers)
+	var store *netstore.Store
+	if opt.NetDir != "" {
+		if store, err = netstore.Open(opt.NetDir); err != nil {
+			return err
+		}
+	}
+	exec := sweep.NewExecutor(opt.Slots, opt.BuildWorkers, store)
 	br := bufio.NewReaderSize(conn, 1<<16)
 	fw := &frameWriter{w: conn}
 	if err := fw.send(&Msg{Type: MsgHello, Proto: ProtocolVersion, Name: name, Slots: exec.Slots()}); err != nil {
@@ -221,6 +233,11 @@ func workerStats(exec *sweep.Executor) WorkerStats {
 		GraphBytes:    net.GraphBytes,
 		HierBytes:     net.HierBytes,
 		ChannelBuilds: exec.ChannelBuilds(),
+
+		NetLoads:       net.Loads,
+		NetLoadSeconds: net.LoadTime.Seconds(),
+		NetStoreMisses: net.StoreMisses,
+		NetStoreBytes:  net.StoreBytes,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"geogossip/internal/netstore"
 	"geogossip/internal/obs"
 	"geogossip/internal/routing"
 )
@@ -50,6 +51,11 @@ type Options struct {
 	// summary (distinct builds, construction wall-clock, footprint) after
 	// every task has drained.
 	NetStats *NetBuildStats
+	// NetStore, when non-nil, is the content-addressed network snapshot
+	// store: cached builds load instead of constructing, and fresh builds
+	// persist for later runs (see internal/netstore). Loaded networks are
+	// bit-identical to built ones, so results are unaffected.
+	NetStore *netstore.Store
 	// Obs, when non-nil, receives the sweep's metrics: every engine run
 	// reports into a per-algorithm scope on this registry, and the run
 	// registers scrape-time collectors for task progress, route-cache
@@ -150,6 +156,7 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 
 	cache := newNetCache()
 	cache.buildWorkers = opt.BuildWorkers
+	cache.store = opt.NetStore
 	taskCh := make(chan Task)
 	resCh := make(chan TaskResult)
 
@@ -182,6 +189,17 @@ func runPool(ctx context.Context, tasks []Task, opt Options) ([]TaskResult, erro
 			}
 			reg.Gauge(obs.MetricChannelPoolBuilds,
 				"Radio channels served from pooled worker state instead of fresh allocations (scrape-time snapshot).").Set(float64(builds))
+			if store := opt.NetStore; store != nil {
+				st := store.Stats()
+				reg.Gauge(obs.MetricNetstoreHits,
+					"Networks loaded from the snapshot store instead of being rebuilt (scrape-time snapshot).").Set(float64(st.Hits))
+				reg.Gauge(obs.MetricNetstoreMisses,
+					"Network store misses that fell back to a fresh build (scrape-time snapshot).").Set(float64(st.Misses))
+				reg.Gauge(obs.MetricNetstoreStoredBytes,
+					"Snapshot bytes persisted to the network store by this process (scrape-time snapshot).").Set(float64(st.StoredBytes))
+				reg.Gauge(obs.MetricNetstoreLoadSeconds,
+					"Cumulative wall-clock spent loading network snapshots (scrape-time snapshot).").Set(st.LoadTime.Seconds())
+			}
 		})
 	}
 

@@ -3,6 +3,7 @@ package sweep
 import (
 	"runtime"
 
+	"geogossip/internal/netstore"
 	"geogossip/internal/obs"
 	"geogossip/internal/routing"
 )
@@ -32,14 +33,16 @@ type execSlot struct {
 }
 
 // NewExecutor returns an executor with the given number of slots
-// (zero selects GOMAXPROCS) and per-network construction parallelism
-// (see Options.BuildWorkers).
-func NewExecutor(slots, buildWorkers int) *Executor {
+// (zero selects GOMAXPROCS), per-network construction parallelism
+// (see Options.BuildWorkers), and an optional network snapshot store
+// (see Options.NetStore; nil builds every network).
+func NewExecutor(slots, buildWorkers int, store *netstore.Store) *Executor {
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
 	e := &Executor{cache: newNetCache()}
 	e.cache.buildWorkers = buildWorkers
+	e.cache.store = store
 	for i := 0; i < slots; i++ {
 		reg := obs.NewRegistry()
 		e.slots = append(e.slots, &execSlot{states: &runStates{reg: reg}, reg: reg})

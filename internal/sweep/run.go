@@ -12,6 +12,7 @@ import (
 	"geogossip/internal/gossip"
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
+	"geogossip/internal/netstore"
 	"geogossip/internal/obs"
 	"geogossip/internal/rng"
 	"geogossip/internal/routing"
@@ -42,10 +43,13 @@ type netEntry struct {
 	// invisible to results — see routing.Cache).
 	routes *routing.Cache
 	err    error
-	// buildTime is the wall-clock the entry's construction took;
+	// buildTime is the wall-clock the entry's construction took — or,
+	// when loaded is set, loadTime the wall-clock its snapshot load took;
 	// graphBytes/hierBytes its resident footprint at build time (Voronoi
 	// areas, computed lazily by geographic tasks, are not included).
+	loaded     bool
 	buildTime  time.Duration
+	loadTime   time.Duration
 	graphBytes int64
 	hierBytes  int64
 }
@@ -62,6 +66,12 @@ type netCache struct {
 	// hierarchy build); <= 1 is serial. Byte-identical at any value, so
 	// it is deliberately not part of netKey.
 	buildWorkers int
+	// store, when set, satisfies entries from the content-addressed
+	// snapshot store before falling back to construction (and persists
+	// fresh builds for the next run). Loaded entries are bit-identical to
+	// builds, so the store is invisible to results — it is deliberately
+	// not part of netKey either.
+	store *netstore.Store
 }
 
 func newNetCache() *netCache {
@@ -80,26 +90,53 @@ func (c *netCache) get(key netKey) (*graph.Graph, *hier.Hierarchy, *routing.Cach
 	c.mu.Unlock()
 	e.once.Do(func() {
 		start := time.Now()
-		g, err := graph.GenerateWorkers(key.n, key.radius, rng.New(key.seed), c.buildWorkers)
-		if err != nil {
-			e.err = err
-			return
+		build := func() (*graph.Graph, *hier.Hierarchy, error) {
+			g, err := graph.GenerateWorkers(key.n, key.radius, rng.New(key.seed), c.buildWorkers)
+			if err != nil {
+				return nil, nil, err
+			}
+			if key.n > 1 && !g.IsConnected() {
+				return nil, nil, errNotConnected
+			}
+			hcfg := hier.Config{Workers: c.buildWorkers}
+			if key.shape == HierarchyFlat {
+				hcfg.MaxDepth = 1
+			}
+			h, err := hier.Build(g.Points(), hcfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return g, h, nil
 		}
-		if key.n > 1 && !g.IsConnected() {
-			e.err = errNotConnected
-			return
+		var (
+			g      *graph.Graph
+			h      *hier.Hierarchy
+			loaded bool
+			err    error
+		)
+		if c.store != nil {
+			sk := netstore.Key{N: key.n, Seed: key.seed, RadiusMult: key.radius}
+			if key.shape == HierarchyFlat {
+				sk.MaxDepth = 1
+			}
+			// Loaded entries skip the connectivity scan: only connected,
+			// fully built networks ever enter the store (a disconnected
+			// instance fails build above and nothing is persisted).
+			g, h, loaded, err = c.store.GetOrBuild(sk, c.buildWorkers, build)
+		} else {
+			g, h, err = build()
 		}
-		hcfg := hier.Config{Workers: c.buildWorkers}
-		if key.shape == HierarchyFlat {
-			hcfg.MaxDepth = 1
-		}
-		h, err := hier.Build(g.Points(), hcfg)
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.g, e.h, e.routes = g, h, routing.NewCache()
-		e.buildTime = time.Since(start)
+		e.loaded = loaded
+		if loaded {
+			e.loadTime = time.Since(start)
+		} else {
+			e.buildTime = time.Since(start)
+		}
 		e.graphBytes = int64(g.Footprint().Total())
 		e.hierBytes = int64(h.Footprint())
 	})
@@ -365,16 +402,28 @@ func (r *TaskResult) fill(converged bool, finalErr float64, tx uint64, byCat map
 // concurrently, so this can exceed the construct phase's elapsed time),
 // and their resident footprint.
 type NetBuildStats struct {
-	// Networks is the number of distinct (n, seed, radius, shape) builds.
+	// Networks is the number of distinct (n, seed, radius, shape)
+	// networks the grid materialized, built or loaded.
 	Networks int
-	// Nodes sums the node counts of the built networks.
+	// Loads is how many of them were satisfied from the network snapshot
+	// store instead of being constructed (0 without a store).
+	Loads int
+	// Nodes sums the node counts of the materialized networks.
 	Nodes int64
-	// BuildTime is the summed construction wall-clock.
+	// BuildTime is the summed construction wall-clock of the built
+	// entries; LoadTime the summed snapshot-load wall-clock of the loaded
+	// ones.
 	BuildTime time.Duration
+	LoadTime  time.Duration
 	// GraphBytes and HierBytes are the summed resident footprints of the
 	// graphs (points, CSR adjacency, cell index) and hierarchies.
 	GraphBytes int64
 	HierBytes  int64
+	// StoreMisses and StoreBytes mirror the attached store's counters:
+	// cache misses that fell back to a build, and snapshot bytes
+	// persisted by this process. Both zero without a store.
+	StoreMisses uint64
+	StoreBytes  int64
 }
 
 // BytesPerNode is the summed footprint divided by the summed node count
@@ -402,6 +451,15 @@ func (c *netCache) netStats() NetBuildStats {
 		out.BuildTime += e.buildTime
 		out.GraphBytes += e.graphBytes
 		out.HierBytes += e.hierBytes
+		if e.loaded {
+			out.Loads++
+			out.LoadTime += e.loadTime
+		}
+	}
+	if c.store != nil {
+		st := c.store.Stats()
+		out.StoreMisses = st.Misses
+		out.StoreBytes = st.StoredBytes
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package geogossip
 
 import (
+	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,11 +10,14 @@ import (
 	"geogossip/internal/geo"
 	"geogossip/internal/graph"
 	"geogossip/internal/hier"
+	"geogossip/internal/netstore"
+	"geogossip/internal/snap"
 )
 
-// networkJSON is the on-disk representation of a Network: positions plus
-// the parameters needed to rebuild the connectivity graph and hierarchy
-// exactly.
+// networkJSON is the legacy (version 1) on-disk representation of a
+// Network: positions plus the parameters needed to rebuild the
+// connectivity graph and hierarchy exactly. Save no longer produces it,
+// but LoadNetwork reads it forever.
 type networkJSON struct {
 	Version    int          `json:"version"`
 	Radius     float64      `json:"radius"`
@@ -23,24 +28,56 @@ type networkJSON struct {
 
 const networkFormatVersion = 1
 
-// Save writes the network to w as JSON. The encoding stores positions and
-// construction parameters, not the derived adjacency, so files stay small
-// and loading always reproduces the exact same graph and hierarchy.
+// Save writes the network to w as a binary snapshot: positions plus the
+// derived adjacency, cell index and hierarchy tables, each section
+// checksummed (DESIGN.md §11). Files are larger than the legacy JSON
+// points-only encoding, but loading is a sequential validation pass that
+// skips network construction entirely — the point at million-node scale,
+// where rebuilding dominates. LoadNetwork reads both formats.
 func (nw *Network) Save(w io.Writer) error {
-	out := networkJSON{
-		Version:    networkFormatVersion,
+	meta := netstore.Meta{
+		N:          nw.g.N(),
 		Radius:     nw.g.Radius(),
 		LeafTarget: nw.leafTarget,
 		MaxDepth:   nw.maxDepth,
-		Points:     nw.Positions(),
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	if err := netstore.Encode(w, meta, nw.g, nw.h); err != nil {
+		return fmt.Errorf("geogossip: encode network: %w", err)
+	}
+	return nil
 }
 
-// LoadNetwork reads a network previously written by Save and rebuilds the
-// connectivity graph and hierarchy.
+// LoadNetwork reads a network previously written by Save. The format is
+// sniffed from the first bytes: gzip-wrapped input is unwrapped
+// transparently, the binary snapshot magic selects the snapshot decoder
+// (every table validated, bit-identical to the build it was saved from),
+// and a leading '{' selects the legacy JSON decoder, which rebuilds the
+// graph and hierarchy from the stored positions.
 func LoadNetwork(r io.Reader) (*Network, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("geogossip: decode network: %w", err)
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("geogossip: decode network: %w", err)
+		}
+		defer gz.Close()
+		return LoadNetwork(gz)
+	}
+	if head[0] == snap.Magic[0] {
+		g, h, meta, err := netstore.Decode(br, 0)
+		if err != nil {
+			return nil, fmt.Errorf("geogossip: decode network: %w", err)
+		}
+		return &Network{g: g, h: h, leafTarget: meta.LeafTarget, maxDepth: meta.MaxDepth}, nil
+	}
+	return loadNetworkJSON(br)
+}
+
+func loadNetworkJSON(r io.Reader) (*Network, error) {
 	var in networkJSON
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&in); err != nil {

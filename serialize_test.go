@@ -2,6 +2,8 @@ package geogossip
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -64,6 +66,84 @@ func TestSaveLoadPreservesHierarchyOptions(t *testing.T) {
 	}
 	if loaded.HierarchyLevels() != orig.HierarchyLevels() {
 		t.Fatalf("levels %d != %d", loaded.HierarchyLevels(), orig.HierarchyLevels())
+	}
+}
+
+// Save writes the binary snapshot format; a loaded network must carry
+// the exact adjacency, not a rebuild.
+func TestSaveWritesBinarySnapshots(t *testing.T) {
+	orig, err := NewNetwork(256, WithSeed(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 8 || buf.Bytes()[0] != 0x89 || string(buf.Bytes()[1:4]) != "GGS" {
+		t.Fatalf("Save did not write the snapshot magic (got % x)", buf.Bytes()[:8])
+	}
+}
+
+// The legacy JSON v1 encoding loads forever, sniffed by its leading '{'.
+func TestLoadNetworkLegacyJSON(t *testing.T) {
+	orig, err := NewNetwork(512, WithSeed(53), WithLeafTarget(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(networkJSON{
+		Version:    networkFormatVersion,
+		Radius:     orig.Radius(),
+		LeafTarget: 24,
+		Points:     orig.Positions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Edges() != orig.Edges() || loaded.HierarchyLevels() != orig.HierarchyLevels() {
+		t.Fatalf("legacy load: %d/%d edges, %d/%d levels",
+			loaded.Edges(), orig.Edges(), loaded.HierarchyLevels(), orig.HierarchyLevels())
+	}
+}
+
+// Both formats load transparently through a gzip wrapper.
+func TestLoadNetworkGzip(t *testing.T) {
+	orig, err := NewNetwork(512, WithSeed(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := orig.Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(networkJSON{
+		Version: networkFormatVersion,
+		Radius:  orig.Radius(),
+		Points:  orig.Positions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, raw := range map[string][]byte{"binary": plain.Bytes(), "json": legacy} {
+		var zipped bytes.Buffer
+		zw := gzip.NewWriter(&zipped)
+		if _, err := zw.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadNetwork(&zipped)
+		if err != nil {
+			t.Fatalf("%s.gz: %v", name, err)
+		}
+		if loaded.N() != orig.N() || loaded.Edges() != orig.Edges() {
+			t.Fatalf("%s.gz round trip changed the network", name)
+		}
 	}
 }
 

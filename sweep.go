@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"geogossip/internal/netstore"
 	"geogossip/internal/routing"
 	"geogossip/internal/sweep"
 )
@@ -241,15 +242,24 @@ func (s SweepRouteCacheStats) FloodHitRate() float64 {
 // construction took (summed across builds, which may overlap in time),
 // and their resident footprint.
 type SweepNetBuildStats struct {
-	// Networks is the number of distinct network builds; Nodes sums their
-	// node counts.
+	// Networks is the number of distinct networks the grid materialized;
+	// Nodes sums their node counts.
 	Networks int
 	Nodes    int64
-	// BuildSeconds is the summed construction wall-clock.
+	// Loads is how many of them were loaded from the snapshot store
+	// (WithSweepNetworkDir) instead of being constructed.
+	Loads int
+	// BuildSeconds is the summed construction wall-clock; LoadSeconds the
+	// summed snapshot-load wall-clock.
 	BuildSeconds float64
+	LoadSeconds  float64
 	// GraphBytes and HierarchyBytes are the summed resident footprints.
 	GraphBytes     int64
 	HierarchyBytes int64
+	// StoreMisses counts store lookups that fell back to a build;
+	// StoreBytes the snapshot bytes this run persisted for later runs.
+	StoreMisses uint64
+	StoreBytes  int64
 }
 
 // BytesPerNode is the summed network footprint divided by the summed
@@ -298,6 +308,7 @@ type sweepConfig struct {
 	leaseSize    int
 	leaseTimeout time.Duration
 	workerName   string
+	netDir       string
 }
 
 // WithSweepWorkers sizes the worker pool (default GOMAXPROCS). Results
@@ -339,6 +350,18 @@ func WithSweepProgress(fn func(done, total int)) SweepOption {
 // to WithSweepJSONL.
 func WithSweepResume(prior []SweepResult) SweepOption {
 	return func(c *sweepConfig) { c.resume = prior }
+}
+
+// WithSweepNetworkDir roots a content-addressed network snapshot store
+// at dir (created if absent): networks whose snapshot is already
+// persisted load in one sequential I/O pass instead of being rebuilt,
+// and fresh builds are persisted for later runs. Loaded networks are
+// bit-identical to built ones, so results are unaffected; corrupted
+// entries are detected by checksum and rebuilt transparently. Concurrent
+// sweeps — including distributed workers on one machine — may share the
+// directory: entries are written atomically.
+func WithSweepNetworkDir(dir string) SweepOption {
+	return func(c *sweepConfig) { c.netDir = dir }
 }
 
 // WithSweepMetrics makes the sweep report into m instead of a private
@@ -407,6 +430,13 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepRepo
 		NetStats:     &netStats,
 		Obs:          reg.reg,
 	}
+	if cfg.netDir != "" {
+		store, err := netstore.Open(cfg.netDir)
+		if err != nil {
+			return nil, err
+		}
+		iopt.NetStore = store
+	}
 	for _, r := range cfg.resume {
 		iopt.Resume = append(iopt.Resume, toInternalResult(r))
 	}
@@ -433,9 +463,13 @@ func buildReport(results []sweep.TaskResult, metrics map[string]float64, routeSt
 		NetBuild: SweepNetBuildStats{
 			Networks:       netStats.Networks,
 			Nodes:          netStats.Nodes,
+			Loads:          netStats.Loads,
 			BuildSeconds:   netStats.BuildTime.Seconds(),
+			LoadSeconds:    netStats.LoadTime.Seconds(),
 			GraphBytes:     netStats.GraphBytes,
 			HierarchyBytes: netStats.HierBytes,
+			StoreMisses:    netStats.StoreMisses,
+			StoreBytes:     netStats.StoreBytes,
 		},
 	}
 	for _, r := range results {
