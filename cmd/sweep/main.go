@@ -51,40 +51,41 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		algos    = fs.String("algos", "boyd,geographic,affine-hierarchical", "comma-separated algorithms")
-		ns       = fs.String("ns", "256,512,1024", "comma-separated network sizes")
-		seeds    = fs.Int("seeds", 1, "independent placements per grid cell")
-		baseSeed = fs.Uint64("base-seed", 1, "base seed all per-task seeds derive from")
-		loss     = fs.String("loss", "", "comma-separated packet-loss rates (default 0)")
-		faults   = fs.String("faults", "", "comma-separated fault models: perfect, bernoulli:P, ge:PGB/PBG/EG/EB, jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]], mjam:CX/CY/R/LOSS/VX/VY, jampoly:LOSS/X1/Y1/..., cut:A/B/C/FROM/UNTIL, churn:UP/DOWN, repchurn:UP/DOWN, hubchurn:UP/DOWN/K, composable with + (default perfect)")
-		recovery = fs.String("recovery", "", "comma-separated recovery settings to cross with the grid: off,on (default off; on = re-election for the affine algorithms, restart-from-neighbor resync for boyd/geographic)")
-		betas    = fs.String("betas", "", "comma-separated affine multipliers (default engine 2/5)")
-		sampling = fs.String("sampling", "", "comma-separated sampling modes: rejection,uniform")
-		hier     = fs.String("hier", "", "comma-separated hierarchy shapes: deep,flat")
-		target   = fs.Float64("target", 1e-2, "relative l2 accuracy every run stops at")
-		maxTicks = fs.Uint64("max-ticks", 0, "simulated clock cap per run (0 = default)")
-		radius   = fs.Float64("radius", 0, "radius multiplier c (0 = default 1.5)")
-		field    = fs.String("field", "", "initial field: smooth or gaussian (default smooth)")
-		config   = fs.String("config", "", "JSON file holding the full spec (overrides grid flags)")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
-		workersB = fs.Int("workers-build", 0, "construction parallelism per network build: graph scan and hierarchy tables shard across this many goroutines (0 = all cores, 1 = serial; networks are byte-identical at any value)")
-		asyncTh  = fs.Float64("async-throttle", 0, "override the async engine's round-serialization factor (0 = engine default; raise with -async-leaf-ticks for large-n async runs, see README Scale)")
-		asyncLT  = fs.Int("async-leaf-ticks", 0, "override the async engine's leaf round budget in leaf-rep clock ticks (0 = engine default)")
-		out      = fs.String("out", "-", "JSONL output path (- = stdout)")
-		resume   = fs.Bool("resume", false, "skip tasks already present in -out and append")
-		quiet    = fs.Bool("quiet", false, "suppress progress reporting on stderr")
-		agg      = fs.Bool("agg", true, "print per-cell statistics and scaling fits")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to FILE (go tool pprof)")
-		memProf  = fs.String("memprofile", "", "write a heap profile to FILE after the sweep")
-		listen   = fs.String("listen", "", "serve live observability on ADDR while sweeping: /metrics (Prometheus), /progress (JSON), /debug/pprof/*")
-		gz       = fs.Bool("gzip", false, "gzip-compress the -out stream (implied by a .gz suffix; -resume reads both forms transparently)")
-		serve    = fs.String("serve", "", "run as distributed-sweep coordinator on ADDR (host:port): lease the grid to -join workers and write -out in canonical task order, byte-identical to a single-process -workers 1 run")
-		join     = fs.String("join", "", "run as distributed-sweep worker for the coordinator at ADDR; grid and output flags are ignored (the spec comes from the coordinator)")
-		leaseN   = fs.Int("lease", 0, "with -serve: tasks per lease (0 = twice the worker's slot count)")
-		leaseTO  = fs.Duration("lease-timeout", 0, "with -serve: silence after which a worker's leases are re-issued (0 = 30s)")
-		netDir   = fs.String("netdir", "", "network snapshot store directory: load already-persisted networks instead of rebuilding them and persist fresh builds (created if absent; results are bit-identical either way; shareable between runs and between -join workers on one machine)")
-		name     = fs.String("name", "", "with -join: worker display name in coordinator gauges (default host/pid)")
-		rejoin   = fs.Int("rejoin", 0, "with -join: redial attempts after a failed or lost coordinator connection, 1s apart (lets workers start before the coordinator and outlive its restarts)")
+		algos      = fs.String("algos", "boyd,geographic,affine-hierarchical", "comma-separated algorithms")
+		ns         = fs.String("ns", "256,512,1024", "comma-separated network sizes")
+		seeds      = fs.Int("seeds", 1, "independent placements per grid cell")
+		baseSeed   = fs.Uint64("base-seed", 1, "base seed all per-task seeds derive from")
+		loss       = fs.String("loss", "", "comma-separated packet-loss rates (default 0)")
+		faults     = fs.String("faults", "", "comma-separated fault models: perfect, bernoulli:P, ge:PGB/PBG/EG/EB, jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]], mjam:CX/CY/R/LOSS/VX/VY, jampoly:LOSS/X1/Y1/..., cut:A/B/C/FROM/UNTIL, churn:UP/DOWN, repchurn:UP/DOWN, hubchurn:UP/DOWN/K, composable with + (default perfect)")
+		transports = fs.String("transports", "", "comma-separated transport-reliability fragments to compose onto every fault model: perfect (no transport), delay:fixed/D, delay:uniform/LO/HI, delay:exp/MEAN, reorder:P, dup:P, arq:RETRIES/TIMEOUT/BACKOFF, composable with + (default none)")
+		recovery   = fs.String("recovery", "", "comma-separated recovery settings to cross with the grid: off,on (default off; on = re-election for the affine algorithms, restart-from-neighbor resync for boyd/geographic)")
+		betas      = fs.String("betas", "", "comma-separated affine multipliers (default engine 2/5)")
+		sampling   = fs.String("sampling", "", "comma-separated sampling modes: rejection,uniform")
+		hier       = fs.String("hier", "", "comma-separated hierarchy shapes: deep,flat")
+		target     = fs.Float64("target", 1e-2, "relative l2 accuracy every run stops at")
+		maxTicks   = fs.Uint64("max-ticks", 0, "simulated clock cap per run (0 = default)")
+		radius     = fs.Float64("radius", 0, "radius multiplier c (0 = default 1.5)")
+		field      = fs.String("field", "", "initial field: smooth or gaussian (default smooth)")
+		config     = fs.String("config", "", "JSON file holding the full spec (overrides grid flags)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		workersB   = fs.Int("workers-build", 0, "construction parallelism per network build: graph scan and hierarchy tables shard across this many goroutines (0 = all cores, 1 = serial; networks are byte-identical at any value)")
+		asyncTh    = fs.Float64("async-throttle", 0, "override the async engine's round-serialization factor (0 = engine default; raise with -async-leaf-ticks for large-n async runs, see README Scale)")
+		asyncLT    = fs.Int("async-leaf-ticks", 0, "override the async engine's leaf round budget in leaf-rep clock ticks (0 = engine default)")
+		out        = fs.String("out", "-", "JSONL output path (- = stdout)")
+		resume     = fs.Bool("resume", false, "skip tasks already present in -out and append")
+		quiet      = fs.Bool("quiet", false, "suppress progress reporting on stderr")
+		agg        = fs.Bool("agg", true, "print per-cell statistics and scaling fits")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the sweep to FILE (go tool pprof)")
+		memProf    = fs.String("memprofile", "", "write a heap profile to FILE after the sweep")
+		listen     = fs.String("listen", "", "serve live observability on ADDR while sweeping: /metrics (Prometheus), /progress (JSON), /debug/pprof/*")
+		gz         = fs.Bool("gzip", false, "gzip-compress the -out stream (implied by a .gz suffix; -resume reads both forms transparently)")
+		serve      = fs.String("serve", "", "run as distributed-sweep coordinator on ADDR (host:port): lease the grid to -join workers and write -out in canonical task order, byte-identical to a single-process -workers 1 run")
+		join       = fs.String("join", "", "run as distributed-sweep worker for the coordinator at ADDR; grid and output flags are ignored (the spec comes from the coordinator)")
+		leaseN     = fs.Int("lease", 0, "with -serve: tasks per lease (0 = twice the worker's slot count)")
+		leaseTO    = fs.Duration("lease-timeout", 0, "with -serve: silence after which a worker's leases are re-issued (0 = 30s)")
+		netDir     = fs.String("netdir", "", "network snapshot store directory: load already-persisted networks instead of rebuilding them and persist fresh builds (created if absent; results are bit-identical either way; shareable between runs and between -join workers on one machine)")
+		name       = fs.String("name", "", "with -join: worker display name in coordinator gauges (default host/pid)")
+		rejoin     = fs.Int("rejoin", 0, "with -join: redial attempts after a failed or lost coordinator connection, 1s apart (lets workers start before the coordinator and outlive its restarts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +128,7 @@ func run(args []string) error {
 			AsyncLeafTicks:   *asyncLT,
 			Algorithms:       splitList(*algos),
 			FaultModels:      splitList(*faults),
+			Transports:       splitList(*transports),
 			Samplings:        splitList(*sampling),
 			Hierarchies:      splitList(*hier),
 		}
@@ -448,9 +450,34 @@ func writeHeapProfile(path string) error {
 }
 
 func printAggregation(w io.Writer, rep *geogossip.SweepReport) {
-	fmt.Fprintf(w, "\n%-22s %6s %5s %-18s %3s %5s %5s  %14s %12s %10s %6s\n",
-		"algorithm", "n", "loss", "faults", "rec", "beta", "conv", "tx mean", "tx std", "err p50", "fail")
+	// The transport and simulated-time columns appear only when the grid
+	// swept a transport axis, keeping transport-free tables unchanged.
+	hasTransport := false
 	for _, c := range rep.Cells {
+		if c.Transport != "" || c.SimSeconds != nil {
+			hasTransport = true
+			break
+		}
+	}
+	if hasTransport {
+		fmt.Fprintf(w, "\n%-22s %6s %5s %-18s %-18s %3s %5s %5s  %14s %12s %10s %10s %6s\n",
+			"algorithm", "n", "loss", "faults", "transport", "rec", "beta", "conv", "tx mean", "tx std", "sim s", "err p50", "fail")
+	} else {
+		fmt.Fprintf(w, "\n%-22s %6s %5s %-18s %3s %5s %5s  %14s %12s %10s %6s\n",
+			"algorithm", "n", "loss", "faults", "rec", "beta", "conv", "tx mean", "tx std", "err p50", "fail")
+	}
+	for _, c := range rep.Cells {
+		if hasTransport {
+			simMean := 0.0
+			if c.SimSeconds != nil {
+				simMean = c.SimSeconds.Mean
+			}
+			fmt.Fprintf(w, "%-22s %6d %5.2f %-18s %-18s %3s %5.2f %2d/%2d  %14.0f %12.0f %10.3g %10.2e %6d\n",
+				c.Algorithm, c.N, c.LossRate, faultLabel(c.FaultModel), faultLabel(c.Transport),
+				recLabel(c.Recover), c.Beta, c.ConvergedCount, c.Count,
+				c.Transmissions.Mean, c.Transmissions.Std, simMean, c.FinalErr.P50, c.Errors)
+			continue
+		}
 		fmt.Fprintf(w, "%-22s %6d %5.2f %-18s %3s %5.2f %2d/%2d  %14.0f %12.0f %10.2e %6d\n",
 			c.Algorithm, c.N, c.LossRate, faultLabel(c.FaultModel), recLabel(c.Recover), c.Beta,
 			c.ConvergedCount, c.Count,
@@ -459,8 +486,12 @@ func printAggregation(w io.Writer, rep *geogossip.SweepReport) {
 	if len(rep.Fits) > 0 {
 		fmt.Fprintf(w, "\nscaling fits (transmissions ~ C·n^p):\n")
 		for _, f := range rep.Fits {
-			fmt.Fprintf(w, "  %-22s loss=%.2f faults=%s rec=%s beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
-				f.Algorithm, f.LossRate, faultLabel(f.FaultModel), recLabel(f.Recover), f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
+			label := ""
+			if f.Transport != "" {
+				label = " transport=" + f.Transport
+			}
+			fmt.Fprintf(w, "  %-22s loss=%.2f faults=%s%s rec=%s beta=%.2f  p=%.3f  C=%.3g  R2=%.3f  (%d sizes)\n",
+				f.Algorithm, f.LossRate, faultLabel(f.FaultModel), label, recLabel(f.Recover), f.Beta, f.Exponent, f.Constant, f.R2, f.Points)
 		}
 	}
 	if len(rep.LossFits) > 0 {

@@ -10,7 +10,10 @@
 // Because every traced event carries its transmission charge in "hops",
 // the hop total over all kinds reproduces the run's transmission counter
 // exactly on a full (unfiltered, unsampled) trace — traceview is a
-// cross-check against Result as much as a viewer.
+// cross-check against Result as much as a viewer. ARQ transport events
+// ("retransmit", "timeout") carry zero hops: a retried exchange's full
+// bill, retransmissions included, rides on its own near/far/loss event,
+// so the cross-check holds under ARQ too.
 package main
 
 import (
@@ -34,7 +37,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	var (
-		kinds       = fs.String("kinds", "", "comma-separated event kinds to keep (default all): near, far, loss, leaf-done, activate, deactivate, reelect, resync, churn")
+		kinds       = fs.String("kinds", "", "comma-separated event kinds to keep (default all): near, far, loss, leaf-done, activate, deactivate, reelect, resync, churn, retransmit, timeout")
 		squares     = fs.Int("squares", 10, "number of most-active squares to list (0 = none)")
 		lossBuckets = fs.Int("loss-buckets", 10, "loss-timeline resolution in sequence-number windows (0 = off)")
 	)

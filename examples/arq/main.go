@@ -1,0 +1,93 @@
+// ARQ: who should pay for a lossy link — the protocol or the transport?
+//
+// Gossip protocols are their own retry loop: a lost exchange simply
+// doesn't average, and the protocol re-draws partners until the error
+// target falls. Classical transports instead hide the loss below the
+// protocol with ARQ — retransmit on ack timeout, back off exponentially
+// — at the price of retransmission airtime and waiting.
+//
+// This example runs both repair strategies over the same bursty
+// Gilbert–Elliott link and compares their radio cost and (for the ARQ
+// runs, which model transport time) simulated seconds per node. The
+// printed retransmission and timeout counters come from the run's
+// metrics snapshot; the retransmitted airtime is inside Transmissions,
+// so the two columns cross-check each other.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"geogossip"
+)
+
+func main() {
+	const n = 512
+	nw, err := geogossip.NewNetwork(n, geogossip.WithSeed(47), geogossip.WithRadiusMultiplier(2.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := make([]float64, n)
+	for i, pos := range nw.Positions() {
+		base[i] = 100 * math.Sin(pos[0]*3) * math.Cos(pos[1]*5)
+	}
+	want := geogossip.Mean(base)
+	fmt.Printf("true mean: %.6f\n\n", want)
+
+	// One bursty link per severity: the bad state loses badLoss of the
+	// traffic and bursts last ~10 packets (1/PBadToGood).
+	type burst struct {
+		label   string
+		badLoss float64
+	}
+	bursts := []burst{
+		{"mild", 0.3},
+		{"harsh", 0.6},
+		{"hostile", 0.9},
+	}
+
+	fmt.Printf("%-9s %-16s %14s %13s %9s %10s %12s %9s\n",
+		"link", "repair", "transmissions", "retransmits", "timeouts", "sim s", "final err", "mean ok")
+	for _, b := range bursts {
+		ge := fmt.Sprintf("ge:0.05/0.1/0.01/%g", b.badLoss)
+		runs := []struct {
+			label string
+			opts  []geogossip.RunOption
+		}{
+			// Engine-level repair: the lost exchange is simply lost; the
+			// gossip process itself retries by keeping on gossiping.
+			{"engine-retry", []geogossip.RunOption{
+				geogossip.WithTargetError(1e-2),
+				geogossip.WithFaults(ge),
+			}},
+			// Transport-level repair: stop-and-wait ARQ under the engine,
+			// 3 retries, ack timeout 1 tick, exponential backoff x2, over
+			// a per-hop exponential delay so waiting has a clock to burn.
+			{"transport-arq", []geogossip.RunOption{
+				geogossip.WithTargetError(1e-2),
+				geogossip.WithFaults(ge),
+				geogossip.WithDelay("exp/0.3"),
+				geogossip.WithARQ(3, 1, 2),
+			}},
+		}
+		for _, r := range runs {
+			values := append([]float64(nil), base...)
+			res, err := geogossip.Geographic(r.opts...).Run(nw, values)
+			if err != nil {
+				log.Fatal(err)
+			}
+			retransmits := res.Metrics[`geogossip_arq_retransmissions_total{engine="geographic"}`]
+			timeouts := res.Metrics[`geogossip_arq_timeouts_total{engine="geographic"}`]
+			meanOK := math.Abs(geogossip.Mean(values)-want) < 1e-9
+			fmt.Printf("%-9s %-16s %14d %13.0f %9.0f %10.3g %12.3g %9v\n",
+				b.label, r.label, res.Transmissions, retransmits, timeouts, res.SimSeconds, res.FinalErr, meanOK)
+		}
+	}
+
+	fmt.Println("\n(both strategies keep the consensus exact — exchanges commit atomically —")
+	fmt.Println(" so the choice is purely economic: a route leg lost under engine-retry")
+	fmt.Println(" throws away the whole route's airtime, which ARQ repairs with one cheap")
+	fmt.Println(" retransmission plus backoff time — until the link gets hostile enough")
+	fmt.Println(" that the fixed retry budget drains and the advantage erodes)")
+}

@@ -217,6 +217,13 @@ type Result struct {
 	FinalErr float64
 	// Transmissions is the total radio cost.
 	Transmissions uint64
+	// SimSeconds is the run's simulated wall-clock at termination: the
+	// event clock's high-water mark (delayed deliveries, ARQ backoff
+	// waits included) normalized per node, in the units of WithDelay /
+	// WithARQ durations. Zero unless the run had a transport layer
+	// (WithDelay, WithARQ, or a delay/reorder/dup/arq WithFaults
+	// component).
+	SimSeconds float64
 	// Breakdown splits Transmissions by category (near/far/control/
 	// flood).
 	Breakdown map[string]uint64
@@ -245,6 +252,7 @@ func fromMetrics(res *metrics.Result, reg *obs.Registry) *Result {
 		Converged:     res.Converged,
 		FinalErr:      res.FinalErr,
 		Transmissions: res.Transmissions,
+		SimSeconds:    res.SimSeconds,
 		Alive:         append([]bool(nil), res.Alive...),
 		Reelections:   res.Reelections,
 		Resyncs:       res.Resyncs,
@@ -285,6 +293,9 @@ type runConfig struct {
 	throttleSet bool
 	lossRate    float64
 	faults      string
+	delay       string
+	arq         channel.ARQParams
+	arqSet      bool
 	churnUp     float64
 	churnDown   float64
 	churnSet    bool
@@ -380,6 +391,21 @@ func WithLossRate(p float64) RunOption {
 //	                               re-election are not chased
 //	"hubchurn:UP/DOWN/K"           adversarial churn restricted to the
 //	                               K highest-degree nodes
+//	"delay:fixed/D"                transport delay: every hop takes D
+//	                               time units on the simulated clock
+//	                               (see WithDelay); also
+//	                               "delay:uniform/LO/HI" and
+//	                               "delay:exp/MEAN"
+//	"reorder:P"                    a delivered packet is re-queued with
+//	                               an extra delay draw with probability
+//	                               P (requires a delay model)
+//	"dup:P"                        a delivered packet is duplicated with
+//	                               probability P, paying its airtime
+//	                               again
+//	"arq:RETRIES/TIMEOUT/BACKOFF"  automatic repeat request: failed
+//	                               deliveries retry up to RETRIES times
+//	                               with exponential backoff (see
+//	                               WithARQ)
 //
 // Components compose via "+", e.g.
 // "bernoulli:0.2+jam:0.5/0.5/0.2/0.9+churn:50000/10000". The spec is
@@ -389,6 +415,39 @@ func WithLossRate(p float64) RunOption {
 // affine-hierarchical engine.
 func WithFaults(spec string) RunOption {
 	return func(c *runConfig) { c.faults = spec }
+}
+
+// WithDelay gives every delivery a per-hop transit time drawn from a
+// delay model, advancing the run's simulated clock (Result.SimSeconds):
+//
+//	"fixed/D"        every hop takes exactly D time units
+//	"uniform/LO/HI"  per-hop latency uniform on [LO, HI)
+//	"exp/MEAN"       per-hop latency exponential with the given mean
+//
+// The model is the spec grammar's "delay:" component (WithFaults), so
+// "exp/0.5" here and a "delay:exp/0.5" fault component are the same
+// layer; combining both is an error. Delay draws come from a dedicated
+// RNG stream — adding a delay never perturbs the loss process or the
+// protocol's draws. Run validates the model.
+func WithDelay(model string) RunOption {
+	return func(c *runConfig) { c.delay = model }
+}
+
+// WithARQ wraps every delivery in an automatic-repeat-request loop: a
+// failed delivery is retried up to retries times, waiting
+// timeout·backoff^k (plus deterministic jitter) on the simulated clock
+// before attempt k's retry. Retransmissions pay their airtime into
+// Result.Transmissions — ARQ trades radio cost for reliability, and the
+// observability layer counts retransmissions, timeouts and backoff wait
+// (see README, metric catalogue). Equivalent to the
+// "arq:RETRIES/TIMEOUT/BACKOFF" fault component; combining both is an
+// error. Run validates the parameters (retries ≥ 1, timeout > 0,
+// backoff ≥ 1).
+func WithARQ(retries int, timeout, backoff float64) RunOption {
+	return func(c *runConfig) {
+		c.arq = channel.ARQParams{Retries: retries, Timeout: timeout, Backoff: backoff}
+		c.arqSet = true
+	}
 }
 
 // WithRecovery enables the engines' fault-recovery protocols. For the
@@ -463,8 +522,9 @@ func WithTraceWriter(w io.Writer) RunOption {
 // event; sequence numbers still count the full stream, so a reader can
 // tell sampling happened). kinds, when non-empty, restricts output to
 // the named event kinds ("near", "far", "loss", "leaf-done", "activate",
-// "deactivate", "reelect", "resync", "churn"); an unknown name fails the
-// run. Later trace options override earlier ones.
+// "deactivate", "reelect", "resync", "churn", "retransmit", "timeout");
+// an unknown name fails the run. Later trace options override earlier
+// ones.
 func WithTraceJSONL(w io.Writer, sampleEvery int, kinds ...string) RunOption {
 	return func(c *runConfig) {
 		j := &trace.JSONL{W: w, SampleEvery: sampleEvery}
@@ -528,6 +588,22 @@ func (c runConfig) engineFaults() (channel.Spec, error) {
 		}
 		spec.Loss = channel.LossBernoulli
 		spec.LossRate = c.lossRate
+	}
+	if c.delay != "" {
+		d, err := channel.Parse("delay:" + c.delay)
+		if err != nil {
+			return spec, fmt.Errorf("geogossip: WithDelay: %w", err)
+		}
+		if !spec.Delay.IsZero() {
+			return spec, fmt.Errorf("geogossip: WithDelay combined with a WithFaults delay component")
+		}
+		spec.Delay = d.Delay
+	}
+	if c.arqSet {
+		if !spec.ARQ.IsZero() {
+			return spec, fmt.Errorf("geogossip: WithARQ combined with a WithFaults arq component")
+		}
+		spec.ARQ = c.arq
 	}
 	if c.churnSet {
 		if spec.HasChurn() {

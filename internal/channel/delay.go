@@ -1,0 +1,199 @@
+package channel
+
+import (
+	"fmt"
+
+	"geogossip/internal/rng"
+)
+
+// DelayKind enumerates the per-hop transport delay distributions.
+type DelayKind int
+
+const (
+	// DelayNone means instantaneous delivery (the historical model).
+	DelayNone DelayKind = iota
+	// DelayFixed is a constant per-hop delay of A time units.
+	DelayFixed
+	// DelayUniform is a per-hop delay uniform in [A, B).
+	DelayUniform
+	// DelayExp is an exponential per-hop delay with mean A.
+	DelayExp
+)
+
+// String implements fmt.Stringer with the spec-grammar spelling.
+func (k DelayKind) String() string {
+	switch k {
+	case DelayNone:
+		return "none"
+	case DelayFixed:
+		return "fixed"
+	case DelayUniform:
+		return "uniform"
+	case DelayExp:
+		return "exp"
+	default:
+		return fmt.Sprintf("delay-kind(%d)", int(k))
+	}
+}
+
+// DelayParams selects a per-hop transport delay distribution. The zero
+// value means instantaneous delivery. A and B are distribution
+// parameters in engine time units per hop: fixed uses A, uniform uses
+// [A, B), exponential uses mean A (B unused).
+type DelayParams struct {
+	Kind DelayKind
+	A, B float64
+}
+
+// IsZero reports whether the distribution is instantaneous delivery.
+func (d DelayParams) IsZero() bool { return d.Kind == DelayNone }
+
+// Mean returns the distribution's per-hop expectation.
+func (d DelayParams) Mean() float64 {
+	switch d.Kind {
+	case DelayFixed:
+		return d.A
+	case DelayUniform:
+		return (d.A + d.B) / 2
+	case DelayExp:
+		return d.A
+	}
+	return 0
+}
+
+func (d DelayParams) validate() error {
+	switch d.Kind {
+	case DelayNone:
+		if d.A != 0 || d.B != 0 {
+			return fmt.Errorf("channel: delay parameters (%v, %v) set without a distribution", d.A, d.B)
+		}
+	case DelayFixed:
+		if d.A <= 0 {
+			return fmt.Errorf("channel: fixed delay %v must be positive", d.A)
+		}
+		if d.B != 0 {
+			return fmt.Errorf("channel: fixed delay takes one parameter, got second %v", d.B)
+		}
+	case DelayUniform:
+		if d.A < 0 || d.B <= d.A {
+			return fmt.Errorf("channel: uniform delay bounds [%v, %v) must satisfy 0 <= lo < hi", d.A, d.B)
+		}
+	case DelayExp:
+		if d.A <= 0 {
+			return fmt.Errorf("channel: exponential delay mean %v must be positive", d.A)
+		}
+		if d.B != 0 {
+			return fmt.Errorf("channel: exponential delay takes one parameter, got second %v", d.B)
+		}
+	default:
+		return fmt.Errorf("channel: unknown delay kind %d", int(d.Kind))
+	}
+	return nil
+}
+
+// Delay overlays transport-time realism on an inner loss medium: every
+// delivery decision accrues a per-hop latency draw (scaled by the leg
+// count) into the run's Timeline, delivered packets are independently
+// reordered with probability Reorder — the straggler waits out one extra
+// medium traversal — and duplicated with probability Dup, charging the
+// duplicate copy's airtime into the delivery's paid-extra transmissions.
+//
+// Draw discipline (fixed per-call order, so runs replay bit-for-bit):
+// one delay draw per delivery decision — success or loss, a transmitted
+// packet occupies the medium either way — then, on delivered packets
+// only, one Bernoulli per enabled decorator (reorder first, then dup),
+// with the reorder penalty adding a second delay draw when it fires.
+// The latency draws come from a stream derived by name from the loss
+// stream's seed, so enabling delay never perturbs the loss sequence.
+type Delay struct {
+	inner   Channel
+	dist    DelayParams
+	reorder float64
+	dup     float64
+	r       *rng.RNG
+	tl      *Timeline
+}
+
+// NewDelay wraps inner with the delay/reorder/dup decorators, drawing
+// from r and scheduling latency on tl (which may be nil to discard it).
+func NewDelay(inner Channel, dist DelayParams, reorder, dup float64, r *rng.RNG, tl *Timeline) *Delay {
+	d := &Delay{}
+	d.reset(inner, dist, reorder, dup, r, tl)
+	return d
+}
+
+// reset re-initializes a pooled Delay in place.
+func (d *Delay) reset(inner Channel, dist DelayParams, reorder, dup float64, r *rng.RNG, tl *Timeline) {
+	if inner == nil {
+		inner = Perfect{}
+	}
+	d.inner, d.dist, d.reorder, d.dup, d.r, d.tl = inner, dist, reorder, dup, r, tl
+}
+
+// sample draws one per-hop delay.
+func (d *Delay) sample() float64 {
+	switch d.dist.Kind {
+	case DelayFixed:
+		return d.dist.A
+	case DelayUniform:
+		return d.dist.A + (d.dist.B-d.dist.A)*d.r.Float64()
+	case DelayExp:
+		return d.r.ExpFloat64() * d.dist.A
+	}
+	return 0
+}
+
+// decorate applies the delay/reorder/dup decorators to an inner verdict:
+// legs is the delivery's hop count for latency scaling, cost the
+// transmission count one duplicate copy would pay.
+func (d *Delay) decorate(ok bool, paid, legs, cost int) (bool, int) {
+	if d.dist.Kind != DelayNone {
+		lat := d.sample() * float64(legs)
+		if ok && d.reorder > 0 && d.r.Bernoulli(d.reorder) {
+			lat += d.sample() * float64(legs)
+		}
+		d.tl.Add(lat)
+	}
+	if ok && d.dup > 0 && d.r.Bernoulli(d.dup) {
+		paid += cost
+	}
+	return ok, paid
+}
+
+// Advance implements Channel.
+func (d *Delay) Advance(now uint64) { d.inner.Advance(now) }
+
+// Alive implements Channel.
+func (d *Delay) Alive(i int32) bool { return d.inner.Alive(i) }
+
+// DeliverHop implements Channel.
+func (d *Delay) DeliverHop(p Packet) (bool, int) {
+	ok, paid := d.inner.DeliverHop(p)
+	return d.decorate(ok, paid, 1, 1)
+}
+
+// DeliverRoute implements Channel.
+func (d *Delay) DeliverRoute(p Packet) (bool, int) {
+	ok, paid := d.inner.DeliverRoute(p)
+	return d.decorate(ok, paid, p.Hops, p.Hops)
+}
+
+// DeliverRoundTrip implements Channel.
+func (d *Delay) DeliverRoundTrip(p Packet) (bool, int) {
+	ok, paid := d.inner.DeliverRoundTrip(p)
+	return d.decorate(ok, paid, 2*p.Hops, 2*p.Hops)
+}
+
+// Name implements Channel.
+func (d *Delay) Name() string {
+	if d.inner.Name() == "perfect" {
+		return "delay"
+	}
+	return d.inner.Name() + "+delay"
+}
+
+// Compile-time interface checks.
+var (
+	_ Channel = (*Delay)(nil)
+	_ Channel = (*Timed)(nil)
+)

@@ -22,6 +22,12 @@ type Pool struct {
 	spatial SpatialLoss
 	part    Partition
 	churn   Churn
+	delay   Delay
+	arq     ARQ
+	timed   Timed
+	// delayRNG and arqRNG are the kept transport streams, reseeded per
+	// run to the identical derived seeds a fresh build would use.
+	delayRNG, arqRNG *rng.RNG
 	// builds counts the channels served from pooled storage; atomic only
 	// so a live metrics scrape can read it while a run builds (one add per
 	// run, nowhere near a hot path).
@@ -83,6 +89,26 @@ func (s Spec) BuildWith(p *Pool, n int, env Env, lossRNG, churnRNG *rng.RNG) (Ch
 			ch = NewPartition(ch, s.Cut)
 		}
 	}
+	if s.HasDelayLayer() {
+		seed := rng.DeriveString(lossRNG.Seed(), "delay")
+		if p != nil {
+			p.delayRNG = reseed(p.delayRNG, seed)
+			p.delay.reset(ch, s.Delay, s.Reorder, s.Dup, p.delayRNG, env.Timeline)
+			ch = &p.delay
+		} else {
+			ch = NewDelay(ch, s.Delay, s.Reorder, s.Dup, rng.New(seed), env.Timeline)
+		}
+	}
+	if !s.ARQ.IsZero() {
+		seed := rng.DeriveString(lossRNG.Seed(), "arq")
+		if p != nil {
+			p.arqRNG = reseed(p.arqRNG, seed)
+			p.arq.reset(ch, s.ARQ, p.arqRNG, env.Timeline, env.Obs, env.Tracer)
+			ch = &p.arq
+		} else {
+			ch = NewARQ(ch, s.ARQ, rng.New(seed), env.Timeline, env.Obs, env.Tracer)
+		}
+	}
 	if s.HasChurn() {
 		var targets []int32
 		switch s.ChurnTarget {
@@ -104,7 +130,27 @@ func (s Spec) BuildWith(p *Pool, n int, env Env, lossRNG, churnRNG *rng.RNG) (Ch
 			ch = NewTargetedChurn(ch, n, s.Churn, targets, churnRNG)
 		}
 	}
+	if s.HasTransport() && env.Timeline != nil {
+		// Outermost bracket: every top-level delivery's accumulated
+		// latency becomes one timeline completion event.
+		if p != nil {
+			p.timed = Timed{inner: ch, tl: env.Timeline, obs: env.Obs}
+			ch = &p.timed
+		} else {
+			ch = NewTimed(ch, env.Timeline, env.Obs)
+		}
+	}
 	return ch, nil
+}
+
+// reseed returns r reseeded to seed, allocating only on first use — the
+// pooled-stream idiom churn's per-node generators established.
+func reseed(r *rng.RNG, seed uint64) *rng.RNG {
+	if r == nil {
+		return rng.New(seed)
+	}
+	r.Reseed(seed)
+	return r
 }
 
 // reset re-initializes a pooled SpatialLoss in place (see NewSpatialLoss

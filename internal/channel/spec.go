@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"geogossip/internal/geo"
+	"geogossip/internal/obs"
 	"geogossip/internal/rng"
+	"geogossip/internal/trace"
 )
 
 // LossModel enumerates the packet-loss processes a Spec can select.
@@ -88,11 +90,46 @@ type Spec struct {
 	ChurnTarget Target
 	// HubCount is the number of highest-degree nodes TargetHubs churns.
 	HubCount int
+
+	// Transport-reliability layer (DESIGN.md §12). All zero by default:
+	// instantaneous, single-shot delivery, the historical model.
+
+	// Delay selects a per-hop transport delay distribution.
+	Delay DelayParams
+	// Reorder delivers packets out of order with this probability (the
+	// straggler waits out one extra medium traversal); requires Delay.
+	Reorder float64
+	// Dup duplicates delivered packets with this probability, charging
+	// the duplicate copy's airtime.
+	Dup float64
+	// ARQ enables transport-level retransmission when ARQ.Retries > 0.
+	ARQ ARQParams
 }
 
 // IsZero reports whether the spec is the perfect medium.
 func (s Spec) IsZero() bool {
-	return s.Loss == LossNone && !s.HasChurn() && !s.Spatial()
+	return s.Loss == LossNone && !s.HasChurn() && !s.Spatial() && !s.HasTransport()
+}
+
+// HasTransport reports whether the spec has transport-reliability
+// components (delay, reorder, dup, or ARQ) — the layer that activates
+// the run's Timeline and SimSeconds accounting.
+func (s Spec) HasTransport() bool {
+	return !s.Delay.IsZero() || s.Reorder > 0 || s.Dup > 0 || !s.ARQ.IsZero()
+}
+
+// HasDelayLayer reports whether the spec needs the Delay wrapper (a
+// delay distribution or a reorder/dup decorator).
+func (s Spec) HasDelayLayer() bool {
+	return !s.Delay.IsZero() || s.Reorder > 0 || s.Dup > 0
+}
+
+// TransportOnly reports whether the spec consists solely of transport
+// components — the shape the sweep transport axis composes onto fault
+// models.
+func (s Spec) TransportOnly() bool {
+	return s.HasTransport() && s.Loss == LossNone && len(s.Fields) == 0 &&
+		!s.HasCut() && !s.HasChurn()
 }
 
 // HasChurn reports whether the spec overlays node churn.
@@ -211,6 +248,21 @@ func (s Spec) Validate() error {
 	if s.ChurnTarget == TargetReps && !s.HasChurn() {
 		return fmt.Errorf("channel: rep-targeted churn without a churn component")
 	}
+	if err := s.Delay.validate(); err != nil {
+		return err
+	}
+	if s.Reorder < 0 || s.Reorder > 1 {
+		return fmt.Errorf("channel: reorder probability %v outside [0, 1]", s.Reorder)
+	}
+	if s.Reorder > 0 && s.Delay.IsZero() {
+		return fmt.Errorf("channel: reorder component without a delay distribution to draw the straggler penalty from")
+	}
+	if s.Dup < 0 || s.Dup > 1 {
+		return fmt.Errorf("channel: dup probability %v outside [0, 1]", s.Dup)
+	}
+	if err := s.ARQ.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -236,6 +288,15 @@ type Env struct {
 	// id (required by hub-targeted churn, which kills the first HubCount
 	// entries).
 	HubOrder []int32
+	// Timeline receives the transport layer's latency and completion
+	// events (specs with delay/arq components). Nil discards latency —
+	// delivery verdicts, draws and charges are unaffected.
+	Timeline *Timeline
+	// Obs optionally receives transport metrics (retransmissions,
+	// timeouts, backoff waits, delivery latency); nil-safe.
+	Obs *obs.Scope
+	// Tracer optionally receives transport events (retransmit, timeout).
+	Tracer trace.Tracer
 }
 
 // Build turns the spec into a live Channel over n nodes. Loss draws
@@ -250,7 +311,7 @@ func (s Spec) Build(n int, env Env, lossRNG, churnRNG *rng.RNG) (Channel, error)
 
 // String renders the spec in the compact form Parse accepts. Components
 // print in canonical order — loss model, jamming fields (in declaration
-// order), cut, churn — joined by "+":
+// order), cut, delay, reorder, dup, arq, churn — joined by "+":
 //
 //	perfect
 //	bernoulli:P
@@ -259,9 +320,14 @@ func (s Spec) Build(n int, env Env, lossRNG, churnRNG *rng.RNG) (Channel, error)
 //	mjam:CX/CY/R/LOSS/VX/VY
 //	jampoly:LOSS/X1/Y1/X2/Y2/X3/Y3[/...]
 //	cut:A/B/C/FROM/UNTIL
+//	delay:fixed/D | delay:uniform/LO/HI | delay:exp/MEAN
+//	reorder:P
+//	dup:P
+//	arq:RETRIES/TIMEOUT/BACKOFF
 //	churn:UP/DOWN | repchurn:UP/DOWN | hubchurn:UP/DOWN/K
 //
-// e.g. "bernoulli:0.2+jam:0.5/0.5/0.2/0.9+churn:50000/10000".
+// e.g. "bernoulli:0.2+jam:0.5/0.5/0.2/0.9+churn:50000/10000" or
+// "ge:0.05/0.3/0.01/0.8+delay:exp/0.5+arq:3/2/2".
 func (s Spec) String() string {
 	var parts []string
 	switch s.Loss {
@@ -279,6 +345,24 @@ func (s Spec) String() string {
 		parts = append(parts, fmt.Sprintf("cut:%s/%s/%s/%d/%d",
 			formatFloat(s.Cut.A), formatFloat(s.Cut.B), formatFloat(s.Cut.C),
 			s.Cut.From, s.Cut.Until))
+	}
+	switch s.Delay.Kind {
+	case DelayFixed:
+		parts = append(parts, "delay:fixed/"+formatFloat(s.Delay.A))
+	case DelayUniform:
+		parts = append(parts, fmt.Sprintf("delay:uniform/%s/%s", formatFloat(s.Delay.A), formatFloat(s.Delay.B)))
+	case DelayExp:
+		parts = append(parts, "delay:exp/"+formatFloat(s.Delay.A))
+	}
+	if s.Reorder > 0 {
+		parts = append(parts, "reorder:"+formatFloat(s.Reorder))
+	}
+	if s.Dup > 0 {
+		parts = append(parts, "dup:"+formatFloat(s.Dup))
+	}
+	if !s.ARQ.IsZero() {
+		parts = append(parts, fmt.Sprintf("arq:%d/%s/%s",
+			s.ARQ.Retries, formatFloat(s.ARQ.Timeout), formatFloat(s.ARQ.Backoff)))
 	}
 	if s.HasChurn() {
 		up, down := formatFloat(s.Churn.MeanUp), formatFloat(s.Churn.MeanDown)
@@ -412,6 +496,52 @@ func Parse(text string) (Spec, error) {
 				return s, fmt.Errorf("channel: cut component %q is all zero (no line, no window)", part)
 			}
 			s.Cut = cut
+		case "delay":
+			if !s.Delay.IsZero() {
+				return s, fmt.Errorf("channel: spec %q has two delay components", text)
+			}
+			d, err := parseDelay(part, args)
+			if err != nil {
+				return s, err
+			}
+			s.Delay = d
+		case "reorder":
+			if s.Reorder > 0 {
+				return s, fmt.Errorf("channel: spec %q has two reorder components", text)
+			}
+			vals, err := parseFloatList(part, args, 1)
+			if err != nil {
+				return s, err
+			}
+			if vals[0] <= 0 {
+				return s, fmt.Errorf("channel: reorder component %q: probability must be positive", part)
+			}
+			s.Reorder = vals[0]
+		case "dup":
+			if s.Dup > 0 {
+				return s, fmt.Errorf("channel: spec %q has two dup components", text)
+			}
+			vals, err := parseFloatList(part, args, 1)
+			if err != nil {
+				return s, err
+			}
+			if vals[0] <= 0 {
+				return s, fmt.Errorf("channel: dup component %q: probability must be positive", part)
+			}
+			s.Dup = vals[0]
+		case "arq":
+			if !s.ARQ.IsZero() {
+				return s, fmt.Errorf("channel: spec %q has two arq components", text)
+			}
+			vals, err := parseFloatList(part, args, 3)
+			if err != nil {
+				return s, err
+			}
+			retries := int(vals[0])
+			if float64(retries) != vals[0] || retries <= 0 {
+				return s, fmt.Errorf("channel: arq component %q: retries must be a positive integer", part)
+			}
+			s.ARQ = ARQParams{Retries: retries, Timeout: vals[1], Backoff: vals[2]}
 		case "churn", "repchurn", "hubchurn":
 			if s.HasChurn() {
 				return s, fmt.Errorf("channel: spec %q has two churn components", text)
@@ -440,7 +570,7 @@ func Parse(text string) (Spec, error) {
 				s.HubCount = k
 			}
 		default:
-			return s, fmt.Errorf("channel: unknown fault component %q (want perfect, bernoulli:P, ge:PGB/PBG/EG/EB, jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]], mjam:CX/CY/R/LOSS/VX/VY, jampoly:LOSS/X1/Y1/..., cut:A/B/C/FROM/UNTIL, churn:UP/DOWN, repchurn:UP/DOWN, or hubchurn:UP/DOWN/K)", part)
+			return s, fmt.Errorf("channel: unknown fault component %q (want perfect, bernoulli:P, ge:PGB/PBG/EG/EB, jam:CX/CY/R/LOSS[/FROM/UNTIL[/PERIOD]], mjam:CX/CY/R/LOSS/VX/VY, jampoly:LOSS/X1/Y1/..., cut:A/B/C/FROM/UNTIL, delay:fixed/D, delay:uniform/LO/HI, delay:exp/MEAN, reorder:P, dup:P, arq:RETRIES/TIMEOUT/BACKOFF, churn:UP/DOWN, repchurn:UP/DOWN, or hubchurn:UP/DOWN/K)", part)
 		}
 	}
 	if err := s.Validate(); err != nil {
@@ -485,6 +615,33 @@ func parseJam(part, args string) (FieldParams, error) {
 		f.Period = uint64(vals[6])
 	}
 	return f, nil
+}
+
+// parseDelay reads the delay distribution forms: "delay:fixed/D",
+// "delay:uniform/LO/HI", "delay:exp/MEAN".
+func parseDelay(part, args string) (DelayParams, error) {
+	kind, params, _ := strings.Cut(args, "/")
+	var d DelayParams
+	var want int
+	switch kind {
+	case "fixed":
+		d.Kind, want = DelayFixed, 1
+	case "uniform":
+		d.Kind, want = DelayUniform, 2
+	case "exp":
+		d.Kind, want = DelayExp, 1
+	default:
+		return d, fmt.Errorf("channel: component %q wants a distribution (fixed/D, uniform/LO/HI, or exp/MEAN)", part)
+	}
+	vals, err := parseFloatList(part, params, want)
+	if err != nil {
+		return d, err
+	}
+	d.A = vals[0]
+	if want == 2 {
+		d.B = vals[1]
+	}
+	return d, nil
 }
 
 // parseJamPoly reads "jampoly:LOSS/X1/Y1/.../Xk/Yk" (k >= 3 vertices).

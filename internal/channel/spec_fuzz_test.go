@@ -10,8 +10,9 @@ import (
 )
 
 // randomSpec generates a valid Spec covering the whole grammar —
-// loss models, every jamming-field variant, cuts, and the three churn
-// targets — from a deterministic stream.
+// loss models, every jamming-field variant, cuts, the transport layer
+// (delay distributions, reorder/dup, ARQ), and the three churn targets —
+// from a deterministic stream.
 func randomSpec(r *rng.RNG) Spec {
 	var s Spec
 	// probability p in (0, 1] quantized so formatFloat round-trips are
@@ -53,6 +54,24 @@ func randomSpec(r *rng.RNG) Spec {
 	if r.Bernoulli(0.4) {
 		from := uint64(r.IntN(1000))
 		s.Cut = CutParams{A: coord() + 0.1, B: coord(), C: coord(), From: from, Until: from + 1 + uint64(r.IntN(1000))}
+	}
+	switch r.IntN(4) {
+	case 1:
+		s.Delay = DelayParams{Kind: DelayFixed, A: 0.01 + r.Float64()*10}
+	case 2:
+		lo := r.Float64()
+		s.Delay = DelayParams{Kind: DelayUniform, A: lo, B: lo + 0.01 + r.Float64()*5}
+	case 3:
+		s.Delay = DelayParams{Kind: DelayExp, A: 0.01 + r.Float64()*10}
+	}
+	if !s.Delay.IsZero() && r.Bernoulli(0.4) {
+		s.Reorder = prob()
+	}
+	if r.Bernoulli(0.3) {
+		s.Dup = prob()
+	}
+	if r.Bernoulli(0.4) {
+		s.ARQ = ARQParams{Retries: 1 + r.IntN(8), Timeout: r.Float64() * 100, Backoff: 1 + r.Float64()*3}
 	}
 	if r.Bernoulli(0.6) {
 		s.Churn = ChurnParams{MeanUp: 1 + r.Float64()*1e5, MeanDown: r.Float64() * 1e4}
@@ -110,6 +129,14 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		"jampoly:0.7/0.2/0.2/0.8/0.2/0.5/0.8",
 		"cut:1/0/0.5/1000/2000",
 		"bernoulli:0.1+jam:0.5/0.5/0.2/0.9+cut:0/1/0.3/5/50+repchurn:1e4/1e3",
+		"delay:fixed/0.1",
+		"delay:uniform/0.1/0.3",
+		"delay:exp/0.5",
+		"delay:exp/0.5+reorder:0.1",
+		"dup:0.05",
+		"arq:3/0.5/2",
+		"arq:2/0/1",
+		"ge:0.05/0.3/0.01/0.8+delay:exp/0.5+reorder:0.05+dup:0.02+arq:3/2/2+churn:5e4/1e4",
 	} {
 		f.Add(seed)
 	}

@@ -1,0 +1,210 @@
+package channel
+
+import "geogossip/internal/obs"
+
+// Timeline is the deterministic event clock of the time-realism layer
+// (DESIGN.md §12). Transport wrappers (Delay, ARQ) accumulate the latency
+// of the delivery decision in flight through Add; the outermost Timed
+// wrapper brackets every top-level Deliver* call, turning the accumulated
+// latency into a completion event at (decision time + latency) on a
+// min-heap keyed by (time, seq) — seq breaks ties in schedule order, so
+// draining is tie-stable and bit-reproducible. The engine's clock driver
+// drains due events each tick, advancing the medium to each completion's
+// (floored) time so time-windowed fault state — jam schedules, cut heals,
+// churn flips — is evaluated at delayed-delivery instants exactly as it
+// would be at a tick crossing the same boundary.
+//
+// An inactive timeline (transport layer off) is never consulted beyond a
+// nil/flag check, so the zero-delay tick path stays allocation- and
+// draw-identical to a run without the layer. High() tracks the latest
+// completion scheduled so far; a run's sim time is the maximum of its
+// final tick count and that high-water mark.
+type Timeline struct {
+	pend   float64
+	heap   []timelineEvent
+	seq    uint64
+	high   float64
+	active bool
+}
+
+type timelineEvent struct {
+	at  float64
+	seq uint64
+}
+
+// Reset re-initializes the timeline in place for a new run, keeping the
+// heap storage (pooled run states own one Timeline across runs). active
+// selects whether the transport layer is live this run.
+func (t *Timeline) Reset(active bool) {
+	t.pend, t.seq, t.high, t.active = 0, 0, 0, active
+	t.heap = t.heap[:0]
+}
+
+// Active reports whether the time-realism layer is live. Safe on nil.
+func (t *Timeline) Active() bool { return t != nil && t.active }
+
+// Add accumulates transport latency for the delivery decision in flight.
+// Wrappers call it; safe on nil (latency is then discarded).
+func (t *Timeline) Add(d float64) {
+	if t != nil && d > 0 {
+		t.pend += d
+	}
+}
+
+// begin opens a top-level delivery bracket, clearing latency left by any
+// path that bypassed finish.
+func (t *Timeline) begin() { t.pend = 0 }
+
+// finish closes a top-level delivery bracket at decision time now: the
+// accumulated latency becomes a completion event at now + latency. It
+// returns the delivery's latency (0 when none accumulated).
+func (t *Timeline) finish(now float64) float64 {
+	lat := t.pend
+	t.pend = 0
+	if lat <= 0 {
+		return 0
+	}
+	at := now + lat
+	if at > t.high {
+		t.high = at
+	}
+	t.push(timelineEvent{at: at, seq: t.seq})
+	t.seq++
+	return lat
+}
+
+// DrainTo pops every completion event due at or before now in (time, seq)
+// order, reporting each event's floored completion time to advance (the
+// medium's Advance, typically) so time-windowed fault state is evaluated
+// at delayed-delivery instants. Safe on nil.
+func (t *Timeline) DrainTo(now float64, advance func(uint64)) {
+	if t == nil {
+		return
+	}
+	for len(t.heap) > 0 && t.heap[0].at <= now {
+		ev := t.pop()
+		if advance != nil {
+			advance(uint64(ev.at))
+		}
+	}
+}
+
+// Pending returns the number of scheduled completions not yet drained.
+func (t *Timeline) Pending() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.heap)
+}
+
+// High returns the latest completion time scheduled so far.
+func (t *Timeline) High() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.high
+}
+
+func (e timelineEvent) before(o timelineEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+func (t *Timeline) push(ev timelineEvent) {
+	t.heap = append(t.heap, ev)
+	i := len(t.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.heap[i].before(t.heap[parent]) {
+			break
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+func (t *Timeline) pop() timelineEvent {
+	top := t.heap[0]
+	last := len(t.heap) - 1
+	t.heap[0] = t.heap[last]
+	t.heap = t.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(t.heap) && t.heap[l].before(t.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(t.heap) && t.heap[r].before(t.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		t.heap[i], t.heap[smallest] = t.heap[smallest], t.heap[i]
+		i = smallest
+	}
+}
+
+// Timed is the outermost transport bracket: it wraps the fully composed
+// medium (including churn, so dead-endpoint short-circuits schedule no
+// events) and turns the latency the inner wrappers accumulated during
+// each top-level Deliver* call into a timeline completion event, feeding
+// the delivery-latency histogram. Built only when the spec has transport
+// components and the engine supplied a Timeline, so its per-delivery cost
+// never touches transport-free runs.
+type Timed struct {
+	inner Channel
+	tl    *Timeline
+	obs   *obs.Scope
+}
+
+// NewTimed wraps inner with the timeline bracket.
+func NewTimed(inner Channel, tl *Timeline, scope *obs.Scope) *Timed {
+	if inner == nil {
+		inner = Perfect{}
+	}
+	return &Timed{inner: inner, tl: tl, obs: scope}
+}
+
+// Advance implements Channel.
+func (w *Timed) Advance(now uint64) { w.inner.Advance(now) }
+
+// Alive implements Channel.
+func (w *Timed) Alive(i int32) bool { return w.inner.Alive(i) }
+
+// DeliverHop implements Channel.
+func (w *Timed) DeliverHop(p Packet) (bool, int) {
+	w.tl.begin()
+	ok, paid := w.inner.DeliverHop(p)
+	w.close(p)
+	return ok, paid
+}
+
+// DeliverRoute implements Channel.
+func (w *Timed) DeliverRoute(p Packet) (bool, int) {
+	w.tl.begin()
+	ok, paid := w.inner.DeliverRoute(p)
+	w.close(p)
+	return ok, paid
+}
+
+// DeliverRoundTrip implements Channel.
+func (w *Timed) DeliverRoundTrip(p Packet) (bool, int) {
+	w.tl.begin()
+	ok, paid := w.inner.DeliverRoundTrip(p)
+	w.close(p)
+	return ok, paid
+}
+
+func (w *Timed) close(p Packet) {
+	if lat := w.tl.finish(float64(p.Now)); lat > 0 {
+		w.obs.DeliveryLatency(lat)
+	}
+}
+
+// Name implements Channel. The bracket is transparent: it renders no
+// component of its own.
+func (w *Timed) Name() string { return w.inner.Name() }

@@ -1,0 +1,220 @@
+package channel
+
+import (
+	"testing"
+
+	"geogossip/internal/rng"
+)
+
+func TestTimelineHeapOrdering(t *testing.T) {
+	var tl Timeline
+	tl.Reset(true)
+	// Push out of order, with a time tie: pops must come back in
+	// (time, seq) order — seq breaks the 5.5 tie in push order.
+	for _, ev := range []timelineEvent{
+		{at: 5.5, seq: 0},
+		{at: 2.25, seq: 1},
+		{at: 5.5, seq: 2},
+		{at: 3.5, seq: 3},
+		{at: 0.75, seq: 4},
+	} {
+		tl.push(ev)
+	}
+	want := []timelineEvent{{0.75, 4}, {2.25, 1}, {3.5, 3}, {5.5, 0}, {5.5, 2}}
+	for i, w := range want {
+		if got := tl.pop(); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestTimelineFinishSchedulesAndTracksHigh(t *testing.T) {
+	var tl Timeline
+	tl.Reset(true)
+	if !tl.Active() {
+		t.Fatal("reset-active timeline not active")
+	}
+	tl.begin()
+	tl.Add(1.5)
+	tl.Add(2) // latency accumulates across wrappers
+	tl.Add(0) // zero and negative contributions are discarded
+	tl.Add(-3)
+	if got := tl.finish(10); got != 3.5 {
+		t.Fatalf("finish latency %v, want 3.5", got)
+	}
+	if tl.Pending() != 1 || tl.High() != 13.5 {
+		t.Fatalf("after finish: pending %d high %v, want 1 and 13.5", tl.Pending(), tl.High())
+	}
+	// A bracket with no accumulated latency schedules nothing.
+	tl.begin()
+	if got := tl.finish(20); got != 0 {
+		t.Fatalf("empty bracket latency %v, want 0", got)
+	}
+	if tl.Pending() != 1 {
+		t.Fatalf("empty bracket scheduled an event: pending %d", tl.Pending())
+	}
+	// An earlier completion never lowers the high-water mark.
+	tl.begin()
+	tl.Add(0.25)
+	tl.finish(1)
+	if tl.High() != 13.5 {
+		t.Fatalf("high regressed to %v", tl.High())
+	}
+}
+
+func TestTimelineDrainToFloorsEventTimes(t *testing.T) {
+	var tl Timeline
+	tl.Reset(true)
+	for _, c := range []struct{ now, lat float64 }{
+		{99, 0.9},  // completes 99.9  -> advance(99)
+		{99, 1.2},  // completes 100.2 -> advance(100)
+		{100, 0.6}, // completes 100.6 -> advance(100)
+		{199, 0.9}, // completes 199.9 -> advance(199)
+		{199, 1.4}, // completes 200.4 -> advance(200), past the drain horizon below
+	} {
+		tl.begin()
+		tl.Add(c.lat)
+		tl.finish(c.now)
+	}
+	var got []uint64
+	tl.DrainTo(200, func(now uint64) { got = append(got, now) })
+	want := []uint64{99, 100, 100, 199}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+	if tl.Pending() != 1 {
+		t.Fatalf("events past the horizon must stay pending, got %d", tl.Pending())
+	}
+	tl.DrainTo(1000, nil) // nil advance is allowed: events are discarded
+	if tl.Pending() != 0 {
+		t.Fatalf("final drain left %d events", tl.Pending())
+	}
+}
+
+func TestTimelineNilAndInactiveAreSafe(t *testing.T) {
+	var nilTL *Timeline
+	if nilTL.Active() {
+		t.Fatal("nil timeline active")
+	}
+	nilTL.Add(5)
+	nilTL.DrainTo(100, func(uint64) { t.Fatal("nil timeline drained an event") })
+	if nilTL.Pending() != 0 || nilTL.High() != 0 {
+		t.Fatal("nil timeline reported state")
+	}
+	var tl Timeline
+	tl.Reset(false)
+	if tl.Active() {
+		t.Fatal("inactive timeline reported active")
+	}
+}
+
+func TestTimelineResetClearsStateKeepsStorage(t *testing.T) {
+	var tl Timeline
+	tl.Reset(true)
+	for i := 0; i < 64; i++ {
+		tl.begin()
+		tl.Add(float64(i) + 0.5)
+		tl.finish(float64(i))
+	}
+	grown := cap(tl.heap)
+	tl.Reset(true)
+	if tl.Pending() != 0 || tl.High() != 0 || tl.seq != 0 || tl.pend != 0 {
+		t.Fatalf("reset left state: pending %d high %v seq %d pend %v", tl.Pending(), tl.High(), tl.seq, tl.pend)
+	}
+	if cap(tl.heap) != grown {
+		t.Fatalf("reset dropped heap storage: cap %d, want %d", cap(tl.heap), grown)
+	}
+}
+
+func TestTimedBracketSchedulesPerDelivery(t *testing.T) {
+	var tl Timeline
+	tl.Reset(true)
+	inner := NewDelay(Perfect{}, DelayParams{Kind: DelayFixed, A: 2}, 0, 0, rng.New(1), &tl)
+	ch := NewTimed(inner, &tl, nil)
+	if got := ch.Name(); got != "delay" {
+		t.Fatalf("timed bracket leaked into the name: %q", got)
+	}
+	p := pkt(0, 1, 3)
+	p.Now = 7
+	if ok, paid := ch.DeliverRoute(p); !ok || paid != 0 {
+		t.Fatalf("DeliverRoute = %v, %d", ok, paid)
+	}
+	// One completion at decision time + hops x fixed delay = 7 + 6.
+	if tl.Pending() != 1 || tl.High() != 13 {
+		t.Fatalf("pending %d high %v, want 1 and 13", tl.Pending(), tl.High())
+	}
+	var at []uint64
+	tl.DrainTo(100, func(now uint64) { at = append(at, now) })
+	if len(at) != 1 || at[0] != 13 {
+		t.Fatalf("drained %v, want [13]", at)
+	}
+}
+
+// TestTransportOffTickPathAllocFree pins the zero-delay/ARQ-off contract:
+// a pooled channel without transport components must deliver and advance
+// without touching the heap, exactly like the pre-transport layer did.
+func TestTransportOffTickPathAllocFree(t *testing.T) {
+	spec, err := Parse("bernoulli:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pool Pool
+	var tl Timeline
+	tl.Reset(false) // transport off: the engine still owns a (dormant) timeline
+	ch, err := spec.BuildWith(&pool, 16, Env{Timeline: &tl}, rng.New(3), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkt(1, 2, 4)
+	var now uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++
+		ch.Advance(now)
+		p.Now = now
+		ch.DeliverHop(p)
+		ch.DeliverRoute(p)
+		ch.DeliverRoundTrip(p)
+		tl.DrainTo(float64(now), nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("transport-off tick path allocates %v per tick, want 0", allocs)
+	}
+}
+
+// TestTransportTickPathAllocFree guards the live transport path too: with
+// the timeline warmed up (heap capacity established) a pooled
+// delay+ARQ channel delivers, schedules, and drains without allocating.
+func TestTransportTickPathAllocFree(t *testing.T) {
+	spec, err := Parse("bernoulli:0.2+delay:exp/0.5+arq:2/1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pool Pool
+	var tl Timeline
+	tl.Reset(true)
+	ch, err := spec.BuildWith(&pool, 16, Env{Timeline: &tl}, rng.New(3), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkt(1, 2, 4)
+	var now uint64
+	tick := func() {
+		now++
+		ch.Advance(now)
+		p.Now = now
+		ch.DeliverHop(p)
+		ch.DeliverRoute(p)
+		tl.DrainTo(float64(now), func(uint64) {})
+	}
+	for i := 0; i < 64; i++ {
+		tick() // warm the heap past its steady-state capacity
+	}
+	if allocs := testing.AllocsPerRun(1000, tick); allocs != 0 {
+		t.Fatalf("transport tick path allocates %v per tick after warmup, want 0", allocs)
+	}
+}

@@ -272,7 +272,8 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 	// The data-plane medium draws losses from the protocol stream (the
 	// same stream the inline checks used, keeping pre-channel runs
 	// bit-identical) and churn schedules from their own stream.
-	medium, err := spec.BuildWith(&st.ch, g.N(), faultEnv(g, h, spec), e.protoRNG, st.stream(&st.churnRNG, r, "churn"))
+	st.tline.Reset(spec.HasTransport())
+	medium, err := spec.BuildWith(&st.ch, g.N(), st.faultEnv(g, h, spec, opt.Obs, opt.Tracer), e.protoRNG, st.stream(&st.churnRNG, r, "churn"))
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +295,7 @@ func RunAsync(g *graph.Graph, h *hier.Hierarchy, x []float64, opt AsyncOptions, 
 		Router:      e.rt,
 		Tracer:      opt.Tracer,
 		Obs:         opt.Obs,
+		Timeline:    &st.tline,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	e.run = &st.harness
 	for !e.run.Done() {
@@ -497,6 +499,9 @@ func (e *asyncEngine) buildBudgets() {
 	}
 	// Under packet loss a Far exchange survives only with probability
 	// (1-loss)²; rounds are budgeted for the effective exchange count.
+	// Transport ARQ raises the true survival rate, but the budget
+	// deliberately ignores it: budgets sized for the raw loss rate only
+	// over-provision rounds, which is safe (DESIGN.md §12).
 	lossFactor := 1.0
 	if e.expectedLoss > 0 && e.expectedLoss < 1 {
 		surv := (1 - e.expectedLoss) * (1 - e.expectedLoss)
@@ -676,14 +681,17 @@ func (e *asyncEngine) far(sq *hier.Square) {
 		return // a recovery sweep retired the square entirely
 	}
 	out := e.rt.RouteToNode(myRep, partnerRep, e.opt.Recovery)
-	if ok, paid := e.run.Medium.DeliverRoundTrip(e.run.Packet(myRep, partnerRep, out.Hops)); !ok {
+	// On success paid is the transport layer's extra airtime
+	// (retransmissions, duplicates); zero without delay/arq.
+	ok, paid := e.run.Medium.DeliverRoundTrip(e.run.Packet(myRep, partnerRep, out.Hops))
+	if !ok {
 		e.run.Counter.Add(sim.CatFar, paid)
 		e.res.RouteFailures++
 		e.run.Scope.Loss(paid)
 		e.run.Trace(trace.Event{Kind: trace.KindLoss, Square: sq.ID, NodeA: myRep, NodeB: partnerRep, Hops: paid})
 		return
 	}
-	hops := out.Hops
+	hops := out.Hops + paid
 	delivered := out.Delivered
 	if delivered {
 		back := e.rt.RouteToNode(partnerRep, myRep, e.opt.Recovery)
@@ -724,7 +732,8 @@ func (e *asyncEngine) near(s int32) {
 	default:
 		return
 	}
-	if ok, paid := e.run.Medium.DeliverHop(e.run.Packet(s, v, 1)); !ok {
+	ok, paid := e.run.Medium.DeliverHop(e.run.Packet(s, v, 1))
+	if !ok {
 		e.run.Counter.Add(sim.CatNear, paid) // lost outbound value
 		e.run.TraceLoss(s, v, paid)
 		return
@@ -732,7 +741,9 @@ func (e *asyncEngine) near(s int32) {
 	avg := (e.x[s] + e.x[v]) / 2
 	e.run.Tracker.Set(s, avg)
 	e.run.Tracker.Set(v, avg)
-	e.run.Counter.Add(sim.CatNear, cost)
+	// paid on success is the transport layer's extra airtime
+	// (retransmissions, duplicates); zero without delay/arq.
+	e.run.Counter.Add(sim.CatNear, cost+paid)
 	e.res.NearExchanges++
-	e.run.Trace(trace.Event{Kind: trace.KindNear, Square: int(e.h.NodeLeaf[s]), NodeA: s, NodeB: v, Hops: cost})
+	e.run.Trace(trace.Event{Kind: trace.KindNear, Square: int(e.h.NodeLeaf[s]), NodeA: s, NodeB: v, Hops: cost + paid})
 }

@@ -258,7 +258,8 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 	// view, never to the shared hierarchy build; bind also resets the
 	// view and the copy-on-write repair table for this run.
 	st.bind(g, h, opt.Recovery, opt.Routes)
-	ch, err := spec.BuildWith(&st.ch, g.N(), faultEnv(g, h, spec),
+	st.tline.Reset(spec.HasTransport())
+	ch, err := spec.BuildWith(&st.ch, g.N(), st.faultEnv(g, h, spec, opt.Obs, opt.Tracer),
 		st.stream(&st.lossRNG, r, "loss"), st.stream(&st.churnRNG, r, "churn"))
 	if err != nil {
 		return nil, err
@@ -313,17 +314,22 @@ func RunRecursive(g *graph.Graph, h *hier.Hierarchy, x []float64, opt RecursiveO
 		Alive:                   sim.AliveMask(e.ch, g.N()),
 		Reelections:             e.res.Reelections,
 	}
+	// This engine's clock is the transmission counter, so its simulated
+	// seconds are denominated in transmissions per node rather than Poisson
+	// ticks per node; zero without transport components, like the others.
+	e.res.SimSeconds = sim.SimSeconds(&st.tline, e.counter.Total(), g.N())
 	// The engine lives inside a pooled state: hand out a copy so a later
 	// run's reset cannot touch the caller's counters.
 	res := e.res
 	return &res, nil
 }
 
-// faultEnv assembles the network context spatial and targeted fault
-// models bind to: positions always, hierarchy representatives and the
-// degree order only when the spec asks for them.
-func faultEnv(g *graph.Graph, h *hier.Hierarchy, spec channel.Spec) channel.Env {
-	env := channel.Env{Points: g.Points()}
+// faultEnv assembles the network context spatial, targeted and transport
+// fault models bind to: positions always, the state's timeline plus the
+// run's observability hooks for delay/arq wrappers, and hierarchy
+// representatives and the degree order only when the spec asks for them.
+func (st *RunState) faultEnv(g *graph.Graph, h *hier.Hierarchy, spec channel.Spec, scope *obs.Scope, tracer trace.Tracer) channel.Env {
+	env := channel.Env{Points: g.Points(), Timeline: &st.tline, Obs: scope, Tracer: tracer}
 	if spec.TargetsReps() {
 		env.Reps = h.Reps()
 	}
@@ -485,13 +491,16 @@ func (e *engine) avg(sq *hier.Square, eps float64) {
 // (or, under the Convex ablation, convex) update on the two representative
 // values, using old values on both sides as in §3 steps 3–4.
 func (e *engine) farExchange(a, b *hier.Square) {
-	e.ch.Advance(e.counter.Total())
+	e.advance()
 	if e.opt.Recover && (!e.ensureRep(a) || !e.ensureRep(b)) {
 		return // a square lost all members; nothing to exchange with
 	}
 	ra, rb := e.rep(a), e.rep(b)
 	out := e.rt.RouteToNode(ra, rb, e.opt.Recovery)
-	if ok, paid := e.ch.DeliverRoundTrip(e.packet(ra, rb, out.Hops)); !ok {
+	// On success paid is the transport layer's extra airtime
+	// (retransmissions, duplicates); zero without delay/arq.
+	ok, paid := e.ch.DeliverRoundTrip(e.packet(ra, rb, out.Hops))
+	if !ok {
 		// One of the two route legs was lost: charge the partial cost and
 		// apply no update (the oracle loop simply runs another round).
 		e.counter.Add(sim.CatFar, paid)
@@ -502,7 +511,7 @@ func (e *engine) farExchange(a, b *hier.Square) {
 		}
 		return
 	}
-	hops := out.Hops
+	hops := out.Hops + paid
 	delivered := out.Delivered
 	if delivered {
 		back := e.rt.RouteToNode(rb, ra, e.opt.Recovery)
@@ -533,6 +542,19 @@ func (e *engine) farExchange(a, b *hier.Square) {
 	if e.res.FarExchanges%uint64(e.opt.RecordEvery) == 0 {
 		e.curve.Record(e.res.FarExchanges, e.counter.Total(), e.tracker.Err())
 	}
+}
+
+// advance moves the medium to the engine's current clock reading (the
+// transmission counter), first draining any due transport completions in
+// deterministic (time, seq) order so time-windowed fault state flips at
+// delayed-delivery instants exactly as at counter crossings. One branch
+// when the timeline is inactive.
+func (e *engine) advance() {
+	now := e.counter.Total()
+	if e.st.tline.Active() {
+		e.st.tline.DrainTo(float64(now), e.ch.Advance)
+	}
+	e.ch.Advance(now)
 }
 
 // packet assembles the delivery context for a transmission: endpoint
@@ -643,7 +665,7 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 	charged := 0
 	for k := 0; k < maxEx && dev2 > target2; k++ {
 		u := members[e.leafRNG.IntN(l)]
-		e.ch.Advance(e.counter.Total())
+		e.advance()
 		if !e.ch.Alive(u) {
 			continue // a dead node's clock never picks it
 		}
@@ -661,7 +683,8 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		default:
 			continue
 		}
-		if ok, paid := e.ch.DeliverHop(e.packet(u, v, 1)); !ok {
+		ok, paid := e.ch.DeliverHop(e.packet(u, v, 1))
+		if !ok {
 			e.counter.Add(sim.CatNear, paid) // lost outbound value
 			charged += paid
 			e.obs.Loss(paid)
@@ -673,8 +696,10 @@ func (e *engine) leafAverage(sq *hier.Square, eps float64) {
 		dev2 += 2*da*da - du*du - dv*dv
 		e.tracker.Set(u, avg)
 		e.tracker.Set(v, avg)
-		e.counter.Add(sim.CatNear, cost)
-		charged += cost
+		// paid on success is the transport layer's extra airtime
+		// (retransmissions, duplicates); zero without delay/arq.
+		e.counter.Add(sim.CatNear, cost+paid)
+		charged += cost + paid
 	}
 	if dev2 > target2 {
 		e.res.LeafStalls++

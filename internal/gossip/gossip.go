@@ -140,6 +140,7 @@ func newBoydRun(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*boydRun,
 		Points:      g.Points(),
 		Tracer:      opt.Tracer,
 		Obs:         opt.Obs,
+		Timeline:    &st.tline,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	e := &st.boyd
 	*e = boydRun{
@@ -175,8 +176,11 @@ func (e *boydRun) step() {
 			avg := (e.x[s] + e.x[v]) / 2
 			h.Tracker.Set(s, avg)
 			h.Tracker.Set(v, avg)
-			h.Counter.Add(sim.CatNear, 2)
-			h.Trace(trace.Event{Kind: trace.KindNear, Square: -1, NodeA: s, NodeB: v, Hops: 2})
+			// paid is the transport layer's extra airtime (retransmissions,
+			// duplicates); zero without delay/arq, keeping the charge — and
+			// the event — byte-identical to the transport-free run.
+			h.Counter.Add(sim.CatNear, 2+paid)
+			h.Trace(trace.Event{Kind: trace.KindNear, Square: -1, NodeA: s, NodeB: v, Hops: 2 + paid})
 		}
 	}
 	h.Sample()
@@ -464,6 +468,7 @@ func newGeoRun(g *graph.Graph, x []float64, opt GeoOptions, r *rng.RNG) (*geoRun
 		Router:      &st.router,
 		Tracer:      opt.Tracer,
 		Obs:         opt.Obs,
+		Timeline:    &st.tline,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	var accept []float64
 	if opt.Sampling == SamplingRejection {
@@ -502,10 +507,12 @@ func (e *geoRun) step() {
 		h.Counter.Add(sim.CatFar, paid)
 		h.TraceLoss(s, target, paid)
 	} else {
-		h.Counter.Add(sim.CatFar, hops)
+		// paid on success is the transport layer's extra airtime
+		// (retransmissions, duplicates); zero without delay/arq.
+		h.Counter.Add(sim.CatFar, hops+paid)
 		// The exchange's one far event carries the total charge of its
 		// delivered legs; lost legs are accounted by their loss events.
-		total := hops
+		total := hops + paid
 		if target != s {
 			back := h.Router.RouteToNode(target, s, e.rec)
 			if ok, paid := h.Medium.DeliverRoute(h.Packet(target, s, back.Hops)); !ok {
@@ -513,8 +520,8 @@ func (e *geoRun) step() {
 				h.Counter.Add(sim.CatFar, paid)
 				h.TraceLoss(target, s, paid)
 			} else {
-				h.Counter.Add(sim.CatFar, back.Hops)
-				total += back.Hops
+				h.Counter.Add(sim.CatFar, back.Hops+paid)
+				total += back.Hops + paid
 				// Commit the pair atomically only when the round trip
 				// completed, so a failed return route (possible only
 				// on a disconnected instance) cannot break sum

@@ -71,6 +71,7 @@ func newPushSumRun(g *graph.Graph, x []float64, opt Options, r *rng.RNG) (*pushS
 		Points:      g.Points(),
 		Tracer:      opt.Tracer,
 		Obs:         opt.Obs,
+		Timeline:    &st.tline,
 	}, st.stream(&st.clockRNG, r, "clock"))
 	e := &st.push
 	*e = pushSumRun{
@@ -107,10 +108,12 @@ func (e *pushSumRun) step() {
 			e.w[i] /= 2
 			e.s[j] += e.s[i]
 			e.w[j] += e.w[i]
-			h.Counter.Add(sim.CatNear, 1)
+			// paid is the transport layer's extra airtime (retransmissions,
+			// duplicates); zero without delay/arq.
+			h.Counter.Add(sim.CatNear, 1+paid)
 			h.Tracker.Set(i, e.s[i]/e.w[i])
 			h.Tracker.Set(j, e.s[j]/e.w[j])
-			h.Trace(trace.Event{Kind: trace.KindNear, Square: -1, NodeA: i, NodeB: j, Hops: 1})
+			h.Trace(trace.Event{Kind: trace.KindNear, Square: -1, NodeA: i, NodeB: j, Hops: 1 + paid})
 		}
 	}
 	h.Sample()

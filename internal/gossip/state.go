@@ -24,6 +24,11 @@ import (
 type RunState struct {
 	h  sim.Harness
 	ch channel.Pool
+	// tline is the transport event clock (DESIGN.md §12), reset per run
+	// before the medium is built so delay/arq wrappers can schedule
+	// completions on it. Inactive (and cost-free) without transport
+	// components in the fault spec.
+	tline channel.Timeline
 
 	// Named streams, reseeded per run via StreamInto.
 	clockRNG, pickRNG, sampleRNG, lossRNG, churnRNG *rng.RNG
@@ -87,7 +92,8 @@ func (st *RunState) medium(o Options, g *graph.Graph, r *rng.RNG) (channel.Chann
 	if err != nil {
 		return nil, err
 	}
-	env := channel.Env{Points: g.Points()}
+	st.tline.Reset(spec.HasTransport())
+	env := channel.Env{Points: g.Points(), Timeline: &st.tline, Obs: o.Obs, Tracer: o.Tracer}
 	if spec.TargetsHubs() {
 		env.HubOrder = g.ByDegreeDesc()
 	}

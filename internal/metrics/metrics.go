@@ -129,6 +129,13 @@ type Result struct {
 	// Resyncs counts restart-from-neighbor state resyncs after node
 	// revival (engines with recovery enabled).
 	Resyncs uint64
+	// SimSeconds is the run's wall-clock convergence time in simulated
+	// seconds — the latest of the final clock tick and the last transport
+	// delivery completion, divided by n (each node's unit-rate Poisson
+	// clock ticks once per simulated second on average). Zero unless the
+	// fault spec has transport components (delay/arq), which activate the
+	// event-driven timeline; see DESIGN.md §12.
+	SimSeconds float64
 }
 
 // String implements fmt.Stringer with a one-line summary.

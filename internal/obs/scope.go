@@ -19,6 +19,15 @@ const (
 	MetricFarHops          = "geogossip_far_exchange_hops"
 	MetricFinalError       = "geogossip_run_final_error"
 
+	// Transport-reliability layer (DESIGN.md §12): ARQ retry traffic and
+	// the delivery-latency distribution of the time-realism channel
+	// wrappers. All engine-labelled; zero unless the run's fault spec has
+	// arq/delay components.
+	MetricRetransmissions = "geogossip_arq_retransmissions_total"
+	MetricARQTimeouts     = "geogossip_arq_timeouts_total"
+	MetricARQBackoffWait  = "geogossip_arq_backoff_wait"
+	MetricDeliveryLatency = "geogossip_delivery_latency"
+
 	// Sweep-level gauges, maintained by the sweep engine when a registry
 	// is attached (scrape-time snapshots, not part of Flatten).
 	MetricSweepTasksTotal   = "geogossip_sweep_tasks_total"
@@ -55,6 +64,11 @@ var HopBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // per bucket across the accuracy range experiments target.
 var ErrBuckets = []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
 
+// LatencyBuckets are the delivery-latency and ARQ-backoff histogram
+// bounds, in engine time units (ticks): per-hop delays are O(1) ticks,
+// multi-hop routes with retries reach the hundreds.
+var LatencyBuckets = []float64{0.25, 1, 4, 16, 64, 256, 1024, 4096}
+
 // Scope is the label-free fast path one engine reports through: every
 // instrument is resolved (with its constant engine label) at
 // construction, so reporting is a nil check plus atomic adds. All
@@ -74,6 +88,9 @@ type Scope struct {
 	farExchanges                      *Counter
 	farHops                           *Histogram
 	finalErr                          *Histogram
+	retransmits, arqTimeouts          *Counter
+	backoffWait                       *Histogram
+	deliveryLat                       *Histogram
 }
 
 // Scope returns the (memoized) reporting scope for one engine label.
@@ -104,6 +121,10 @@ func (r *Registry) Scope(engine string) *Scope {
 		farExchanges:  r.Counter(MetricFarExchanges, "Long-range exchanges.", "engine", engine),
 		farHops:       r.Histogram(MetricFarHops, "Hop cost of individual long-range exchanges.", HopBuckets, "engine", engine),
 		finalErr:      r.Histogram(MetricFinalError, "Final relative error of completed runs.", ErrBuckets, "engine", engine),
+		retransmits:   r.Counter(MetricRetransmissions, "ARQ retries sent after an ack timeout.", "engine", engine),
+		arqTimeouts:   r.Counter(MetricARQTimeouts, "ARQ ack timeouts (lost attempts noticed by the sender).", "engine", engine),
+		backoffWait:   r.Histogram(MetricARQBackoffWait, "ARQ backoff waits in engine time units (timeout x backoff^k + jitter).", LatencyBuckets, "engine", engine),
+		deliveryLat:   r.Histogram(MetricDeliveryLatency, "Transport latency of timed deliveries in engine time units.", LatencyBuckets, "engine", engine),
 	}
 	r.mu.Lock()
 	if prior := r.scopes[engine]; prior != nil {
@@ -171,6 +192,39 @@ func (s *Scope) AddFarExchanges(n uint64) {
 		return
 	}
 	s.farExchanges.Add(n)
+}
+
+// Retransmit records one ARQ retry sent after an ack timeout.
+func (s *Scope) Retransmit() {
+	if s == nil {
+		return
+	}
+	s.retransmits.Inc()
+}
+
+// ARQTimeout records one ARQ ack timeout (an outstanding attempt was
+// lost and the sender's retry timer expired).
+func (s *Scope) ARQTimeout() {
+	if s == nil {
+		return
+	}
+	s.arqTimeouts.Inc()
+}
+
+// BackoffWait records the duration of one ARQ backoff wait.
+func (s *Scope) BackoffWait(d float64) {
+	if s == nil {
+		return
+	}
+	s.backoffWait.Observe(d)
+}
+
+// DeliveryLatency records the transport latency of one timed delivery.
+func (s *Scope) DeliveryLatency(d float64) {
+	if s == nil {
+		return
+	}
+	s.deliveryLat.Observe(d)
 }
 
 // EndRun flushes one finished run: per-category transmissions, tick

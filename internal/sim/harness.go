@@ -50,6 +50,12 @@ type Harness struct {
 	// nil-receiver safe). Per-tick quantities flush once in Finish; only
 	// rare events (losses, recovery actions) report per event.
 	Scope *obs.Scope
+	// Timeline is the transport layer's event clock (DESIGN.md §12): due
+	// delivery completions drain each tick in deterministic (time, seq)
+	// order, and Finish folds its high-water completion time into
+	// SimSeconds. Nil or inactive (no delay/arq components) costs one
+	// branch per tick and changes nothing.
+	Timeline *channel.Timeline
 
 	n     int
 	every uint64
@@ -75,6 +81,9 @@ type HarnessConfig struct {
 	Tracer trace.Tracer
 	// Obs optionally receives metrics (see Harness.Scope).
 	Obs *obs.Scope
+	// Timeline optionally supplies the transport event clock (see
+	// Harness.Timeline). The engine resets it before building the medium.
+	Timeline *channel.Timeline
 }
 
 // NewHarness builds the run state over x (n = len(x) > 0) with the clock
@@ -119,6 +128,7 @@ func (h *Harness) Reset(x []float64, cfg HarnessConfig, clockRNG *rng.RNG) {
 	h.Router = cfg.Router
 	h.Tracer = cfg.Tracer
 	h.Scope = cfg.Obs
+	h.Timeline = cfg.Timeline
 	h.n = len(x)
 	h.every = every
 	h.pts = cfg.Points
@@ -131,9 +141,15 @@ func (h *Harness) Done() bool {
 }
 
 // Tick advances the clock and the medium together and returns the node
-// whose clock fired.
+// whose clock fired. With an active timeline, due transport completions
+// drain first in (time, seq) order, advancing the medium to each
+// completion's floored time so time-windowed fault state flips at
+// delayed-delivery instants exactly as at tick crossings.
 func (h *Harness) Tick() int32 {
 	s := h.Clock.Tick()
+	if h.Timeline.Active() {
+		h.Timeline.DrainTo(float64(h.Clock.Ticks()), h.Medium.Advance)
+	}
 	h.Medium.Advance(h.Clock.Ticks())
 	return s
 }
@@ -202,7 +218,7 @@ func (h *Harness) Finish(name string) *metrics.Result {
 	h.Scope.EndRun(h.Counter.Get(CatNear), h.Counter.Get(CatFar),
 		h.Counter.Get(CatControl), h.Counter.Get(CatFlood),
 		h.Clock.Ticks(), converged, finalErr)
-	return &metrics.Result{
+	res := &metrics.Result{
 		Algorithm:               name,
 		N:                       h.n,
 		Converged:               converged,
@@ -213,6 +229,24 @@ func (h *Harness) Finish(name string) *metrics.Result {
 		Curve:                   h.Curve.Snapshot(),
 		Alive:                   AliveMask(h.Medium, h.n),
 	}
+	res.SimSeconds = SimSeconds(h.Timeline, h.Clock.Ticks(), h.n)
+	return res
+}
+
+// SimSeconds converts a run's terminal time — the latest of its final
+// tick count and the timeline's last scheduled transport completion —
+// into simulated seconds (ticks/n: each node's unit-rate Poisson clock
+// ticks once per simulated second on average). Zero when the timeline is
+// inactive, keeping transport-free results unchanged.
+func SimSeconds(tl *channel.Timeline, ticks uint64, n int) float64 {
+	if !tl.Active() || n <= 0 {
+		return 0
+	}
+	t := float64(ticks)
+	if high := tl.High(); high > t {
+		t = high
+	}
+	return t / float64(n)
 }
 
 // AliveMask returns the per-node liveness of the medium at the current

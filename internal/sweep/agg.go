@@ -14,6 +14,7 @@ type CellKey struct {
 	N          int     `json:"n"`
 	LossRate   float64 `json:"loss_rate"`
 	FaultModel string  `json:"fault_model,omitempty"`
+	Transport  string  `json:"transport,omitempty"`
 	Recover    bool    `json:"recover,omitempty"`
 	Beta       float64 `json:"beta"`
 	Sampling   string  `json:"sampling,omitempty"`
@@ -25,6 +26,7 @@ type lineKey struct {
 	Algorithm  string
 	LossRate   float64
 	FaultModel string
+	Transport  string
 	Recover    bool
 	Beta       float64
 	Sampling   string
@@ -33,7 +35,7 @@ type lineKey struct {
 
 func (k CellKey) line() lineKey {
 	return lineKey{Algorithm: k.Algorithm, LossRate: k.LossRate, FaultModel: k.FaultModel,
-		Recover: k.Recover, Beta: k.Beta, Sampling: k.Sampling, Hierarchy: k.Hierarchy}
+		Transport: k.Transport, Recover: k.Recover, Beta: k.Beta, Sampling: k.Sampling, Hierarchy: k.Hierarchy}
 }
 
 // Dist summarizes one metric across a cell's seeds.
@@ -72,6 +74,11 @@ type CellStats struct {
 	// Transmissions and FinalErr summarize the per-seed metrics.
 	Transmissions Dist `json:"transmissions"`
 	FinalErr      Dist `json:"final_err"`
+	// SimSeconds summarizes simulated time to converge; present only for
+	// cells whose tasks ran with a transport layer (a pointer so
+	// transport-free aggregation output stays byte-identical to grids
+	// produced before the axis existed).
+	SimSeconds *Dist `json:"sim_seconds,omitempty"`
 }
 
 // ScalingFit is a fitted power law transmissions ≈ C·n^p across the cells
@@ -80,6 +87,7 @@ type ScalingFit struct {
 	Algorithm  string  `json:"algorithm"`
 	LossRate   float64 `json:"loss_rate"`
 	FaultModel string  `json:"fault_model,omitempty"`
+	Transport  string  `json:"transport,omitempty"`
 	Recover    bool    `json:"recover,omitempty"`
 	Beta       float64 `json:"beta"`
 	Sampling   string  `json:"sampling,omitempty"`
@@ -131,6 +139,7 @@ type Summary struct {
 func Aggregate(results []TaskResult) *Summary {
 	type acc struct {
 		tx, err   []float64
+		simSec    []float64
 		converged int
 		errors    int
 	}
@@ -147,6 +156,9 @@ func Aggregate(results []TaskResult) *Summary {
 		}
 		a.tx = append(a.tx, float64(r.Transmissions))
 		a.err = append(a.err, r.FinalErr)
+		if r.Transport != "" {
+			a.simSec = append(a.simSec, r.SimSeconds)
+		}
 		if r.Converged {
 			a.converged++
 		}
@@ -162,6 +174,10 @@ func Aggregate(results []TaskResult) *Summary {
 		if len(a.tx) > 0 {
 			cs.Transmissions = distOf(a.tx)
 			cs.FinalErr = distOf(a.err)
+		}
+		if len(a.simSec) > 0 {
+			d := distOf(a.simSec)
+			cs.SimSeconds = &d
 		}
 		sum.Cells = append(sum.Cells, cs)
 	}
@@ -192,6 +208,7 @@ func Aggregate(results []TaskResult) *Summary {
 			Algorithm:  lk.Algorithm,
 			LossRate:   lk.LossRate,
 			FaultModel: lk.FaultModel,
+			Transport:  lk.Transport,
 			Recover:    lk.Recover,
 			Beta:       lk.Beta,
 			Sampling:   lk.Sampling,
@@ -270,6 +287,12 @@ func lossFits(cells []CellStats) []LossFit {
 		if cs.Count == 0 || cs.Transmissions.Mean <= 0 {
 			continue
 		}
+		if cs.Transport != "" {
+			// ARQ retransmissions change the cost-vs-loss relation itself
+			// (cost reflects retries, not engine-level re-sends), so
+			// transport cells would pollute the raw-loss fit.
+			continue
+		}
 		p, ok := effectiveLoss(cs.CellKey)
 		if !ok {
 			continue
@@ -344,6 +367,9 @@ func cellLess(a, b CellKey) bool {
 	if a.FaultModel != b.FaultModel {
 		return a.FaultModel < b.FaultModel
 	}
+	if a.Transport != b.Transport {
+		return a.Transport < b.Transport
+	}
 	if a.Recover != b.Recover {
 		return !a.Recover
 	}
@@ -365,6 +391,9 @@ func fitLess(a, b ScalingFit) bool {
 	}
 	if a.FaultModel != b.FaultModel {
 		return a.FaultModel < b.FaultModel
+	}
+	if a.Transport != b.Transport {
+		return a.Transport < b.Transport
 	}
 	if a.Recover != b.Recover {
 		return !a.Recover

@@ -135,7 +135,8 @@ func ValidateResume(all []Task, resume []TaskResult) (map[int]bool, error) {
 // even though it appears in no other field.
 func (r TaskResult) matches(t Task) bool {
 	return r.Algorithm == t.Algorithm && r.N == t.N && r.SeedIndex == t.SeedIndex &&
-		r.LossRate == t.LossRate && r.FaultModel == t.FaultModel && r.Recover == t.Recover &&
+		r.LossRate == t.LossRate && r.FaultModel == t.FaultModel && r.Transport == t.Transport &&
+		r.Recover == t.Recover &&
 		r.Beta == t.Beta && r.Sampling == t.Sampling && r.Hierarchy == t.Hierarchy &&
 		r.TargetErr == t.TargetErr && r.MaxTicks == t.MaxTicks &&
 		r.RadiusMultiplier == t.RadiusMultiplier && r.Field == t.Field &&

@@ -192,7 +192,7 @@ func (t Task) values(g *graph.Graph, buf []float64) []float64 {
 
 // faults resolves the task's effective radio fault model: the parsed
 // FaultModel axis entry, with the LossRate axis folded in as a Bernoulli
-// loss process when set.
+// loss process and the Transport axis composed on top when set.
 func (t Task) faults() (channel.Spec, error) {
 	spec, err := channel.Parse(t.FaultModel)
 	if err != nil {
@@ -204,6 +204,22 @@ func (t Task) faults() (channel.Spec, error) {
 		}
 		spec.Loss = channel.LossBernoulli
 		spec.LossRate = t.LossRate
+	}
+	if t.Transport != "" {
+		tr, err := channel.Parse(t.Transport)
+		if err != nil {
+			return spec, fmt.Errorf("sweep: transport %q: %w", t.Transport, err)
+		}
+		if !tr.TransportOnly() {
+			return spec, fmt.Errorf("sweep: transport %q carries non-transport components", t.Transport)
+		}
+		if spec.HasTransport() {
+			return spec, fmt.Errorf("sweep: task crosses transport %q with fault model %q, which already carries transport components", t.Transport, t.FaultModel)
+		}
+		spec.Delay = tr.Delay
+		spec.Reorder = tr.Reorder
+		spec.Dup = tr.Dup
+		spec.ARQ = tr.ARQ
 	}
 	return spec, nil
 }
@@ -268,6 +284,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 		SeedIndex:        t.SeedIndex,
 		LossRate:         t.LossRate,
 		FaultModel:       t.FaultModel,
+		Transport:        t.Transport,
 		Recover:          t.Recover,
 		Beta:             t.Beta,
 		Sampling:         t.Sampling,
@@ -307,7 +324,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			out.Error = err.Error()
 			return out
 		}
-		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.SimSeconds, res.TransmissionsByCategory)
 	case AlgoGeographic:
 		mode := gossip.SamplingRejection
 		if t.Sampling == SamplingUniform {
@@ -330,7 +347,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			out.Error = err.Error()
 			return out
 		}
-		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.SimSeconds, res.TransmissionsByCategory)
 	case AlgoPushSum:
 		// Push-sum ignores the recovery axis: its mass-conservation
 		// bookkeeping already survives churn.
@@ -344,7 +361,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			out.Error = err.Error()
 			return out
 		}
-		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.SimSeconds, res.TransmissionsByCategory)
 	case AlgoAffine:
 		res, err := core.RunRecursive(g, h, x, core.RecursiveOptions{
 			Eps:     t.TargetErr,
@@ -359,7 +376,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			out.Error = err.Error()
 			return out
 		}
-		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.SimSeconds, res.TransmissionsByCategory)
 		out.FarExchanges = res.FarExchanges
 		out.HierarchyEll = h.Ell
 	case AlgoAsync:
@@ -380,7 +397,7 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 			out.Error = err.Error()
 			return out
 		}
-		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.TransmissionsByCategory)
+		out.fill(res.Converged, res.FinalErr, res.Transmissions, res.SimSeconds, res.TransmissionsByCategory)
 		out.FarExchanges = res.FarExchanges
 		out.HierarchyEll = h.Ell
 	default:
@@ -389,10 +406,11 @@ func executeWith(t Task, cache *netCache, st *runStates) TaskResult {
 	return out
 }
 
-func (r *TaskResult) fill(converged bool, finalErr float64, tx uint64, byCat map[string]uint64) {
+func (r *TaskResult) fill(converged bool, finalErr float64, tx uint64, simSeconds float64, byCat map[string]uint64) {
 	r.Converged = converged
 	r.FinalErr = finalErr
 	r.Transmissions = tx
+	r.SimSeconds = simSeconds
 	r.Breakdown = maps.Clone(byCat)
 }
 

@@ -79,6 +79,18 @@ type Spec struct {
 	// entries only run on algorithms with a hierarchy; others record a
 	// per-task error.
 	FaultModels []string
+	// Transports lists transport-reliability fragments in channel.Parse
+	// form, composed onto every fault model of the grid: delay models
+	// ("delay:fixed/D", "delay:uniform/LO/HI", "delay:exp/MEAN"), the
+	// reorder/dup decorators, and ARQ ("arq:RETRIES/TIMEOUT/BACKOFF"),
+	// composable via "+". Entries must be transport-only (no loss, field,
+	// cut or churn components — those belong on the FaultModels axis), and
+	// fault models carrying their own transport components cannot be
+	// crossed with a non-empty transport axis. Empty selects {""} (no
+	// transport layer), and ""-transport tasks keep the exact run seeds of
+	// pre-axis grids, so prior sweep output stays bit-identical and
+	// resumable.
+	Transports []string
 	// Recovery lists the engine-recovery settings to cross with the rest
 	// of the grid (typically {false, true} against a churn fault axis):
 	// true switches on representative re-election for the affine
@@ -155,6 +167,23 @@ func (s Spec) Normalized() Spec {
 		}
 	}
 	s.FaultModels = models
+	if len(s.Transports) == 0 {
+		s.Transports = []string{""}
+	}
+	// Canonicalize transport spellings the same way, so physically
+	// identical transports share run seeds and aggregation cells.
+	transports := make([]string, len(s.Transports))
+	for i, tr := range s.Transports {
+		transports[i] = tr
+		if spec, err := channel.Parse(tr); err == nil {
+			if spec.IsZero() {
+				transports[i] = ""
+			} else {
+				transports[i] = spec.String()
+			}
+		}
+	}
+	s.Transports = transports
 	if len(s.Recovery) == 0 {
 		s.Recovery = []bool{false}
 	}
@@ -222,6 +251,27 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: fault model %q carries a loss model; it cannot be crossed with non-zero LossRates (use churn-only fault models or drop the loss axis)", fm)
 		}
 	}
+	transportAxis := false
+	for _, tr := range s.Transports {
+		if tr == "" {
+			continue
+		}
+		transportAxis = true
+		spec, err := channel.Parse(tr)
+		if err != nil {
+			return fmt.Errorf("sweep: transport %q: %w", tr, err)
+		}
+		if !spec.TransportOnly() {
+			return fmt.Errorf("sweep: transport %q carries non-transport components; loss/field/cut/churn belong on the fault-model axis", tr)
+		}
+	}
+	if transportAxis {
+		for _, fm := range s.FaultModels {
+			if spec, err := channel.Parse(fm); err == nil && spec.HasTransport() {
+				return fmt.Errorf("sweep: fault model %q carries transport components; it cannot be crossed with a non-empty transport axis", fm)
+			}
+		}
+	}
 	for _, m := range s.Samplings {
 		switch m {
 		case SamplingRejection, SamplingUniform:
@@ -254,7 +304,7 @@ func (s Spec) Validate() error {
 func (s Spec) TaskCount() int {
 	s = s.Normalized()
 	return len(s.Algorithms) * len(s.Ns) * s.Seeds * len(s.LossRates) *
-		len(s.FaultModels) * len(s.Recovery) * len(s.Betas) * len(s.Samplings) * len(s.Hierarchies)
+		len(s.FaultModels) * len(s.Transports) * len(s.Recovery) * len(s.Betas) * len(s.Samplings) * len(s.Hierarchies)
 }
 
 // Task is one expanded grid point. IDs are assigned in expansion order
@@ -267,6 +317,7 @@ type Task struct {
 	SeedIndex  int
 	LossRate   float64
 	FaultModel string
+	Transport  string
 	Recover    bool
 	Beta       float64
 	Sampling   string
@@ -292,30 +343,33 @@ func (s Spec) Expand() []Task {
 			for seed := 0; seed < s.Seeds; seed++ {
 				for _, loss := range s.LossRates {
 					for _, fm := range s.FaultModels {
-						for _, rec := range s.Recovery {
-							for _, beta := range s.Betas {
-								for _, sampling := range s.Samplings {
-									for _, shape := range s.Hierarchies {
-										tasks = append(tasks, Task{
-											ID:               id,
-											Algorithm:        algo,
-											N:                n,
-											SeedIndex:        seed,
-											LossRate:         loss,
-											FaultModel:       fm,
-											Recover:          rec,
-											Beta:             beta,
-											Sampling:         sampling,
-											Hierarchy:        shape,
-											TargetErr:        s.TargetErr,
-											MaxTicks:         s.MaxTicks,
-											RadiusMultiplier: s.RadiusMultiplier,
-											Field:            s.Field,
-											BaseSeed:         s.BaseSeed,
-											AsyncThrottle:    s.AsyncThrottle,
-											AsyncLeafTicks:   s.AsyncLeafTicks,
-										})
-										id++
+						for _, tr := range s.Transports {
+							for _, rec := range s.Recovery {
+								for _, beta := range s.Betas {
+									for _, sampling := range s.Samplings {
+										for _, shape := range s.Hierarchies {
+											tasks = append(tasks, Task{
+												ID:               id,
+												Algorithm:        algo,
+												N:                n,
+												SeedIndex:        seed,
+												LossRate:         loss,
+												FaultModel:       fm,
+												Transport:        tr,
+												Recover:          rec,
+												Beta:             beta,
+												Sampling:         sampling,
+												Hierarchy:        shape,
+												TargetErr:        s.TargetErr,
+												MaxTicks:         s.MaxTicks,
+												RadiusMultiplier: s.RadiusMultiplier,
+												Field:            s.Field,
+												BaseSeed:         s.BaseSeed,
+												AsyncThrottle:    s.AsyncThrottle,
+												AsyncLeafTicks:   s.AsyncLeafTicks,
+											})
+											id++
+										}
 									}
 								}
 							}
@@ -355,6 +409,11 @@ func (t Task) runSeed() uint64 {
 	if t.FaultModel != "" {
 		seed = rng.DeriveString(rng.DeriveString(seed, "sweep/faults"), t.FaultModel)
 	}
+	if t.Transport != "" {
+		// Folded in only when set, like the fault model: transport-free
+		// tasks keep the exact seeds of pre-axis grids.
+		seed = rng.DeriveString(rng.DeriveString(seed, "sweep/transport"), t.Transport)
+	}
 	if t.Recover {
 		// Folded in only when set, like the fault model: recovery-off
 		// tasks keep the exact seeds of pre-axis grids.
@@ -382,6 +441,10 @@ type TaskResult struct {
 	// FaultModel is the channel.Parse spec the task ran under; empty for
 	// the perfect medium / plain LossRate axis.
 	FaultModel string `json:"fault_model,omitempty"`
+	// Transport is the transport-reliability fragment (delay/reorder/dup/
+	// arq) composed onto the fault model; empty when the task ran without
+	// a transport layer.
+	Transport string `json:"transport,omitempty"`
 	// Recover reports whether the engines ran their recovery protocols
 	// (re-election / restart-from-neighbor resync).
 	Recover   bool    `json:"recover,omitempty"`
@@ -405,12 +468,17 @@ type TaskResult struct {
 	NetSeed uint64 `json:"net_seed"`
 	RunSeed uint64 `json:"run_seed"`
 
-	Converged     bool              `json:"converged"`
-	FinalErr      float64           `json:"final_err"`
-	Transmissions uint64            `json:"transmissions"`
-	Breakdown     map[string]uint64 `json:"breakdown,omitempty"`
-	FarExchanges  uint64            `json:"far_exchanges,omitempty"`
-	HierarchyEll  int               `json:"hierarchy_ell,omitempty"`
+	Converged     bool    `json:"converged"`
+	FinalErr      float64 `json:"final_err"`
+	Transmissions uint64  `json:"transmissions"`
+	// SimSeconds is the run's time-to-converge in simulated seconds
+	// (metrics.Result.SimSeconds); zero — and omitted, keeping
+	// transport-free output byte-identical — unless the task's effective
+	// medium has transport components.
+	SimSeconds   float64           `json:"sim_seconds,omitempty"`
+	Breakdown    map[string]uint64 `json:"breakdown,omitempty"`
+	FarExchanges uint64            `json:"far_exchanges,omitempty"`
+	HierarchyEll int               `json:"hierarchy_ell,omitempty"`
 
 	// Error carries a per-task failure (e.g. no connected instance
 	// found); all result fields above it are zero when set.
@@ -425,6 +493,7 @@ func (r TaskResult) Cell() CellKey {
 		N:          r.N,
 		LossRate:   r.LossRate,
 		FaultModel: r.FaultModel,
+		Transport:  r.Transport,
 		Recover:    r.Recover,
 		Beta:       r.Beta,
 		Sampling:   r.Sampling,

@@ -35,6 +35,15 @@ const (
 	// KindChurn marks an observed liveness transition: NodeA is the node,
 	// NodeB is 1 for a revival and 0 for a crash.
 	KindChurn
+	// KindRetransmit marks an ARQ retry: the transport resends a packet
+	// whose previous attempt timed out. Hops is 0 — the retry's airtime is
+	// charged by the exchange's own near/far/loss event, which carries the
+	// full ARQ bill, so trace hop totals still sum to Transmissions.
+	KindRetransmit
+	// KindTimeout marks an ARQ ack timeout: an outstanding attempt was
+	// lost and the sender's retry timer expired. Hops is 0 (see
+	// KindRetransmit).
+	KindTimeout
 
 	numKinds
 )
@@ -60,6 +69,10 @@ func (k Kind) String() string {
 		return "resync"
 	case KindChurn:
 		return "churn"
+	case KindRetransmit:
+		return "retransmit"
+	case KindTimeout:
+		return "timeout"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

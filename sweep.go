@@ -45,6 +45,18 @@ type SweepSpec struct {
 	// Rep-targeted entries only run on the affine algorithms; other
 	// engines report a per-task error.
 	FaultModels []string
+	// Transports lists transport-reliability fragments in WithFaults spec
+	// form, composed onto every fault model of the grid: delay models
+	// ("delay:fixed/D", "delay:uniform/LO/HI", "delay:exp/MEAN"), the
+	// "reorder:P" / "dup:P" decorators and ARQ
+	// ("arq:RETRIES/TIMEOUT/BACKOFF"), composable via "+". Entries must be
+	// transport-only (loss, fields, cuts and churn belong on FaultModels),
+	// and fault models that already carry transport components cannot be
+	// crossed with a non-empty transport axis. Empty selects {""}, no
+	// transport layer; transport-free tasks keep the exact run seeds of
+	// pre-axis grids, so prior sweep output stays bit-identical and
+	// resumable.
+	Transports []string
 	// Recovery lists engine-recovery settings to cross with the grid
 	// (typically {false, true} against a churn fault axis): true runs
 	// every task with WithRecovery semantics — representative
@@ -94,6 +106,7 @@ func (s SweepSpec) internal() sweep.Spec {
 		BaseSeed:         s.BaseSeed,
 		LossRates:        s.LossRates,
 		FaultModels:      s.FaultModels,
+		Transports:       s.Transports,
 		Recovery:         s.Recovery,
 		Betas:            s.Betas,
 		Samplings:        s.Samplings,
@@ -120,6 +133,10 @@ type SweepCoords struct {
 	// FaultModel is the WithFaults spec the cell ran under; empty for
 	// the perfect medium / plain LossRate axis.
 	FaultModel string
+	// Transport is the transport-reliability fragment (delay/reorder/dup/
+	// arq) composed onto the fault model; empty when the cell ran without
+	// a transport layer (the SweepSpec.Transports axis).
+	Transport string
 	// Recover reports whether the cell ran with the engines' recovery
 	// protocols on (the SweepSpec.Recovery axis).
 	Recover   bool
@@ -155,7 +172,10 @@ type SweepResult struct {
 	Converged     bool
 	FinalErr      float64
 	Transmissions uint64
-	Breakdown     map[string]uint64
+	// SimSeconds mirrors Result.SimSeconds: simulated seconds to converge
+	// under the task's transport layer, zero without one.
+	SimSeconds float64
+	Breakdown  map[string]uint64
 	// FarExchanges counts long-range affine exchanges (affine algorithms
 	// only).
 	FarExchanges uint64
@@ -179,6 +199,9 @@ type SweepCell struct {
 	Errors         int
 	Transmissions  SweepDist
 	FinalErr       SweepDist
+	// SimSeconds summarizes simulated time to converge; nil for cells that
+	// ran without a transport layer.
+	SimSeconds *SweepDist
 }
 
 // SweepFit is a fitted power law transmissions ≈ Constant·n^Exponent
@@ -477,12 +500,13 @@ func buildReport(results []sweep.TaskResult, metrics map[string]float64, routeSt
 	}
 	agg := sweep.Aggregate(results)
 	for _, c := range agg.Cells {
-		rep.Cells = append(rep.Cells, SweepCell{
+		cell := SweepCell{
 			SweepCoords: SweepCoords{
 				Algorithm:  c.Algorithm,
 				N:          c.N,
 				LossRate:   c.LossRate,
 				FaultModel: c.FaultModel,
+				Transport:  c.Transport,
 				Recover:    c.Recover,
 				Beta:       c.Beta,
 				Sampling:   c.Sampling,
@@ -493,7 +517,12 @@ func buildReport(results []sweep.TaskResult, metrics map[string]float64, routeSt
 			Errors:         c.Errors,
 			Transmissions:  SweepDist(c.Transmissions),
 			FinalErr:       SweepDist(c.FinalErr),
-		})
+		}
+		if c.SimSeconds != nil {
+			d := SweepDist(*c.SimSeconds)
+			cell.SimSeconds = &d
+		}
+		rep.Cells = append(rep.Cells, cell)
 	}
 	for _, f := range agg.LossFits {
 		rep.LossFits = append(rep.LossFits, SweepLossFit{
@@ -515,6 +544,7 @@ func buildReport(results []sweep.TaskResult, metrics map[string]float64, routeSt
 				Algorithm:  f.Algorithm,
 				LossRate:   f.LossRate,
 				FaultModel: f.FaultModel,
+				Transport:  f.Transport,
 				Recover:    f.Recover,
 				Beta:       f.Beta,
 				Sampling:   f.Sampling,
@@ -537,6 +567,7 @@ func fromInternalResult(r sweep.TaskResult) SweepResult {
 			N:          r.N,
 			LossRate:   r.LossRate,
 			FaultModel: r.FaultModel,
+			Transport:  r.Transport,
 			Recover:    r.Recover,
 			Beta:       r.Beta,
 			Sampling:   r.Sampling,
@@ -554,6 +585,7 @@ func fromInternalResult(r sweep.TaskResult) SweepResult {
 		Converged:        r.Converged,
 		FinalErr:         r.FinalErr,
 		Transmissions:    r.Transmissions,
+		SimSeconds:       r.SimSeconds,
 		Breakdown:        r.Breakdown,
 		FarExchanges:     r.FarExchanges,
 		Err:              r.Error,
@@ -568,6 +600,7 @@ func toInternalResult(r SweepResult) sweep.TaskResult {
 		SeedIndex:        r.SeedIndex,
 		LossRate:         r.LossRate,
 		FaultModel:       r.FaultModel,
+		Transport:        r.Transport,
 		Recover:          r.Recover,
 		Beta:             r.Beta,
 		Sampling:         r.Sampling,
@@ -583,6 +616,7 @@ func toInternalResult(r SweepResult) sweep.TaskResult {
 		Converged:        r.Converged,
 		FinalErr:         r.FinalErr,
 		Transmissions:    r.Transmissions,
+		SimSeconds:       r.SimSeconds,
 		Breakdown:        r.Breakdown,
 		FarExchanges:     r.FarExchanges,
 		Error:            r.Err,
